@@ -1,0 +1,213 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (experiments E1-E10; see DESIGN.md for the mapping). Each
+// benchmark executes the corresponding experiment end to end — workload
+// generation, all policies, all metrics — and reports the rendered
+// table/series through b.Log on the first iteration, so that
+//
+//	go test -bench=E -benchtime=1x -v
+//
+// regenerates the full evaluation. Microbenchmarks for the allocator and
+// the max-flow core follow below.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/maxflow"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	opt := experiments.Options{}
+	if testing.Short() {
+		opt.Quick = true
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkE1AllocationBalance regenerates Fig E1a/E1b: Jain index and
+// min/max ratio of aggregate allocations vs. workload skew.
+func BenchmarkE1AllocationBalance(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2AllocationCDF regenerates Fig E2: the CDF of aggregate
+// allocations under high skew.
+func BenchmarkE2AllocationCDF(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3CompletionTime regenerates Fig E3a/E3b: batch job completion
+// times vs. skew under each policy.
+func BenchmarkE3CompletionTime(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Properties regenerates Table E4: empirical verification of
+// the fairness properties.
+func BenchmarkE4Properties(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5SharingIncentive regenerates Fig E5a-E5c: sharing-incentive
+// violations on the endowment family and organically.
+func BenchmarkE5SharingIncentive(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6EnhancedCost regenerates Fig E6a-E6c: the price of the
+// sharing-incentive enhancement.
+func BenchmarkE6EnhancedCost(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7AddonBenefit regenerates Fig E7a-E7c: completion-time stretch
+// with and without the add-on.
+func BenchmarkE7AddonBenefit(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8OnlineSimulation regenerates Table E8: online JCT and
+// utilization vs. offered load.
+func BenchmarkE8OnlineSimulation(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Scalability regenerates Table E9: allocator wall time,
+// Newton vs. bisection.
+func BenchmarkE9Scalability(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10SlotFluidCrossCheck regenerates Table E10: slot-granular vs.
+// fluid simulator agreement.
+func BenchmarkE10SlotFluidCrossCheck(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkX1MultiResource regenerates Fig X1a/X1b: the multi-resource
+// (DRF) extension beyond the paper.
+func BenchmarkX1MultiResource(b *testing.B) { benchExperiment(b, "X1") }
+
+// BenchmarkX2ReallocAblation regenerates Fig X2: the re-allocation
+// frequency (staleness) ablation.
+func BenchmarkX2ReallocAblation(b *testing.B) { benchExperiment(b, "X2") }
+
+// BenchmarkX3LocalityRelaxation regenerates Fig X3a/X3b: the remote
+// spillover (locality relaxation) extension.
+func BenchmarkX3LocalityRelaxation(b *testing.B) { benchExperiment(b, "X3") }
+
+// --- Microbenchmarks -----------------------------------------------------
+
+func benchInstance(n, m int, skew float64) *core.Instance {
+	return workload.Generate(workload.Config{
+		NumJobs:      n,
+		NumSites:     m,
+		SiteCapacity: 1,
+		Skew:         skew,
+		PerJobSkew:   true,
+		MeanDemand:   3 * float64(m) / float64(n),
+		SizeDist:     workload.SizeBoundedPareto,
+		Seed:         uint64(n)*31 + uint64(m),
+	})
+}
+
+func benchmarkAMF(b *testing.B, n, m int, method core.Method) {
+	in := benchInstance(n, m, 1.2)
+	sv := &core.Solver{Method: method}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.AMF(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAMFNewton100x20(b *testing.B) { benchmarkAMF(b, 100, 20, core.MethodNewton) }
+func BenchmarkAMFNewton400x40(b *testing.B) { benchmarkAMF(b, 400, 40, core.MethodNewton) }
+func BenchmarkAMFBisect100x20(b *testing.B) { benchmarkAMF(b, 100, 20, core.MethodBisect) }
+func BenchmarkAMFBisect400x40(b *testing.B) { benchmarkAMF(b, 400, 40, core.MethodBisect) }
+
+func BenchmarkEnhancedAMF100x20(b *testing.B) {
+	in := benchInstance(100, 20, 1.2)
+	sv := core.NewSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.EnhancedAMF(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerSiteMMF100x20(b *testing.B) {
+	in := benchInstance(100, 20, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PerSiteMMF(in)
+	}
+}
+
+func BenchmarkOptimizeJCT60x10(b *testing.B) {
+	in := benchInstance(60, 10, 1.2)
+	sv := core.NewSolver()
+	base, err := sv.AMF(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.OptimizeJCT(base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFlowBipartite(b *testing.B) {
+	in := benchInstance(200, 20, 1.2)
+	n, m := in.NumJobs(), in.NumSites()
+	g := maxflow.New(2 + n + m)
+	src, sink := 0, 1+n+m
+	for j := 0; j < n; j++ {
+		g.AddEdge(src, 1+j, in.TotalDemand(j))
+		for s := 0; s < m; s++ {
+			if d := in.Demand[j][s]; d > 0 {
+				g.AddEdge(1+j, 1+n+s, d)
+			}
+		}
+	}
+	for s := 0; s < m; s++ {
+		g.AddEdge(1+n+s, sink, in.SiteCapacity[s])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		g.MaxFlow(src, sink)
+	}
+}
+
+func BenchmarkFluidSimulation(b *testing.B) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 4, Lambda: 2, NumJobs: 60, Skew: 1.2, PerJobSkew: true,
+		TasksPerJobMean: 6, SitesPerJobMax: 3, Seed: 5,
+	})
+	solver := &core.Solver{SkipJCTRefine: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFluid(sim.FluidConfig{
+			SiteCapacity: []float64{4, 4, 4, 4},
+			Policy:       sim.PolicyAMF,
+			Solver:       solver,
+		}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlotSimulation(b *testing.B) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 4, Lambda: 2, NumJobs: 40, Skew: 1.2, PerJobSkew: true,
+		TasksPerJobMean: 6, SitesPerJobMax: 3, Seed: 5,
+	})
+	solver := &core.Solver{SkipJCTRefine: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunSlots(sim.SlotConfig{
+			SlotsPerSite: []int{4, 4, 4, 4},
+			Policy:       sim.PolicyAMF,
+			Solver:       solver,
+		}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command amf-bench regenerates the evaluation: every table and figure of
+// the paper's experiment section (reconstructed as experiments E1-E10, see
+// DESIGN.md).
+//
+// Usage:
+//
+//	amf-bench                 # run the full suite
+//	amf-bench -run E1,E5      # run selected experiments
+//	amf-bench -quick          # reduced sizes (smoke test)
+//	amf-bench -seed 7         # different workload seed
+//	amf-bench -list           # list experiment IDs and titles
+//
+// Output is the same Render() text the root-level benchmarks produce, so
+// `go test -bench` and this tool can never drift apart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick  = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed   = flag.Uint64("seed", 0, "workload seed (default 2019)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "text", "output format: text or md")
+		outDir = flag.String("out", "", "also write each experiment's report into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.Run(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		var body, ext string
+		switch *format {
+		case "md":
+			body, ext = r.RenderMarkdown(), "md"
+			fmt.Print(body)
+		default:
+			body, ext = r.Render(), "txt"
+			fmt.Print(body)
+			fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "amf-bench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, strings.ToLower(r.ID)+"."+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "amf-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command amf-gen generates synthetic instances for amf-solve.
+//
+// Usage:
+//
+//	amf-gen -jobs 100 -sites 20 -skew 1.5 [-per-job-skew] [-hetero]
+//	        [-capacity 1] [-mean-demand 3] [-size uniform|exponential|bounded-pareto]
+//	        [-scenario uniform|mild-skew|high-skew|hotspot|hetero]
+//	        [-endowment -endowed 10 -shared 5 -poor 2]
+//	        [-seed 2019] [-out instance.json]
+//
+// With -scenario, the named preset overrides the individual knobs. With
+// -endowment, the sharing-incentive stress family is generated instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs       = flag.Int("jobs", 100, "number of jobs")
+		sites      = flag.Int("sites", 20, "number of sites")
+		skew       = flag.Float64("skew", 1.0, "Zipf skew of the per-site workload distribution")
+		perJobSkew = flag.Bool("per-job-skew", true, "skew each job onto its own hot sites rather than global hotspots")
+		hetero     = flag.Bool("hetero", false, "heterogeneous site capacities")
+		capacity   = flag.Float64("capacity", 1, "per-site capacity")
+		meanDemand = flag.Float64("mean-demand", 0, "mean total demand per job (default: 3x fair share)")
+		sizeDist   = flag.String("size", "bounded-pareto", "job size distribution: uniform, exponential, bounded-pareto")
+		scenario   = flag.String("scenario", "", "named preset (uniform, mild-skew, high-skew, hotspot, hetero)")
+		endowment  = flag.Bool("endowment", false, "generate the sharing-incentive stress family")
+		endowed    = flag.Int("endowed", 10, "endowment: number of endowed jobs")
+		shared     = flag.Int("shared", 5, "endowment: number of shared sites")
+		poor       = flag.Int("poor", 2, "endowment: poor jobs per shared site")
+		seed       = flag.Uint64("seed", 2019, "random seed")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var in *core.Instance
+	switch {
+	case *endowment:
+		in = workload.EndowmentInstance(workload.EndowmentConfig{
+			NumEndowed:  *endowed,
+			NumShared:   *shared,
+			PoorPerSite: *poor,
+			Jitter:      0.2,
+			Seed:        *seed,
+		})
+	case *scenario != "":
+		cfg, err := workload.Scenario(*scenario).Configure(*jobs, *sites, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amf-gen:", err)
+			os.Exit(1)
+		}
+		in = workload.Generate(cfg)
+	default:
+		var dist workload.SizeDist
+		switch *sizeDist {
+		case "uniform":
+			dist = workload.SizeUniform
+		case "exponential":
+			dist = workload.SizeExponential
+		case "bounded-pareto":
+			dist = workload.SizeBoundedPareto
+		default:
+			fmt.Fprintf(os.Stderr, "amf-gen: unknown size distribution %q\n", *sizeDist)
+			os.Exit(1)
+		}
+		md := *meanDemand
+		if md <= 0 {
+			md = 3 * float64(*sites) * *capacity / float64(*jobs)
+		}
+		in = workload.Generate(workload.Config{
+			NumJobs:        *jobs,
+			NumSites:       *sites,
+			SiteCapacity:   *capacity,
+			HeteroCapacity: *hetero,
+			Skew:           *skew,
+			PerJobSkew:     *perJobSkew,
+			MeanDemand:     md,
+			SizeDist:       dist,
+			Seed:           *seed,
+		})
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amf-gen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteInstance(w, in); err != nil {
+		fmt.Fprintln(os.Stderr, "amf-gen:", err)
+		os.Exit(1)
+	}
+}

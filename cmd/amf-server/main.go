@@ -1,0 +1,131 @@
+// Command amf-server runs the allocation controller as a standalone JSON/
+// HTTP service (see internal/api for the endpoint reference).
+//
+// Usage:
+//
+//	amf-server -listen :8080 -capacity 4,4,8 -policy amf
+//
+// Example session:
+//
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"id":"etl","demand":[4,4,0],"work":[20,20,0]}'
+//	curl localhost:8080/v1/allocation
+//	curl -X POST localhost:8080/v1/jobs/etl/progress -d '{"done":[2,2,0]}'
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "listen address")
+		capacity = flag.String("capacity", "4,4", "comma-separated per-site capacities")
+		policy   = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
+		state    = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	caps, err := parseCapacities(*capacity)
+	if err != nil {
+		log.Fatalf("amf-server: %v", err)
+	}
+	p, err := sim.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("amf-server: %v", err)
+	}
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: p})
+	if err != nil {
+		log.Fatalf("amf-server: %v", err)
+	}
+	if *state != "" {
+		if err := loadState(sc, *state); err != nil {
+			log.Fatalf("amf-server: %v", err)
+		}
+	}
+	srv := api.NewServer(sc, caps, p)
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *state != "" {
+		// Persist the job set on shutdown so a restart resumes where it
+		// left off.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := saveState(sc, *state); err != nil {
+				log.Printf("amf-server: saving state: %v", err)
+			} else {
+				log.Printf("amf-server: state saved to %s", *state)
+			}
+			os.Exit(0)
+		}()
+	}
+	log.Printf("amf-server: %d sites, policy %s, listening on %s", len(caps), p, *listen)
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("amf-server: %v", err)
+	}
+}
+
+func loadState(sc *scheduler.Scheduler, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // first boot
+		}
+		return err
+	}
+	defer f.Close()
+	if err := sc.ReadSnapshot(f); err != nil {
+		return err
+	}
+	log.Printf("amf-server: restored %d jobs from %s", sc.Stats().Jobs, path)
+	return nil
+}
+
+func saveState(sc *scheduler.Scheduler, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func parseCapacities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	caps := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad capacity %q: %w", part, err)
+		}
+		caps = append(caps, v)
+	}
+	return caps, nil
+}

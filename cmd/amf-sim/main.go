@@ -1,0 +1,191 @@
+// Command amf-sim runs the online multi-site simulators.
+//
+// Usage:
+//
+//	amf-sim [-mode fluid|slots] [-policy psmmf|amf|amf+jct|amf-enhanced|all]
+//	        [-jobs 100] [-sites 6] [-capacity 4] [-load 0.8] [-skew 1.2]
+//	        [-tasks 6] [-task-duration 1] [-spread 3] [-seed 2019]
+//	        [-records out.csv] [-plot]
+//
+// A Poisson job stream is generated (arrival rate derived from -load), run
+// through the selected simulator under each requested policy, and per-policy
+// JCT/utilization statistics are printed. -records dumps per-job records as
+// CSV (last policy run); -plot adds an ASCII CDF plot of completion times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "fluid", "simulator: fluid or slots")
+		policy   = flag.String("policy", "all", "policy or 'all'")
+		jobs     = flag.Int("jobs", 100, "number of jobs")
+		sites    = flag.Int("sites", 6, "number of sites")
+		capacity = flag.Float64("capacity", 4, "per-site capacity (slots)")
+		load     = flag.Float64("load", 0.8, "offered load rho")
+		skew     = flag.Float64("skew", 1.2, "Zipf skew of task placement")
+		tasks    = flag.Float64("tasks", 6, "mean tasks per job")
+		taskDur  = flag.Float64("task-duration", 1, "mean task duration")
+		spread   = flag.Int("spread", 3, "max distinct sites per job")
+		diurnal  = flag.Float64("diurnal", 0, "diurnal arrival-rate amplitude in [0,1)")
+		seed     = flag.Uint64("seed", 2019, "random seed")
+		records  = flag.String("records", "", "write per-job records CSV (last policy)")
+		plot     = flag.Bool("plot", false, "ASCII CDF plot of completion times")
+		inTrace  = flag.String("trace", "", "replay a job stream from this CSV instead of generating one")
+		outTrace = flag.String("save-trace", "", "write the generated job stream to this CSV")
+	)
+	flag.Parse()
+	if err := run(*mode, *policy, *jobs, *sites, *capacity, *load, *skew,
+		*tasks, *taskDur, *spread, *diurnal, *seed, *records, *plot, *inTrace, *outTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "amf-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, policy string, jobs, sites int, capacity, load, skew,
+	tasks, taskDur float64, spread int, diurnal float64, seed uint64,
+	records string, plot bool, inTrace, outTrace string) error {
+
+	var stream []workload.Job
+	if inTrace != "" {
+		f, err := os.Open(inTrace)
+		if err != nil {
+			return err
+		}
+		stream, err = trace.ReadJobStreamCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// The trace defines the cluster shape.
+		if need := trace.NumSitesOf(stream); need > 0 {
+			sites = need
+		}
+		jobs = len(stream)
+	} else {
+		cfg := workload.StreamConfig{
+			NumSites:         sites,
+			NumJobs:          jobs,
+			Skew:             skew,
+			PerJobSkew:       true,
+			TasksPerJobMean:  tasks,
+			TaskDurationMean: taskDur,
+			SitesPerJobMax:   spread,
+			DiurnalAmplitude: diurnal,
+			Seed:             seed,
+		}
+		cfg.Lambda = workload.LambdaForLoad(cfg, capacity*float64(sites), load)
+		stream = workload.GenerateStream(cfg)
+	}
+	if outTrace != "" {
+		f, err := os.Create(outTrace)
+		if err != nil {
+			return err
+		}
+		err = trace.WriteJobStreamCSV(f, stream)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var policies []sim.Policy
+	if policy == "all" {
+		policies = sim.Policies()
+	} else {
+		p, err := sim.ParsePolicy(policy)
+		if err != nil {
+			return err
+		}
+		policies = []sim.Policy{p}
+	}
+
+	caps := make([]float64, sites)
+	slots := make([]int, sites)
+	for s := range caps {
+		caps[s] = capacity
+		slots[s] = int(capacity)
+	}
+	solver := &core.Solver{SkipJCTRefine: true}
+
+	t := table.New(fmt.Sprintf("Simulation (%s, %d jobs, load %.2g)", mode, jobs, load),
+		"policy", "mean JCT", "p50", "p95", "p99", "utilization", "fairness", "makespan")
+	var lastJobs []sim.JobRecord
+	perPolicyJCT := map[string][]float64{}
+	for _, p := range policies {
+		var recs []sim.JobRecord
+		var util, makespan float64
+		fairness := "-"
+		switch mode {
+		case "fluid":
+			res, err := sim.RunFluid(sim.FluidConfig{
+				SiteCapacity: caps, Policy: p, Solver: solver,
+			}, stream)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+			recs, util, makespan = res.Jobs, res.Utilization, res.Makespan
+			fairness = fmt.Sprintf("%.4g", res.FairnessAvg)
+		case "slots":
+			res, err := sim.RunSlots(sim.SlotConfig{
+				SlotsPerSite: slots, Policy: p, Solver: solver,
+			}, stream)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+			recs, util, makespan = res.Jobs, res.Utilization, res.Makespan
+		default:
+			return fmt.Errorf("unknown mode %q", mode)
+		}
+		jcts := sim.JCTs(recs)
+		t.AddRow(p.String(), stats.Mean(jcts), stats.Percentile(jcts, 50),
+			stats.Percentile(jcts, 95), stats.Percentile(jcts, 99), util, fairness, makespan)
+		lastJobs = recs
+		perPolicyJCT[p.String()] = jcts
+	}
+	fmt.Print(t.Render())
+
+	if plot {
+		// JCT quantile curves, one series per policy, on a shared
+		// fraction axis.
+		const levels = 20
+		names := make([]string, 0, len(policies))
+		for _, p := range policies {
+			names = append(names, p.String())
+		}
+		s := table.NewSeries("JCT at CDF fraction", "fraction", names...)
+		for i := 1; i <= levels; i++ {
+			frac := float64(i) / levels
+			ys := make([]float64, len(names))
+			for k, name := range names {
+				ys[k] = stats.Percentile(perPolicyJCT[name], frac*100)
+			}
+			s.AddPoint(frac, ys...)
+		}
+		fmt.Println()
+		fmt.Print(s.AsciiPlot(60, 14))
+	}
+
+	if records != "" {
+		f, err := os.Create(records)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteJobRecordsCSV(f, lastJobs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

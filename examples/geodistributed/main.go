@@ -1,0 +1,68 @@
+// Geo-distributed analytics: jobs span multiple datacenters because their
+// input data is partitioned for locality. This example generates a skewed
+// online workload over four datacenters, executes it in the fluid
+// simulator under the per-site baseline, AMF, and AMF with the
+// completion-time add-on, and reports the completion-time distributions —
+// the paper's headline end-to-end comparison.
+//
+// Run with: go run ./examples/geodistributed
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		datacenters = 4
+		capacity    = 8.0 // slots per datacenter
+		numJobs     = 120
+		load        = 0.85
+	)
+
+	cfg := workload.StreamConfig{
+		NumSites:         datacenters,
+		NumJobs:          numJobs,
+		Skew:             1.5, // each job's tasks concentrate on its own hot DC
+		PerJobSkew:       true,
+		TasksPerJobMean:  8,
+		TaskDurationMean: 1,
+		SitesPerJobMax:   3,
+		Seed:             42,
+	}
+	cfg.Lambda = workload.LambdaForLoad(cfg, capacity*datacenters, load)
+	jobs := workload.GenerateStream(cfg)
+
+	caps := make([]float64, datacenters)
+	for s := range caps {
+		caps[s] = capacity
+	}
+	solver := &repro.Solver{SkipJCTRefine: true}
+
+	fmt.Printf("%d jobs across %d datacenters at %.0f%% load (skew 1.5)\n\n",
+		numJobs, datacenters, load*100)
+	fmt.Println("policy         mean JCT   p95 JCT   p99 JCT   utilization")
+	for _, p := range []sim.Policy{sim.PolicyPSMMF, sim.PolicyAMF, sim.PolicyAMFJCT} {
+		res, err := sim.RunFluid(sim.FluidConfig{
+			SiteCapacity: caps,
+			Policy:       p,
+			Solver:       solver,
+		}, jobs)
+		if err != nil {
+			panic(err)
+		}
+		jcts := sim.JCTs(res.Jobs)
+		fmt.Printf("%-13s %9.2f %9.2f %9.2f %12.3f\n",
+			p, stats.Mean(jcts), stats.Percentile(jcts, 95),
+			stats.Percentile(jcts, 99), res.Utilization)
+	}
+
+	fmt.Println("\nAMF balances each job's aggregate rate across datacenters, so")
+	fmt.Println("jobs pinned to crowded DCs are compensated at their other DCs;")
+	fmt.Println("the per-site baseline leaves them starved, inflating the tail.")
+}

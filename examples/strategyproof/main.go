@@ -1,0 +1,75 @@
+// Strategy-proofness: can a job gain resources by lying about its demands?
+// Under AMF the answer is no — this example probes the allocator with
+// hundreds of misreports (scaling, exaggerating, concentrating,
+// fabricating locality) and shows that none increases the liar's useful
+// allocation. As a control, the same prober run against a naive
+// "proportional to reported demand" policy finds large profitable lies.
+//
+// Run with: go run ./examples/strategyproof
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// A contested cluster: three tenants share two scarce sites.
+	in := &repro.Instance{
+		SiteCapacity: []float64{2, 1},
+		JobName:      []string{"honest-a", "honest-b", "tempted"},
+		Demand: [][]float64{
+			{2, 1},
+			{1, 1},
+			{2, 0.5},
+		},
+	}
+	rng := rand.New(rand.NewSource(2019))
+	solver := repro.NewSolver()
+
+	amf := func(in *repro.Instance) (*repro.Allocation, error) { return solver.AMF(in) }
+	outcomes, err := repro.ProbeStrategyProofness(in, amf, 200, rng)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("AMF under misreporting:")
+	for _, o := range outcomes {
+		fmt.Printf("  %-9s truthful=%.4f best-lie=%.4f gain=%+.2g\n",
+			in.JobName[o.Job], o.TruthUseful, o.BestUseful, o.Gain)
+	}
+
+	// Control: proportional-to-report is trivially gameable.
+	proportional := func(in *repro.Instance) (*repro.Allocation, error) {
+		a := repro.NewAllocation(in)
+		for s := range in.SiteCapacity {
+			var total float64
+			for j := range in.Demand {
+				total += in.Demand[j][s]
+			}
+			if total == 0 {
+				continue
+			}
+			for j := range in.Demand {
+				share := in.SiteCapacity[s] * in.Demand[j][s] / total
+				if share > in.Demand[j][s] {
+					share = in.Demand[j][s]
+				}
+				a.Share[j][s] = share
+			}
+		}
+		return a, nil
+	}
+	outcomes, err = repro.ProbeStrategyProofness(in, proportional, 200, rng)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nproportional-to-report under misreporting (control):")
+	for _, o := range outcomes {
+		fmt.Printf("  %-9s truthful=%.4f best-lie=%.4f gain=%+.2g\n",
+			in.JobName[o.Job], o.TruthUseful, o.BestUseful, o.Gain)
+	}
+	fmt.Println("\nAMF gains are ~0 (within numerical tolerance); the naive")
+	fmt.Println("policy rewards exaggeration — exactly the paper's claim.")
+}

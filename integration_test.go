@@ -1,0 +1,133 @@
+package repro_test
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// End-to-end pipeline tests: the flows a user strings together from the
+// CLI tools, exercised through the library so failures localize.
+
+func TestPipelineGenerateSolveTraceRoundTrip(t *testing.T) {
+	// Generate -> solve -> serialize -> reload -> verify.
+	in := workload.Generate(workload.Config{
+		NumJobs: 30, NumSites: 6, Skew: 1.2, PerJobSkew: true,
+		MeanDemand: 0.6, Seed: 77,
+	})
+	alloc, err := repro.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ibuf, abuf bytes.Buffer
+	if err := trace.WriteInstance(&ibuf, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteAllocation(&abuf, alloc); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := trace.ReadInstance(&ibuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc2, err := trace.ReadAllocation(&abuf, in2, 1e-6*in.Scale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded allocation still certifies as max-min fair.
+	if j, bad := repro.AggregateMaxMinViolation(alloc2, 1e-4*in.Scale()); bad {
+		t.Fatalf("reloaded allocation flagged unfair at job %d", j)
+	}
+}
+
+func TestPipelineStreamRecordReplay(t *testing.T) {
+	// Generate a stream -> record -> replay -> identical simulation.
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1.2, NumJobs: 25, Skew: 1, PerJobSkew: true,
+		TasksPerJobMean: 5, Seed: 79,
+	})
+	var buf bytes.Buffer
+	if err := trace.WriteJobStreamCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := trace.ReadJobStreamCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []float64{3, 3, 3}
+	orig, err := sim.RunFluid(sim.FluidConfig{SiteCapacity: caps, Policy: sim.PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redo, err := sim.RunFluid(sim.FluidConfig{SiteCapacity: caps, Policy: sim.PolicyAMF}, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Jobs) != len(redo.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(orig.Jobs), len(redo.Jobs))
+	}
+	for i := range orig.Jobs {
+		if orig.Jobs[i].Completion != redo.Jobs[i].Completion {
+			t.Fatalf("job %d completion differs after replay: %g vs %g",
+				orig.Jobs[i].ID, orig.Jobs[i].Completion, redo.Jobs[i].Completion)
+		}
+	}
+}
+
+// TestHeadlineClaimsFullSize re-checks the two headline numbers recorded
+// in EXPERIMENTS.md at full experiment size (skipped under -short).
+func TestHeadlineClaimsFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiments")
+	}
+	// E1 at full size: AMF min/max ratio stays >= 2x the baseline's at the
+	// highest skew.
+	r, err := experiments.Run("E1", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.Series[1]
+	last := len(ratio.X) - 1
+	ps, amf := ratio.Y[0][last], ratio.Y[1][last]
+	if amf < 2*ps {
+		t.Fatalf("E1 full-size: AMF min/max %g not >= 2x PS-MMF %g", amf, ps)
+	}
+
+	// E8 at full size: AMF beats the baseline on mean JCT at load 0.9.
+	r, err = experiments.Run("E8", experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	var psJCT, amfJCT float64
+	for _, row := range tb.Rows {
+		if row[0] == "0.9" && row[1] == "psmmf" {
+			psJCT = parseF(t, row[2])
+		}
+		if row[0] == "0.9" && row[1] == "amf" {
+			amfJCT = parseF(t, row[2])
+		}
+	}
+	if psJCT == 0 || amfJCT == 0 {
+		t.Fatalf("E8 rows missing: %v", tb.Rows)
+	}
+	if amfJCT >= psJCT {
+		t.Fatalf("E8 full-size at load 0.9: AMF %g not below PS-MMF %g", amfJCT, psJCT)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,287 @@
+package api
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+func newTestServer(t *testing.T) (*Client, *scheduler.Scheduler) {
+	t.Helper()
+	sc, err := scheduler.New(scheduler.Config{
+		SiteCapacity: []float64{1, 1},
+		Policy:       sim.PolicyAMF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), sc
+}
+
+func TestHealthzAndConfig(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := c.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.SiteCapacity) != 2 || cfg.SiteCapacity[0] != 1 {
+		t.Fatalf("config %+v", cfg)
+	}
+	if cfg.Policy != "amf" {
+		t.Fatalf("policy %q", cfg.Policy)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.AddJob(AddJobRequest{
+		ID: "flexible", Demand: []float64{1, 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJob(AddJobRequest{
+		ID: "pinned", Demand: []float64{1, 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := c.Shares("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sh.Aggregate-1) > 1e-6 {
+		t.Fatalf("pinned aggregate %g, want 1", sh.Aggregate)
+	}
+	alloc, err := c.Allocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Jobs) != 2 {
+		t.Fatalf("allocation has %d jobs", len(alloc.Jobs))
+	}
+	if math.Abs(alloc.Jobs["flexible"].Shares[1]-1) > 1e-6 {
+		t.Fatalf("flexible shares %v", alloc.Jobs["flexible"].Shares)
+	}
+
+	// Progress to completion.
+	done, err := c.ReportProgress("pinned", []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("pinned should have completed")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Jobs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	if err := c.RemoveJob("flexible"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Stats()
+	if st.Jobs != 0 {
+		t.Fatalf("jobs %d after removal", st.Jobs)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	c, _ := newTestServer(t)
+	// Unknown job -> 404.
+	_, err := c.Shares("ghost")
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job error %v", err)
+	}
+	if err := c.RemoveJob("ghost"); err == nil {
+		t.Fatal("removing ghost succeeded")
+	}
+	// Duplicate -> 409.
+	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	err = c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}})
+	apiErr, ok = err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate error %v", err)
+	}
+	// Validation -> 400.
+	err = c.AddJob(AddJobRequest{ID: "b", Demand: []float64{1}})
+	apiErr, ok = err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("validation error %v", err)
+	}
+	// Missing id -> 400.
+	err = c.AddJob(AddJobRequest{Demand: []float64{1, 1}})
+	apiErr, ok = err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing id error %v", err)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	_, sc := newTestServer(t)
+	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader("{nonsense"))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON -> %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Fatalf("no error body: %s", rec.Body.String())
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, sc := newTestServer(t)
+	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	// GET on POST-only endpoint.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		t.Fatalf("GET /v1/jobs -> %d, want an error status", rec.Code)
+	}
+	// Unknown path.
+	req = httptest.NewRequest(http.MethodGet, "/v1/nope", nil)
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path -> %d", rec.Code)
+	}
+}
+
+func TestWeightedJobOverAPI(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.AddJob(AddJobRequest{ID: "light", Weight: 1, Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJob(AddJobRequest{ID: "heavy", Weight: 3, Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	light, err := c.Shares("light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := c.Shares("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heavy.Aggregate-3*light.Aggregate) > 1e-6 {
+		t.Fatalf("weights not respected: light %g heavy %g", light.Aggregate, heavy.Aggregate)
+	}
+}
+
+func TestProgressWithExplicitWork(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.AddJob(AddJobRequest{
+		ID: "w", Demand: []float64{1, 1}, Work: []float64{5, 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.ReportProgress("w", []float64{5, 4})
+	if err != nil || done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	done, err = c.ReportProgress("w", []float64{0, 1})
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+}
+
+func TestSnapshotOverAPI(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}, Work: []float64{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != "a" {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// Restore into a second server.
+	c2, _ := newTestServer(t)
+	if err := c2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := c2.Shares("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Aggregate <= 0 {
+		t.Fatalf("restored job has no allocation: %+v", sh)
+	}
+	// Bad snapshot -> 400.
+	err = c2.RestoreSnapshot(scheduler.Snapshot{Jobs: []scheduler.Job{
+		{ID: "x", Demand: []float64{1}, Remaining: []float64{1}},
+	}})
+	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad snapshot error %v", err)
+	}
+}
+
+func TestQueuesOverAPI(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.AddQueue("prod", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddQueue("", 1); err == nil {
+		t.Fatal("empty queue name accepted")
+	}
+	if err := c.AddJob(AddJobRequest{ID: "p", Queue: "prod", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJob(AddJobRequest{ID: "d", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// prod (weight 2) vs default (weight 1) on capacity 2: 4/3 vs 2/3.
+	p, err := c.Shares("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Shares("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Aggregate-2*d.Aggregate) > 1e-6 {
+		t.Fatalf("queue weights over API: %g vs %g", p.Aggregate, d.Aggregate)
+	}
+	// Unknown queue -> 400.
+	err = c.AddJob(AddJobRequest{ID: "x", Queue: "ghost", Demand: []float64{1, 1}})
+	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown queue error %v", err)
+	}
+}
+
+func TestUpdateWeightOverAPI(t *testing.T) {
+	c, _ := newTestServer(t)
+	_ = c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}})
+	_ = c.AddJob(AddJobRequest{ID: "b", Demand: []float64{1, 1}})
+	if err := c.UpdateWeight("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Shares("a")
+	b, _ := c.Shares("b")
+	if math.Abs(a.Aggregate-3*b.Aggregate) > 1e-6 {
+		t.Fatalf("weight update not applied: %g vs %g", a.Aggregate, b.Aggregate)
+	}
+	if err := c.UpdateWeight("ghost", 2); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/scheduler"
+)
+
+// Client is a typed client for the control-plane API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a server at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("api: %d %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er errorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz() error {
+	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Config fetches the controller configuration.
+func (c *Client) Config() (ConfigResponse, error) {
+	var out ConfigResponse
+	err := c.do(http.MethodGet, "/v1/config", nil, &out)
+	return out, err
+}
+
+// AddJob registers a job.
+func (c *Client) AddJob(req AddJobRequest) error {
+	return c.do(http.MethodPost, "/v1/jobs", req, nil)
+}
+
+// AddQueue declares a weighted queue.
+func (c *Client) AddQueue(name string, weight float64) error {
+	return c.do(http.MethodPost, "/v1/queues", AddQueueRequest{Name: name, Weight: weight}, nil)
+}
+
+// RemoveJob cancels a job.
+func (c *Client) RemoveJob(id string) error {
+	return c.do(http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// UpdateWeight changes a job's share weight at runtime.
+func (c *Client) UpdateWeight(id string, weight float64) error {
+	return c.do(http.MethodPut, "/v1/jobs/"+id+"/weight", WeightRequest{Weight: weight}, nil)
+}
+
+// ReportProgress reports completed work; it returns whether the job
+// finished.
+func (c *Client) ReportProgress(id string, done []float64) (bool, error) {
+	var out ProgressResponse
+	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/progress",
+		ProgressRequest{Done: done}, &out)
+	return out.Completed, err
+}
+
+// Shares fetches one job's current allocation.
+func (c *Client) Shares(id string) (SharesResponse, error) {
+	var out SharesResponse
+	err := c.do(http.MethodGet, "/v1/jobs/"+id+"/shares", nil, &out)
+	return out, err
+}
+
+// Allocation fetches every job's allocation.
+func (c *Client) Allocation() (AllocationResponse, error) {
+	var out AllocationResponse
+	err := c.do(http.MethodGet, "/v1/allocation", nil, &out)
+	return out, err
+}
+
+// Stats fetches controller counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Snapshot downloads the controller's job-set state.
+func (c *Client) Snapshot() (scheduler.Snapshot, error) {
+	var out scheduler.Snapshot
+	err := c.do(http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// RestoreSnapshot replaces the controller's job set.
+func (c *Client) RestoreSnapshot(snap scheduler.Snapshot) error {
+	return c.do(http.MethodPut, "/v1/snapshot", snap, nil)
+}

@@ -1,0 +1,281 @@
+// Package api exposes the scheduler controller over a JSON/HTTP control
+// plane — the deployment surface for running the allocator as a sidecar or
+// standalone service — together with a typed Go client.
+//
+// Endpoints (all JSON):
+//
+//	GET    /v1/healthz                 liveness
+//	GET    /v1/config                  site capacities, policy
+//	POST   /v1/queues                  declare a weighted queue
+//	POST   /v1/jobs                    register a job (optionally in a queue)
+//	DELETE /v1/jobs/{id}               deregister (cancel) a job
+//	POST   /v1/jobs/{id}/progress     report completed work
+//	PUT    /v1/jobs/{id}/weight       change a job's weight
+//	GET    /v1/jobs/{id}/shares       one job's current shares
+//	GET    /v1/allocation              all current shares
+//	GET    /v1/stats                   controller counters
+//	GET    /v1/snapshot                download controller state
+//	PUT    /v1/snapshot                restore controller state
+//
+// Errors are returned as {"error": "..."} with conventional status codes:
+// 400 for validation failures, 404 for unknown jobs, 409 for duplicates.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+// AddJobRequest registers a job. Queue, when set, must name a queue
+// previously declared via POST /v1/queues.
+type AddJobRequest struct {
+	ID     string    `json:"id"`
+	Weight float64   `json:"weight,omitempty"`
+	Queue  string    `json:"queue,omitempty"`
+	Demand []float64 `json:"demand"`
+	Work   []float64 `json:"work,omitempty"`
+}
+
+// AddQueueRequest declares a queue with a weight.
+type AddQueueRequest struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// ProgressRequest reports completed work per site.
+type ProgressRequest struct {
+	Done []float64 `json:"done"`
+}
+
+// ProgressResponse reports whether the job completed.
+type ProgressResponse struct {
+	Completed bool `json:"completed"`
+}
+
+// SharesResponse carries one job's allocation.
+type SharesResponse struct {
+	ID        string    `json:"id"`
+	Shares    []float64 `json:"shares"`
+	Aggregate float64   `json:"aggregate"`
+}
+
+// AllocationResponse carries every job's allocation.
+type AllocationResponse struct {
+	Jobs map[string]SharesResponse `json:"jobs"`
+}
+
+// ConfigResponse describes the controller's static configuration.
+type ConfigResponse struct {
+	SiteCapacity []float64 `json:"site_capacity"`
+	Policy       string    `json:"policy"`
+}
+
+// StatsResponse mirrors scheduler.Stats.
+type StatsResponse struct {
+	Solves    int `json:"solves"`
+	Skipped   int `json:"skipped"`
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server wraps a scheduler with the HTTP API.
+type Server struct {
+	sc     *scheduler.Scheduler
+	cfg    ConfigResponse
+	mux    *http.ServeMux
+	policy sim.Policy
+}
+
+// NewServer builds the API around an existing controller. capacity and
+// policy are echoed by /v1/config (the scheduler does not expose them).
+func NewServer(sc *scheduler.Scheduler, capacity []float64, policy sim.Policy) *Server {
+	s := &Server{
+		sc: sc,
+		cfg: ConfigResponse{
+			SiteCapacity: append([]float64(nil), capacity...),
+			Policy:       policy.String(),
+		},
+		mux:    http.NewServeMux(),
+		policy: policy,
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleAddJob)
+	s.mux.HandleFunc("POST /v1/queues", s.handleAddQueue)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemoveJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("PUT /v1/jobs/{id}/weight", s.handleWeight)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/shares", s.handleShares)
+	s.mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleGetSnapshot)
+	s.mux.HandleFunc("PUT /v1/snapshot", s.handlePutSnapshot)
+	return s
+}
+
+// Handler returns the HTTP handler for mounting.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, scheduler.ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, scheduler.ErrDuplicateJob):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg)
+}
+
+func (s *Server) handleAddJob(w http.ResponseWriter, r *http.Request) {
+	var req AddJobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ID == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "job id required"})
+		return
+	}
+	var err error
+	if req.Queue != "" {
+		err = s.sc.AddJobInQueue(req.Queue, req.ID, req.Weight, req.Demand, req.Work)
+	} else {
+		err = s.sc.AddJob(req.ID, req.Weight, req.Demand, req.Work)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
+}
+
+func (s *Server) handleAddQueue(w http.ResponseWriter, r *http.Request) {
+	var req AddQueueRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.sc.AddQueue(req.Name, req.Weight); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleRemoveJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.sc.RemoveJob(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var req ProgressRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	done, err := s.sc.ReportProgress(r.PathValue("id"), req.Done)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgressResponse{Completed: done})
+}
+
+// WeightRequest updates a job's weight.
+type WeightRequest struct {
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
+	var req WeightRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.sc.UpdateWeight(r.PathValue("id"), req.Weight); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
+}
+
+func (s *Server) handleShares(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	shares, err := s.sc.Shares(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sharesResponse(id, shares))
+}
+
+func sharesResponse(id string, shares []float64) SharesResponse {
+	var agg float64
+	for _, v := range shares {
+		agg += v
+	}
+	return SharesResponse{ID: id, Shares: shares, Aggregate: agg}
+}
+
+func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
+	alloc, err := s.sc.Allocation()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := AllocationResponse{Jobs: make(map[string]SharesResponse, len(alloc))}
+	for id, shares := range alloc {
+		resp.Jobs[id] = sharesResponse(id, shares)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sc.Snapshot())
+}
+
+func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
+	var snap scheduler.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.sc.Restore(snap); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "restored"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sc.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
+	})
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Allocation holds a per-job, per-site resource assignment for an instance.
+type Allocation struct {
+	Inst  *Instance
+	Share [][]float64 // Share[j][s] = resource given to job j at site s
+}
+
+// NewAllocation returns an all-zero allocation for the instance.
+func NewAllocation(in *Instance) *Allocation {
+	share := make([][]float64, in.NumJobs())
+	for j := range share {
+		share[j] = make([]float64, in.NumSites())
+	}
+	return &Allocation{Inst: in, Share: share}
+}
+
+// Clone returns a deep copy sharing the same instance.
+func (a *Allocation) Clone() *Allocation {
+	return &Allocation{Inst: a.Inst, Share: cloneMatrix(a.Share)}
+}
+
+// Aggregate reports A_j, job j's total allocation across all sites.
+func (a *Allocation) Aggregate(j int) float64 {
+	var t float64
+	for _, v := range a.Share[j] {
+		t += v
+	}
+	return t
+}
+
+// Aggregates reports the vector of per-job aggregate allocations.
+func (a *Allocation) Aggregates() []float64 {
+	out := make([]float64, len(a.Share))
+	for j := range a.Share {
+		out[j] = a.Aggregate(j)
+	}
+	return out
+}
+
+// SiteLoad reports the total resource handed out at site s.
+func (a *Allocation) SiteLoad(s int) float64 {
+	var t float64
+	for j := range a.Share {
+		t += a.Share[j][s]
+	}
+	return t
+}
+
+// Utilization reports the fraction of total capacity allocated.
+func (a *Allocation) Utilization() float64 {
+	total := a.Inst.TotalCapacity()
+	if total == 0 {
+		return 0
+	}
+	var used float64
+	for s := range a.Inst.SiteCapacity {
+		used += a.SiteLoad(s)
+	}
+	return used / total
+}
+
+// CompletionTime reports job j's fluid completion time under static rates:
+// max over sites of work/rate. Sites with work but no allocation yield +Inf;
+// a job with no work completes at time 0.
+func (a *Allocation) CompletionTime(j int) float64 {
+	var t float64
+	for s := range a.Inst.SiteCapacity {
+		w := a.Inst.JobWork(j, s)
+		if w <= 0 {
+			continue
+		}
+		r := a.Share[j][s]
+		if r <= 0 {
+			return math.Inf(1)
+		}
+		t = math.Max(t, w/r)
+	}
+	return t
+}
+
+// Stretch reports job j's completion-time stretch: its fluid completion
+// time divided by the best completion time achievable with the same
+// aggregate (TotalWork/Aggregate). Returns 1 for jobs with no work and +Inf
+// for jobs with work but a zero aggregate.
+func (a *Allocation) Stretch(j int) float64 {
+	w := a.Inst.TotalWork(j)
+	if w <= 0 {
+		return 1
+	}
+	agg := a.Aggregate(j)
+	if agg <= 0 {
+		return math.Inf(1)
+	}
+	ideal := w / agg
+	return a.CompletionTime(j) / ideal
+}
+
+// CheckFeasible verifies demand caps, site capacities and non-negativity
+// within tolerance tol (absolute, in resource units).
+func (a *Allocation) CheckFeasible(tol float64) error {
+	in := a.Inst
+	if len(a.Share) != in.NumJobs() {
+		return fmt.Errorf("core: allocation has %d rows for %d jobs", len(a.Share), in.NumJobs())
+	}
+	for j, row := range a.Share {
+		if len(row) != in.NumSites() {
+			return fmt.Errorf("core: job %d row has %d entries for %d sites", j, len(row), in.NumSites())
+		}
+		for s, v := range row {
+			if v < -tol {
+				return fmt.Errorf("core: job %d site %d has negative share %g", j, s, v)
+			}
+			if v > in.Demand[j][s]+tol {
+				return fmt.Errorf("core: job %d site %d share %g exceeds demand %g",
+					j, s, v, in.Demand[j][s])
+			}
+		}
+	}
+	for s := range in.SiteCapacity {
+		if load := a.SiteLoad(s); load > in.SiteCapacity[s]+tol {
+			return fmt.Errorf("core: site %d load %g exceeds capacity %g",
+				s, load, in.SiteCapacity[s])
+		}
+	}
+	return nil
+}

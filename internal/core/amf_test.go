@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/fairness"
+)
+
+func TestAMFSingleSiteMatchesWaterfill(t *testing.T) {
+	// With one site, AMF must coincide with classic water-filling.
+	in := &Instance{
+		SiteCapacity: []float64{10},
+		Demand:       [][]float64{{2}, {4}, {10}},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fairness.Waterfill(10, []float64{2, 4, 10})
+	for j := range want {
+		approx(t, a.Aggregate(j), want[j], 1e-6, "aggregate")
+	}
+}
+
+func TestAMFTwoJobsOneContestedSite(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1.5, 1e-6, "job 0")
+	approx(t, a.Aggregate(1), 1.5, 1e-6, "job 1")
+}
+
+func TestAMFCrossSiteBalancing(t *testing.T) {
+	// Job 0 is pinned to site 0; job 1 can use either site. AMF routes job 1
+	// away from the contested site so both reach aggregate 1... then job 1
+	// keeps growing into the leftover.
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0},
+			{1, 1},
+		},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1, 1e-6, "pinned job")
+	approx(t, a.Aggregate(1), 1, 1e-6, "flexible job")
+	// The split must put job 1 entirely on site 1.
+	approx(t, a.Share[1][0], 0, 1e-6, "job1 at site0")
+	approx(t, a.Share[1][1], 1, 1e-6, "job1 at site1")
+}
+
+func TestAMFDistinctBottlenecks(t *testing.T) {
+	// Two jobs contest a small site, a third owns a big site: two freeze
+	// rounds at different levels.
+	in := &Instance{
+		SiteCapacity: []float64{1, 6},
+		Demand: [][]float64{
+			{5, 0},
+			{5, 0},
+			{0, 5},
+		},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 0.5, 1e-6, "contested job 0")
+	approx(t, a.Aggregate(1), 0.5, 1e-6, "contested job 1")
+	approx(t, a.Aggregate(2), 5, 1e-6, "private job (demand-capped)")
+}
+
+func TestAMFSharingIncentiveCounterexampleAggregates(t *testing.T) {
+	in := sharingIncentiveInstance()
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contested site 1 (capacity 0.2) goes to the two poor jobs; job X ends
+	// at its private-site demand 0.9.
+	approx(t, a.Aggregate(0), 0.9, 1e-6, "job X")
+	approx(t, a.Aggregate(1), 0.1, 1e-6, "job Y")
+	approx(t, a.Aggregate(2), 0.1, 1e-6, "job Z")
+	checkAMFInvariants(t, in, a)
+}
+
+func TestAMFZeroDemandJob(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{4},
+		Demand:       [][]float64{{0}, {4}},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 0, 1e-9, "zero-demand job")
+	approx(t, a.Aggregate(1), 4, 1e-6, "other job")
+}
+
+func TestAMFZeroCapacitySite(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{0, 2},
+		Demand:       [][]float64{{5, 1}, {5, 1}},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1, 1e-6, "job 0")
+	approx(t, a.Aggregate(1), 1, 1e-6, "job 1")
+}
+
+func TestAMFNoJobs(t *testing.T) {
+	in := &Instance{SiteCapacity: []float64{1}}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Share) != 0 {
+		t.Fatalf("expected empty allocation, got %d rows", len(a.Share))
+	}
+}
+
+func TestAMFAbundantCapacity(t *testing.T) {
+	// Everyone is demand-capped.
+	in := &Instance{
+		SiteCapacity: []float64{100, 100},
+		Demand:       [][]float64{{1, 2}, {3, 0}, {0, 4}},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range []float64{3, 3, 4} {
+		approx(t, a.Aggregate(j), want, 1e-6, "aggregate")
+	}
+}
+
+func TestAMFWeighted(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{10}, {10}},
+		Weight:       []float64{1, 2},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 2, 1e-6, "weight-1 job")
+	approx(t, a.Aggregate(1), 4, 1e-6, "weight-2 job")
+}
+
+func TestAMFWeightedDemandCap(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{1}, {10}},
+		Weight:       []float64{1, 2},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1, 1e-6, "capped job")
+	approx(t, a.Aggregate(1), 5, 1e-6, "big job gets the rest")
+}
+
+func TestAMFInvalidInstance(t *testing.T) {
+	bad := []*Instance{
+		{SiteCapacity: nil, Demand: nil},
+		{SiteCapacity: []float64{-1}, Demand: [][]float64{{1}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{-2}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1, 2}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}, Weight: []float64{0}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{math.NaN()}}},
+	}
+	for i, in := range bad {
+		if _, err := NewSolver().AMF(in); err == nil {
+			t.Fatalf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestAMFRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(6)
+		in := randInstance(rng, n, m)
+		a, err := NewSolver().AMF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkAMFInvariants(t, in, a)
+	}
+}
+
+func TestAMFWeightedRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(5)
+		in := randWeightedInstance(rng, n, m)
+		a, err := NewSolver().AMF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkAMFInvariants(t, in, a)
+	}
+}
+
+func TestNewtonAndBisectAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	newton := &Solver{Method: MethodNewton}
+	bisect := &Solver{Method: MethodBisect}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(6)
+		in := randInstance(rng, n, m)
+		if trial%3 == 0 {
+			in = randWeightedInstance(rng, n, m)
+		}
+		an, err := newton.AMF(in)
+		if err != nil {
+			t.Fatalf("trial %d newton: %v", trial, err)
+		}
+		ab, err := bisect.AMF(in)
+		if err != nil {
+			t.Fatalf("trial %d bisect: %v", trial, err)
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(an.Aggregate(j)-ab.Aggregate(j)) > 1e-4*in.Scale() {
+				t.Fatalf("trial %d job %d: newton %g vs bisect %g",
+					trial, j, an.Aggregate(j), ab.Aggregate(j))
+			}
+		}
+	}
+}
+
+func TestAMFAggregateVectorIsLeximinMaximal(t *testing.T) {
+	// Compare the AMF sorted aggregate vector against per-site MMF and a
+	// few random feasible allocations: AMF must be leximin-largest.
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		in := randInstance(rng, n, m)
+		a, err := NewSolver().AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amf := a.Aggregates()
+		if other := PerSiteMMF(in).Aggregates(); fairness.LexLess(amf, other, 1e-6) {
+			t.Fatalf("trial %d: PS-MMF %v leximin-beats AMF %v", trial, other, amf)
+		}
+		// Random feasible allocations: greedy random fill.
+		for k := 0; k < 5; k++ {
+			b := randomFeasible(rng, in)
+			if fairness.LexLess(amf, b.Aggregates(), 1e-6) {
+				t.Fatalf("trial %d: random allocation %v leximin-beats AMF %v",
+					trial, b.Aggregates(), amf)
+			}
+		}
+	}
+}
+
+// randomFeasible greedily hands out random feasible shares.
+func randomFeasible(rng *rand.Rand, in *Instance) *Allocation {
+	a := NewAllocation(in)
+	left := append([]float64(nil), in.SiteCapacity...)
+	for _, j := range rng.Perm(in.NumJobs()) {
+		for s := range in.SiteCapacity {
+			if in.Demand[j][s] <= 0 || left[s] <= 0 {
+				continue
+			}
+			x := math.Min(in.Demand[j][s], left[s]) * rng.Float64()
+			a.Share[j][s] = x
+			left[s] -= x
+		}
+	}
+	return a
+}
+
+func TestAMFLevelsHelper(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	levels, err := NewSolver().AMFLevels(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(levels)
+	approx(t, levels[0], 1.5, 1e-6, "level 0")
+	approx(t, levels[1], 1.5, 1e-6, "level 1")
+}
+
+func TestAMFDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	in := randInstance(rng, 8, 4)
+	a1, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a1.Share {
+		for s := range a1.Share[j] {
+			if a1.Share[j][s] != a2.Share[j][s] {
+				t.Fatalf("non-deterministic share at job %d site %d", j, s)
+			}
+		}
+	}
+}
+
+func TestAMFEnvyFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 40; trial++ {
+		in := randInstance(rng, 2+rng.Intn(8), 1+rng.Intn(5))
+		a, err := NewSolver().AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs := EnvyPairs(a, 1e-5*in.Scale()); len(pairs) != 0 {
+			t.Fatalf("trial %d: envy pairs %v (aggregates %v)", trial, pairs, a.Aggregates())
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodNewton.String() != "newton" || MethodBisect.String() != "bisect" {
+		t.Fatal("unexpected method names")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method must still render")
+	}
+}

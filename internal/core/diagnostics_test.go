@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDiagnosticsTwoRounds(t *testing.T) {
+	// Jobs 0,1 bottleneck on the small site at 0.5; job 2 demand-caps on
+	// the big site.
+	in := &Instance{
+		SiteCapacity: []float64{1, 6},
+		Demand: [][]float64{
+			{5, 0},
+			{5, 0},
+			{0, 5},
+		},
+	}
+	a, diag, err := NewSolver().AMFDiag(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 0.5, 1e-6, "bottlenecked job")
+	if len(diag.Rounds) != 2 {
+		t.Fatalf("rounds %d, want 2 (%+v)", len(diag.Rounds), diag.Rounds)
+	}
+	first := diag.Rounds[0]
+	approx(t, first.Level, 0.5, 1e-6, "first bottleneck level")
+	got := append([]int(nil), first.Bottlenecked...)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("bottlenecked %v, want [0 1]", got)
+	}
+	// Second round: job 2 demand-capped.
+	second := diag.Rounds[1]
+	if len(second.DemandCapped) != 1 || second.DemandCapped[0] != 2 {
+		t.Fatalf("second round %+v", second)
+	}
+}
+
+func TestDiagnosticsLimitAndCohort(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1, 6},
+		Demand: [][]float64{
+			{5, 0},
+			{5, 0},
+			{0, 5},
+		},
+	}
+	_, diag, err := NewSolver().AMFDiag(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Limit(0) != LimitBottleneck {
+		t.Fatalf("job 0 limit %v", diag.Limit(0))
+	}
+	if diag.Limit(2) != LimitDemand {
+		t.Fatalf("job 2 limit %v", diag.Limit(2))
+	}
+	cohort := diag.Cohort(0)
+	if len(cohort) != 1 || cohort[0] != 1 {
+		t.Fatalf("cohort %v, want [1]", cohort)
+	}
+	if diag.Cohort(2) != nil {
+		t.Fatalf("demand-capped job has cohort %v", diag.Cohort(2))
+	}
+}
+
+func TestDiagnosticsCoverAllJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(rng, 2+rng.Intn(10), 1+rng.Intn(5))
+		a, diag, err := NewSolver().AMFDiag(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = a
+		seen := map[int]int{}
+		for _, r := range diag.Rounds {
+			for _, j := range r.DemandCapped {
+				seen[j]++
+			}
+			for _, j := range r.Bottlenecked {
+				seen[j]++
+			}
+		}
+		for j := 0; j < in.NumJobs(); j++ {
+			if in.TotalDemand(j) <= 0 {
+				continue // zero-demand jobs never enter the cascade
+			}
+			if seen[j] != 1 {
+				t.Fatalf("trial %d: job %d appears %d times in cascade", trial, j, seen[j])
+			}
+		}
+	}
+}
+
+func TestDiagnosticsLevelsNondecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(rng, 3+rng.Intn(8), 1+rng.Intn(4))
+		_, diag, err := NewSolver().AMFDiag(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for i, r := range diag.Rounds {
+			// The final demand-capped round may jump to the max demand
+			// level; bottleneck levels themselves must not decrease.
+			if len(r.Bottlenecked) > 0 && r.Level < prev-1e-9 {
+				t.Fatalf("trial %d: round %d level %g below %g", trial, i, r.Level, prev)
+			}
+			if len(r.Bottlenecked) > 0 {
+				prev = r.Level
+			}
+		}
+	}
+}
+
+func TestEnhancedDiag(t *testing.T) {
+	in := sharingIncentiveInstance()
+	a, diag, err := NewSolver().EnhancedAMFDiag(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	es := EqualShares(in)
+	for j := range es {
+		if a.Aggregate(j) < es[j]-1e-6 {
+			t.Fatalf("job %d below floor", j)
+		}
+	}
+}
+
+func TestJobLimitStrings(t *testing.T) {
+	if LimitDemand.String() != "demand-capped" ||
+		LimitBottleneck.String() != "bottlenecked" ||
+		LimitUnknown.String() != "unknown" {
+		t.Fatal("limit strings")
+	}
+}
+
+func TestDiagnosticsMatchPlainSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 2+rng.Intn(8), 1+rng.Intn(4))
+		plain, err := NewSolver().AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withDiag, _, err := NewSolver().AMFDiag(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range plain.Share {
+			if plain.Aggregate(j) != withDiag.Aggregate(j) {
+				t.Fatalf("trial %d: diagnostics changed the solve", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEqualSharesBasic(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{4, 2},
+		Demand: [][]float64{
+			{4, 2},
+			{1, 0},
+		},
+	}
+	es := EqualShares(in)
+	// Job 0: min(4, 2) + min(2, 1) = 3. Job 1: min(1, 2) + 0 = 1.
+	approx(t, es[0], 3, 1e-9, "es job 0")
+	approx(t, es[1], 1, 1e-9, "es job 1")
+}
+
+func TestEqualSharesWeighted(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{10}, {10}},
+		Weight:       []float64{1, 2},
+	}
+	es := EqualShares(in)
+	approx(t, es[0], 2, 1e-9, "weight-1 share")
+	approx(t, es[1], 4, 1e-9, "weight-2 share")
+}
+
+func TestEqualSharesCappedByDemand(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{100},
+		Demand:       [][]float64{{1}, {100}},
+	}
+	es := EqualShares(in)
+	approx(t, es[0], 1, 1e-9, "small job capped by demand")
+	approx(t, es[1], 50, 1e-9, "big job gets half")
+}
+
+func TestAMFViolatesSharingIncentive(t *testing.T) {
+	// The paper's negative result: plain AMF can leave a job below its
+	// isolated equal share.
+	in := sharingIncentiveInstance()
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, gaps := SharingIncentiveViolations(a, 1e-6)
+	if len(jobs) != 1 || jobs[0] != 0 {
+		t.Fatalf("expected exactly job 0 violated, got %v", jobs)
+	}
+	// es_X = 0.9 + 0.2/3; AMF gives 0.9; shortfall 0.2/3.
+	approx(t, gaps[0], 0.2/3, 1e-6, "shortfall")
+}
+
+func TestEnhancedAMFRestoresSharingIncentive(t *testing.T) {
+	in := sharingIncentiveInstance()
+	a, err := NewSolver().EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := SharingIncentiveViolations(a, 1e-6); len(jobs) != 0 {
+		t.Fatalf("enhanced AMF violated sharing incentive for %v (aggregates %v)",
+			jobs, a.Aggregates())
+	}
+	// Job X floored at 0.9 + 0.2/3; Y and Z split the rest of site 1.
+	approx(t, a.Aggregate(0), 0.9+0.2/3, 1e-5, "job X")
+	approx(t, a.Aggregate(1), 0.2/3, 1e-5, "job Y")
+	approx(t, a.Aggregate(2), 0.2/3, 1e-5, "job Z")
+}
+
+func TestEnhancedAMFNeverViolatesSharingIncentive(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(6)
+		in := randInstance(rng, n, m)
+		if trial%4 == 0 {
+			in = randWeightedInstance(rng, n, m)
+		}
+		a, err := NewSolver().EnhancedAMF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.CheckFeasible(1e-6 * in.Scale()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if jobs, gaps := SharingIncentiveViolations(a, 1e-5*in.Scale()); len(jobs) != 0 {
+			t.Fatalf("trial %d: violations %v (gaps %v)", trial, jobs, gaps)
+		}
+	}
+}
+
+func TestEnhancedAMFParetoEfficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(rng, 2+rng.Intn(8), 1+rng.Intn(5))
+		a, err := NewSolver().EnhancedAMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsParetoEfficient(a, 1e-5*in.Scale()*float64(in.NumJobs()+1)) {
+			t.Fatalf("trial %d: enhanced AMF not Pareto efficient", trial)
+		}
+	}
+}
+
+func TestEnhancedMatchesPlainWhenNoViolation(t *testing.T) {
+	// When plain AMF already clears every floor, the two coincide.
+	in := &Instance{
+		SiteCapacity: []float64{4},
+		Demand:       [][]float64{{4}, {4}},
+	}
+	sv := NewSolver()
+	plain, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh, err := sv.EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain.Share {
+		approx(t, enh.Aggregate(j), plain.Aggregate(j), 1e-6, "aggregate")
+	}
+}
+
+func TestEnhancedAMFFloorsAboveBottleneckLevel(t *testing.T) {
+	// Floors can exceed the max-min level of the unfloored problem; the
+	// allocation must still respect them exactly.
+	in := sharingIncentiveInstance()
+	a, err := NewSolver().EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := EqualShares(in)
+	for j := range es {
+		if a.Aggregate(j) < es[j]-1e-6 {
+			t.Fatalf("job %d below floor: %g < %g", j, a.Aggregate(j), es[j])
+		}
+	}
+}
+
+func TestEnhancedAMFBisectAgreesWithNewton(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	newton := &Solver{Method: MethodNewton}
+	bisect := &Solver{Method: MethodBisect}
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(rng, 2+rng.Intn(8), 1+rng.Intn(5))
+		an, err := newton.EnhancedAMF(in)
+		if err != nil {
+			t.Fatalf("trial %d newton: %v", trial, err)
+		}
+		ab, err := bisect.EnhancedAMF(in)
+		if err != nil {
+			t.Fatalf("trial %d bisect: %v", trial, err)
+		}
+		for j := range an.Share {
+			if math.Abs(an.Aggregate(j)-ab.Aggregate(j)) > 1e-4*in.Scale() {
+				t.Fatalf("trial %d job %d: %g vs %g", trial, j, an.Aggregate(j), ab.Aggregate(j))
+			}
+		}
+	}
+}
+
+func TestEnhancedAMFDominatesEqualSharesExactlyAtTightness(t *testing.T) {
+	// Three jobs fully contesting one site: floors equal levels; enhanced
+	// and plain agree, both at c/3.
+	in := &Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{9}, {9}, {9}},
+	}
+	a, err := NewSolver().EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		approx(t, a.Aggregate(j), 1, 1e-6, "aggregate")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAMFSolve decodes a byte string into a small instance and checks that
+// the solver either rejects it (Validate) or returns a feasible, Pareto
+// efficient allocation. This hardens the numerical paths (bottleneck
+// search, freezing, witness extraction) against adversarial magnitudes.
+func FuzzAMFSolve(f *testing.F) {
+	f.Add([]byte{2, 2, 10, 10, 5, 0, 0, 5})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{3, 2, 100, 1, 9, 9, 0, 1, 200, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := decodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		if err := in.Validate(); err != nil {
+			t.Skip()
+		}
+		a, err := NewSolver().AMF(in)
+		if err != nil {
+			// The solver may reject only invalid inputs; valid ones must
+			// solve.
+			t.Fatalf("AMF failed on valid instance: %v", err)
+		}
+		if err := a.CheckFeasible(1e-5 * in.Scale()); err != nil {
+			t.Fatalf("infeasible output: %v", err)
+		}
+		if !IsParetoEfficient(a, 1e-4*in.Scale()*float64(in.NumJobs()+1)) {
+			t.Fatal("output not Pareto efficient")
+		}
+	})
+}
+
+// decodeInstance builds a small instance from fuzz bytes: first two bytes
+// pick the shape (n in 1..4, m in 1..3); remaining bytes feed capacities
+// and demands as values in [0, 25.5].
+func decodeInstance(data []byte) (*Instance, bool) {
+	if len(data) < 2 {
+		return nil, false
+	}
+	n := int(data[0])%4 + 1
+	m := int(data[1])%3 + 1
+	need := m + n*m
+	vals := data[2:]
+	if len(vals) < need {
+		return nil, false
+	}
+	in := &Instance{
+		SiteCapacity: make([]float64, m),
+		Demand:       make([][]float64, n),
+	}
+	k := 0
+	for s := 0; s < m; s++ {
+		in.SiteCapacity[s] = float64(vals[k]) / 10
+		k++
+	}
+	for j := 0; j < n; j++ {
+		in.Demand[j] = make([]float64, m)
+		for s := 0; s < m; s++ {
+			in.Demand[j][s] = float64(vals[k]) / 10
+			k++
+		}
+	}
+	return in, true
+}
+
+// FuzzEnhancedAMF checks the floors invariant under fuzzing: every job
+// ends at or above its isolated equal share.
+func FuzzEnhancedAMF(f *testing.F) {
+	f.Add([]byte{2, 1, 20, 10, 10})
+	f.Add([]byte{3, 2, 100, 2, 9, 10, 0, 1, 20, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := decodeInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		if err := in.Validate(); err != nil {
+			t.Skip()
+		}
+		a, err := NewSolver().EnhancedAMF(in)
+		if err != nil {
+			t.Fatalf("EnhancedAMF failed: %v", err)
+		}
+		es := EqualShares(in)
+		for j := range es {
+			if a.Aggregate(j) < es[j]-1e-5*math.Max(1, in.Scale()) {
+				t.Fatalf("job %d below floor: %g < %g", j, a.Aggregate(j), es[j])
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInstanceAccessors(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{2, 3},
+		Demand:       [][]float64{{1, 2}, {0, 4}},
+	}
+	if in.NumJobs() != 2 || in.NumSites() != 2 {
+		t.Fatalf("dims %dx%d", in.NumJobs(), in.NumSites())
+	}
+	approx(t, in.TotalDemand(0), 3, 1e-12, "D_0")
+	approx(t, in.TotalDemand(1), 4, 1e-12, "D_1")
+	approx(t, in.TotalCapacity(), 5, 1e-12, "total cap")
+	approx(t, in.JobWeight(0), 1, 1e-12, "default weight")
+	approx(t, in.JobWork(0, 1), 2, 1e-12, "work defaults to demand")
+	approx(t, in.TotalWork(1), 4, 1e-12, "W_1")
+	if s := in.Scale(); s != 4 {
+		t.Fatalf("scale %g, want 4", s)
+	}
+}
+
+func TestInstanceExplicitWorkAndWeights(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{1}},
+		Work:         [][]float64{{5}},
+		Weight:       []float64{2.5},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, in.JobWork(0, 0), 5, 1e-12, "explicit work")
+	approx(t, in.JobWeight(0), 2.5, 1e-12, "explicit weight")
+}
+
+func TestInstanceValidateErrors(t *testing.T) {
+	cases := []*Instance{
+		{},
+		{SiteCapacity: []float64{math.Inf(1)}, Demand: [][]float64{{1}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}, Work: [][]float64{{-1}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}, Work: [][]float64{{1, 2}}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}, Weight: []float64{1, 2}},
+		{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}, Work: [][]float64{{1}, {1}}},
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d: invalid instance validated", i)
+		}
+	}
+}
+
+func TestInstanceCloneIsDeep(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1},
+		Demand:       [][]float64{{1}},
+		Weight:       []float64{1},
+		Work:         [][]float64{{2}},
+		JobName:      []string{"a"},
+		SiteName:     []string{"s"},
+	}
+	c := in.Clone()
+	c.SiteCapacity[0] = 9
+	c.Demand[0][0] = 9
+	c.Weight[0] = 9
+	c.Work[0][0] = 9
+	c.JobName[0] = "x"
+	if in.SiteCapacity[0] != 1 || in.Demand[0][0] != 1 || in.Weight[0] != 1 ||
+		in.Work[0][0] != 2 || in.JobName[0] != "a" {
+		t.Fatal("clone aliases original storage")
+	}
+}
+
+func TestAllocationClone(t *testing.T) {
+	in := &Instance{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}}
+	a := NewAllocation(in)
+	a.Share[0][0] = 0.5
+	b := a.Clone()
+	b.Share[0][0] = 0.9
+	if a.Share[0][0] != 0.5 {
+		t.Fatal("allocation clone aliases original")
+	}
+}
+
+func TestSiteLoad(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{5},
+		Demand:       [][]float64{{2}, {3}},
+	}
+	a := NewAllocation(in)
+	a.Share[0][0], a.Share[1][0] = 1, 2
+	approx(t, a.SiteLoad(0), 3, 1e-12, "site load")
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests on the completion-time add-on's invariants.
+
+func TestJCTStretchNeverBelowOne(t *testing.T) {
+	// Stretch is defined relative to the best completion time achievable
+	// with the same aggregate, so no split can dip below 1.
+	rng := rand.New(rand.NewSource(601))
+	sv := NewSolver()
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		opt, err := sv.AMFWithJCT(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < in.NumJobs(); j++ {
+			if s := opt.Stretch(j); s < 1-1e-6 {
+				t.Fatalf("trial %d job %d stretch %g below 1", trial, j, s)
+			}
+		}
+	}
+}
+
+func TestJCTAddonIdempotent(t *testing.T) {
+	// Re-optimizing an already optimized split must not change stretches
+	// materially (the min-max point is a fixed point up to tie-breaking).
+	rng := rand.New(rand.NewSource(607))
+	sv := NewSolver()
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, 2+rng.Intn(5), 2+rng.Intn(3))
+		once, err := sv.AMFWithJCT(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := sv.OptimizeJCT(once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max1, max2 := 0.0, 0.0
+		for j := 0; j < in.NumJobs(); j++ {
+			s1, s2 := once.Stretch(j), twice.Stretch(j)
+			if !math.IsInf(s1, 1) {
+				max1 = math.Max(max1, s1)
+			}
+			if !math.IsInf(s2, 1) {
+				max2 = math.Max(max2, s2)
+			}
+		}
+		if max2 > max1*1.01+1e-6 {
+			t.Fatalf("trial %d: re-optimizing worsened max stretch %g -> %g",
+				trial, max1, max2)
+		}
+	}
+}
+
+func TestJCTAddonWithExplicitWeights(t *testing.T) {
+	// Weights shape aggregates, not the stretch optimization; the add-on
+	// must preserve weighted aggregates exactly.
+	rng := rand.New(rand.NewSource(613))
+	sv := NewSolver()
+	for trial := 0; trial < 10; trial++ {
+		in := randWeightedInstance(rng, 2+rng.Intn(5), 1+rng.Intn(3))
+		base, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := sv.OptimizeJCT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base.Share {
+			if math.Abs(opt.Aggregate(j)-base.Aggregate(j)) > 1e-5*in.Scale() {
+				t.Fatalf("trial %d job %d aggregate drifted", trial, j)
+			}
+		}
+	}
+}
+
+func TestJCTSkipRefineStillSound(t *testing.T) {
+	// The cheap simulator mode (min-max phase only) preserves all hard
+	// invariants: aggregates and feasibility.
+	rng := rand.New(rand.NewSource(617))
+	sv := &Solver{SkipJCTRefine: true}
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		base, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := sv.OptimizeJCT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.CheckFeasible(1e-5 * in.Scale()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j := range base.Share {
+			if math.Abs(opt.Aggregate(j)-base.Aggregate(j)) > 1e-5*in.Scale() {
+				t.Fatalf("trial %d job %d aggregate drifted under SkipJCTRefine", trial, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeJCTPreservesAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	sv := NewSolver()
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(rng, 2+rng.Intn(6), 1+rng.Intn(4))
+		base, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := sv.OptimizeJCT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base.Share {
+			if math.Abs(opt.Aggregate(j)-base.Aggregate(j)) > 1e-5*in.Scale() {
+				t.Fatalf("trial %d job %d: aggregate changed %g -> %g",
+					trial, j, base.Aggregate(j), opt.Aggregate(j))
+			}
+		}
+		if err := opt.CheckFeasible(1e-5 * in.Scale()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestOptimizeJCTNeverWorsensMaxStretch(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	sv := NewSolver()
+	for trial := 0; trial < 25; trial++ {
+		in := randInstance(rng, 2+rng.Intn(6), 2+rng.Intn(4))
+		base, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := sv.OptimizeJCT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseMax, optMax := 0.0, 0.0
+		for j := range base.Share {
+			baseMax = math.Max(baseMax, base.Stretch(j))
+			optMax = math.Max(optMax, opt.Stretch(j))
+		}
+		if math.IsInf(baseMax, 1) {
+			continue // witness had an unserved work site; nothing to compare
+		}
+		if optMax > baseMax*(1+1e-2)+1e-6 {
+			t.Fatalf("trial %d: max stretch worsened %g -> %g", trial, baseMax, optMax)
+		}
+	}
+}
+
+func TestOptimizeJCTProportionalWhenUncontested(t *testing.T) {
+	// A single job: the optimal split is proportional to work, stretch 1.
+	in := &Instance{
+		SiteCapacity: []float64{2, 2},
+		Demand:       [][]float64{{2, 1}},
+	}
+	sv := NewSolver()
+	opt, err := sv.AMFWithJCT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate = 3 (demand-capped); proportional split is the demand.
+	approx(t, opt.Aggregate(0), 3, 1e-5, "aggregate")
+	if s := opt.Stretch(0); s > 1+1e-3 {
+		t.Fatalf("stretch %g, want 1", s)
+	}
+}
+
+func TestOptimizeJCTBalancesSkewedWitness(t *testing.T) {
+	// Two symmetric jobs, two sites. One valid AMF witness puts job 0
+	// entirely on site 0 and job 1 on site 1 -> each has stretch 2 if its
+	// work is spread evenly. The add-on must find the stretch-1 split.
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 1},
+			{1, 1},
+		},
+	}
+	sv := NewSolver()
+	base, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the bad witness manually.
+	bad := base.Clone()
+	bad.Share[0][0], bad.Share[0][1] = 1, 0
+	bad.Share[1][0], bad.Share[1][1] = 0, 1
+	opt, err := sv.OptimizeJCT(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if s := opt.Stretch(j); s > 1+1e-2 {
+			t.Fatalf("job %d stretch %g after optimization, want ~1", j, s)
+		}
+		approx(t, opt.Share[j][0], 0.5, 1e-2, "balanced share")
+	}
+}
+
+func TestOptimizeJCTExplicitWork(t *testing.T) {
+	// Work differs from demand: job 0's work is concentrated on site 1
+	// although its demand is symmetric; the optimizer must weight the
+	// split by work.
+	in := &Instance{
+		SiteCapacity: []float64{10, 1},
+		Demand:       [][]float64{{1, 1}},
+		Work:         [][]float64{{0.2, 0.8}},
+	}
+	opt, err := NewSolver().AMFWithJCT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate 2 (demand-capped); proportional-to-work would be
+	// (0.4, 1.6) but site 1 caps the share at min(demand,cap)=1. Minimal
+	// stretch: a1 = 1 (site 1 full for this job), a0 = 1.
+	approx(t, opt.Aggregate(0), 2, 1e-5, "aggregate")
+	if opt.Share[0][1] < 0.99 {
+		t.Fatalf("work-heavy site underallocated: %g", opt.Share[0][1])
+	}
+}
+
+func TestOptimizeJCTStuckJobFallsBack(t *testing.T) {
+	// Job 0 has work at site 1 whose capacity is entirely pinned by job 1's
+	// aggregate (job 1 only lives there). No finite stretch exists for job
+	// 0, but the call must still succeed and keep aggregates.
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 1},
+			{0, 4},
+		},
+	}
+	sv := NewSolver()
+	base, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := sv.OptimizeJCT(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range base.Share {
+		if math.Abs(opt.Aggregate(j)-base.Aggregate(j)) > 1e-5 {
+			t.Fatalf("aggregates changed for job %d", j)
+		}
+	}
+}
+
+func TestOptimizeJCTZeroAggregateJob(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{0, 1},
+		Demand: [][]float64{
+			{1, 0}, // can only use the zero-capacity site
+			{0, 1},
+		},
+	}
+	sv := NewSolver()
+	opt, err := sv.AMFWithJCT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, opt.Aggregate(0), 0, 1e-9, "starved job")
+	approx(t, opt.Aggregate(1), 1, 1e-5, "served job")
+}
+
+func TestStretchAndCompletionTime(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{4, 4},
+		Demand:       [][]float64{{2, 2}},
+	}
+	a := NewAllocation(in)
+	a.Share[0][0], a.Share[0][1] = 2, 1
+	// CT = max(2/2, 2/1) = 2; ideal = 4/3; stretch = 1.5.
+	approx(t, a.CompletionTime(0), 2, 1e-9, "completion time")
+	approx(t, a.Stretch(0), 1.5, 1e-9, "stretch")
+}
+
+func TestCompletionTimeUnserved(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand:       [][]float64{{1, 1}},
+	}
+	a := NewAllocation(in)
+	a.Share[0][0] = 1 // nothing at site 1 although work exists there
+	if !math.IsInf(a.CompletionTime(0), 1) {
+		t.Fatal("expected infinite completion time")
+	}
+}
+
+func TestCompletionTimeNoWork(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1},
+		Demand:       [][]float64{{0}},
+	}
+	a := NewAllocation(in)
+	if ct := a.CompletionTime(0); ct != 0 {
+		t.Fatalf("completion time %g, want 0", ct)
+	}
+	if s := a.Stretch(0); s != 1 {
+		t.Fatalf("stretch %g, want 1", s)
+	}
+}
+
+func TestAMFWithJCTReducesMeanStretchOnSkew(t *testing.T) {
+	// A mildly adversarial instance where naive witnesses routinely leave
+	// unbalanced splits; the add-on should bring mean stretch close to 1.
+	rng := rand.New(rand.NewSource(167))
+	sv := NewSolver()
+	var worse, total int
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(rng, 4, 3)
+		base, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := sv.OptimizeJCT(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < in.NumJobs(); j++ {
+			bs, os := base.Stretch(j), opt.Stretch(j)
+			if math.IsInf(bs, 1) || math.IsInf(os, 1) {
+				continue
+			}
+			total++
+			if os > bs+1e-3 {
+				worse++
+			}
+		}
+	}
+	// The add-on minimizes the max stretch then tightens individuals;
+	// individual jobs may trade a little, but widespread worsening means a
+	// bug.
+	if worse*5 > total {
+		t.Fatalf("%d of %d job stretches worsened", worse, total)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/maxflow"
+)
+
+// network wraps the bipartite flow network used as the feasibility oracle:
+//
+//	src --(target_j)--> job_j --(d[j][s])--> site_s --(c_s)--> sink
+//
+// A target vector (t_1..t_n) of aggregate allocations is feasible iff the
+// max flow equals sum(t_j). The network is built once per solve; only the
+// source-edge capacities change between queries.
+type network struct {
+	in      *Instance
+	g       *maxflow.Graph
+	src     int
+	sink    int
+	srcEdge []maxflow.EdgeID
+	// jobEdges[j] lists job j's (site, edge) pairs for sites with positive
+	// demand; used to read the witness split out of the final flow.
+	jobEdges [][]siteEdge
+	scale    float64
+	flowEps  float64
+}
+
+type siteEdge struct {
+	site int
+	id   maxflow.EdgeID
+}
+
+func (nw *network) jobNode(j int) int  { return 1 + j }
+func (nw *network) siteNode(s int) int { return 1 + nw.in.NumJobs() + s }
+
+// buildNetwork constructs the flow network for the instance. flowEps is the
+// residual-slack threshold handed to the max-flow solver.
+func buildNetwork(in *Instance, flowEps float64) *network {
+	n := in.NumJobs()
+	m := in.NumSites()
+	nw := &network{
+		in:       in,
+		src:      0,
+		sink:     1 + n + m,
+		srcEdge:  make([]maxflow.EdgeID, n),
+		jobEdges: make([][]siteEdge, n),
+		scale:    in.Scale(),
+		flowEps:  flowEps,
+	}
+	nw.g = maxflow.New(2 + n + m)
+	nw.g.SetEps(flowEps)
+	for j := 0; j < n; j++ {
+		nw.srcEdge[j] = nw.g.AddEdge(nw.src, nw.jobNode(j), 0)
+		for s := 0; s < m; s++ {
+			if d := in.Demand[j][s]; d > 0 {
+				id := nw.g.AddEdge(nw.jobNode(j), nw.siteNode(s), d)
+				nw.jobEdges[j] = append(nw.jobEdges[j], siteEdge{site: s, id: id})
+			}
+		}
+	}
+	for s := 0; s < m; s++ {
+		nw.g.AddEdge(nw.siteNode(s), nw.sink, in.SiteCapacity[s])
+	}
+	return nw
+}
+
+// maxFlowAt installs the target vector on the source edges, clears previous
+// flow and runs max flow from scratch. It returns the flow value and the
+// target sum. Flow state is left on the graph for cut extraction.
+func (nw *network) maxFlowAt(targets []float64) (flow, want float64) {
+	for j, t := range targets {
+		if t < 0 {
+			t = 0
+		}
+		nw.g.SetCap(nw.srcEdge[j], t)
+		want += t
+	}
+	nw.g.Reset()
+	flow = nw.g.MaxFlow(nw.src, nw.sink)
+	return flow, want
+}
+
+// checkpoint remembers a feasible flow so later probes can augment
+// incrementally instead of recomputing from zero.
+type checkpoint struct {
+	state *maxflow.State
+	flow  float64
+}
+
+// saveCheckpoint captures the current (feasible) flow state.
+func (nw *network) saveCheckpoint(flow float64) *checkpoint {
+	return &checkpoint{state: nw.g.SaveState(), flow: flow}
+}
+
+// probeFrom restores the checkpoint, raises the source capacities to the
+// target vector (which must dominate the checkpoint's levels) and augments
+// to max flow. It returns the new flow value and the target sum.
+func (nw *network) probeFrom(cp *checkpoint, targets []float64) (flow, want float64) {
+	nw.g.RestoreState(cp.state)
+	for j, t := range targets {
+		if t < 0 {
+			t = 0
+		}
+		nw.g.RaiseCap(nw.srcEdge[j], t)
+		want += t
+	}
+	flow = cp.flow + nw.g.MaxFlow(nw.src, nw.sink)
+	return flow, want
+}
+
+// feasible reports whether the target vector is feasible within tol.
+func (nw *network) feasible(targets []float64, tol float64) bool {
+	flow, want := nw.maxFlowAt(targets)
+	return flow >= want-tol
+}
+
+// shares reads the per-site split of the current flow into the allocation.
+// Flows below numerical dust are dropped: a 1e-14 sliver on a work site
+// would turn an infinite fluid completion time into an astronomically
+// finite one.
+func (nw *network) shares(out *Allocation) {
+	dust := 100 * nw.flowEps
+	for j, edges := range nw.jobEdges {
+		row := out.Share[j]
+		for s := range row {
+			row[s] = 0
+		}
+		for _, se := range edges {
+			if f := nw.g.Flow(se.id); f > dust {
+				row[se.site] = f
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// clampedJob describes one term of a sum of clamped linear functions
+// tau(t) = max(Floor, min(t*Weight, Demand)); used by the discrete-Newton
+// bottleneck finder to invert target sums.
+type clampedJob struct {
+	Floor, Demand, Weight float64
+}
+
+func (c clampedJob) at(t float64) float64 {
+	return math.Max(c.Floor, math.Min(t*c.Weight, c.Demand))
+}
+
+// solveClampedSum returns the smallest t >= 0 such that
+// sum_j tau_j(t) >= target. It returns +Inf if even t = +Inf cannot reach
+// the target (i.e. sum of demands < target), and 0 if the floors alone
+// already meet it.
+func solveClampedSum(jobs []clampedJob, target float64) float64 {
+	var atZero, atInf float64
+	for _, j := range jobs {
+		atZero += math.Max(j.Floor, 0)
+		atInf += math.Max(j.Floor, j.Demand)
+	}
+	if atZero >= target {
+		return 0
+	}
+	if atInf < target {
+		return math.Inf(1)
+	}
+
+	// Breakpoints: job j's term starts growing at a_j = Floor/Weight and
+	// stops at b_j = Demand/Weight.
+	type event struct {
+		t     float64
+		slope float64 // slope delta at this breakpoint
+	}
+	events := make([]event, 0, 2*len(jobs))
+	for _, j := range jobs {
+		if j.Weight <= 0 || j.Demand <= j.Floor {
+			continue // constant term
+		}
+		a := j.Floor / j.Weight
+		b := j.Demand / j.Weight
+		events = append(events, event{t: a, slope: j.Weight})
+		events = append(events, event{t: b, slope: -j.Weight})
+	}
+	sort.Slice(events, func(x, y int) bool { return events[x].t < events[y].t })
+
+	value := atZero
+	slope := 0.0
+	tcur := 0.0
+	for _, ev := range events {
+		if ev.t > tcur {
+			// Advance across the segment [tcur, ev.t] with current slope.
+			if slope > 0 {
+				need := (target - value) / slope
+				if tcur+need <= ev.t {
+					return tcur + need
+				}
+			}
+			value += slope * (ev.t - tcur)
+			tcur = ev.t
+		}
+		slope += ev.slope
+	}
+	if slope > 0 {
+		return tcur + (target-value)/slope
+	}
+	// Numerically the target is reachable (atInf >= target) but rounding in
+	// the sweep left us short; the last breakpoint is the answer.
+	return tcur
+}
+
+// sumClamped evaluates sum_j tau_j(t).
+func sumClamped(jobs []clampedJob, t float64) float64 {
+	var v float64
+	for _, j := range jobs {
+		v += j.at(t)
+	}
+	return v
+}

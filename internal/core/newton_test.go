@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveClampedSumLinear(t *testing.T) {
+	jobs := []clampedJob{{Floor: 0, Demand: 10, Weight: 1}, {Floor: 0, Demand: 10, Weight: 1}}
+	// sum = 2t for t in [0,10]; target 6 -> t=3.
+	approx(t, solveClampedSum(jobs, 6), 3, 1e-9, "t")
+}
+
+func TestSolveClampedSumWithDemandKink(t *testing.T) {
+	jobs := []clampedJob{
+		{Floor: 0, Demand: 2, Weight: 1},
+		{Floor: 0, Demand: 10, Weight: 1},
+	}
+	// For t<=2 sum=2t; beyond, sum=2+t. Target 7 -> t=5.
+	approx(t, solveClampedSum(jobs, 7), 5, 1e-9, "t")
+}
+
+func TestSolveClampedSumWithFloors(t *testing.T) {
+	jobs := []clampedJob{
+		{Floor: 3, Demand: 10, Weight: 1}, // flat at 3 until t=3
+		{Floor: 0, Demand: 10, Weight: 1},
+	}
+	// t=1: sum = 3+1 = 4. Target 4 -> t=1.
+	approx(t, solveClampedSum(jobs, 4), 1, 1e-9, "t")
+	// Target 8 -> both linear: 2t = 8 -> t=4.
+	approx(t, solveClampedSum(jobs, 8), 4, 1e-9, "t")
+}
+
+func TestSolveClampedSumWeights(t *testing.T) {
+	jobs := []clampedJob{
+		{Floor: 0, Demand: 100, Weight: 2},
+		{Floor: 0, Demand: 100, Weight: 3},
+	}
+	// sum = 5t; target 10 -> 2.
+	approx(t, solveClampedSum(jobs, 10), 2, 1e-9, "t")
+}
+
+func TestSolveClampedSumBoundaries(t *testing.T) {
+	jobs := []clampedJob{{Floor: 1, Demand: 2, Weight: 1}}
+	if got := solveClampedSum(jobs, 0.5); got != 0 {
+		t.Fatalf("floors already exceed target: t=%g, want 0", got)
+	}
+	if got := solveClampedSum(jobs, 5); !math.IsInf(got, 1) {
+		t.Fatalf("unreachable target: t=%g, want +Inf", got)
+	}
+	approx(t, solveClampedSum(jobs, 2), 2, 1e-9, "exact demand target")
+}
+
+func TestSolveClampedSumEmpty(t *testing.T) {
+	if got := solveClampedSum(nil, 1); !math.IsInf(got, 1) {
+		t.Fatalf("empty job set with positive target: %g", got)
+	}
+	if got := solveClampedSum(nil, 0); got != 0 {
+		t.Fatalf("empty job set with zero target: %g", got)
+	}
+}
+
+func TestSolveClampedSumQuickInverse(t *testing.T) {
+	// Property: evaluating the sum at the returned t reproduces the target
+	// (when the target lies strictly between floors-sum and demands-sum).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		jobs := make([]clampedJob, n)
+		var lo, hi float64
+		for i := range jobs {
+			d := 0.5 + rng.Float64()*10
+			fl := rng.Float64() * d * 0.8
+			w := 0.2 + rng.Float64()*3
+			jobs[i] = clampedJob{Floor: fl, Demand: d, Weight: w}
+			lo += fl
+			hi += d
+		}
+		target := lo + (hi-lo)*(0.05+0.9*rng.Float64())
+		tt := solveClampedSum(jobs, target)
+		if math.IsInf(tt, 1) {
+			return false
+		}
+		return math.Abs(sumClamped(jobs, tt)-target) < 1e-6*(1+target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveClampedSumMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(197))
+	jobs := make([]clampedJob, 6)
+	var hi float64
+	for i := range jobs {
+		d := 1 + rng.Float64()*5
+		jobs[i] = clampedJob{Floor: rng.Float64(), Demand: d, Weight: 0.5 + rng.Float64()}
+		hi += d
+	}
+	prev := -1.0
+	for target := 0.5; target < hi; target += 0.25 {
+		tt := solveClampedSum(jobs, target)
+		if math.IsInf(tt, 1) {
+			break
+		}
+		if tt < prev-1e-12 {
+			t.Fatalf("solve not monotone: target %g gave t %g < %g", target, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestClampedJobAt(t *testing.T) {
+	j := clampedJob{Floor: 1, Demand: 4, Weight: 2}
+	approx(t, j.at(0), 1, 1e-12, "below floor")
+	approx(t, j.at(1), 2, 1e-12, "linear")
+	approx(t, j.at(10), 4, 1e-12, "demand capped")
+}

@@ -1,0 +1,28 @@
+package core
+
+import "repro/internal/fairness"
+
+// PerSiteMMF computes the baseline the paper compares against: each site
+// independently divides its capacity max-min fairly (weighted, demand
+// capped) among the jobs with positive demand there. Aggregates are simply
+// the row sums; no coordination happens across sites, so jobs whose work
+// concentrates at popular sites end up with small aggregates.
+func PerSiteMMF(in *Instance) *Allocation {
+	alloc := NewAllocation(in)
+	n := in.NumJobs()
+	demands := make([]float64, n)
+	weights := make([]float64, n)
+	for j := 0; j < n; j++ {
+		weights[j] = in.JobWeight(j)
+	}
+	for s := range in.SiteCapacity {
+		for j := 0; j < n; j++ {
+			demands[j] = in.Demand[j][s]
+		}
+		shares := fairness.WeightedWaterfill(in.SiteCapacity[s], demands, weights)
+		for j := 0; j < n; j++ {
+			alloc.Share[j][s] = shares[j]
+		}
+	}
+	return alloc
+}

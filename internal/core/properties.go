@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AllocatorFunc computes an allocation for an instance; used by the
+// strategy-proofness prober so that any policy (AMF, Enhanced AMF, PS-MMF)
+// can be probed uniformly.
+type AllocatorFunc func(*Instance) (*Allocation, error)
+
+// MisreportOutcome records the most profitable misreport found for one job.
+type MisreportOutcome struct {
+	Job         int
+	TruthUseful float64 // useful allocation when reporting truthfully
+	BestUseful  float64 // best useful allocation over all misreports tried
+	Gain        float64 // BestUseful - TruthUseful
+}
+
+// UsefulAllocation measures what job j actually gets out of an allocation
+// given its true per-site demands: shares beyond the true demand at a site
+// are useless (the job has no work there to run).
+func UsefulAllocation(a *Allocation, j int, trueDemand []float64) float64 {
+	var v float64
+	for s := range trueDemand {
+		v += math.Min(a.Share[j][s], trueDemand[s])
+	}
+	return v
+}
+
+// ProbeStrategyProofness searches for profitable demand misreports under
+// the given allocator. For each job it tries `trials` random misreports
+// plus a fixed battery of structured ones (scaling, concentration,
+// exaggeration, site dropping) and records the largest gain in useful
+// allocation. A strategy-proof policy yields only non-positive gains (up to
+// numerical tolerance).
+func ProbeStrategyProofness(in *Instance, alloc AllocatorFunc, trials int, rng *rand.Rand) ([]MisreportOutcome, error) {
+	truth, err := alloc(in)
+	if err != nil {
+		return nil, err
+	}
+	n := in.NumJobs()
+	m := in.NumSites()
+	out := make([]MisreportOutcome, 0, n)
+	for j := 0; j < n; j++ {
+		trueDemand := in.Demand[j]
+		res := MisreportOutcome{
+			Job:         j,
+			TruthUseful: UsefulAllocation(truth, j, trueDemand),
+		}
+		res.BestUseful = res.TruthUseful
+
+		try := func(report []float64) error {
+			lied := in.Clone()
+			copy(lied.Demand[j], report)
+			if lied.Work != nil {
+				// Work describes true outstanding work; a misreport only
+				// changes the declared demand.
+				copy(lied.Work[j], in.Work[j])
+			}
+			a, err := alloc(lied)
+			if err != nil {
+				return err
+			}
+			if u := UsefulAllocation(a, j, trueDemand); u > res.BestUseful {
+				res.BestUseful = u
+			}
+			return nil
+		}
+
+		// Structured misreports.
+		for _, f := range []float64{0.25, 0.5, 2, 4, 16} {
+			report := make([]float64, m)
+			for s := range report {
+				report[s] = trueDemand[s] * f
+			}
+			if err := try(report); err != nil {
+				return nil, err
+			}
+		}
+		// Exaggerate to site capacity everywhere the job has any demand.
+		report := make([]float64, m)
+		for s := range report {
+			if trueDemand[s] > 0 {
+				report[s] = in.SiteCapacity[s]
+			}
+		}
+		if err := try(report); err != nil {
+			return nil, err
+		}
+		// Claim demand at every site (fabricating locality).
+		for s := range report {
+			report[s] = math.Max(trueDemand[s], in.SiteCapacity[s])
+		}
+		if err := try(report); err != nil {
+			return nil, err
+		}
+		// Concentrate the total demand on each single site in turn.
+		total := in.TotalDemand(j)
+		for s := 0; s < m; s++ {
+			if trueDemand[s] == 0 {
+				continue
+			}
+			report := make([]float64, m)
+			report[s] = total
+			if err := try(report); err != nil {
+				return nil, err
+			}
+		}
+		// Random misreports.
+		for k := 0; k < trials; k++ {
+			report := make([]float64, m)
+			for s := range report {
+				switch rng.Intn(3) {
+				case 0:
+					report[s] = trueDemand[s] * rng.Float64() * 3
+				case 1:
+					report[s] = rng.Float64() * in.SiteCapacity[s]
+				default:
+					report[s] = trueDemand[s]
+				}
+			}
+			if err := try(report); err != nil {
+				return nil, err
+			}
+		}
+		res.Gain = res.BestUseful - res.TruthUseful
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func amfAlloc(sv *Solver) AllocatorFunc {
+	return func(in *Instance) (*Allocation, error) { return sv.AMF(in) }
+}
+
+func TestProbeStrategyProofnessAMF(t *testing.T) {
+	// AMF is strategy-proof: no misreport may increase useful allocation.
+	rng := rand.New(rand.NewSource(179))
+	sv := NewSolver()
+	for trial := 0; trial < 8; trial++ {
+		in := randInstance(rng, 2+rng.Intn(4), 1+rng.Intn(3))
+		outcomes, err := ProbeStrategyProofness(in, amfAlloc(sv), 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if o.Gain > 1e-4*in.Scale() {
+				t.Fatalf("trial %d: job %d gained %g by misreporting (truth %g, best %g)",
+					trial, o.Job, o.Gain, o.TruthUseful, o.BestUseful)
+			}
+		}
+	}
+}
+
+func TestProbeStrategyProofnessCounterexampleInstance(t *testing.T) {
+	// The sharing-incentive counterexample is a tempting place to game the
+	// allocator (job X would love its equal share back); AMF must still
+	// resist all probes.
+	in := sharingIncentiveInstance()
+	rng := rand.New(rand.NewSource(181))
+	outcomes, err := ProbeStrategyProofness(in, amfAlloc(NewSolver()), 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Gain > 1e-5 {
+			t.Fatalf("job %d gained %g", o.Job, o.Gain)
+		}
+	}
+}
+
+func TestProbeStrategyProofnessPerSiteMMF(t *testing.T) {
+	// The per-site baseline is also strategy-proof (independent per-site
+	// water-filling); this guards the prober against false positives.
+	rng := rand.New(rand.NewSource(191))
+	alloc := func(in *Instance) (*Allocation, error) { return PerSiteMMF(in), nil }
+	for trial := 0; trial < 8; trial++ {
+		in := randInstance(rng, 2+rng.Intn(4), 1+rng.Intn(3))
+		outcomes, err := ProbeStrategyProofness(in, alloc, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if o.Gain > 1e-6*in.Scale() {
+				t.Fatalf("trial %d: job %d gained %g under PS-MMF", trial, o.Job, o.Gain)
+			}
+		}
+	}
+}
+
+func TestProbeDetectsGameableStrawmanPolicy(t *testing.T) {
+	// Negative control: a policy that divides each site proportionally to
+	// *reported* demand is trivially gameable by exaggerating. The prober
+	// must find a positive gain, otherwise it has no teeth.
+	alloc := func(in *Instance) (*Allocation, error) {
+		a := NewAllocation(in)
+		for s := range in.SiteCapacity {
+			var tot float64
+			for j := range in.Demand {
+				tot += in.Demand[j][s]
+			}
+			if tot == 0 {
+				continue
+			}
+			for j := range in.Demand {
+				a.Share[j][s] = in.SiteCapacity[s] * in.Demand[j][s] / tot
+			}
+		}
+		return a, nil
+	}
+	in := &Instance{
+		SiteCapacity: []float64{1}, // scarce site
+		Demand:       [][]float64{{1}, {1}},
+	}
+	rng := rand.New(rand.NewSource(193))
+	outcomes, err := ProbeStrategyProofness(in, alloc, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range outcomes {
+		if o.Gain > 0.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("prober failed to exploit a proportional-to-report policy")
+	}
+}
+
+func TestUsefulAllocationZeroDemand(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{2}},
+	}
+	a := NewAllocation(in)
+	a.Share[0][0] = 2
+	if u := UsefulAllocation(a, 0, []float64{0}); u != 0 {
+		t.Fatalf("useful allocation %g with zero true demand", u)
+	}
+}

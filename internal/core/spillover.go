@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// Spillover models a relaxation of hard data locality: a job may also be
+// allocated resources at sites where it has no local work, processing
+// remotely-fetched data at efficiency Gamma < 1 (WAN transfer overhead).
+// The paper's model is the Gamma -> 0 limit (hard pinning); delay-
+// scheduling-style systems operate between the extremes.
+//
+// The relaxed allocation problem stays a bipartite demand problem: each
+// job's demand at every site grows by RemotePerSite units (the remote
+// slots it could usefully occupy there), so the AMF machinery applies
+// unchanged. Fairness is measured on raw resource aggregates; *useful*
+// throughput discounts remote units by Gamma.
+type Spillover struct {
+	// RemotePerSite is the extra demand each job gains at every site
+	// (including sites with local demand — remote slots there are
+	// indistinguishable from extra local parallelism and are discounted
+	// only for the work the job cannot feed locally).
+	RemotePerSite float64
+	// Gamma is the efficiency of a remote resource unit in (0, 1].
+	Gamma float64
+}
+
+// Apply returns the relaxed instance: demand d'[j][s] = d[j][s] +
+// RemotePerSite wherever the job has any work at all (a job with zero
+// total demand gains nothing). Work is preserved.
+func (sp Spillover) Apply(in *Instance) *Instance {
+	out := in.Clone()
+	for j := range out.Demand {
+		if in.TotalDemand(j) <= 0 {
+			continue
+		}
+		for s := range out.Demand[j] {
+			out.Demand[j][s] += sp.RemotePerSite
+		}
+	}
+	return out
+}
+
+// UsefulRate reports job j's locality-discounted processing rate under an
+// allocation on the relaxed instance: shares within the original local
+// demand count fully, surplus (remote) shares count Gamma each.
+func (sp Spillover) UsefulRate(orig *Instance, a *Allocation, j int) float64 {
+	var rate float64
+	for s := range orig.SiteCapacity {
+		local := math.Min(a.Share[j][s], orig.Demand[j][s])
+		remote := math.Max(0, a.Share[j][s]-orig.Demand[j][s])
+		rate += local + sp.Gamma*remote
+	}
+	return rate
+}
+
+// UsefulRates reports every job's locality-discounted rate.
+func (sp Spillover) UsefulRates(orig *Instance, a *Allocation) []float64 {
+	out := make([]float64, orig.NumJobs())
+	for j := range out {
+		out[j] = sp.UsefulRate(orig, a, j)
+	}
+	return out
+}

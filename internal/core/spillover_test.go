@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpilloverApply(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0},
+			{0, 0}, // empty job gains nothing
+		},
+	}
+	sp := Spillover{RemotePerSite: 0.5, Gamma: 0.5}
+	out := sp.Apply(in)
+	approx(t, out.Demand[0][0], 1.5, 1e-12, "local+remote")
+	approx(t, out.Demand[0][1], 0.5, 1e-12, "pure remote")
+	approx(t, out.Demand[1][0], 0, 1e-12, "empty job")
+	// Original untouched.
+	approx(t, in.Demand[0][1], 0, 1e-12, "original")
+}
+
+func TestSpilloverUsefulRate(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{2, 2},
+		Demand:       [][]float64{{1, 0}},
+	}
+	sp := Spillover{RemotePerSite: 1, Gamma: 0.25}
+	relaxed := sp.Apply(in)
+	a := NewAllocation(relaxed)
+	a.Share[0][0] = 1.5 // 1 local + 0.5 remote
+	a.Share[0][1] = 1.0 // all remote
+	// Useful: 1 + 0.25*0.5 + 0.25*1 = 1.375.
+	approx(t, sp.UsefulRate(in, a, 0), 1.375, 1e-12, "useful rate")
+	rates := sp.UsefulRates(in, a)
+	approx(t, rates[0], 1.375, 1e-12, "useful rates")
+}
+
+func TestSpilloverHelpsPinnedJob(t *testing.T) {
+	// A job pinned to a contested site gains useful throughput from remote
+	// slots even at modest efficiency.
+	in := &Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0}, // pinned
+			{1, 0}, // pinned (same crowded site)
+		},
+	}
+	sv := NewSolver()
+	base, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spillover{RemotePerSite: 1, Gamma: 0.5}
+	relaxed, err := sv.AMF(sp.Apply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		baseRate := Spillover{Gamma: 1}.UsefulRate(in, base, j)
+		relaxedRate := sp.UsefulRate(in, relaxed, j)
+		// Base: 0.5 each at site 0. Relaxed: 0.5 local + 0.5 remote at
+		// site 1 -> 0.5 + 0.25 = 0.75.
+		if relaxedRate <= baseRate+0.1 {
+			t.Fatalf("job %d: spillover did not help: %g vs %g", j, relaxedRate, baseRate)
+		}
+	}
+}
+
+func TestSpilloverGammaZeroLimit(t *testing.T) {
+	// With Gamma=0 the remote units are useless: useful rate equals the
+	// local share regardless of the relaxed allocation.
+	in := &Instance{
+		SiteCapacity: []float64{1, 4},
+		Demand:       [][]float64{{1, 0}},
+	}
+	sp := Spillover{RemotePerSite: 4, Gamma: 0}
+	relaxed, err := NewSolver().AMF(sp.Apply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	useful := sp.UsefulRate(in, relaxed, 0)
+	local := math.Min(relaxed.Share[0][0], 1)
+	approx(t, useful, local, 1e-9, "gamma-zero useful rate")
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Adversarial and numerically extreme instances for the progressive
+// filling machinery: exact ties, degenerate bottleneck cascades, and
+// magnitude spreads that stress the epsilon handling.
+
+func TestAMFManyIdenticalJobs(t *testing.T) {
+	// 50 identical jobs on one site: one bottleneck freezing everyone.
+	n := 50
+	in := &Instance{
+		SiteCapacity: []float64{10},
+		Demand:       make([][]float64, n),
+	}
+	for j := range in.Demand {
+		in.Demand[j] = []float64{5}
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		approx(t, a.Aggregate(j), 0.2, 1e-6, "identical job share")
+	}
+}
+
+func TestAMFBottleneckCascade(t *testing.T) {
+	// A chain of sites with capacities 1, 2, 4, 8...; job k pinned to site
+	// k, plus one flexible job spanning all. Each site freezes at its own
+	// level: many distinct rounds.
+	m := 8
+	in := &Instance{
+		SiteCapacity: make([]float64, m),
+		Demand:       make([][]float64, m+1),
+	}
+	for s := 0; s < m; s++ {
+		in.SiteCapacity[s] = math.Pow(2, float64(s))
+	}
+	for j := 0; j < m; j++ {
+		in.Demand[j] = make([]float64, m)
+		in.Demand[j][j] = 1e9 // effectively unbounded
+	}
+	in.Demand[m] = make([]float64, m)
+	for s := 0; s < m; s++ {
+		in.Demand[m][s] = 1e9
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAMFInvariants(t, in, a)
+	// The pinned job at site 0 shares capacity 1 with the flexible job's
+	// claim; levels must be nondecreasing in site index for pinned jobs.
+	prev := -1.0
+	for j := 0; j < m; j++ {
+		if a.Aggregate(j) < prev-1e-6 {
+			t.Fatalf("pinned levels not monotone: job %d got %g after %g",
+				j, a.Aggregate(j), prev)
+		}
+		prev = a.Aggregate(j)
+	}
+}
+
+func TestAMFExtremeMagnitudeSpread(t *testing.T) {
+	// Capacities and demands spanning 9 orders of magnitude.
+	in := &Instance{
+		SiteCapacity: []float64{1e-3, 1e6},
+		Demand: [][]float64{
+			{1e-3, 0},
+			{1e-3, 1e6},
+			{0, 1e6},
+		},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(1e-6 * in.Scale()); err != nil {
+		t.Fatal(err)
+	}
+	// Site 1 dominates: jobs 1 and 2 split it evenly; job 0 shares the
+	// tiny site with job 1's claim there (which job 1 does not need).
+	approx(t, a.Aggregate(1), 5e5, 1e-2*in.Scale(), "big flexible job")
+	approx(t, a.Aggregate(2), 5e5, 1e-2*in.Scale(), "big pinned job")
+	if a.Aggregate(0) < 1e-3-1e-9 {
+		t.Fatalf("tiny job starved: %g", a.Aggregate(0))
+	}
+}
+
+func TestAMFTinyCapacities(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{1e-9, 1e-9},
+		Demand: [][]float64{
+			{1e-9, 1e-9},
+			{1e-9, 0},
+		},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(1e-15); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1e-9, 1e-12, "tiny flexible")
+	approx(t, a.Aggregate(1), 1e-9, 1e-12, "tiny pinned")
+}
+
+func TestAMFNearTieBottlenecks(t *testing.T) {
+	// Two independent site groups whose bottleneck levels differ by 1e-9:
+	// freezing must not mix them up.
+	in := &Instance{
+		SiteCapacity: []float64{1, 1 + 2e-9},
+		Demand: [][]float64{
+			{9, 0},
+			{9, 0},
+			{0, 9},
+			{0, 9},
+		},
+	}
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 0.5, 1e-6, "group A")
+	approx(t, a.Aggregate(2), 0.5+1e-9, 1e-6, "group B")
+	if err := a.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMFLargeInstanceSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	rng := rand.New(rand.NewSource(401))
+	in := randInstance(rng, 500, 30)
+	a, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(1e-5 * in.Scale()); err != nil {
+		t.Fatal(err)
+	}
+	if !IsParetoEfficient(a, 1e-4*in.Scale()*float64(in.NumJobs()+1)) {
+		t.Fatal("large instance not Pareto efficient")
+	}
+	// Cross-check a handful of jobs with the max-min certificate (the full
+	// check would be O(n) max-flows).
+	nw := a.Aggregates()
+	_ = nw
+	bis, err := (&Solver{Method: MethodBisect}).AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < in.NumJobs(); j += 50 {
+		if math.Abs(a.Aggregate(j)-bis.Aggregate(j)) > 1e-4*in.Scale() {
+			t.Fatalf("job %d: newton %g vs bisect %g", j, a.Aggregate(j), bis.Aggregate(j))
+		}
+	}
+}
+
+func TestEnhancedAMFOnCascade(t *testing.T) {
+	// Floors interact with multiple bottleneck rounds.
+	in := &Instance{
+		SiteCapacity: []float64{1, 4},
+		Demand: [][]float64{
+			{3, 0},
+			{3, 0},
+			{3, 4},
+			{0, 4},
+		},
+	}
+	a, err := NewSolver().EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := EqualShares(in)
+	for j := range es {
+		if a.Aggregate(j) < es[j]-1e-6 {
+			t.Fatalf("job %d below floor %g: %g", j, es[j], a.Aggregate(j))
+		}
+	}
+	if err := a.CheckFeasible(1e-6 * in.Scale()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverEpsOverride(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	sv := &Solver{Eps: 1e-12}
+	a, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a.Aggregate(0), 1.5, 1e-9, "tight-eps solve")
+}
+
+func TestMaxNewtonIterFallback(t *testing.T) {
+	// Forcing Newton to give up after one iteration must still produce the
+	// right answer via the bisection fallback.
+	rng := rand.New(rand.NewSource(409))
+	in := randInstance(rng, 12, 5)
+	sv := &Solver{MaxNewtonIter: 1}
+	a, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Share {
+		if math.Abs(a.Aggregate(j)-ref.Aggregate(j)) > 1e-4*in.Scale() {
+			t.Fatalf("job %d: fallback %g vs reference %g",
+				j, a.Aggregate(j), ref.Aggregate(j))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/fairness"
+)
+
+// MaxTotalAllocation reports the largest total allocation any feasible
+// allocation can hand out: the max flow with every job capped at its total
+// demand.
+func MaxTotalAllocation(in *Instance) float64 {
+	nw := buildNetwork(in, math.Max(1e-13*in.Scale(), 1e-15))
+	targets := make([]float64, in.NumJobs())
+	for j := range targets {
+		targets[j] = in.TotalDemand(j)
+	}
+	flow, _ := nw.maxFlowAt(targets)
+	return flow
+}
+
+// IsParetoEfficient reports whether the allocation is Pareto efficient.
+// For the flow polytope of this problem an allocation is Pareto efficient
+// iff its total equals MaxTotalAllocation: any shortfall admits an
+// augmenting path that raises some job without lowering any other.
+func IsParetoEfficient(a *Allocation, tol float64) bool {
+	var total float64
+	for j := range a.Share {
+		total += a.Aggregate(j)
+	}
+	return total >= MaxTotalAllocation(a.Inst)-tol
+}
+
+// AggregateMaxMinViolation checks the allocation's aggregate vector for a
+// (weighted) max-min fairness violation over the instance's feasible set,
+// probing with perturbation delta. It returns a violating job index and
+// true, or (-1, false) if the vector is max-min fair up to delta.
+func AggregateMaxMinViolation(a *Allocation, delta float64) (int, bool) {
+	in := a.Inst
+	nw := buildNetwork(in, math.Max(1e-13*in.Scale(), 1e-15))
+	// The oracle tolerance must sit far below the probe delta, or the
+	// probe's own bump would be absorbed as numerical slack.
+	tol := math.Max(1e-11*in.Scale()*float64(in.NumJobs()+1), delta*1e-3)
+	oracle := func(target []float64) bool {
+		return nw.feasible(target, tol)
+	}
+	demands := make([]float64, in.NumJobs())
+	weights := make([]float64, in.NumJobs())
+	for j := range demands {
+		demands[j] = in.TotalDemand(j)
+		weights[j] = in.JobWeight(j)
+	}
+	return fairness.WeightedMaxMinViolation(a.Aggregates(), demands, weights, oracle, delta)
+}
+
+// EnvyPairs returns the (envier, envied) pairs in the allocation: job j
+// envies job k when j would obtain a strictly larger weight-normalized
+// aggregate from k's per-site bundle, truncated to j's own demands, than it
+// gets from its own. AMF allocations are envy-free, so this is empty for
+// them up to tol.
+func EnvyPairs(a *Allocation, tol float64) [][2]int {
+	in := a.Inst
+	n := in.NumJobs()
+	var out [][2]int
+	for j := 0; j < n; j++ {
+		own := a.Aggregate(j) / in.JobWeight(j)
+		for k := 0; k < n; k++ {
+			if k == j {
+				continue
+			}
+			var usable float64
+			for s := range in.SiteCapacity {
+				usable += math.Min(a.Share[k][s], in.Demand[j][s])
+			}
+			if usable/in.JobWeight(k) > own+tol {
+				out = append(out, [2]int{j, k})
+			}
+		}
+	}
+	return out
+}
+
+// SharingIncentiveViolations returns the jobs whose aggregate falls short
+// of their isolated equal share (EqualShares) by more than tol, together
+// with the shortfalls. Plain AMF can produce violations (the paper's
+// negative result); Enhanced AMF never does.
+func SharingIncentiveViolations(a *Allocation, tol float64) (jobs []int, shortfalls []float64) {
+	es := EqualShares(a.Inst)
+	for j := range a.Share {
+		if gap := es[j] - a.Aggregate(j); gap > tol {
+			jobs = append(jobs, j)
+			shortfalls = append(shortfalls, gap)
+		}
+	}
+	return jobs, shortfalls
+}

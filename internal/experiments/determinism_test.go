@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Determinism locks: identical options must reproduce byte-identical
+// reports, and different seeds must actually change the workloads. This is
+// what makes the numbers recorded in EXPERIMENTS.md reproducible claims
+// rather than one-off observations.
+
+func TestSuiteDeterministic(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E4", "E5", "E6"} {
+		a, err := Run(id, Options{Quick: true, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, Options{Quick: true, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Fatalf("%s not deterministic", id)
+		}
+	}
+}
+
+func TestSeedChangesWorkloads(t *testing.T) {
+	a, err := Run("E1", Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E1", Options{Quick: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() == b.Render() {
+		t.Fatal("different seeds produced identical E1 reports")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	r, err := Run("E4", Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := r.RenderMarkdown()
+	for _, want := range []string{"## E4", "| property |", "| --- |", "*expected:"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func workloadRNG(seed uint64, name string) *rand.Rand {
+	return randx.Stream(seed, "experiments/"+name)
+}
+
+// simSolver is the solver used inside the event loops: the full JCT
+// refinement pass would multiply flow computations per event for little
+// benefit in the dynamic setting.
+func simSolver() *core.Solver {
+	return &core.Solver{SkipJCTRefine: true}
+}
+
+// E3CompletionTime reproduces the batch completion-time figure: all jobs
+// arrive at time zero, the fluid simulator executes them under each
+// policy, and we report mean and p95 JCT across skew levels.
+func E3CompletionTime(opt Options) Result {
+	opt = opt.withDefaults()
+	trials := opt.scaled(3, 1)
+	numJobs := opt.scaled(40, 15)
+	numSites := opt.scaled(8, 4)
+	caps := make([]float64, numSites)
+	for s := range caps {
+		caps[s] = 4
+	}
+	policies := []sim.Policy{sim.PolicyPSMMF, sim.PolicyAMF, sim.PolicyAMFJCT}
+
+	mean := table.NewSeries("Fig E3a: mean job completion time (batch)",
+		"alpha", "psmmf", "amf", "amf+jct")
+	p95 := table.NewSeries("Fig E3b: p95 job completion time (batch)",
+		"alpha", "psmmf", "amf", "amf+jct")
+	for _, alpha := range skewSweep {
+		var ms, ps [3]stats.Summary
+		for trial := 0; trial < trials; trial++ {
+			jobs := workload.GenerateStream(workload.StreamConfig{
+				NumSites:         numSites,
+				Lambda:           0, // batch
+				NumJobs:          numJobs,
+				Skew:             alpha,
+				PerJobSkew:       true,
+				TasksPerJobMean:  8,
+				TaskDurationMean: 1,
+				SitesPerJobMax:   4,
+				Seed:             opt.Seed + uint64(trial)*7919 + uint64(alpha*1e6),
+			})
+			for i, p := range policies {
+				res, err := sim.RunFluid(sim.FluidConfig{
+					SiteCapacity: caps, Policy: p, Solver: simSolver(),
+				}, jobs)
+				if err != nil {
+					panic(fmt.Sprintf("E3 %s alpha=%g: %v", p, alpha, err))
+				}
+				ms[i].Add(sim.MeanJCT(res.Jobs))
+				ps[i].Add(sim.PercentileJCT(res.Jobs, 95))
+			}
+		}
+		mean.AddPoint(alpha, ms[0].Mean(), ms[1].Mean(), ms[2].Mean())
+		p95.AddPoint(alpha, ps[0].Mean(), ps[1].Mean(), ps[2].Mean())
+	}
+	return Result{
+		ID:     "E3",
+		Title:  "Job completion time vs. skew (offline batch, fluid)",
+		Series: []*table.Series{mean, p95},
+		Notes: []string{
+			fmt.Sprintf("%d jobs, %d sites (capacity 4 each), %d trials per point", numJobs, numSites, trials),
+			"expected: AMF (and AMF+JCT) beat PS-MMF increasingly as skew grows, mainly in the tail (p95)",
+		},
+	}
+}
+
+// E8OnlineSimulation reproduces the online figure: Poisson arrivals at
+// offered loads 0.5/0.7/0.9, fluid execution, mean/p95 JCT and utilization
+// per policy.
+func E8OnlineSimulation(opt Options) Result {
+	opt = opt.withDefaults()
+	numJobs := opt.scaled(120, 40)
+	numSites := opt.scaled(6, 4)
+	caps := make([]float64, numSites)
+	var totalCap float64
+	for s := range caps {
+		caps[s] = 4
+		totalCap += caps[s]
+	}
+	policies := []sim.Policy{sim.PolicyPSMMF, sim.PolicyAMF, sim.PolicyAMFJCT, sim.PolicyEnhancedAMF}
+
+	t := table.New("Table E8: online simulation (Poisson arrivals, fluid execution)",
+		"load", "policy", "mean JCT", "p95 JCT", "utilization", "avg fairness")
+	for _, rho := range []float64{0.5, 0.7, 0.9} {
+		base := workload.StreamConfig{
+			NumSites:         numSites,
+			NumJobs:          numJobs,
+			Skew:             1.2,
+			PerJobSkew:       true,
+			TasksPerJobMean:  6,
+			TaskDurationMean: 1,
+			SitesPerJobMax:   3,
+			Seed:             opt.Seed + uint64(rho*1000),
+		}
+		base.Lambda = workload.LambdaForLoad(base, totalCap, rho)
+		jobs := workload.GenerateStream(base)
+		for _, p := range policies {
+			res, err := sim.RunFluid(sim.FluidConfig{
+				SiteCapacity: caps, Policy: p, Solver: simSolver(),
+			}, jobs)
+			if err != nil {
+				panic(fmt.Sprintf("E8 %s rho=%g: %v", p, rho, err))
+			}
+			t.AddRow(rho, p.String(), sim.MeanJCT(res.Jobs),
+				sim.PercentileJCT(res.Jobs, 95), res.Utilization, res.FairnessAvg)
+		}
+	}
+	return Result{
+		ID:     "E8",
+		Title:  "Online simulation: JCT and utilization vs. load",
+		Tables: []*table.Table{t},
+		Notes: []string{
+			"skew fixed at 1.2; expected: AMF-family policies hold mean/p95 JCT below PS-MMF, with the gap widening at high load",
+			"avg fairness = time-averaged Jain index of the active jobs' normalized rates (online allocation balance)",
+		},
+	}
+}
+
+// E9Scalability times the allocator: Newton vs bisection bottleneck
+// search across instance sizes, reporting per-solve wall time.
+func E9Scalability(opt Options) Result {
+	opt = opt.withDefaults()
+	type size struct{ n, m int }
+	sizes := []size{{50, 10}, {100, 20}, {200, 20}}
+	if !opt.Quick {
+		sizes = append(sizes, size{400, 40}, size{800, 40})
+	}
+	t := table.New("Table E9: allocator wall time per solve",
+		"jobs", "sites", "newton (ms)", "bisect (ms)", "speedup")
+	for _, sz := range sizes {
+		in := workload.Generate(workload.Config{
+			NumJobs:      sz.n,
+			NumSites:     sz.m,
+			SiteCapacity: 1,
+			Skew:         1.2,
+			PerJobSkew:   true,
+			MeanDemand:   3 * float64(sz.m) / float64(sz.n),
+			SizeDist:     workload.SizeBoundedPareto,
+			Seed:         opt.Seed + uint64(sz.n),
+		})
+		newtonMs := timeSolve(&core.Solver{Method: core.MethodNewton}, in)
+		bisectMs := timeSolve(&core.Solver{Method: core.MethodBisect}, in)
+		t.AddRow(sz.n, sz.m, newtonMs, bisectMs, bisectMs/newtonMs)
+	}
+	return Result{
+		ID:     "E9",
+		Title:  "Allocator scalability: Newton vs. bisection",
+		Tables: []*table.Table{t},
+		Notes: []string{
+			"both methods compute identical allocations (cross-checked in the unit tests); Newton needs 2-5 max-flow calls per bottleneck vs ~55 for bisection",
+		},
+	}
+}
+
+func timeSolve(sv *core.Solver, in *core.Instance) float64 {
+	// One warm-up, then a few timed runs.
+	if _, err := sv.AMF(in); err != nil {
+		panic(err)
+	}
+	const runs = 3
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := sv.AMF(in); err != nil {
+			panic(err)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / runs
+}
+
+// E10SlotFluidCrossCheck runs identical streams through the fluid and the
+// slot-granular simulators and compares mean JCT and utilization per
+// policy, validating that the fluid results carry over to an integral,
+// non-preemptive cluster.
+func E10SlotFluidCrossCheck(opt Options) Result {
+	opt = opt.withDefaults()
+	numJobs := opt.scaled(40, 15)
+	numSites := 4
+	slots := []int{6, 6, 6, 6}
+	caps := []float64{6, 6, 6, 6}
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites:         numSites,
+		Lambda:           1.2,
+		NumJobs:          numJobs,
+		Skew:             1.0,
+		PerJobSkew:       true,
+		TasksPerJobMean:  8,
+		TaskDurationMean: 1,
+		SitesPerJobMax:   3,
+		Seed:             opt.Seed + 77,
+	})
+	t := table.New("Table E10: fluid vs slot-granular simulator",
+		"policy", "fluid mean JCT", "slot mean JCT", "preemptive mean JCT",
+		"slot/fluid", "preempt/fluid")
+	for _, p := range []sim.Policy{sim.PolicyPSMMF, sim.PolicyAMF, sim.PolicyAMFJCT} {
+		fl, err := sim.RunFluid(sim.FluidConfig{
+			SiteCapacity: caps, Policy: p, Solver: simSolver(),
+		}, jobs)
+		if err != nil {
+			panic(fmt.Sprintf("E10 fluid %s: %v", p, err))
+		}
+		sl, err := sim.RunSlots(sim.SlotConfig{
+			SlotsPerSite: slots, Policy: p, Solver: simSolver(),
+		}, jobs)
+		if err != nil {
+			panic(fmt.Sprintf("E10 slots %s: %v", p, err))
+		}
+		pre, err := sim.RunSlots(sim.SlotConfig{
+			SlotsPerSite: slots, Policy: p, Solver: simSolver(), Preemptive: true,
+		}, jobs)
+		if err != nil {
+			panic(fmt.Sprintf("E10 preemptive %s: %v", p, err))
+		}
+		fm, sm, pm := sim.MeanJCT(fl.Jobs), sim.MeanJCT(sl.Jobs), sim.MeanJCT(pre.Jobs)
+		t.AddRow(p.String(), fm, sm, pm, sm/fm, pm/fm)
+	}
+	return Result{
+		ID:     "E10",
+		Title:  "Slot-granular vs. fluid cross-check",
+		Tables: []*table.Table{t},
+		Notes: []string{
+			"expected: slot-granular JCTs within ~2x of fluid (discretization + non-preemption), same policy ordering",
+			"the preemptive (checkpointing) variant isolates the non-preemption share of the gap",
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWaterfill checks water-filling invariants on arbitrary inputs:
+// no negative shares, demand caps respected, capacity respected, and
+// Pareto efficiency (capacity or all demands exhausted).
+func FuzzWaterfill(f *testing.F) {
+	f.Add(10.0, 2.0, 4.0, 10.0, 7.0)
+	f.Add(0.0, 1.0, 1.0, 1.0, 1.0)
+	f.Add(5.0, -1.0, 3.0, 0.0, 2.5)
+	f.Add(1e12, 1e-9, 5.0, 2.0, 1e9)
+	f.Fuzz(func(t *testing.T, capacity, d0, d1, d2, d3 float64) {
+		if !finiteAll(capacity, d0, d1, d2, d3) {
+			t.Skip()
+		}
+		if math.Abs(capacity) > 1e15 || math.Abs(d0) > 1e15 ||
+			math.Abs(d1) > 1e15 || math.Abs(d2) > 1e15 || math.Abs(d3) > 1e15 {
+			t.Skip()
+		}
+		demands := []float64{d0, d1, d2, d3}
+		got := Waterfill(capacity, demands)
+		var used, total float64
+		for i, a := range got {
+			d := math.Max(demands[i], 0)
+			if a < 0 {
+				t.Fatalf("negative share %g", a)
+			}
+			if a > d*(1+1e-9)+1e-12 {
+				t.Fatalf("share %g exceeds demand %g", a, d)
+			}
+			used += a
+			total += d
+		}
+		capPos := math.Max(capacity, 0)
+		if used > capPos*(1+1e-9)+1e-9 {
+			t.Fatalf("used %g exceeds capacity %g", used, capacity)
+		}
+		want := math.Min(capPos, total)
+		if used < want-1e-6*(1+want) {
+			t.Fatalf("not Pareto efficient: used %g of %g", used, want)
+		}
+	})
+}
+
+func finiteAll(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package fairness
+
+// Oracle reports whether an allocation target vector is jointly feasible.
+// Feasible sets are assumed downward closed: reducing any component of a
+// feasible vector keeps it feasible. The flow polytopes used by the AMF
+// allocator satisfy this.
+type Oracle func(target []float64) bool
+
+// MaxMinViolation checks whether x is max-min fair over the downward-closed
+// feasible set described by the oracle, given per-element upper bounds
+// (demands). It returns the index of a violating element and true if one is
+// found, or (-1, false) if x is max-min fair up to delta.
+//
+// The test applied for element i (unless x_i is demand-saturated) builds the
+// probe vector z with z_i = x_i + delta, z_k = x_k for every k with
+// x_k <= x_i, and z_k = 0 for every k with x_k > x_i. For a downward-closed
+// feasible set, z being feasible is equivalent to "x_i can be raised while
+// only elements strictly above x_i give anything up" — exactly a max-min
+// fairness violation.
+func MaxMinViolation(x, demands []float64, feasible Oracle, delta float64) (int, bool) {
+	n := len(x)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if x[i] >= demands[i]-delta {
+			continue // demand-saturated elements cannot be raised
+		}
+		for k := 0; k < n; k++ {
+			switch {
+			case k == i:
+				z[k] = x[i] + delta
+			case x[k] <= x[i]+delta/2:
+				z[k] = x[k]
+			default:
+				z[k] = 0
+			}
+		}
+		if feasible(z) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// WeightedMaxMinViolation is MaxMinViolation under weighted max-min
+// fairness: comparisons between elements use normalized shares x_i/w_i.
+// Weights must be positive.
+func WeightedMaxMinViolation(x, demands, weights []float64, feasible Oracle, delta float64) (int, bool) {
+	n := len(x)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if x[i] >= demands[i]-delta {
+			continue
+		}
+		xi := x[i] / weights[i]
+		for k := 0; k < n; k++ {
+			switch {
+			case k == i:
+				z[k] = x[i] + delta
+			case x[k]/weights[k] <= xi+delta/2:
+				z[k] = x[k]
+			default:
+				z[k] = 0
+			}
+		}
+		if feasible(z) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// LexLess compares two vectors in the leximin order after sorting each
+// ascending: it reports whether a is leximin-smaller than b (i.e. b is
+// fairer). Vectors must have equal length.
+func LexLess(a, b []float64, tol float64) bool {
+	as := sortedCopy(a)
+	bs := sortedCopy(b)
+	for i := range as {
+		if as[i] < bs[i]-tol {
+			return true
+		}
+		if as[i] > bs[i]+tol {
+			return false
+		}
+	}
+	return false
+}
+
+func sortedCopy(v []float64) []float64 {
+	c := append([]float64(nil), v...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	return c
+}

@@ -1,0 +1,174 @@
+package fairness
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// capOracle models a single shared capacity: feasible iff sum <= cap.
+func capOracle(capacity float64) Oracle {
+	return func(target []float64) bool {
+		var sum float64
+		for _, v := range target {
+			sum += v
+		}
+		return sum <= capacity+1e-12
+	}
+}
+
+func TestMaxMinViolationAcceptsWaterfill(t *testing.T) {
+	demands := []float64{2, 4, 10, 7}
+	capacity := 12.0
+	x := Waterfill(capacity, demands)
+	if i, bad := MaxMinViolation(x, demands, capOracle(capacity), 1e-6); bad {
+		t.Fatalf("waterfill flagged unfair at index %d (x=%v)", i, x)
+	}
+}
+
+func TestMaxMinViolationRejectsUnfair(t *testing.T) {
+	demands := []float64{10, 10}
+	capacity := 10.0
+	x := []float64{2, 8} // feasible but not max-min fair
+	i, bad := MaxMinViolation(x, demands, capOracle(capacity), 1e-6)
+	if !bad {
+		t.Fatal("unfair vector not flagged")
+	}
+	if i != 0 {
+		t.Fatalf("flagged index %d, want 0 (the short-changed job)", i)
+	}
+}
+
+func TestMaxMinViolationRejectsInefficient(t *testing.T) {
+	demands := []float64{10, 10}
+	x := []float64{3, 3} // equal but wasteful: capacity 10 unused
+	if _, bad := MaxMinViolation(x, demands, capOracle(10), 1e-6); !bad {
+		t.Fatal("inefficient vector not flagged")
+	}
+}
+
+func TestMaxMinViolationDemandSaturated(t *testing.T) {
+	demands := []float64{1, 100}
+	x := []float64{1, 9}
+	if i, bad := MaxMinViolation(x, demands, capOracle(10), 1e-6); bad {
+		t.Fatalf("saturated allocation flagged at %d", i)
+	}
+}
+
+func TestWeightedMaxMinViolation(t *testing.T) {
+	demands := []float64{100, 100}
+	weights := []float64{1, 3}
+	capacity := 8.0
+	fair := WeightedWaterfill(capacity, demands, weights) // 2, 6
+	if i, bad := WeightedMaxMinViolation(fair, demands, weights, capOracle(capacity), 1e-6); bad {
+		t.Fatalf("weighted waterfill flagged at %d: %v", i, fair)
+	}
+	unfair := []float64{4, 4}
+	if _, bad := WeightedMaxMinViolation(unfair, demands, weights, capOracle(capacity), 1e-6); !bad {
+		t.Fatal("equal split under unequal weights not flagged")
+	}
+}
+
+func TestMaxMinViolationRandomizedAgainstWaterfill(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		demands := make([]float64, n)
+		var total float64
+		for i := range demands {
+			demands[i] = 0.5 + rng.Float64()*10
+			total += demands[i]
+		}
+		capacity := rng.Float64() * total
+		x := Waterfill(capacity, demands)
+		if i, bad := MaxMinViolation(x, demands, capOracle(capacity), 1e-6); bad {
+			t.Fatalf("trial %d: waterfill flagged at %d", trial, i)
+		}
+		// Perturb: move mass from a below-demand job to another; must flag.
+		from, to := -1, -1
+		for i := range x {
+			if x[i] > 0.2 {
+				from = i
+				break
+			}
+		}
+		for i := range x {
+			if i != from && x[i] < demands[i]-0.2 {
+				to = i
+				break
+			}
+		}
+		if from >= 0 && to >= 0 {
+			y := append([]float64(nil), x...)
+			y[from] -= 0.1
+			y[to] += 0.1
+			// y[from] now sits below its max-min share; it must be raisable.
+			if _, bad := MaxMinViolation(y, demands, capOracle(capacity), 1e-6); !bad {
+				t.Fatalf("trial %d: perturbed vector not flagged (x=%v y=%v)", trial, x, y)
+			}
+		}
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 2, 3}, []float64{2, 2, 3}, true},
+		{[]float64{2, 2, 3}, []float64{1, 2, 3}, false},
+		{[]float64{1, 2, 3}, []float64{3, 2, 1}, false}, // equal after sorting
+		{[]float64{1, 5, 5}, []float64{2, 2, 2}, true},  // min decides
+		{[]float64{2, 2, 9}, []float64{2, 3, 3}, true},  // second element decides
+	}
+	for i, c := range cases {
+		if got := LexLess(c.a, c.b, 1e-9); got != c.want {
+			t.Fatalf("case %d: LexLess(%v,%v)=%v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]float64{1, 1, 1, 1}); !feq(j, 1) {
+		t.Fatalf("equal vector Jain=%g, want 1", j)
+	}
+	if j := JainIndex([]float64{1, 0, 0, 0}); !feq(j, 0.25) {
+		t.Fatalf("degenerate vector Jain=%g, want 0.25", j)
+	}
+	if j := JainIndex(nil); j != 1 {
+		t.Fatalf("empty Jain=%g, want 1", j)
+	}
+	if j := JainIndex([]float64{0, 0}); j != 1 {
+		t.Fatalf("zero Jain=%g, want 1", j)
+	}
+	// Jain index is scale invariant.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40}
+	if !feq(JainIndex(a), JainIndex(b)) {
+		t.Fatal("Jain index not scale invariant")
+	}
+}
+
+func TestMinMaxRatio(t *testing.T) {
+	if r := MinMaxRatio([]float64{2, 4}); !feq(r, 0.5) {
+		t.Fatalf("ratio %g, want 0.5", r)
+	}
+	if r := MinMaxRatio([]float64{3, 3, 3}); !feq(r, 1) {
+		t.Fatalf("ratio %g, want 1", r)
+	}
+	if r := MinMaxRatio(nil); r != 1 {
+		t.Fatalf("empty ratio %g, want 1", r)
+	}
+	if r := MinMaxRatio([]float64{0, 0}); r != 1 {
+		t.Fatalf("zero ratio %g, want 1", r)
+	}
+	if r := MinMaxRatio([]float64{0, 5}); r != 0 {
+		t.Fatalf("ratio %g, want 0", r)
+	}
+}
+
+func TestNormalizedShares(t *testing.T) {
+	got := NormalizedShares([]float64{2, 6}, []float64{1, 3})
+	if !feq(got[0], 2) || !feq(got[1], 2) {
+		t.Fatalf("got %v, want [2 2]", got)
+	}
+}

@@ -1,0 +1,48 @@
+package fairness
+
+import "math"
+
+// JainIndex computes Jain's fairness index (sum x)^2 / (n * sum x^2),
+// which is 1 for perfectly equal vectors and 1/n for maximally unequal
+// ones. An all-zero or empty vector yields 1 (trivially fair).
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, v := range x {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sq)
+}
+
+// MinMaxRatio returns min(x)/max(x), a direct measure of allocation
+// balance; 1 means perfectly balanced. An empty or all-zero vector yields 1.
+func MinMaxRatio(x []float64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	if mx <= 0 {
+		return 1
+	}
+	return mn / mx
+}
+
+// NormalizedShares divides each element by its weight; used to compare
+// weighted allocations on a common scale. Weights must be positive.
+func NormalizedShares(x, weights []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] / weights[i]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package fairness provides single-pool max-min fair allocation
+// (water-filling), generic max-min fairness certificates over feasibility
+// oracles, and fairness metrics. The AMF allocator in internal/core builds
+// on these primitives; the per-site max-min baseline from the paper is a
+// direct application of Waterfill at every site.
+package fairness
+
+import (
+	"math"
+	"sort"
+)
+
+// Waterfill computes the (unweighted) max-min fair division of capacity
+// among demands: every demand is either fully satisfied or receives the
+// common water level. The returned slice is parallel to demands.
+//
+// Negative demands are treated as zero. If total demand does not exceed
+// capacity, every demand is fully satisfied.
+func Waterfill(capacity float64, demands []float64) []float64 {
+	weights := make([]float64, len(demands))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return WeightedWaterfill(capacity, demands, weights)
+}
+
+// WeightedWaterfill computes the weighted max-min fair division: job i
+// receives min(d_i, t*w_i) where t is the largest level exhausting capacity
+// (or satisfying all demands). A job with weight <= 0 receives nothing.
+func WeightedWaterfill(capacity float64, demands, weights []float64) []float64 {
+	n := len(demands)
+	if len(weights) != n {
+		panic("fairness: demands and weights length mismatch")
+	}
+	out := make([]float64, n)
+	if capacity <= 0 || n == 0 {
+		return out
+	}
+
+	// Jobs sorted by saturation level d_i/w_i; fill until capacity runs out.
+	type item struct {
+		idx   int
+		level float64 // d/w, the water level at which this job saturates
+	}
+	items := make([]item, 0, n)
+	var active float64 // sum of weights of unsaturated jobs
+	for i := 0; i < n; i++ {
+		d := math.Max(demands[i], 0)
+		w := weights[i]
+		if w <= 0 || d == 0 {
+			continue
+		}
+		items = append(items, item{idx: i, level: d / w})
+		active += w
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].level < items[b].level })
+
+	remaining := capacity
+	level := 0.0
+	k := 0
+	for k < len(items) {
+		it := items[k]
+		// Raising the level from `level` to it.level costs (it.level-level)*active.
+		cost := (it.level - level) * active
+		if cost > remaining {
+			break
+		}
+		remaining -= cost
+		level = it.level
+		// Saturate this job (and any others at the same level on later
+		// loop iterations).
+		out[it.idx] = math.Max(demands[it.idx], 0)
+		active -= weights[it.idx]
+		k++
+	}
+	if k < len(items) && active > 0 {
+		level += remaining / active
+		for ; k < len(items); k++ {
+			it := items[k]
+			out[it.idx] = math.Min(math.Max(demands[it.idx], 0), level*weights[it.idx])
+		}
+	}
+	return out
+}
+
+// WaterLevel returns the water level of the unweighted max-min fair division
+// of capacity among demands: the common allocation received by every
+// unsatisfied demand. If all demands are satisfied it returns the maximum
+// demand.
+func WaterLevel(capacity float64, demands []float64) float64 {
+	alloc := Waterfill(capacity, demands)
+	level := 0.0
+	saturatedMax := 0.0
+	anyUnsat := false
+	for i, a := range alloc {
+		d := math.Max(demands[i], 0)
+		if a < d-1e-12*(1+d) {
+			anyUnsat = true
+			if a > level {
+				level = a
+			}
+		}
+		if d > saturatedMax {
+			saturatedMax = d
+		}
+	}
+	if !anyUnsat {
+		return saturatedMax
+	}
+	return level
+}

@@ -1,0 +1,245 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestWaterfillAllSatisfied(t *testing.T) {
+	got := Waterfill(10, []float64{1, 2, 3})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !feq(got[i], want[i]) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaterfillEqualSplit(t *testing.T) {
+	got := Waterfill(9, []float64{10, 10, 10})
+	for i, v := range got {
+		if !feq(v, 3) {
+			t.Fatalf("element %d = %g, want 3 (got %v)", i, v, got)
+		}
+	}
+}
+
+func TestWaterfillMixed(t *testing.T) {
+	// Classic example: capacity 10, demands 2, 4, 10 -> 2, 4, 4.
+	got := Waterfill(10, []float64{2, 4, 10})
+	want := []float64{2, 4, 4}
+	for i := range want {
+		if !feq(got[i], want[i]) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaterfillSmallDemandFirst(t *testing.T) {
+	// capacity 6, demands 1, 8, 8 -> 1, 2.5, 2.5
+	got := Waterfill(6, []float64{1, 8, 8})
+	want := []float64{1, 2.5, 2.5}
+	for i := range want {
+		if !feq(got[i], want[i]) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaterfillZeroCapacity(t *testing.T) {
+	got := Waterfill(0, []float64{1, 2})
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("got %v, want zeros", got)
+		}
+	}
+}
+
+func TestWaterfillNegativeDemandTreatedAsZero(t *testing.T) {
+	got := Waterfill(4, []float64{-3, 2, 9})
+	if got[0] != 0 {
+		t.Fatalf("negative demand received %g", got[0])
+	}
+	if !feq(got[1], 2) || !feq(got[2], 2) {
+		t.Fatalf("got %v, want [0 2 2]", got)
+	}
+}
+
+func TestWaterfillEmpty(t *testing.T) {
+	if got := Waterfill(5, nil); len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestWeightedWaterfillProportional(t *testing.T) {
+	// Large demands: allocation proportional to weights.
+	got := WeightedWaterfill(6, []float64{100, 100, 100}, []float64{1, 2, 3})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !feq(got[i], want[i]) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeightedWaterfillSaturation(t *testing.T) {
+	// Job 0 saturates at 0.5 (level 0.5); remaining 5.5 split 2:3 by weight.
+	got := WeightedWaterfill(6, []float64{0.5, 100, 100}, []float64{1, 2, 3})
+	if !feq(got[0], 0.5) {
+		t.Fatalf("job 0 got %g, want 0.5", got[0])
+	}
+	if !feq(got[1], 2.2) || !feq(got[2], 3.3) {
+		t.Fatalf("got %v, want [0.5 2.2 3.3]", got)
+	}
+}
+
+func TestWeightedWaterfillZeroWeight(t *testing.T) {
+	got := WeightedWaterfill(6, []float64{5, 5}, []float64{0, 1})
+	if got[0] != 0 {
+		t.Fatalf("zero-weight job received %g", got[0])
+	}
+	if !feq(got[1], 5) {
+		t.Fatalf("job 1 got %g, want 5", got[1])
+	}
+}
+
+func TestWaterfillEqualLevelsTieBreak(t *testing.T) {
+	got := Waterfill(4, []float64{2, 2, 2})
+	for _, v := range got {
+		if !feq(v, 4.0/3) {
+			t.Fatalf("got %v, want all 4/3", got)
+		}
+	}
+}
+
+func TestWaterLevel(t *testing.T) {
+	if l := WaterLevel(10, []float64{2, 4, 10}); !feq(l, 4) {
+		t.Fatalf("level %g, want 4", l)
+	}
+	if l := WaterLevel(100, []float64{2, 4, 10}); !feq(l, 10) {
+		t.Fatalf("level %g, want 10 (all satisfied -> max demand)", l)
+	}
+}
+
+// Property tests ----------------------------------------------------------
+
+func TestWaterfillProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		demands := make([]float64, n)
+		var total float64
+		for i := range demands {
+			demands[i] = rng.Float64() * 10
+			total += demands[i]
+		}
+		capacity := rng.Float64() * total * 1.5
+		got := Waterfill(capacity, demands)
+
+		var used float64
+		for i, a := range got {
+			if a < -1e-12 {
+				t.Fatalf("negative allocation %g", a)
+			}
+			if a > demands[i]+1e-9 {
+				t.Fatalf("allocation %g exceeds demand %g", a, demands[i])
+			}
+			used += a
+		}
+		if used > capacity+1e-9*(1+capacity) {
+			t.Fatalf("over-allocated: %g > %g", used, capacity)
+		}
+		// Pareto efficiency: either everyone is satisfied or the capacity is
+		// fully used.
+		allSat := true
+		for i := range got {
+			if got[i] < demands[i]-1e-9 {
+				allSat = false
+			}
+		}
+		if !allSat && !feq(used, math.Min(capacity, total)) {
+			t.Fatalf("capacity not exhausted: used %g of %g", used, capacity)
+		}
+		// Max-min structure: all unsaturated jobs sit at a common level >=
+		// every saturated demand... (saturated demands are <= the level).
+		level := -1.0
+		for i := range got {
+			if got[i] < demands[i]-1e-9 {
+				if level < 0 {
+					level = got[i]
+				} else if !feq(level, got[i]) {
+					t.Fatalf("unsaturated jobs at different levels: %g vs %g", level, got[i])
+				}
+			}
+		}
+		if level >= 0 {
+			for i := range got {
+				if feq(got[i], demands[i]) && demands[i] > level+1e-9 {
+					t.Fatalf("job %d saturated at %g above water level %g", i, demands[i], level)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedWaterfillQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		demands := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for i := range demands {
+			demands[i] = rng.Float64() * 20
+			weights[i] = 0.1 + rng.Float64()*5
+			total += demands[i]
+		}
+		capacity := rng.Float64() * total
+		got := WeightedWaterfill(capacity, demands, weights)
+		var used float64
+		for i := range got {
+			if got[i] < -1e-12 || got[i] > demands[i]+1e-9 {
+				return false
+			}
+			used += got[i]
+		}
+		return used <= capacity+1e-9*(1+capacity) &&
+			used >= math.Min(capacity, total)-1e-9*(1+capacity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedWaterfillNormalizedLevels(t *testing.T) {
+	// Weighted max-min: unsaturated jobs share a common normalized level.
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		demands := make([]float64, n)
+		weights := make([]float64, n)
+		var total float64
+		for i := range demands {
+			demands[i] = rng.Float64() * 10
+			weights[i] = 0.5 + rng.Float64()*3
+			total += demands[i]
+		}
+		capacity := rng.Float64() * total
+		got := WeightedWaterfill(capacity, demands, weights)
+		level := -1.0
+		for i := range got {
+			if got[i] < demands[i]-1e-9 {
+				norm := got[i] / weights[i]
+				if level < 0 {
+					level = norm
+				} else if !feq(level, norm) {
+					t.Fatalf("normalized levels differ: %g vs %g", level, norm)
+				}
+			}
+		}
+	}
+}

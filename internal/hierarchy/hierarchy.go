@@ -1,0 +1,136 @@
+// Package hierarchy implements two-level (queue-based) aggregate max-min
+// fairness, the arrangement cluster managers expose as hierarchical
+// queues: capacity is first divided across groups (organizations, teams)
+// in proportion to group weights under AMF semantics, then each group's
+// per-site envelope is divided among its member jobs, again under AMF.
+//
+// This is the standard practical construction (hierarchical queues in
+// YARN/Mesos apply the same two-phase idea): the group level sees each
+// group as one super-job whose per-site demand is the sum of its members'
+// demands, so a group's share is independent of how many jobs it
+// enqueues; inside the group, members are max-min fair subject to the
+// group's envelope. The composition is feasible by construction and both
+// levels inherit AMF's properties at their own scope.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Group is a set of member jobs sharing a weight at the top level.
+type Group struct {
+	Name   string
+	Weight float64 // <= 0 means 1
+	// Jobs are indices into the instance's job list. Every job must belong
+	// to exactly one group.
+	Jobs []int
+}
+
+// Result carries both levels of the allocation.
+type Result struct {
+	// Alloc is the final per-job allocation on the original instance.
+	Alloc *core.Allocation
+	// GroupAggregate[g] is group g's total allocation across sites.
+	GroupAggregate []float64
+	// GroupEnvelope[g][s] is the per-site capacity handed to group g.
+	GroupEnvelope [][]float64
+}
+
+// Allocate computes the hierarchical AMF allocation. Weights on the inner
+// instance's jobs (Instance.Weight) shape the intra-group division.
+func Allocate(sv *core.Solver, in *core.Instance, groups []Group) (*Result, error) {
+	if sv == nil {
+		sv = core.NewSolver()
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateGroups(in, groups); err != nil {
+		return nil, err
+	}
+
+	m := in.NumSites()
+
+	// Level 1: one super-job per group; demand = sum of member demands.
+	top := &core.Instance{
+		SiteCapacity: append([]float64(nil), in.SiteCapacity...),
+		Demand:       make([][]float64, len(groups)),
+		Weight:       make([]float64, len(groups)),
+	}
+	for g, grp := range groups {
+		row := make([]float64, m)
+		for _, j := range grp.Jobs {
+			for s := 0; s < m; s++ {
+				row[s] += in.Demand[j][s]
+			}
+		}
+		top.Demand[g] = row
+		w := grp.Weight
+		if w <= 0 {
+			w = 1
+		}
+		top.Weight[g] = w
+	}
+	topAlloc, err := sv.AMF(top)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: group level: %w", err)
+	}
+
+	// Level 2: divide each group's per-site envelope among its members.
+	res := &Result{
+		Alloc:          core.NewAllocation(in),
+		GroupAggregate: topAlloc.Aggregates(),
+		GroupEnvelope:  make([][]float64, len(groups)),
+	}
+	for g, grp := range groups {
+		envelope := append([]float64(nil), topAlloc.Share[g]...)
+		res.GroupEnvelope[g] = envelope
+		inner := &core.Instance{
+			SiteCapacity: envelope,
+			Demand:       make([][]float64, len(grp.Jobs)),
+			Weight:       make([]float64, len(grp.Jobs)),
+		}
+		for i, j := range grp.Jobs {
+			inner.Demand[i] = append([]float64(nil), in.Demand[j]...)
+			inner.Weight[i] = in.JobWeight(j)
+		}
+		innerAlloc, err := sv.AMF(inner)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: group %q: %w", grp.Name, err)
+		}
+		for i, j := range grp.Jobs {
+			copy(res.Alloc.Share[j], innerAlloc.Share[i])
+		}
+	}
+	return res, nil
+}
+
+func validateGroups(in *core.Instance, groups []Group) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("hierarchy: no groups")
+	}
+	seen := make([]bool, in.NumJobs())
+	for g, grp := range groups {
+		if len(grp.Jobs) == 0 {
+			return fmt.Errorf("hierarchy: group %d (%q) has no jobs", g, grp.Name)
+		}
+		for _, j := range grp.Jobs {
+			if j < 0 || j >= in.NumJobs() {
+				return fmt.Errorf("hierarchy: group %q references job %d of %d",
+					grp.Name, j, in.NumJobs())
+			}
+			if seen[j] {
+				return fmt.Errorf("hierarchy: job %d appears in multiple groups", j)
+			}
+			seen[j] = true
+		}
+	}
+	for j, ok := range seen {
+		if !ok {
+			return fmt.Errorf("hierarchy: job %d belongs to no group", j)
+		}
+	}
+	return nil
+}

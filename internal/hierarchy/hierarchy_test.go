@@ -1,0 +1,263 @@
+package hierarchy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestTwoGroupsEqualWeight(t *testing.T) {
+	// Group A has 3 jobs, group B has 1 job, all contesting one site:
+	// groups split 50/50 regardless of member count; inside A, thirds.
+	in := &core.Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{6}, {6}, {6}, {6}},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "A", Jobs: []int{0, 1, 2}},
+		{Name: "B", Jobs: []int{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.GroupAggregate[0], 3) || !feq(res.GroupAggregate[1], 3) {
+		t.Fatalf("group aggregates %v, want [3 3]", res.GroupAggregate)
+	}
+	for j := 0; j < 3; j++ {
+		if !feq(res.Alloc.Aggregate(j), 1) {
+			t.Fatalf("A member %d got %g, want 1", j, res.Alloc.Aggregate(j))
+		}
+	}
+	if !feq(res.Alloc.Aggregate(3), 3) {
+		t.Fatalf("B member got %g, want 3", res.Alloc.Aggregate(3))
+	}
+}
+
+func TestGroupWeights(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{6}, {6}},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "light", Weight: 1, Jobs: []int{0}},
+		{Name: "heavy", Weight: 2, Jobs: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.GroupAggregate[0], 2) || !feq(res.GroupAggregate[1], 4) {
+		t.Fatalf("weighted groups %v, want [2 4]", res.GroupAggregate)
+	}
+}
+
+func TestGroupShareIndependentOfMemberCount(t *testing.T) {
+	// Flat weighted AMF would give a 5-job org 5x the share of a 1-job
+	// org; hierarchy must keep them equal.
+	in := &core.Instance{
+		SiteCapacity: []float64{10},
+		Demand:       [][]float64{{10}, {10}, {10}, {10}, {10}, {10}},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "big", Jobs: []int{0, 1, 2, 3, 4}},
+		{Name: "small", Jobs: []int{5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.GroupAggregate[0], res.GroupAggregate[1]) {
+		t.Fatalf("groups %v, want equal", res.GroupAggregate)
+	}
+}
+
+func TestInnerWeights(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{6}, {6}, {6}},
+		Weight:       []float64{1, 2, 1},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "A", Jobs: []int{0, 1}},
+		{Name: "B", Jobs: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups split 3/3; inside A the 1:2 weights give 1 and 2.
+	if !feq(res.Alloc.Aggregate(0), 1) || !feq(res.Alloc.Aggregate(1), 2) {
+		t.Fatalf("inner weighted %g/%g, want 1/2",
+			res.Alloc.Aggregate(0), res.Alloc.Aggregate(1))
+	}
+}
+
+func TestCrossSiteHierarchy(t *testing.T) {
+	// Org A pinned at site 0; org B flexible. Group-level AMF routes B to
+	// site 1 so both orgs aggregate 1.
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0},
+			{1, 1},
+		},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "A", Jobs: []int{0}},
+		{Name: "B", Jobs: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.GroupAggregate[0], 1) || !feq(res.GroupAggregate[1], 1) {
+		t.Fatalf("groups %v, want [1 1]", res.GroupAggregate)
+	}
+}
+
+func TestFeasibilityAndEnvelopes(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		in := &core.Instance{
+			SiteCapacity: make([]float64, m),
+			Demand:       make([][]float64, n),
+		}
+		for s := range in.SiteCapacity {
+			in.SiteCapacity[s] = 1 + rng.Float64()*4
+		}
+		for j := range in.Demand {
+			in.Demand[j] = make([]float64, m)
+			for s := range in.Demand[j] {
+				if rng.Intn(2) == 0 {
+					in.Demand[j][s] = rng.Float64() * 3
+				}
+			}
+		}
+		// Random 2-3 group partition.
+		k := 2 + rng.Intn(2)
+		groups := make([]Group, k)
+		for g := range groups {
+			groups[g].Name = string(rune('A' + g))
+			groups[g].Weight = 0.5 + rng.Float64()*2
+		}
+		for j := 0; j < n; j++ {
+			g := rng.Intn(k)
+			groups[g].Jobs = append(groups[g].Jobs, j)
+		}
+		ok := true
+		for _, g := range groups {
+			if len(g.Jobs) == 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		res, err := Allocate(nil, in, groups)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Alloc.CheckFeasible(1e-5 * in.Scale()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Members stay within the group envelope per site.
+		for g, grp := range groups {
+			for s := 0; s < m; s++ {
+				var used float64
+				for _, j := range grp.Jobs {
+					used += res.Alloc.Share[j][s]
+				}
+				if used > res.GroupEnvelope[g][s]+1e-5*in.Scale() {
+					t.Fatalf("trial %d: group %d exceeds envelope at site %d: %g > %g",
+						trial, g, s, used, res.GroupEnvelope[g][s])
+				}
+			}
+		}
+		// Every member's share respects its own demand caps even though the
+		// inner instances only see the envelope.
+		for j := 0; j < n; j++ {
+			for s := 0; s < m; s++ {
+				if res.Alloc.Share[j][s] > in.Demand[j][s]+1e-6 {
+					t.Fatalf("trial %d: job %d over demand at site %d", trial, j, s)
+				}
+			}
+		}
+	}
+}
+
+func TestIntraGroupMaxMin(t *testing.T) {
+	// Within a group's envelope, members are max-min fair: probe with the
+	// generic certificate using an envelope-constrained oracle.
+	in := &core.Instance{
+		SiteCapacity: []float64{4},
+		Demand:       [][]float64{{1}, {4}, {4}, {4}},
+	}
+	res, err := Allocate(nil, in, []Group{
+		{Name: "A", Jobs: []int{0, 1, 2}},
+		{Name: "B", Jobs: []int{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group A's envelope is 2 (its demand 9 vs B's 4 on capacity 4 -> 2/2).
+	if !feq(res.GroupAggregate[0], 2) {
+		t.Fatalf("group A aggregate %g, want 2", res.GroupAggregate[0])
+	}
+	// Inside A: demands 1,4,4 on capacity 2 -> waterfill gives 0.666 each
+	// until job 0's demand... waterfill(2, [1,4,4]) = [0.666..., 0.666...,
+	// 0.666...].
+	want := fairness.Waterfill(2, []float64{1, 4, 4})
+	for i, j := range []int{0, 1, 2} {
+		if !feq(res.Alloc.Aggregate(j), want[i]) {
+			t.Fatalf("member %d got %g, want %g", j, res.Alloc.Aggregate(j), want[i])
+		}
+	}
+}
+
+func TestValidateGroups(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{1},
+		Demand:       [][]float64{{1}, {1}},
+	}
+	cases := [][]Group{
+		{},
+		{{Name: "A", Jobs: []int{0}}}, // job 1 unassigned
+		{{Name: "A", Jobs: []int{0, 0}}, {Name: "B", Jobs: []int{1}}}, // duplicate
+		{{Name: "A", Jobs: []int{0, 5}}, {Name: "B", Jobs: []int{1}}}, // out of range
+		{{Name: "A", Jobs: nil}, {Name: "B", Jobs: []int{0, 1}}},      // empty group
+	}
+	for i, groups := range cases {
+		if _, err := Allocate(nil, in, groups); err == nil {
+			t.Fatalf("case %d: invalid groups accepted", i)
+		}
+	}
+}
+
+func TestSingleGroupStillFeasibleAndEfficient(t *testing.T) {
+	// With one group the top level grants the max-total envelope; the
+	// inner division must remain feasible and Pareto efficient overall.
+	in := &core.Instance{
+		SiteCapacity: []float64{2, 2},
+		Demand: [][]float64{
+			{2, 1},
+			{1, 2},
+		},
+	}
+	res, err := Allocate(nil, in, []Group{{Name: "all", Jobs: []int{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Alloc.CheckFeasible(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for j := 0; j < 2; j++ {
+		total += res.Alloc.Aggregate(j)
+	}
+	if !feq(total, core.MaxTotalAllocation(in)) {
+		t.Fatalf("single-group total %g, want max %g", total, core.MaxTotalAllocation(in))
+	}
+}

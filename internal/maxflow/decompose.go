@@ -1,0 +1,95 @@
+package maxflow
+
+// FlowPath is one path of a flow decomposition, carrying Amount units of
+// flow along Nodes (which starts at the source and ends at the sink).
+type FlowPath struct {
+	Nodes  []int
+	Amount float64
+}
+
+// Decompose splits the current flow into at most |E| source-to-sink paths
+// plus flow cycles, discarding the cycles (they carry no s-t value). The
+// graph's flow state is untouched; Decompose works on a snapshot.
+//
+// Decompose is intended for tests and trace output, not hot paths.
+func (g *Graph) Decompose(s, t int) []FlowPath {
+	flow := make([]float64, len(g.arcs)/2)
+	for id := 0; id < len(g.arcs); id += 2 {
+		flow[id/2] = g.arcs[id].init - g.arcs[id].cap
+	}
+	var paths []FlowPath
+	for {
+		path, pathArcs, ok := g.walk(s, t, flow)
+		if !ok {
+			break
+		}
+		amount := flow[pathArcs[0]/2]
+		for _, ai := range pathArcs {
+			if flow[ai/2] < amount {
+				amount = flow[ai/2]
+			}
+		}
+		if amount <= g.eps {
+			break
+		}
+		for _, ai := range pathArcs {
+			flow[ai/2] -= amount
+		}
+		paths = append(paths, FlowPath{Nodes: path, Amount: amount})
+	}
+	return paths
+}
+
+// walk follows positive-flow edges from s towards t, cancelling any flow
+// cycle it encounters along the way. It returns the node path, the arc IDs
+// traversed, and whether t was reached.
+func (g *Graph) walk(s, t int, flow []float64) ([]int, []int, bool) {
+	path := []int{s}
+	var pathArcs []int
+	pos := map[int]int{s: 0} // node -> index in path
+	u := s
+	for u != t {
+		advanced := false
+		for _, ai := range g.head[u] {
+			if ai%2 != 0 || flow[ai/2] <= g.eps {
+				continue
+			}
+			v := int(g.arcs[ai].to)
+			if at, seen := pos[v]; seen {
+				// Cancel the cycle path[at..] + (u->v) by its bottleneck.
+				cyc := append(append([]int{}, pathArcs[at:]...), int(ai))
+				minf := flow[cyc[0]/2]
+				for _, ci := range cyc {
+					if flow[ci/2] < minf {
+						minf = flow[ci/2]
+					}
+				}
+				for _, ci := range cyc {
+					flow[ci/2] -= minf
+				}
+				// Rewind the walk to v and try again from there.
+				for _, n := range path[at+1:] {
+					delete(pos, n)
+				}
+				path = path[:at+1]
+				pathArcs = pathArcs[:at]
+				u = v
+				advanced = true
+				break
+			}
+			path = append(path, v)
+			pathArcs = append(pathArcs, int(ai))
+			pos[v] = len(path) - 1
+			u = v
+			advanced = true
+			break
+		}
+		if !advanced {
+			return nil, nil, false
+		}
+	}
+	if len(pathArcs) == 0 {
+		return nil, nil, false
+	}
+	return path, pathArcs, true
+}

@@ -1,0 +1,96 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecomposeSinglePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	g.MaxFlow(0, 2)
+	paths := g.Decompose(0, 2)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	if !almostEq(paths[0].Amount, 4, 1e-9) {
+		t.Fatalf("path amount %g, want 4", paths[0].Amount)
+	}
+	want := []int{0, 1, 2}
+	for i, v := range want {
+		if paths[0].Nodes[i] != v {
+			t.Fatalf("path nodes %v, want %v", paths[0].Nodes, want)
+		}
+	}
+}
+
+func TestDecomposeSumsToFlowValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(10)
+		g := buildRandomGraph(rng, n, n*3)
+		flow := g.MaxFlow(0, n-1)
+		paths := g.Decompose(0, n-1)
+		var sum float64
+		for _, p := range paths {
+			if p.Nodes[0] != 0 || p.Nodes[len(p.Nodes)-1] != n-1 {
+				t.Fatalf("path does not run source to sink: %v", p.Nodes)
+			}
+			if p.Amount <= 0 {
+				t.Fatalf("non-positive path amount %g", p.Amount)
+			}
+			sum += p.Amount
+		}
+		if !almostEq(sum, flow, 1e-6*(1+flow)) {
+			t.Fatalf("trial %d: paths sum %g, flow %g", trial, sum, flow)
+		}
+	}
+}
+
+func TestDecomposePathsRespectEdges(t *testing.T) {
+	g := New(5)
+	type pair struct{ u, v int }
+	exists := map[pair]bool{}
+	add := func(u, v int, c float64) {
+		g.AddEdge(u, v, c)
+		exists[pair{u, v}] = true
+	}
+	add(0, 1, 2)
+	add(0, 2, 3)
+	add(1, 3, 2)
+	add(2, 3, 1)
+	add(2, 4, 9)
+	add(3, 4, 9)
+	g.MaxFlow(0, 4)
+	for _, p := range g.Decompose(0, 4) {
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			if !exists[pair{p.Nodes[i], p.Nodes[i+1]}] {
+				t.Fatalf("path uses non-existent edge (%d,%d)", p.Nodes[i], p.Nodes[i+1])
+			}
+		}
+	}
+}
+
+func TestDecomposeZeroFlow(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	// no edge to sink
+	g.MaxFlow(0, 2)
+	if paths := g.Decompose(0, 2); len(paths) != 0 {
+		t.Fatalf("expected no paths, got %d", len(paths))
+	}
+}
+
+func TestDecomposePreservesFlowState(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	g.MaxFlow(0, 2)
+	before := g.Flow(e)
+	g.Decompose(0, 2)
+	if after := g.Flow(e); math.Abs(after-before) > 1e-12 {
+		t.Fatalf("Decompose mutated flow: %g -> %g", before, after)
+	}
+}

@@ -1,0 +1,86 @@
+package maxflow
+
+import "math"
+
+// MaxFlow computes the maximum s-t flow using Dinic's algorithm and returns
+// its value. Flow state is left on the graph so that callers can inspect
+// per-edge flows, extract min cuts, or continue augmenting after raising
+// capacities (MaxFlow is incremental: calling it again after SetCap on some
+// edges augments from the current state).
+func (g *Graph) MaxFlow(s, t int) float64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	var total float64
+	for g.bfsLevel(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfsAugment(s, t, math.Inf(1))
+			if f <= g.eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// FlowValue reports the net flow currently leaving node s.
+func (g *Graph) FlowValue(s int) float64 {
+	var v float64
+	for _, ai := range g.head[s] {
+		a := g.arcs[ai]
+		if ai%2 == 0 {
+			v += a.init - a.cap
+		} else {
+			// Reverse arc stored at s: flow on it means flow into s.
+			v -= a.cap
+		}
+	}
+	return v
+}
+
+// bfsLevel builds the level graph; returns false when t is unreachable.
+func (g *Graph) bfsLevel(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	g.queue = g.queue[:0]
+	g.level[s] = 0
+	g.queue = append(g.queue, int32(s))
+	for qi := 0; qi < len(g.queue); qi++ {
+		u := g.queue[qi]
+		for _, ai := range g.head[u] {
+			a := &g.arcs[ai]
+			if a.cap > g.eps && g.level[a.to] < 0 {
+				g.level[a.to] = g.level[u] + 1
+				g.queue = append(g.queue, int32(a.to))
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfsAugment sends blocking flow along level-increasing residual arcs.
+func (g *Graph) dfsAugment(u, t int, limit float64) float64 {
+	if u == t {
+		return limit
+	}
+	for ; g.iter[u] < int32(len(g.head[u])); g.iter[u]++ {
+		ai := g.head[u][g.iter[u]]
+		a := &g.arcs[ai]
+		if a.cap <= g.eps || g.level[a.to] != g.level[u]+1 {
+			continue
+		}
+		pushed := g.dfsAugment(int(a.to), t, math.Min(limit, a.cap))
+		if pushed > g.eps {
+			a.cap -= pushed
+			g.arcs[ai^1].cap += pushed
+			return pushed
+		}
+	}
+	g.level[u] = -1
+	return 0
+}

@@ -1,0 +1,301 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSingleEdge(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 1); !almostEq(got, 5, 1e-9) {
+		t.Fatalf("max flow = %g, want 5", got)
+	}
+	if f := g.Flow(e); !almostEq(f, 5, 1e-9) {
+		t.Fatalf("edge flow = %g, want 5", f)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	// Node 2 disconnected from 1.
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("max flow = %g, want 0", got)
+	}
+}
+
+func TestSeriesBottleneck(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	if got := g.MaxFlow(0, 3); !almostEq(got, 3, 1e-9) {
+		t.Fatalf("max flow = %g, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(0, 2, 6)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); !almostEq(got, 9, 1e-9) {
+		t.Fatalf("max flow = %g, want 9", got)
+	}
+}
+
+func TestClassicCLRS(t *testing.T) {
+	// The flow network from CLRS figure 26.6; max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); !almostEq(got, 23, 1e-9) {
+		t.Fatalf("max flow = %g, want 23", got)
+	}
+}
+
+func TestFractionalCapacities(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(0, 2, 0.25)
+	g.AddEdge(1, 3, 0.75)
+	g.AddEdge(2, 3, 0.75)
+	if got := g.MaxFlow(0, 3); !almostEq(got, 0.75, 1e-9) {
+		t.Fatalf("max flow = %g, want 0.75", got)
+	}
+}
+
+func TestZeroCapacityEdge(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Fatalf("max flow = %g, want 0", got)
+	}
+}
+
+func TestIncrementalAfterSetCap(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 10)
+	if got := g.MaxFlow(0, 2); !almostEq(got, 2, 1e-9) {
+		t.Fatalf("first flow = %g, want 2", got)
+	}
+	// Raising a capacity and re-running should augment from current state.
+	g.SetCap(e, 5)
+	extra := g.MaxFlow(0, 2)
+	if !almostEq(extra, 5, 1e-9) {
+		t.Fatalf("after raise, augmentation = %g, want 5 (flow on e was reset)", extra)
+	}
+}
+
+func TestResetClearsFlow(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 3)
+	g.MaxFlow(0, 1)
+	g.Reset()
+	if f := g.Flow(e); f != 0 {
+		t.Fatalf("flow after reset = %g, want 0", f)
+	}
+	if got := g.MaxFlow(0, 1); !almostEq(got, 3, 1e-9) {
+		t.Fatalf("flow after reset+rerun = %g, want 3", got)
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	g := buildRandomGraph(rand.New(rand.NewSource(1)), 20, 80)
+	g.MaxFlow(0, 19)
+	checkConservation(t, g, 0, 19)
+}
+
+func TestFlowValueMatchesMaxFlow(t *testing.T) {
+	g := buildRandomGraph(rand.New(rand.NewSource(2)), 15, 60)
+	want := g.MaxFlow(0, 14)
+	if got := g.FlowValue(0); !almostEq(got, want, 1e-6) {
+		t.Fatalf("FlowValue(0) = %g, want %g", got, want)
+	}
+	if got := -g.FlowValue(14); !almostEq(got, want, 1e-6) {
+		t.Fatalf("-FlowValue(sink) = %g, want %g", got, want)
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(1, 2, 1)
+	from, to := g.Endpoints(e)
+	if from != 1 || to != 2 {
+		t.Fatalf("Endpoints = (%d,%d), want (1,2)", from, to)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	v := g.AddNode()
+	if v != 2 || g.NumNodes() != 3 {
+		t.Fatalf("AddNode gave %d, NumNodes %d", v, g.NumNodes())
+	}
+	g.AddEdge(0, v, 4)
+	g.AddEdge(v, 1, 4)
+	if got := g.MaxFlow(0, 1); !almostEq(got, 4, 1e-9) {
+		t.Fatalf("flow through added node = %g, want 4", got)
+	}
+}
+
+// edmondsKarp is an independent reference implementation used to cross-check
+// Dinic on random graphs.
+type refEdge struct {
+	to, rev int
+	cap     float64
+}
+
+type refGraph struct{ adj [][]refEdge }
+
+func newRef(n int) *refGraph { return &refGraph{adj: make([][]refEdge, n)} }
+
+func (r *refGraph) add(u, v int, c float64) {
+	r.adj[u] = append(r.adj[u], refEdge{to: v, rev: len(r.adj[v]), cap: c})
+	r.adj[v] = append(r.adj[v], refEdge{to: u, rev: len(r.adj[u]) - 1, cap: 0})
+}
+
+func (r *refGraph) maxflow(s, t int) float64 {
+	const eps = 1e-12
+	var total float64
+	n := len(r.adj)
+	for {
+		parent := make([]int, n)
+		parentEdge := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range r.adj[u] {
+				if e.cap > eps && parent[e.to] < 0 {
+					parent[e.to] = u
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[t] < 0 {
+			return total
+		}
+		aug := math.Inf(1)
+		for v := t; v != s; v = parent[v] {
+			e := r.adj[parent[v]][parentEdge[v]]
+			if e.cap < aug {
+				aug = e.cap
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			e := &r.adj[parent[v]][parentEdge[v]]
+			e.cap -= aug
+			r.adj[e.to][e.rev].cap += aug
+		}
+		total += aug
+	}
+}
+
+func buildRandomGraph(rng *rand.Rand, n, edges int) *Graph {
+	g := New(n)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, rng.Float64()*10)
+	}
+	return g
+}
+
+func TestDinicVsEdmondsKarpRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(20)
+		m := n + rng.Intn(4*n)
+		type edge struct {
+			u, v int
+			c    float64
+		}
+		var es []edge
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			es = append(es, edge{u, v, math.Round(rng.Float64()*100) / 10})
+		}
+		g := New(n)
+		ref := newRef(n)
+		for _, e := range es {
+			g.AddEdge(e.u, e.v, e.c)
+			ref.add(e.u, e.v, e.c)
+		}
+		got := g.MaxFlow(0, n-1)
+		want := ref.maxflow(0, n-1)
+		if !almostEq(got, want, 1e-6*(1+want)) {
+			t.Fatalf("trial %d: dinic=%g edmonds-karp=%g", trial, got, want)
+		}
+	}
+}
+
+func TestBipartiteMatchingShape(t *testing.T) {
+	// 3 jobs x 3 sites, unit capacities: a perfect matching has value 3.
+	g := New(8) // 0 src, 1-3 jobs, 4-6 sites, 7 sink
+	for j := 1; j <= 3; j++ {
+		g.AddEdge(0, j, 1)
+	}
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(1, 5, 1)
+	g.AddEdge(2, 5, 1)
+	g.AddEdge(3, 5, 1)
+	g.AddEdge(3, 6, 1)
+	for s := 4; s <= 6; s++ {
+		g.AddEdge(s, 7, 1)
+	}
+	if got := g.MaxFlow(0, 7); !almostEq(got, 3, 1e-9) {
+		t.Fatalf("matching value = %g, want 3", got)
+	}
+}
+
+func checkConservation(t *testing.T, g *Graph, s, snk int) {
+	t.Helper()
+	net := make([]float64, g.NumNodes())
+	for id := 0; id < len(g.arcs); id += 2 {
+		from := g.arcs[id^1].to
+		to := g.arcs[id].to
+		f := g.arcs[id].init - g.arcs[id].cap
+		if f < -1e-9 {
+			t.Fatalf("negative flow %g on edge %d", f, id)
+		}
+		if f > g.arcs[id].init+1e-9 {
+			t.Fatalf("flow %g exceeds capacity %g on edge %d", f, g.arcs[id].init, id)
+		}
+		net[from] -= f
+		net[to] += f
+	}
+	for v, x := range net {
+		if v == s || v == snk {
+			continue
+		}
+		if math.Abs(x) > 1e-6 {
+			t.Fatalf("conservation violated at node %d: net %g", v, x)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package maxflow implements a maximum-flow solver (Dinic's algorithm) over
+// real-valued capacities, together with the cut and feasibility primitives
+// the AMF allocator needs:
+//
+//   - min-cut extraction (source-side reachability and sink-side
+//     co-reachability in the residual graph),
+//   - feasible flow with edge lower bounds (via the standard circulation
+//     transformation), used by the completion-time add-on,
+//   - flow decomposition into paths, used by tests and trace output.
+//
+// Capacities are float64. All comparisons go through a per-graph epsilon; the
+// allocator normalizes instances so that capacities are O(1)..O(1e9), where a
+// 1e-9 relative epsilon is far below any meaningful allocation difference.
+package maxflow
+
+import "fmt"
+
+// DefaultEps is the absolute slack treated as zero by the solver.
+const DefaultEps = 1e-9
+
+// EdgeID identifies an edge returned by AddEdge. It indexes the forward edge
+// in the internal arc list (forward arcs are even, reverse arcs odd).
+type EdgeID int
+
+type arc struct {
+	to   int
+	cap  float64 // remaining capacity (residual)
+	init float64 // original capacity, to recover flow = init - cap
+}
+
+// Graph is a directed flow network. It is not safe for concurrent use.
+type Graph struct {
+	n     int
+	arcs  []arc
+	head  [][]int32 // adjacency: node -> arc indices
+	eps   float64
+	level []int32
+	iter  []int32
+	queue []int32
+}
+
+// New returns an empty graph with n nodes, numbered 0..n-1.
+func New(n int) *Graph {
+	return &Graph{
+		n:     n,
+		head:  make([][]int32, n),
+		eps:   DefaultEps,
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
+}
+
+// SetEps overrides the zero-slack threshold.
+func (g *Graph) SetEps(eps float64) {
+	if eps <= 0 {
+		panic("maxflow: eps must be positive")
+	}
+	g.eps = eps
+}
+
+// Eps reports the zero-slack threshold in use.
+func (g *Graph) Eps() float64 { return g.eps }
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddNode appends a fresh node and returns its index.
+func (g *Graph) AddNode() int {
+	g.n++
+	g.head = append(g.head, nil)
+	g.level = append(g.level, 0)
+	g.iter = append(g.iter, 0)
+	return g.n - 1
+}
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// returns its ID. Negative capacities are rejected.
+func (g *Graph) AddEdge(from, to int, capacity float64) EdgeID {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %g on edge (%d,%d)", capacity, from, to))
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: to, cap: capacity, init: capacity})
+	g.arcs = append(g.arcs, arc{to: from, cap: 0, init: 0})
+	g.head[from] = append(g.head[from], int32(id))
+	g.head[to] = append(g.head[to], int32(id+1))
+	return EdgeID(id)
+}
+
+// SetCap changes the capacity of edge e and clears any flow on it.
+// Call Reset (or re-run MaxFlow from scratch) afterwards; mixing stale flow
+// on other edges with a changed capacity is not meaningful.
+func (g *Graph) SetCap(e EdgeID, capacity float64) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %g", capacity))
+	}
+	g.arcs[e].cap = capacity
+	g.arcs[e].init = capacity
+	g.arcs[e^1].cap = 0
+	g.arcs[e^1].init = 0
+}
+
+// Cap reports the original capacity of edge e.
+func (g *Graph) Cap(e EdgeID) float64 { return g.arcs[e].init }
+
+// Flow reports the flow currently routed through edge e.
+func (g *Graph) Flow(e EdgeID) float64 { return g.arcs[e].init - g.arcs[e].cap }
+
+// Residual reports the remaining capacity of edge e.
+func (g *Graph) Residual(e EdgeID) float64 { return g.arcs[e].cap }
+
+// Endpoints reports the (from, to) node pair of edge e.
+func (g *Graph) Endpoints(e EdgeID) (from, to int) {
+	return g.arcs[e^1].to, g.arcs[e].to
+}
+
+// Reset clears all flow, restoring every edge to its original capacity.
+func (g *Graph) Reset() {
+	for i := range g.arcs {
+		g.arcs[i].cap = g.arcs[i].init
+	}
+}

@@ -1,0 +1,112 @@
+package maxflow
+
+import "math"
+
+// BoundedEdge is a directed edge with a lower and upper bound on its flow.
+type BoundedEdge struct {
+	From, To     int
+	Lower, Upper float64
+}
+
+// FeasibleFlow finds an s-t flow satisfying all edge bounds, if one exists.
+// It uses the standard reduction: an s-t flow with lower bounds corresponds
+// to a circulation in the graph augmented with a t->s edge of unbounded
+// capacity, and a circulation with lower bounds reduces to a max-flow
+// problem from a super-source to a super-sink after shifting each edge's
+// range [l,u] to [0,u-l] and recording the imbalance l at its endpoints.
+//
+// On success it returns the per-edge flows (parallel to edges) and true.
+// The returned flows satisfy Lower-eps <= f <= Upper+eps and conservation at
+// every node other than s and t.
+func FeasibleFlow(numNodes, s, t int, edges []BoundedEdge, eps float64) ([]float64, bool) {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	// Nodes: 0..numNodes-1 original, then super-source SS and super-sink TT.
+	ss := numNodes
+	tt := numNodes + 1
+	g := New(numNodes + 2)
+	g.SetEps(eps)
+
+	excess := make([]float64, numNodes)
+	ids := make([]EdgeID, len(edges))
+	for i, e := range edges {
+		if e.Lower < -eps || e.Upper < e.Lower-eps {
+			return nil, false
+		}
+		l := math.Max(e.Lower, 0)
+		u := math.Max(e.Upper, l)
+		ids[i] = g.AddEdge(e.From, e.To, u-l)
+		excess[e.To] += l
+		excess[e.From] -= l
+	}
+	// Close the circulation: allow return flow from t back to s.
+	inf := 1.0
+	for _, e := range edges {
+		inf += e.Upper
+	}
+	back := g.AddEdge(t, s, inf)
+
+	var need float64
+	for v, ex := range excess {
+		if ex > 0 {
+			g.AddEdge(ss, v, ex)
+			need += ex
+		} else if ex < 0 {
+			g.AddEdge(v, tt, -ex)
+		}
+	}
+	got := g.MaxFlow(ss, tt)
+	if got < need-eps*math.Max(1, need) {
+		return nil, false
+	}
+	flows := make([]float64, len(edges))
+	for i, e := range edges {
+		flows[i] = g.Flow(ids[i]) + math.Max(e.Lower, 0)
+	}
+	_ = back
+	return flows, true
+}
+
+// FeasibleCirculation finds a circulation (flow conserving at every node)
+// satisfying all edge bounds, if one exists.
+func FeasibleCirculation(numNodes int, edges []BoundedEdge, eps float64) ([]float64, bool) {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	ss := numNodes
+	tt := numNodes + 1
+	g := New(numNodes + 2)
+	g.SetEps(eps)
+
+	excess := make([]float64, numNodes)
+	ids := make([]EdgeID, len(edges))
+	for i, e := range edges {
+		if e.Lower < -eps || e.Upper < e.Lower-eps {
+			return nil, false
+		}
+		l := math.Max(e.Lower, 0)
+		u := math.Max(e.Upper, l)
+		ids[i] = g.AddEdge(e.From, e.To, u-l)
+		excess[e.To] += l
+		excess[e.From] -= l
+	}
+	var need float64
+	for v, ex := range excess {
+		if ex > 0 {
+			g.AddEdge(ss, v, ex)
+			need += ex
+		} else if ex < 0 {
+			g.AddEdge(v, tt, -ex)
+		}
+	}
+	got := g.MaxFlow(ss, tt)
+	if got < need-eps*math.Max(1, need) {
+		return nil, false
+	}
+	flows := make([]float64, len(edges))
+	for i, e := range edges {
+		flows[i] = g.Flow(ids[i]) + math.Max(e.Lower, 0)
+	}
+	return flows, true
+}

@@ -1,0 +1,171 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func checkBounds(t *testing.T, edges []BoundedEdge, flows []float64) {
+	t.Helper()
+	for i, e := range edges {
+		if flows[i] < e.Lower-1e-6 || flows[i] > e.Upper+1e-6 {
+			t.Fatalf("edge %d flow %g outside [%g,%g]", i, flows[i], e.Lower, e.Upper)
+		}
+	}
+}
+
+func checkConservationAt(t *testing.T, n int, edges []BoundedEdge, flows []float64, exempt ...int) {
+	t.Helper()
+	net := make([]float64, n)
+	for i, e := range edges {
+		net[e.From] -= flows[i]
+		net[e.To] += flows[i]
+	}
+	skip := map[int]bool{}
+	for _, v := range exempt {
+		skip[v] = true
+	}
+	for v, x := range net {
+		if skip[v] {
+			continue
+		}
+		if math.Abs(x) > 1e-6 {
+			t.Fatalf("conservation violated at %d: net %g", v, x)
+		}
+	}
+}
+
+func TestFeasibleFlowSimple(t *testing.T) {
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 2, Upper: 5},
+		{From: 1, To: 2, Lower: 0, Upper: 5},
+	}
+	flows, ok := FeasibleFlow(3, 0, 2, edges, 0)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	checkBounds(t, edges, flows)
+	checkConservationAt(t, 3, edges, flows, 0, 2)
+}
+
+func TestFeasibleFlowInfeasibleBottleneck(t *testing.T) {
+	// Lower bound 4 cannot pass through an upper bound 2.
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 4, Upper: 5},
+		{From: 1, To: 2, Lower: 0, Upper: 2},
+	}
+	if _, ok := FeasibleFlow(3, 0, 2, edges, 0); ok {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestFeasibleFlowExactSourceValues(t *testing.T) {
+	// Pin job aggregates with lower == upper on source edges; this is how
+	// the JCT add-on holds AMF aggregates fixed.
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 3, Upper: 3}, // job A aggregate = 3
+		{From: 0, To: 2, Lower: 2, Upper: 2}, // job B aggregate = 2
+		{From: 1, To: 3, Lower: 0, Upper: 2},
+		{From: 1, To: 4, Lower: 0, Upper: 2},
+		{From: 2, To: 3, Lower: 0, Upper: 3},
+		{From: 3, To: 5, Lower: 0, Upper: 3},
+		{From: 4, To: 5, Lower: 0, Upper: 2},
+	}
+	flows, ok := FeasibleFlow(6, 0, 5, edges, 0)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	checkBounds(t, edges, flows)
+	checkConservationAt(t, 6, edges, flows, 0, 5)
+	if !almostEq(flows[0], 3, 1e-6) || !almostEq(flows[1], 2, 1e-6) {
+		t.Fatalf("pinned aggregates not respected: %g %g", flows[0], flows[1])
+	}
+}
+
+func TestFeasibleFlowPerEdgeLowerBounds(t *testing.T) {
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 0, Upper: 10},
+		{From: 1, To: 2, Lower: 3, Upper: 6},
+		{From: 1, To: 3, Lower: 1, Upper: 6},
+		{From: 2, To: 4, Lower: 0, Upper: 10},
+		{From: 3, To: 4, Lower: 0, Upper: 10},
+	}
+	flows, ok := FeasibleFlow(5, 0, 4, edges, 0)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	checkBounds(t, edges, flows)
+	checkConservationAt(t, 5, edges, flows, 0, 4)
+	if flows[1] < 3-1e-6 {
+		t.Fatalf("lower bound not met: %g", flows[1])
+	}
+}
+
+func TestFeasibleFlowInvalidBounds(t *testing.T) {
+	edges := []BoundedEdge{{From: 0, To: 1, Lower: 5, Upper: 2}}
+	if _, ok := FeasibleFlow(2, 0, 1, edges, 0); ok {
+		t.Fatal("lower > upper must be infeasible")
+	}
+}
+
+func TestFeasibleCirculationSimpleCycle(t *testing.T) {
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 2, Upper: 4},
+		{From: 1, To: 2, Lower: 0, Upper: 4},
+		{From: 2, To: 0, Lower: 0, Upper: 4},
+	}
+	flows, ok := FeasibleCirculation(3, edges, 0)
+	if !ok {
+		t.Fatal("expected feasible circulation")
+	}
+	checkBounds(t, edges, flows)
+	checkConservationAt(t, 3, edges, flows)
+}
+
+func TestFeasibleCirculationInfeasible(t *testing.T) {
+	// The forced 3 units around the cycle cannot fit through upper bound 1.
+	edges := []BoundedEdge{
+		{From: 0, To: 1, Lower: 3, Upper: 4},
+		{From: 1, To: 0, Lower: 0, Upper: 1},
+	}
+	if _, ok := FeasibleCirculation(2, edges, 0); ok {
+		t.Fatal("expected infeasible circulation")
+	}
+}
+
+func TestFeasibleFlowRandomizedAgainstRelaxation(t *testing.T) {
+	// Property: if FeasibleFlow succeeds with lower bounds, dropping the
+	// lower bounds must also be feasible and the bounded flows remain valid
+	// flows of the relaxed network (sanity of the transformation).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(6)
+		var edges []BoundedEdge
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			up := rng.Float64() * 10
+			lo := 0.0
+			if rng.Intn(3) == 0 {
+				lo = up * rng.Float64() * 0.5
+			}
+			edges = append(edges, BoundedEdge{From: u, To: v, Lower: lo, Upper: up})
+		}
+		flows, ok := FeasibleFlow(n, 0, n-1, edges, 0)
+		if !ok {
+			continue
+		}
+		checkBounds(t, edges, flows)
+		checkConservationAt(t, n, edges, flows, 0, n-1)
+	}
+}
+
+func TestFeasibleFlowZeroEdges(t *testing.T) {
+	flows, ok := FeasibleFlow(2, 0, 1, nil, 0)
+	if !ok || len(flows) != 0 {
+		t.Fatalf("empty network should be trivially feasible, got ok=%v", ok)
+	}
+}

@@ -1,0 +1,78 @@
+package maxflow
+
+// SourceSide returns, after a MaxFlow call, the set of nodes reachable from s
+// in the residual graph. These nodes form the source side of the (unique)
+// minimal source-side minimum cut.
+func (g *Graph) SourceSide(s int) []bool {
+	reach := make([]bool, g.n)
+	g.queue = g.queue[:0]
+	reach[s] = true
+	g.queue = append(g.queue, int32(s))
+	for qi := 0; qi < len(g.queue); qi++ {
+		u := g.queue[qi]
+		for _, ai := range g.head[u] {
+			a := &g.arcs[ai]
+			if a.cap > g.eps && !reach[a.to] {
+				reach[a.to] = true
+				g.queue = append(g.queue, int32(a.to))
+			}
+		}
+	}
+	return reach
+}
+
+// SinkSide returns, after a MaxFlow call, the set of nodes that can reach t
+// in the residual graph. These nodes form the sink side of the minimal
+// sink-side minimum cut; its complement is the largest source side over all
+// minimum cuts.
+//
+// In the AMF allocator this identifies bottlenecked jobs: a job node that
+// cannot reach the sink in the residual graph cannot receive any additional
+// allocation no matter how its own cap is raised.
+func (g *Graph) SinkSide(t int) []bool {
+	canReach := make([]bool, g.n)
+	g.queue = g.queue[:0]
+	canReach[t] = true
+	g.queue = append(g.queue, int32(t))
+	for qi := 0; qi < len(g.queue); qi++ {
+		v := g.queue[qi]
+		// u can reach t through arc u->v iff that arc has residual capacity.
+		// Arc u->v with residual capacity appears in head[v] as its paired
+		// reverse arc ai^1; the forward arc is arcs[ai^1].
+		for _, ai := range g.head[v] {
+			u := g.arcs[ai].to
+			if canReach[u] {
+				continue
+			}
+			if g.arcs[ai^1].cap > g.eps {
+				canReach[u] = true
+				g.queue = append(g.queue, int32(u))
+			}
+		}
+	}
+	return canReach
+}
+
+// CutEdges returns the IDs of the forward edges crossing from the given
+// source side to its complement. After MaxFlow, with sourceSide from
+// SourceSide, these edges form a minimum cut and are all saturated.
+func (g *Graph) CutEdges(sourceSide []bool) []EdgeID {
+	var cut []EdgeID
+	for id := 0; id < len(g.arcs); id += 2 {
+		from := g.arcs[id^1].to
+		to := g.arcs[id].to
+		if sourceSide[from] && !sourceSide[to] && g.arcs[id].init > 0 {
+			cut = append(cut, EdgeID(id))
+		}
+	}
+	return cut
+}
+
+// CutCapacity sums the original capacities of the edges crossing the cut.
+func (g *Graph) CutCapacity(sourceSide []bool) float64 {
+	var total float64
+	for _, e := range g.CutEdges(sourceSide) {
+		total += g.arcs[e].init
+	}
+	return total
+}

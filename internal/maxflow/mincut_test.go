@@ -1,0 +1,170 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinCutEqualsMaxFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(15)
+		g := buildRandomGraph(rng, n, n*3)
+		flow := g.MaxFlow(0, n-1)
+		side := g.SourceSide(0)
+		if side[n-1] {
+			if flow > 1e-6 {
+				// sink reachable means zero residual cut; only valid when
+				// flow could still be augmented, which MaxFlow precludes.
+				t.Fatalf("trial %d: sink reachable in residual after max flow", trial)
+			}
+			continue
+		}
+		cut := g.CutCapacity(side)
+		if !almostEq(cut, flow, 1e-6*(1+flow)) {
+			t.Fatalf("trial %d: cut=%g flow=%g", trial, cut, flow)
+		}
+	}
+}
+
+func TestCutEdgesSaturated(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	g.MaxFlow(0, 3)
+	side := g.SourceSide(0)
+	edges := g.CutEdges(side)
+	if len(edges) != 1 {
+		t.Fatalf("cut has %d edges, want 1", len(edges))
+	}
+	e := edges[0]
+	if !almostEq(g.Flow(e), g.Cap(e), 1e-9) {
+		t.Fatalf("cut edge not saturated: flow %g cap %g", g.Flow(e), g.Cap(e))
+	}
+	from, to := g.Endpoints(e)
+	if from != 1 || to != 2 {
+		t.Fatalf("cut edge (%d,%d), want (1,2)", from, to)
+	}
+}
+
+func TestSinkSideComplementIsMaxSourceSide(t *testing.T) {
+	// Diamond with two min cuts: edges (0,1),(0,2) and edges (1,3),(2,3).
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.MaxFlow(0, 3)
+	src := g.SourceSide(0)
+	snk := g.SinkSide(3)
+	// Minimal source side: just {0}. Minimal sink side: just {3}.
+	if src[1] || src[2] || src[3] {
+		t.Fatalf("source side too large: %v", src)
+	}
+	if snk[0] || snk[1] || snk[2] {
+		t.Fatalf("sink side too large: %v", snk)
+	}
+}
+
+func TestSinkSideIdentifiesBlockedNodes(t *testing.T) {
+	// Jobs 1,2 share a saturated site; job 3 has private spare capacity.
+	// 0 src; 1,2,3 jobs; 4,5 sites; 6 sink.
+	g := New(7)
+	e1 := g.AddEdge(0, 1, 1)
+	e2 := g.AddEdge(0, 2, 1)
+	e3 := g.AddEdge(0, 3, 1)
+	g.AddEdge(1, 4, 10)
+	g.AddEdge(2, 4, 10)
+	g.AddEdge(3, 5, 10)
+	g.AddEdge(4, 6, 2) // saturated by jobs 1+2
+	g.AddEdge(5, 6, 5) // spare left for job 3
+	got := g.MaxFlow(0, 6)
+	if !almostEq(got, 3, 1e-9) {
+		t.Fatalf("flow = %g, want 3", got)
+	}
+	snk := g.SinkSide(6)
+	if snk[1] || snk[2] {
+		t.Fatalf("jobs 1,2 should be blocked (cannot reach sink): %v", snk)
+	}
+	if !snk[3] {
+		t.Fatalf("job 3 has spare site capacity and should reach the sink")
+	}
+	_ = e1
+	_ = e2
+	_ = e3
+}
+
+func TestCutCapacityWeakDuality(t *testing.T) {
+	// Any s-side set containing s but not t gives capacity >= max flow.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		g := buildRandomGraph(rng, n, n*3)
+		flow := g.MaxFlow(0, n-1)
+		side := make([]bool, n)
+		side[0] = true
+		for v := 1; v < n-1; v++ {
+			side[v] = rng.Intn(2) == 0
+		}
+		if cap := g.CutCapacity(side); cap < flow-1e-6*(1+flow) {
+			t.Fatalf("trial %d: random cut %g below max flow %g", trial, cap, flow)
+		}
+	}
+}
+
+func TestSourceSideOnZeroFlowGraph(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0)
+	g.MaxFlow(0, 2)
+	side := g.SourceSide(0)
+	if !side[0] || side[1] || side[2] {
+		t.Fatalf("unexpected reachability %v", side)
+	}
+}
+
+func TestMinCutValueAgainstBruteForce(t *testing.T) {
+	// Enumerate all cuts on small graphs and compare with flow value.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(4) // up to 7 nodes -> at most 2^5 cuts
+		type edge struct {
+			u, v int
+			c    float64
+		}
+		var es []edge
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				es = append(es, edge{u, v, math.Round(rng.Float64()*50) / 10})
+			}
+		}
+		g := New(n)
+		for _, e := range es {
+			g.AddEdge(e.u, e.v, e.c)
+		}
+		flow := g.MaxFlow(0, n-1)
+		best := math.Inf(1)
+		inner := n - 2
+		for mask := 0; mask < 1<<inner; mask++ {
+			side := make([]bool, n)
+			side[0] = true
+			for b := 0; b < inner; b++ {
+				side[1+b] = mask&(1<<b) != 0
+			}
+			var c float64
+			for _, e := range es {
+				if side[e.u] && !side[e.v] {
+					c += e.c
+				}
+			}
+			if c < best {
+				best = c
+			}
+		}
+		if !almostEq(flow, best, 1e-6*(1+best)) {
+			t.Fatalf("trial %d: flow=%g brute-force min cut=%g", trial, flow, best)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package maxflow
+
+// State is a snapshot of the graph's full capacity and flow state, used to
+// roll probes back cheaply. The AMF allocator's progressive filling only
+// ever raises source capacities between probes of the same round, so it
+// restores the last feasible state and augments incrementally instead of
+// recomputing each max flow from scratch.
+type State struct {
+	caps  []float64
+	inits []float64
+}
+
+// SaveState captures the current capacities and flows.
+func (g *Graph) SaveState() *State {
+	st := &State{
+		caps:  make([]float64, len(g.arcs)),
+		inits: make([]float64, len(g.arcs)),
+	}
+	for i := range g.arcs {
+		st.caps[i] = g.arcs[i].cap
+		st.inits[i] = g.arcs[i].init
+	}
+	return st
+}
+
+// RestoreState rolls the graph back to a snapshot taken on the same graph
+// (same edge set).
+func (g *Graph) RestoreState(st *State) {
+	if len(st.caps) != len(g.arcs) {
+		panic("maxflow: state from a different graph")
+	}
+	for i := range g.arcs {
+		g.arcs[i].cap = st.caps[i]
+		g.arcs[i].init = st.inits[i]
+	}
+}
+
+// RaiseCap increases edge e's capacity to newCap, preserving the flow
+// currently routed through it. Lowering below the current capacity panics:
+// that could strand flow above capacity.
+func (g *Graph) RaiseCap(e EdgeID, newCap float64) {
+	a := &g.arcs[e]
+	delta := newCap - a.init
+	if delta < 0 {
+		if delta > -1e-12*(1+a.init) {
+			return // no-op within rounding
+		}
+		panic("maxflow: RaiseCap cannot lower capacity")
+	}
+	a.init = newCap
+	a.cap += delta
+}

@@ -1,0 +1,136 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	g := New(4)
+	e1 := g.AddEdge(0, 1, 5)
+	e2 := g.AddEdge(1, 3, 5)
+	g.MaxFlow(0, 3)
+	st := g.SaveState()
+	before := g.Flow(e1)
+
+	// Disturb the graph, then restore.
+	g.SetCap(e1, 100)
+	g.Reset()
+	g.MaxFlow(0, 3)
+	g.RestoreState(st)
+	if g.Flow(e1) != before || g.Cap(e1) != 5 {
+		t.Fatalf("restore lost state: flow %g cap %g", g.Flow(e1), g.Cap(e1))
+	}
+	_ = e2
+}
+
+func TestRestoreStateWrongGraphPanics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	st := g.SaveState()
+	h := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched state")
+		}
+	}()
+	h.RestoreState(st)
+}
+
+func TestRaiseCapPreservesFlow(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 10)
+	g.MaxFlow(0, 2)
+	if f := g.Flow(e); f != 2 {
+		t.Fatalf("flow %g", f)
+	}
+	g.RaiseCap(e, 6)
+	if f := g.Flow(e); f != 2 {
+		t.Fatalf("RaiseCap changed flow: %g", f)
+	}
+	if c := g.Cap(e); c != 6 {
+		t.Fatalf("cap %g", c)
+	}
+	// Incremental augmentation picks up the slack.
+	extra := g.MaxFlow(0, 2)
+	if extra != 4 {
+		t.Fatalf("augmented %g, want 4", extra)
+	}
+}
+
+func TestRaiseCapLowerPanics(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when lowering capacity")
+		}
+	}()
+	g.RaiseCap(e, 1)
+}
+
+func TestRaiseCapTinyLoweringTolerated(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	// A rounding-level decrease is a no-op, not a panic.
+	g.RaiseCap(e, 5-1e-14)
+	if c := g.Cap(e); c != 5 {
+		t.Fatalf("cap %g, want unchanged 5", c)
+	}
+}
+
+func TestIncrementalEqualsFromScratch(t *testing.T) {
+	// Property: augmenting from a restored feasible state reaches the same
+	// max flow value as solving from zero with the raised capacities.
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(8)
+		type edge struct {
+			u, v int
+			c    float64
+		}
+		var es []edge
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				es = append(es, edge{u, v, rng.Float64() * 5})
+			}
+		}
+		g := New(n)
+		ids := make([]EdgeID, len(es))
+		for i, e := range es {
+			ids[i] = g.AddEdge(e.u, e.v, e.c)
+		}
+		base := g.MaxFlow(0, n-1)
+		st := g.SaveState()
+
+		// Raise a random subset of capacities.
+		raises := map[int]float64{}
+		for i := range es {
+			if rng.Intn(3) == 0 {
+				raises[i] = es[i].c + rng.Float64()*5
+			}
+		}
+		// Incremental: restore + raise + augment.
+		g.RestoreState(st)
+		for i, c := range raises {
+			g.RaiseCap(ids[i], c)
+		}
+		incr := base + g.MaxFlow(0, n-1)
+
+		// From scratch.
+		h := New(n)
+		for i, e := range es {
+			c := e.c
+			if rc, ok := raises[i]; ok {
+				c = rc
+			}
+			h.AddEdge(e.u, e.v, c)
+		}
+		fresh := h.MaxFlow(0, n-1)
+		if !almostEq(incr, fresh, 1e-6*(1+fresh)) {
+			t.Fatalf("trial %d: incremental %g vs fresh %g", trial, incr, fresh)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package multires
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Solver computes multi-resource fair allocations.
+type Solver struct {
+	// Eps is the relative tolerance of the progressive filling (default
+	// 1e-6; the LP oracle is the cost driver, so the multi-resource solver
+	// uses a coarser default than the single-resource one).
+	Eps float64
+}
+
+func (sv *Solver) eps() float64 {
+	if sv != nil && sv.Eps > 0 {
+		return sv.Eps
+	}
+	return 1e-6
+}
+
+// AggregateDRF computes the allocation whose weighted aggregate
+// dominant-share vector is max-min fair: progressive filling on a common
+// dominant-share level with an LP feasibility oracle, freezing jobs that
+// cannot be raised (detected by individual probes).
+func (sv *Solver) AggregateDRF(in *Instance) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.NumJobs()
+	dom := in.Dominant()
+
+	// Maximum dominant share each job could ever reach (all task slots).
+	dsMax := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if math.IsInf(dom[j].PerTask, 1) {
+			dsMax[j] = 0
+			continue
+		}
+		var slots float64
+		for _, c := range in.TaskCount[j] {
+			slots += c
+		}
+		dsMax[j] = slots * dom[j].PerTask
+	}
+
+	frozen := make([]bool, n)
+	level := make([]float64, n) // frozen dominant share
+	remaining := 0
+	for j := 0; j < n; j++ {
+		if dsMax[j] <= 0 {
+			frozen[j] = true
+		} else {
+			remaining++
+		}
+	}
+
+	target := func(t float64) []float64 {
+		out := make([]float64, n)
+		for j := 0; j < n; j++ {
+			if frozen[j] {
+				out[j] = level[j]
+			} else {
+				out[j] = math.Min(t*in.JobWeight(j), dsMax[j])
+			}
+		}
+		return out
+	}
+
+	var last *Allocation
+	for round := 0; remaining > 0; round++ {
+		if round > n {
+			return nil, fmt.Errorf("multires: no progress after %d rounds", round)
+		}
+		hi := 0.0
+		for j := 0; j < n; j++ {
+			if !frozen[j] {
+				hi = math.Max(hi, dsMax[j]/in.JobWeight(j))
+			}
+		}
+		if a, ok := sv.feasible(in, dom, target(hi)); ok {
+			for j := 0; j < n; j++ {
+				if !frozen[j] {
+					frozen[j] = true
+					level[j] = dsMax[j]
+					remaining--
+				}
+			}
+			last = a
+			break
+		}
+		// Bisection for the bottleneck level.
+		lo := 0.0
+		ttol := sv.eps() * math.Max(hi, 1e-12)
+		var atLo *Allocation
+		for hi-lo > ttol {
+			mid := (lo + hi) / 2
+			if a, ok := sv.feasible(in, dom, target(mid)); ok {
+				lo = mid
+				atLo = a
+			} else {
+				hi = mid
+			}
+		}
+		tstar := lo
+		last = atLo
+		// Freeze: demand-capped jobs, then individually-probed stuck jobs.
+		frozeAny := false
+		bump := math.Max(50*ttol, 1e-9)
+		base := target(tstar)
+		for j := 0; j < n; j++ {
+			if frozen[j] {
+				continue
+			}
+			if tstar*in.JobWeight(j) >= dsMax[j]-ttol {
+				frozen[j] = true
+				level[j] = dsMax[j]
+				frozeAny = true
+				remaining--
+				continue
+			}
+			probe := append([]float64(nil), base...)
+			probe[j] += bump
+			if _, ok := sv.feasible(in, dom, probe); !ok {
+				frozen[j] = true
+				level[j] = base[j]
+				frozeAny = true
+				remaining--
+			}
+		}
+		if !frozeAny {
+			return nil, fmt.Errorf("multires: bottleneck at %g froze no job", tstar)
+		}
+	}
+
+	// Final placement at the frozen levels.
+	a, ok := sv.feasible(in, dom, level)
+	if !ok {
+		// The levels were verified feasible along the way; allow the last
+		// witnessed placement as a fallback against borderline numerics.
+		if last == nil {
+			return nil, fmt.Errorf("multires: final levels infeasible")
+		}
+		a = last
+	}
+	return a, nil
+}
+
+// feasible tests whether every job can simultaneously hold the given
+// dominant share, returning a witness placement.
+//
+// Variables: x[j][s] (tasks), flattened j*m+s. Constraints:
+//
+//	sum_s x[j][s] = target_j / dom_j.PerTask   (aggregate pinned)
+//	x[j][s] <= TaskCount[j][s]
+//	sum_j x[j][s]*TaskUse[j][r] <= SiteCapacity[s][r]
+func (sv *Solver) feasible(in *Instance, dom []DominantInfo, targets []float64) (*Allocation, bool) {
+	n, m, k := in.NumJobs(), in.NumSites(), in.NumResources()
+	nv := n * m
+	idx := func(j, s int) int { return j*m + s }
+
+	var a [][]float64
+	var b []float64
+	// Task-count caps.
+	for j := 0; j < n; j++ {
+		for s := 0; s < m; s++ {
+			row := make([]float64, nv)
+			row[idx(j, s)] = 1
+			a = append(a, row)
+			b = append(b, in.TaskCount[j][s])
+		}
+	}
+	// Per-site per-resource capacities.
+	for s := 0; s < m; s++ {
+		for r := 0; r < k; r++ {
+			row := make([]float64, nv)
+			for j := 0; j < n; j++ {
+				row[idx(j, s)] = in.TaskUse[j][r]
+			}
+			a = append(a, row)
+			b = append(b, in.SiteCapacity[s][r])
+		}
+	}
+	// Aggregate equalities.
+	var e [][]float64
+	var f []float64
+	for j := 0; j < n; j++ {
+		if math.IsInf(dom[j].PerTask, 1) || dom[j].PerTask <= 0 {
+			continue // job cannot run; its target must be 0
+		}
+		row := make([]float64, nv)
+		for s := 0; s < m; s++ {
+			row[idx(j, s)] = 1
+		}
+		e = append(e, row)
+		f = append(f, targets[j]/dom[j].PerTask)
+	}
+
+	x, ok := lp.Feasible(nv, a, b, e, f)
+	if !ok {
+		return nil, false
+	}
+	alloc := NewAllocation(in)
+	for j := 0; j < n; j++ {
+		for s := 0; s < m; s++ {
+			alloc.Tasks[j][s] = x[idx(j, s)]
+		}
+	}
+	return alloc, true
+}

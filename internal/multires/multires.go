@@ -1,0 +1,250 @@
+// Package multires extends aggregate max-min fairness to multiple resource
+// types, the Dominant Resource Fairness (DRF) setting the paper's line of
+// work builds on: each site holds a capacity *vector* (CPUs, memory, ...),
+// each job's tasks consume a fixed resource vector, and fairness is defined
+// on *dominant shares* — the fraction of the cluster-wide supply of a job's
+// most-demanded resource that it occupies.
+//
+// Two allocators are provided, mirroring the single-resource pair:
+//
+//   - AggregateDRF: the weighted dominant-share vector, aggregated across
+//     sites, is max-min fair over all feasible task placements. Feasibility
+//     of a dominant-share target is a linear program (per-site vector
+//     capacities break the max-flow structure), solved with internal/lp.
+//   - PerSiteDRF: the baseline; every site independently runs fluid DRF on
+//     its own capacity vector.
+//
+// This is an extension beyond the paper (its model is single-resource);
+// DESIGN.md records it as such.
+package multires
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Instance is a multi-resource, multi-site allocation problem.
+type Instance struct {
+	// SiteCapacity[s][k] is the amount of resource k at site s.
+	SiteCapacity [][]float64
+	// TaskUse[j][k] is the amount of resource k consumed by one of job j's
+	// tasks (the job's task shape, identical at every site).
+	TaskUse [][]float64
+	// TaskCount[j][s] is job j's maximum useful parallelism at site s.
+	TaskCount [][]float64
+	// Weight[j] is job j's share weight (nil = all ones).
+	Weight []float64
+}
+
+// NumJobs reports the number of jobs.
+func (in *Instance) NumJobs() int { return len(in.TaskUse) }
+
+// NumSites reports the number of sites.
+func (in *Instance) NumSites() int { return len(in.SiteCapacity) }
+
+// NumResources reports the number of resource types.
+func (in *Instance) NumResources() int {
+	if len(in.SiteCapacity) == 0 {
+		return 0
+	}
+	return len(in.SiteCapacity[0])
+}
+
+// JobWeight reports job j's weight, defaulting to 1.
+func (in *Instance) JobWeight(j int) float64 {
+	if in.Weight == nil {
+		return 1
+	}
+	return in.Weight[j]
+}
+
+// Validate checks structural sanity.
+func (in *Instance) Validate() error {
+	m, k := in.NumSites(), in.NumResources()
+	if m == 0 || k == 0 {
+		return errors.New("multires: no sites or no resources")
+	}
+	for s, row := range in.SiteCapacity {
+		if len(row) != k {
+			return fmt.Errorf("multires: site %d has %d resources, want %d", s, len(row), k)
+		}
+		for r, c := range row {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("multires: site %d resource %d capacity %g", s, r, c)
+			}
+		}
+	}
+	for j, row := range in.TaskUse {
+		if len(row) != k {
+			return fmt.Errorf("multires: job %d task shape has %d resources, want %d", j, len(row), k)
+		}
+		positive := false
+		for r, u := range row {
+			if u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+				return fmt.Errorf("multires: job %d resource %d use %g", j, r, u)
+			}
+			if u > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return fmt.Errorf("multires: job %d consumes nothing", j)
+		}
+	}
+	if len(in.TaskCount) != in.NumJobs() {
+		return fmt.Errorf("multires: %d task-count rows for %d jobs", len(in.TaskCount), in.NumJobs())
+	}
+	for j, row := range in.TaskCount {
+		if len(row) != m {
+			return fmt.Errorf("multires: job %d has %d task counts, want %d", j, len(row), m)
+		}
+		for s, c := range row {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("multires: job %d site %d count %g", j, s, c)
+			}
+		}
+	}
+	if in.Weight != nil {
+		if len(in.Weight) != in.NumJobs() {
+			return fmt.Errorf("multires: %d weights for %d jobs", len(in.Weight), in.NumJobs())
+		}
+		for j, w := range in.Weight {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("multires: job %d weight %g", j, w)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalCapacity sums each resource across sites.
+func (in *Instance) TotalCapacity() []float64 {
+	tot := make([]float64, in.NumResources())
+	for _, row := range in.SiteCapacity {
+		for r, c := range row {
+			tot[r] += c
+		}
+	}
+	return tot
+}
+
+// DominantInfo describes a job's dominant resource against the cluster
+// totals.
+type DominantInfo struct {
+	Resource int
+	// PerTask is the dominant share contributed by one running task:
+	// TaskUse[dom] / TotalCapacity[dom].
+	PerTask float64
+}
+
+// Dominant computes each job's dominant resource. Resources with zero
+// total capacity are skipped (a job demanding only such resources cannot
+// run and yields PerTask = +Inf).
+func (in *Instance) Dominant() []DominantInfo {
+	tot := in.TotalCapacity()
+	out := make([]DominantInfo, in.NumJobs())
+	for j := range out {
+		best := -1
+		bestShare := 0.0
+		impossible := false
+		for r, u := range in.TaskUse[j] {
+			if u <= 0 {
+				continue
+			}
+			if tot[r] <= 0 {
+				impossible = true
+				continue
+			}
+			if share := u / tot[r]; share > bestShare {
+				bestShare = share
+				best = r
+			}
+		}
+		if best < 0 {
+			out[j] = DominantInfo{Resource: -1, PerTask: math.Inf(1)}
+			continue
+		}
+		if impossible {
+			// Some required resource has zero supply anywhere: no task can
+			// run regardless of the dominant-share arithmetic.
+			out[j] = DominantInfo{Resource: best, PerTask: math.Inf(1)}
+			continue
+		}
+		out[j] = DominantInfo{Resource: best, PerTask: bestShare}
+	}
+	return out
+}
+
+// Allocation holds a task-level placement.
+type Allocation struct {
+	Inst *Instance
+	// Tasks[j][s] is the (fluid) number of job-j tasks running at site s.
+	Tasks [][]float64
+}
+
+// NewAllocation returns an all-zero allocation.
+func NewAllocation(in *Instance) *Allocation {
+	t := make([][]float64, in.NumJobs())
+	for j := range t {
+		t[j] = make([]float64, in.NumSites())
+	}
+	return &Allocation{Inst: in, Tasks: t}
+}
+
+// TotalTasks reports job j's total running tasks.
+func (a *Allocation) TotalTasks(j int) float64 {
+	var t float64
+	for _, v := range a.Tasks[j] {
+		t += v
+	}
+	return t
+}
+
+// DominantShares reports each job's aggregate dominant share.
+func (a *Allocation) DominantShares() []float64 {
+	dom := a.Inst.Dominant()
+	out := make([]float64, a.Inst.NumJobs())
+	for j := range out {
+		if math.IsInf(dom[j].PerTask, 1) {
+			out[j] = 0
+			continue
+		}
+		out[j] = a.TotalTasks(j) * dom[j].PerTask
+	}
+	return out
+}
+
+// ResourceLoad reports the usage of resource r at site s.
+func (a *Allocation) ResourceLoad(s, r int) float64 {
+	var load float64
+	for j := range a.Tasks {
+		load += a.Tasks[j][s] * a.Inst.TaskUse[j][r]
+	}
+	return load
+}
+
+// CheckFeasible verifies task caps and per-site resource capacities.
+func (a *Allocation) CheckFeasible(tol float64) error {
+	in := a.Inst
+	for j := range a.Tasks {
+		for s, x := range a.Tasks[j] {
+			if x < -tol {
+				return fmt.Errorf("multires: job %d site %d negative tasks %g", j, s, x)
+			}
+			if x > in.TaskCount[j][s]+tol {
+				return fmt.Errorf("multires: job %d site %d tasks %g exceed count %g",
+					j, s, x, in.TaskCount[j][s])
+			}
+		}
+	}
+	for s := 0; s < in.NumSites(); s++ {
+		for r := 0; r < in.NumResources(); r++ {
+			if load := a.ResourceLoad(s, r); load > in.SiteCapacity[s][r]+tol {
+				return fmt.Errorf("multires: site %d resource %d load %g exceeds %g",
+					s, r, load, in.SiteCapacity[s][r])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package multires
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fairness"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) <= 1e-4*(1+math.Abs(a)+math.Abs(b)) }
+
+// classicDRF is the example from the DRF paper: one 9-CPU/18-GB cluster,
+// job A tasks <1 CPU, 4 GB>, job B tasks <3 CPU, 1 GB>. The fluid DRF
+// allocation is exactly 3 tasks for A and 2 for B (dominant shares 2/3).
+func classicDRF() *Instance {
+	return &Instance{
+		SiteCapacity: [][]float64{{9, 18}},
+		TaskUse:      [][]float64{{1, 4}, {3, 1}},
+		TaskCount:    [][]float64{{100}, {100}},
+	}
+}
+
+func TestPerSiteDRFClassic(t *testing.T) {
+	a, err := PerSiteDRF(classicDRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(a.Tasks[0][0], 3) || !feq(a.Tasks[1][0], 2) {
+		t.Fatalf("tasks %v, want A=3 B=2", a.Tasks)
+	}
+	ds := a.DominantShares()
+	if !feq(ds[0], 2.0/3) || !feq(ds[1], 2.0/3) {
+		t.Fatalf("dominant shares %v, want 2/3 each", ds)
+	}
+}
+
+func TestAggregateDRFClassicSingleSite(t *testing.T) {
+	// With one site, aggregate DRF coincides with per-site DRF.
+	var sv Solver
+	a, err := sv.AggregateDRF(classicDRF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := a.DominantShares()
+	if !feq(ds[0], 2.0/3) || !feq(ds[1], 2.0/3) {
+		t.Fatalf("dominant shares %v, want 2/3 each", ds)
+	}
+	if err := a.CheckFeasible(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantInfo(t *testing.T) {
+	in := classicDRF()
+	dom := in.Dominant()
+	if dom[0].Resource != 1 { // memory: 4/18 > 1/9
+		t.Fatalf("job A dominant %d, want 1", dom[0].Resource)
+	}
+	if dom[1].Resource != 0 { // CPU: 3/9 > 1/18
+		t.Fatalf("job B dominant %d, want 0", dom[1].Resource)
+	}
+	if !feq(dom[0].PerTask, 4.0/18) || !feq(dom[1].PerTask, 3.0/9) {
+		t.Fatalf("per-task shares %v", dom)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Instance{
+		{},
+		{SiteCapacity: [][]float64{{1}}, TaskUse: [][]float64{{0}}, TaskCount: [][]float64{{1}}},
+		{SiteCapacity: [][]float64{{1}}, TaskUse: [][]float64{{-1}}, TaskCount: [][]float64{{1}}},
+		{SiteCapacity: [][]float64{{1, 2}}, TaskUse: [][]float64{{1}}, TaskCount: [][]float64{{1}}},
+		{SiteCapacity: [][]float64{{1}}, TaskUse: [][]float64{{1}}, TaskCount: [][]float64{{1, 2}}},
+		{SiteCapacity: [][]float64{{1}}, TaskUse: [][]float64{{1}}, TaskCount: [][]float64{{1}},
+			Weight: []float64{0}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAggregateDRFPinnedVsFlexible(t *testing.T) {
+	// Multi-resource analogue of the paper's motivating case: two sites
+	// with identical capacity vectors; job P pinned to site 0, job F can
+	// run anywhere. Aggregate DRF routes F to site 1 so both end at
+	// dominant share 1/2.
+	in := &Instance{
+		SiteCapacity: [][]float64{{4, 8}, {4, 8}},
+		TaskUse:      [][]float64{{1, 2}, {1, 2}},
+		TaskCount: [][]float64{
+			{100, 0},
+			{100, 100},
+		},
+	}
+	var sv Solver
+	agg, err := sv.AggregateDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := agg.DominantShares()
+	if !feq(ds[0], 0.5) || !feq(ds[1], 0.5) {
+		t.Fatalf("aggregate DRF shares %v, want [0.5 0.5]", ds)
+	}
+
+	ps, err := PerSiteDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psDS := ps.DominantShares()
+	// Per-site: site 0 split between P and F (dominant share 1/4 each
+	// against the cluster), F also takes all of site 1 (another 1/2):
+	// P=0.25, F=0.75.
+	if !feq(psDS[0], 0.25) || !feq(psDS[1], 0.75) {
+		t.Fatalf("per-site DRF shares %v, want [0.25 0.75]", psDS)
+	}
+}
+
+func TestAggregateDRFTaskCaps(t *testing.T) {
+	// A job with few task slots freezes at its cap; the other grows.
+	in := &Instance{
+		SiteCapacity: [][]float64{{10, 10}},
+		TaskUse:      [][]float64{{1, 1}, {1, 1}},
+		TaskCount:    [][]float64{{2}, {100}},
+	}
+	var sv Solver
+	a, err := sv.AggregateDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(a.TotalTasks(0), 2) {
+		t.Fatalf("capped job tasks %g, want 2", a.TotalTasks(0))
+	}
+	if !feq(a.TotalTasks(1), 8) {
+		t.Fatalf("big job tasks %g, want 8", a.TotalTasks(1))
+	}
+}
+
+func TestAggregateDRFWeighted(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: [][]float64{{6, 6}},
+		TaskUse:      [][]float64{{1, 1}, {1, 1}},
+		TaskCount:    [][]float64{{100}, {100}},
+		Weight:       []float64{1, 2},
+	}
+	var sv Solver
+	a, err := sv.AggregateDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(a.TotalTasks(0), 2) || !feq(a.TotalTasks(1), 4) {
+		t.Fatalf("weighted tasks %g/%g, want 2/4", a.TotalTasks(0), a.TotalTasks(1))
+	}
+}
+
+func TestAggregateDRFHeterogeneousShapes(t *testing.T) {
+	// CPU-heavy and memory-heavy jobs on one site: the DRF trade lets both
+	// exceed 1/2 of their dominant resource.
+	in := &Instance{
+		SiteCapacity: [][]float64{{9, 18}},
+		TaskUse:      [][]float64{{1, 4}, {3, 1}},
+		TaskCount:    [][]float64{{100}, {100}},
+	}
+	var sv Solver
+	a, err := sv.AggregateDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := a.DominantShares()
+	for j, v := range ds {
+		if v < 0.5 {
+			t.Fatalf("job %d dominant share %g below equal split", j, v)
+		}
+	}
+}
+
+func TestAggregateDRFMaxMinCertificate(t *testing.T) {
+	// Generic max-min verification with the LP oracle.
+	rng := rand.New(rand.NewSource(83))
+	var sv Solver
+	for trial := 0; trial < 10; trial++ {
+		in := randMRInstance(rng, 2+rng.Intn(3), 1+rng.Intn(2), 2)
+		a, err := sv.AggregateDRF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.CheckFeasible(1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dom := in.Dominant()
+		ds := a.DominantShares()
+		dsMax := make([]float64, in.NumJobs())
+		for j := range dsMax {
+			if math.IsInf(dom[j].PerTask, 1) {
+				continue
+			}
+			var slots float64
+			for _, c := range in.TaskCount[j] {
+				slots += c
+			}
+			dsMax[j] = slots * dom[j].PerTask
+		}
+		oracle := func(target []float64) bool {
+			_, ok := sv.feasible(in, dom, target)
+			return ok
+		}
+		if j, bad := fairness.MaxMinViolation(ds, dsMax, oracle, 1e-3); bad {
+			t.Fatalf("trial %d: dominant shares not max-min fair (job %d, ds %v)",
+				trial, j, ds)
+		}
+	}
+}
+
+func randMRInstance(rng *rand.Rand, n, m, k int) *Instance {
+	in := &Instance{
+		SiteCapacity: make([][]float64, m),
+		TaskUse:      make([][]float64, n),
+		TaskCount:    make([][]float64, n),
+	}
+	for s := 0; s < m; s++ {
+		in.SiteCapacity[s] = make([]float64, k)
+		for r := 0; r < k; r++ {
+			in.SiteCapacity[s][r] = 2 + rng.Float64()*8
+		}
+	}
+	for j := 0; j < n; j++ {
+		in.TaskUse[j] = make([]float64, k)
+		for r := 0; r < k; r++ {
+			in.TaskUse[j][r] = 0.2 + rng.Float64()*2
+		}
+		in.TaskCount[j] = make([]float64, m)
+		for s := 0; s < m; s++ {
+			if rng.Intn(3) > 0 {
+				in.TaskCount[j][s] = float64(1 + rng.Intn(8))
+			}
+		}
+	}
+	return in
+}
+
+func TestPerSiteDRFFeasibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 30; trial++ {
+		in := randMRInstance(rng, 2+rng.Intn(5), 1+rng.Intn(3), 1+rng.Intn(3))
+		a, err := PerSiteDRF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := a.CheckFeasible(1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPerSiteDRFSecondRoundGrowth(t *testing.T) {
+	// CPU-only and memory-only jobs: when CPU saturates, the memory job
+	// must keep growing to its own bottleneck (progressive filling, not a
+	// single stop).
+	in := &Instance{
+		SiteCapacity: [][]float64{{4, 8}},
+		TaskUse:      [][]float64{{1, 0}, {0, 1}},
+		TaskCount:    [][]float64{{100}, {100}},
+	}
+	a, err := PerSiteDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(a.Tasks[0][0], 4) {
+		t.Fatalf("cpu job tasks %g, want 4", a.Tasks[0][0])
+	}
+	if !feq(a.Tasks[1][0], 8) {
+		t.Fatalf("memory job tasks %g, want 8 (second-round growth)", a.Tasks[1][0])
+	}
+}
+
+func TestZeroCapacityResource(t *testing.T) {
+	// A job needing a resource with zero supply gets nothing; others are
+	// unaffected.
+	in := &Instance{
+		SiteCapacity: [][]float64{{4, 0}},
+		TaskUse:      [][]float64{{1, 1}, {1, 0}},
+		TaskCount:    [][]float64{{10}, {10}},
+	}
+	var sv Solver
+	a, err := sv.AggregateDRF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTasks(0) > 1e-9 {
+		t.Fatalf("impossible job got %g tasks", a.TotalTasks(0))
+	}
+	if !feq(a.TotalTasks(1), 4) {
+		t.Fatalf("possible job got %g tasks, want 4", a.TotalTasks(1))
+	}
+}
+
+func TestAllocationAccessors(t *testing.T) {
+	in := classicDRF()
+	a := NewAllocation(in)
+	a.Tasks[0][0] = 2
+	if !feq(a.ResourceLoad(0, 1), 8) {
+		t.Fatalf("memory load %g, want 8", a.ResourceLoad(0, 1))
+	}
+	if err := a.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	a.Tasks[0][0] = 1000
+	if err := a.CheckFeasible(1e-9); err == nil {
+		t.Fatal("overload accepted")
+	}
+}

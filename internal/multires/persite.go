@@ -1,0 +1,145 @@
+package multires
+
+import "math"
+
+// PerSiteDRF computes the baseline: every site independently runs fluid
+// Dominant Resource Fairness against its own capacity vector — the direct
+// multi-resource analogue of per-site max-min fairness. Each site raises a
+// common weighted *local* dominant-share level with progressive filling:
+// a job freezes when its task count caps out or when any resource it uses
+// saturates; jobs not touching the saturated resource keep growing.
+func PerSiteDRF(in *Instance) (*Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := NewAllocation(in)
+	for s := 0; s < in.NumSites(); s++ {
+		perSiteDRFOne(in, s, alloc)
+	}
+	return alloc, nil
+}
+
+// perSiteDRFOne fills site s of the allocation.
+func perSiteDRFOne(in *Instance, s int, alloc *Allocation) {
+	n := in.NumJobs()
+	k := in.NumResources()
+
+	// Per-job local dominant share per task (against this site's vector).
+	perTask := make([]float64, n)
+	unfrozen := make([]bool, n)
+	tasks := make([]float64, n)
+	remaining := 0
+	for j := 0; j < n; j++ {
+		if in.TaskCount[j][s] <= 0 {
+			continue
+		}
+		best := 0.0
+		impossible := false
+		for r := 0; r < k; r++ {
+			u := in.TaskUse[j][r]
+			if u <= 0 {
+				continue
+			}
+			if in.SiteCapacity[s][r] <= 0 {
+				impossible = true
+				break
+			}
+			best = math.Max(best, u/in.SiteCapacity[s][r])
+		}
+		if impossible || best <= 0 {
+			continue
+		}
+		perTask[j] = best
+		unfrozen[j] = true
+		remaining++
+	}
+
+	// tasksAt reports job j's task count at common level t (frozen jobs
+	// keep their fixed count).
+	tasksAt := func(j int, t float64) float64 {
+		if !unfrozen[j] {
+			return tasks[j]
+		}
+		return math.Min(in.TaskCount[j][s], t*in.JobWeight(j)/perTask[j])
+	}
+	load := func(t float64, r int) float64 {
+		var l float64
+		for j := 0; j < n; j++ {
+			l += tasksAt(j, t) * in.TaskUse[j][r]
+		}
+		return l
+	}
+	feasible := func(t float64) bool {
+		for r := 0; r < k; r++ {
+			if load(t, r) > in.SiteCapacity[s][r]*(1+1e-12)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+
+	tPrev := 0.0
+	for round := 0; remaining > 0 && round <= n; round++ {
+		hi := tPrev
+		for j := 0; j < n; j++ {
+			if unfrozen[j] {
+				hi = math.Max(hi, in.TaskCount[j][s]*perTask[j]/in.JobWeight(j))
+			}
+		}
+		tstar := hi
+		if !feasible(hi) {
+			lo := tPrev
+			for hi-lo > 1e-11*math.Max(1, hi) {
+				mid := (lo + hi) / 2
+				if feasible(mid) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			tstar = lo
+		}
+		// Saturated resources at tstar.
+		saturated := make([]bool, k)
+		for r := 0; r < k; r++ {
+			if load(tstar, r) >= in.SiteCapacity[s][r]-1e-9*(1+in.SiteCapacity[s][r]) {
+				saturated[r] = true
+			}
+		}
+		frozeAny := false
+		for j := 0; j < n; j++ {
+			if !unfrozen[j] {
+				continue
+			}
+			x := tasksAt(j, tstar)
+			capped := x >= in.TaskCount[j][s]-1e-12*(1+in.TaskCount[j][s])
+			blocked := false
+			for r := 0; r < k; r++ {
+				if saturated[r] && in.TaskUse[j][r] > 0 {
+					blocked = true
+					break
+				}
+			}
+			if capped || blocked {
+				tasks[j] = x
+				unfrozen[j] = false
+				remaining--
+				frozeAny = true
+			}
+		}
+		if !frozeAny {
+			// Numerical corner: freeze everyone at the current level.
+			for j := 0; j < n; j++ {
+				if unfrozen[j] {
+					tasks[j] = tasksAt(j, tstar)
+					unfrozen[j] = false
+					remaining--
+				}
+			}
+		}
+		tPrev = tstar
+	}
+	for j := 0; j < n; j++ {
+		alloc.Tasks[j][s] = tasks[j]
+	}
+}

@@ -1,0 +1,73 @@
+// Package randx provides deterministic, splittable random number streams.
+//
+// All experiments in this repository are seeded. A single root seed is
+// expanded into independent named streams (one per workload dimension, per
+// trial, per generator) so that adding a new consumer of randomness does not
+// perturb the values observed by existing consumers. Streams are derived by
+// hashing the root seed with the stream name using SplitMix64, the standard
+// mixer for seeding PRNG families.
+package randx
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// It is used both as a seed deriver and as the core of Source.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a SplitMix64-backed rand.Source64. It is deliberately simple:
+// the generators in this repository need reproducibility and speed, not
+// cryptographic strength.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with the given value.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the source state. Implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 returns the next 64 random bits. Implements rand.Source64.
+func (s *Source) Uint64() uint64 { return splitmix64(&s.state) }
+
+// Int63 returns a non-negative 63-bit value. Implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// DeriveSeed maps (root seed, stream name) to a stream seed. The mapping is
+// stable across runs and platforms.
+func DeriveSeed(root uint64, name string) uint64 {
+	h := fnv.New64a()
+	// The hash of the name decorrelates streams; mixing with the root seed
+	// through SplitMix64 decorrelates roots.
+	_, _ = h.Write([]byte(name))
+	state := root ^ h.Sum64()
+	// A couple of mixing rounds so that nearby roots yield unrelated states.
+	splitmix64(&state)
+	out := splitmix64(&state)
+	return out
+}
+
+// Stream returns a deterministic *rand.Rand for the (root, name) pair.
+func Stream(root uint64, name string) *rand.Rand {
+	return rand.New(NewSource(DeriveSeed(root, name)))
+}
+
+// Sub derives a child stream from a parent stream name, e.g. per-trial
+// streams: Sub(root, "e1/trial", 7).
+func Sub(root uint64, name string, index int) *rand.Rand {
+	state := DeriveSeed(root, name)
+	state ^= uint64(index+1) * 0x9e3779b97f4a7c15
+	splitmix64(&state)
+	return rand.New(NewSource(splitmix64(&state)))
+}

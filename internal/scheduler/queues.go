@@ -1,0 +1,114 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+)
+
+// Queue support: jobs may be enqueued under named queues with weights
+// (organizations, teams). When any queue is configured, allocation runs
+// hierarchically (internal/hierarchy): capacity divides across queues by
+// weight — independent of how many jobs each enqueues — and fairly within
+// each queue. Jobs added with AddJob land in the anonymous default queue,
+// which participates with weight 1.
+
+// defaultQueue is the anonymous queue for AddJob.
+const defaultQueue = ""
+
+// AddQueue declares a queue with the given weight (<= 0 defaults to 1).
+// Re-declaring a queue updates its weight.
+func (sc *Scheduler) AddQueue(name string, weight float64) error {
+	if name == defaultQueue {
+		return fmt.Errorf("scheduler: queue name must be non-empty")
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.queueWeight == nil {
+		sc.queueWeight = map[string]float64{}
+	}
+	sc.queueWeight[name] = weight
+	sc.dirty = true
+	return nil
+}
+
+// AddJobInQueue registers a job under a declared queue.
+func (sc *Scheduler) AddJobInQueue(queue, id string, weight float64, demand, work []float64) error {
+	sc.mu.Lock()
+	declared := false
+	if sc.queueWeight != nil {
+		_, declared = sc.queueWeight[queue]
+	}
+	sc.mu.Unlock()
+	if !declared {
+		return fmt.Errorf("scheduler: unknown queue %q", queue)
+	}
+	if err := sc.AddJob(id, weight, demand, work); err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	if sc.jobQueue == nil {
+		sc.jobQueue = map[string]string{}
+	}
+	sc.jobQueue[id] = queue
+	sc.mu.Unlock()
+	return nil
+}
+
+// QueueOf reports the queue a job belongs to ("" for the default queue).
+func (sc *Scheduler) QueueOf(id string) (string, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := sc.jobs[id]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return sc.jobQueue[id], nil
+}
+
+// queued reports whether hierarchical allocation is needed: at least one
+// live job sits in a named queue.
+func (sc *Scheduler) queuedLocked() bool {
+	for _, id := range sc.order {
+		if sc.jobQueue[id] != defaultQueue {
+			return true
+		}
+	}
+	return false
+}
+
+// solveHierarchicalLocked allocates with queue-level fairness.
+func (sc *Scheduler) solveHierarchicalLocked(in *core.Instance) error {
+	// Build groups in a deterministic order: default queue first (if it
+	// has jobs), then named queues by first appearance.
+	groupIdx := map[string]int{}
+	var groups []hierarchy.Group
+	for i, id := range sc.order {
+		q := sc.jobQueue[id]
+		gi, ok := groupIdx[q]
+		if !ok {
+			gi = len(groups)
+			groupIdx[q] = gi
+			w := 1.0
+			if q != defaultQueue {
+				w = sc.queueWeight[q]
+			}
+			groups = append(groups, hierarchy.Group{Name: q, Weight: w})
+		}
+		groups[gi].Jobs = append(groups[gi].Jobs, i)
+	}
+	res, err := hierarchy.Allocate(sc.cfg.Solver, in, groups)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	sc.stats.Solves++
+	sc.shares = make(map[string][]float64, len(sc.order))
+	for i, id := range sc.order {
+		sc.shares[id] = append([]float64(nil), res.Alloc.Share[i]...)
+	}
+	sc.dirty = false
+	return nil
+}

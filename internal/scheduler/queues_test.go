@@ -1,0 +1,158 @@
+package scheduler
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQueueFairnessIndependentOfJobCount(t *testing.T) {
+	sc := newTestScheduler(t, 6)
+	// Note: capacity 6 at one site.
+	if err := sc.AddQueue("research", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddQueue("prod", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r1", "r2", "r3"} {
+		if err := sc.AddJobInQueue("research", id, 1, []float64{6}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.AddJobInQueue("prod", "p1", 1, []float64{6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Queues split 3/3 regardless of member counts.
+	p, _ := sc.Aggregate("p1")
+	if !feq(p, 3) {
+		t.Fatalf("prod job aggregate %g, want 3", p)
+	}
+	r, _ := sc.Aggregate("r1")
+	if !feq(r, 1) {
+		t.Fatalf("research member aggregate %g, want 1", r)
+	}
+}
+
+func TestQueueWeights(t *testing.T) {
+	sc := newTestScheduler(t, 6)
+	_ = sc.AddQueue("light", 1)
+	_ = sc.AddQueue("heavy", 2)
+	_ = sc.AddJobInQueue("light", "l", 1, []float64{6}, nil)
+	_ = sc.AddJobInQueue("heavy", "h", 1, []float64{6}, nil)
+	l, _ := sc.Aggregate("l")
+	h, _ := sc.Aggregate("h")
+	if !feq(l, 2) || !feq(h, 4) {
+		t.Fatalf("weighted queues %g/%g, want 2/4", l, h)
+	}
+}
+
+func TestDefaultQueueParticipates(t *testing.T) {
+	sc := newTestScheduler(t, 4)
+	_ = sc.AddQueue("q", 1)
+	_ = sc.AddJobInQueue("q", "a", 1, []float64{4}, nil)
+	_ = sc.AddJob("b", 1, []float64{4}, nil) // default queue, weight 1
+	a, _ := sc.Aggregate("a")
+	b, _ := sc.Aggregate("b")
+	if !feq(a, 2) || !feq(b, 2) {
+		t.Fatalf("default-queue split %g/%g, want 2/2", a, b)
+	}
+}
+
+func TestAddJobInQueueErrors(t *testing.T) {
+	sc := newTestScheduler(t, 1)
+	if err := sc.AddJobInQueue("nope", "a", 1, []float64{1}, nil); err == nil {
+		t.Fatal("undeclared queue accepted")
+	}
+	if err := sc.AddQueue("", 1); err == nil {
+		t.Fatal("empty queue name accepted")
+	}
+	_ = sc.AddQueue("q", 1)
+	if err := sc.AddJobInQueue("q", "a", 1, []float64{1, 2}, nil); err != nil {
+		// wrong demand length: error expected, and the queue map must not
+		// hold a phantom entry.
+		if q, _ := sc.QueueOf("a"); q != "" {
+			t.Fatal("phantom queue assignment")
+		}
+	} else {
+		t.Fatal("bad demand accepted")
+	}
+}
+
+func TestQueueOf(t *testing.T) {
+	sc := newTestScheduler(t, 1)
+	_ = sc.AddQueue("q", 1)
+	_ = sc.AddJobInQueue("q", "a", 1, []float64{1}, nil)
+	_ = sc.AddJob("b", 1, []float64{1}, nil)
+	if q, err := sc.QueueOf("a"); err != nil || q != "q" {
+		t.Fatalf("QueueOf(a)=%q err=%v", q, err)
+	}
+	if q, err := sc.QueueOf("b"); err != nil || q != "" {
+		t.Fatalf("QueueOf(b)=%q err=%v", q, err)
+	}
+	if _, err := sc.QueueOf("ghost"); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestQueueRemovalCleansAssignment(t *testing.T) {
+	sc := newTestScheduler(t, 2)
+	_ = sc.AddQueue("q", 1)
+	_ = sc.AddJobInQueue("q", "a", 1, []float64{2}, []float64{1})
+	done, err := sc.ReportProgress("a", []float64{1})
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	// Re-adding the same ID in the default queue must not inherit "q".
+	_ = sc.AddJob("a", 1, []float64{2}, nil)
+	if q, _ := sc.QueueOf("a"); q != "" {
+		t.Fatalf("stale queue assignment %q", q)
+	}
+}
+
+func TestQueueSnapshotRoundTrip(t *testing.T) {
+	a := newTestScheduler(t, 6)
+	_ = a.AddQueue("research", 1)
+	_ = a.AddQueue("prod", 2)
+	_ = a.AddJobInQueue("research", "r", 1, []float64{6}, nil)
+	_ = a.AddJobInQueue("prod", "p", 1, []float64{6}, nil)
+
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := newTestScheduler(t, 6)
+	if err := b.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := b.Aggregate("p")
+	if !feq(p, 4) {
+		t.Fatalf("restored prod aggregate %g, want 4 (queue weights lost?)", p)
+	}
+	if q, _ := b.QueueOf("r"); q != "research" {
+		t.Fatalf("restored queue %q", q)
+	}
+}
+
+func TestQueueSnapshotUndeclaredRejected(t *testing.T) {
+	sc := newTestScheduler(t, 1)
+	err := sc.Restore(Snapshot{Jobs: []Job{
+		{ID: "a", Queue: "ghost", Demand: []float64{1}, Remaining: []float64{1}},
+	}})
+	if err == nil {
+		t.Fatal("undeclared queue in snapshot accepted")
+	}
+}
+
+func TestQueueCrossSiteRouting(t *testing.T) {
+	// Queue-level AMF routes the flexible queue away from the pinned one.
+	sc := newTestScheduler(t, 1, 1)
+	_ = sc.AddQueue("pinned", 1)
+	_ = sc.AddQueue("flexible", 1)
+	_ = sc.AddJobInQueue("pinned", "p", 1, []float64{1, 0}, nil)
+	_ = sc.AddJobInQueue("flexible", "f", 1, []float64{1, 1}, nil)
+	p, _ := sc.Aggregate("p")
+	f, _ := sc.Aggregate("f")
+	if !feq(p, 1) || !feq(f, 1) {
+		t.Fatalf("cross-site queue routing %g/%g, want 1/1", p, f)
+	}
+}

@@ -1,0 +1,331 @@
+// Package scheduler provides a long-running allocation controller on top
+// of the AMF allocators: the integration surface a cluster manager (YARN-,
+// Mesos- or Kubernetes-style) would embed. It maintains a live job set,
+// re-solves the fair allocation when the set or the demand topology
+// changes, applies hysteresis so progress reports do not cause allocation
+// churn, and exposes the current shares for actuation.
+//
+// The controller is deliberately synchronous and deterministic: mutations
+// mark the allocation dirty, and Allocation()/Shares() lazily re-solve.
+// All methods are safe for concurrent use.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Sentinel errors for callers that need to distinguish failure kinds
+// (e.g. to map them onto HTTP status codes).
+var (
+	// ErrUnknownJob is returned for operations on a job ID the controller
+	// does not hold.
+	ErrUnknownJob = errors.New("scheduler: unknown job")
+	// ErrDuplicateJob is returned when adding an ID that already exists.
+	ErrDuplicateJob = errors.New("scheduler: job already exists")
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// SiteCapacity is the per-site resource capacity (required).
+	SiteCapacity []float64
+	// Policy selects the allocation discipline (default PolicyAMF).
+	Policy sim.Policy
+	// Solver overrides the default core solver.
+	Solver *core.Solver
+}
+
+// Job is the controller's view of one running job. The JSON form is the
+// snapshot wire format.
+type Job struct {
+	ID     string  `json:"id"`
+	Weight float64 `json:"weight"`
+	// Queue is the named queue the job belongs to ("" = default queue).
+	Queue string `json:"queue,omitempty"`
+	// Demand[s] is the job's maximum useful parallelism at site s.
+	Demand []float64 `json:"demand"`
+	// Remaining[s] is the outstanding work at site s; when it reaches zero
+	// the site is dropped from the job's demand.
+	Remaining []float64 `json:"remaining"`
+}
+
+// Stats reports controller activity counters.
+type Stats struct {
+	// Solves counts allocator invocations.
+	Solves int
+	// Skipped counts queries served from the cached allocation.
+	Skipped int
+	// Jobs is the current number of active jobs.
+	Jobs int
+	// Completed counts jobs that finished (all remaining work zero).
+	Completed int
+}
+
+// Scheduler is the live allocation controller.
+type Scheduler struct {
+	mu          sync.Mutex
+	cfg         Config
+	order       []string // insertion order, for deterministic instances
+	jobs        map[string]*Job
+	shares      map[string][]float64
+	dirty       bool
+	stats       Stats
+	queueWeight map[string]float64 // declared queues (see queues.go)
+	jobQueue    map[string]string  // job -> queue ("" = default)
+}
+
+// New returns an empty controller.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.SiteCapacity) == 0 {
+		return nil, fmt.Errorf("scheduler: no sites")
+	}
+	for s, c := range cfg.SiteCapacity {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("scheduler: invalid capacity %g at site %d", c, s)
+		}
+	}
+	if cfg.Solver == nil {
+		cfg.Solver = &core.Solver{SkipJCTRefine: true}
+	}
+	return &Scheduler{
+		cfg:    cfg,
+		jobs:   make(map[string]*Job),
+		shares: make(map[string][]float64),
+	}, nil
+}
+
+// NumSites reports the number of sites the controller manages.
+func (sc *Scheduler) NumSites() int { return len(sc.cfg.SiteCapacity) }
+
+// AddJob registers a job. work may be nil, meaning work == demand.
+// Weight <= 0 defaults to 1.
+func (sc *Scheduler) AddJob(id string, weight float64, demand, work []float64) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := sc.jobs[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateJob, id)
+	}
+	if len(demand) != sc.NumSites() {
+		return fmt.Errorf("scheduler: job %q has %d demand entries for %d sites",
+			id, len(demand), sc.NumSites())
+	}
+	if work != nil && len(work) != sc.NumSites() {
+		return fmt.Errorf("scheduler: job %q has %d work entries for %d sites",
+			id, len(work), sc.NumSites())
+	}
+	for s, d := range demand {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("scheduler: job %q invalid demand %g at site %d", id, d, s)
+		}
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	j := &Job{
+		ID:     id,
+		Weight: weight,
+		Demand: append([]float64(nil), demand...),
+	}
+	if work != nil {
+		j.Remaining = append([]float64(nil), work...)
+	} else {
+		j.Remaining = append([]float64(nil), demand...)
+	}
+	sc.jobs[id] = j
+	sc.order = append(sc.order, id)
+	sc.dirty = true
+	return nil
+}
+
+// RemoveJob deregisters a job (e.g. cancelled).
+func (sc *Scheduler) RemoveJob(id string) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := sc.jobs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	sc.removeLocked(id)
+	sc.dirty = true
+	return nil
+}
+
+func (sc *Scheduler) removeLocked(id string) {
+	delete(sc.jobs, id)
+	delete(sc.shares, id)
+	delete(sc.jobQueue, id)
+	for i, o := range sc.order {
+		if o == id {
+			sc.order = append(sc.order[:i], sc.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReportProgress subtracts completed work per site. The allocation is
+// re-solved only when the demand topology changes — a site's work running
+// out, or the whole job completing — so steady progress does not churn
+// the allocation (hysteresis). It reports whether the job completed.
+func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, err error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	j, ok := sc.jobs[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if len(done) != sc.NumSites() {
+		return false, fmt.Errorf("scheduler: progress has %d entries for %d sites",
+			len(done), sc.NumSites())
+	}
+	const tol = 1e-12
+	anyLeft := false
+	for s, d := range done {
+		if d < 0 {
+			return false, fmt.Errorf("scheduler: negative progress %g at site %d", d, s)
+		}
+		if j.Remaining[s] <= 0 {
+			continue
+		}
+		j.Remaining[s] -= d
+		if j.Remaining[s] <= tol {
+			j.Remaining[s] = 0
+			j.Demand[s] = 0 // site exhausted: topology change
+			sc.dirty = true
+		}
+		if j.Remaining[s] > 0 {
+			anyLeft = true
+		}
+	}
+	if !anyLeft {
+		sc.removeLocked(id)
+		sc.stats.Completed++
+		sc.dirty = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// UpdateWeight changes a job's share weight at runtime (e.g. a priority
+// bump). Weight <= 0 resets to 1.
+func (sc *Scheduler) UpdateWeight(id string, weight float64) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	j, ok := sc.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	if j.Weight != weight {
+		j.Weight = weight
+		sc.dirty = true
+	}
+	return nil
+}
+
+// Shares returns the current per-site share vector of one job, re-solving
+// if the job set changed since the last query.
+func (sc *Scheduler) Shares(id string) ([]float64, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := sc.jobs[id]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if err := sc.solveLocked(); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), sc.shares[id]...), nil
+}
+
+// Allocation returns all current shares keyed by job ID.
+func (sc *Scheduler) Allocation() (map[string][]float64, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.solveLocked(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(sc.shares))
+	for id, sh := range sc.shares {
+		out[id] = append([]float64(nil), sh...)
+	}
+	return out, nil
+}
+
+// Aggregate returns one job's aggregate allocation across sites.
+func (sc *Scheduler) Aggregate(id string) (float64, error) {
+	sh, err := sc.Shares(id)
+	if err != nil {
+		return 0, err
+	}
+	var t float64
+	for _, v := range sh {
+		t += v
+	}
+	return t, nil
+}
+
+// Stats returns activity counters.
+func (sc *Scheduler) Stats() Stats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	st := sc.stats
+	st.Jobs = len(sc.jobs)
+	return st
+}
+
+// Instance materializes the current job set as a core.Instance (insertion
+// order), for inspection or offline analysis.
+func (sc *Scheduler) Instance() *core.Instance {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.instanceLocked()
+}
+
+func (sc *Scheduler) instanceLocked() *core.Instance {
+	in := &core.Instance{
+		SiteCapacity: append([]float64(nil), sc.cfg.SiteCapacity...),
+		Demand:       make([][]float64, len(sc.order)),
+		Work:         make([][]float64, len(sc.order)),
+		Weight:       make([]float64, len(sc.order)),
+		JobName:      append([]string(nil), sc.order...),
+	}
+	for i, id := range sc.order {
+		j := sc.jobs[id]
+		in.Demand[i] = append([]float64(nil), j.Demand...)
+		in.Work[i] = append([]float64(nil), j.Remaining...)
+		in.Weight[i] = j.Weight
+	}
+	return in
+}
+
+func (sc *Scheduler) solveLocked() error {
+	if !sc.dirty {
+		sc.stats.Skipped++
+		return nil
+	}
+	if len(sc.order) == 0 {
+		sc.shares = map[string][]float64{}
+		sc.dirty = false
+		return nil
+	}
+	in := sc.instanceLocked()
+	if sc.queuedLocked() {
+		return sc.solveHierarchicalLocked(in)
+	}
+	alloc, err := sc.cfg.Policy.Allocate(sc.cfg.Solver, in)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	sc.stats.Solves++
+	sc.shares = make(map[string][]float64, len(sc.order))
+	for i, id := range sc.order {
+		sc.shares[id] = append([]float64(nil), alloc.Share[i]...)
+	}
+	sc.dirty = false
+	return nil
+}

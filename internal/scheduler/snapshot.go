@@ -1,0 +1,115 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the serializable state of a controller: the live job set
+// and the declared queues. Configuration (capacities, policy) is not part
+// of the snapshot — it belongs to the deployment, not the state.
+type Snapshot struct {
+	Jobs []Job `json:"jobs"`
+	// Queues maps declared queue names to their weights.
+	Queues map[string]float64 `json:"queues,omitempty"`
+}
+
+// Snapshot captures the current job set for persistence.
+func (sc *Scheduler) Snapshot() Snapshot {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	snap := Snapshot{Jobs: make([]Job, 0, len(sc.order))}
+	if len(sc.queueWeight) > 0 {
+		snap.Queues = make(map[string]float64, len(sc.queueWeight))
+		for q, w := range sc.queueWeight {
+			snap.Queues[q] = w
+		}
+	}
+	for _, id := range sc.order {
+		j := sc.jobs[id]
+		snap.Jobs = append(snap.Jobs, Job{
+			ID:        j.ID,
+			Weight:    j.Weight,
+			Queue:     sc.jobQueue[id],
+			Demand:    append([]float64(nil), j.Demand...),
+			Remaining: append([]float64(nil), j.Remaining...),
+		})
+	}
+	return snap
+}
+
+// Restore replaces the controller's job set with the snapshot's. The
+// snapshot must have been taken from a controller with the same site
+// count. Counters (Stats) are not restored.
+func (sc *Scheduler) Restore(snap Snapshot) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, j := range snap.Jobs {
+		if len(j.Demand) != sc.NumSites() || len(j.Remaining) != sc.NumSites() {
+			return fmt.Errorf("scheduler: snapshot job %q has %d sites, controller has %d",
+				j.ID, len(j.Demand), sc.NumSites())
+		}
+		if j.ID == "" {
+			return fmt.Errorf("scheduler: snapshot contains a job without an ID")
+		}
+	}
+	seen := map[string]bool{}
+	for _, j := range snap.Jobs {
+		if seen[j.ID] {
+			return fmt.Errorf("scheduler: snapshot contains duplicate job %q", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Queue != "" {
+			if _, ok := snap.Queues[j.Queue]; !ok {
+				return fmt.Errorf("scheduler: snapshot job %q references undeclared queue %q",
+					j.ID, j.Queue)
+			}
+		}
+	}
+	sc.jobs = make(map[string]*Job, len(snap.Jobs))
+	sc.order = sc.order[:0]
+	sc.shares = map[string][]float64{}
+	sc.jobQueue = map[string]string{}
+	sc.queueWeight = map[string]float64{}
+	for q, w := range snap.Queues {
+		if w <= 0 {
+			w = 1
+		}
+		sc.queueWeight[q] = w
+	}
+	for _, j := range snap.Jobs {
+		w := j.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sc.jobs[j.ID] = &Job{
+			ID:        j.ID,
+			Weight:    w,
+			Demand:    append([]float64(nil), j.Demand...),
+			Remaining: append([]float64(nil), j.Remaining...),
+		}
+		if j.Queue != "" {
+			sc.jobQueue[j.ID] = j.Queue
+		}
+		sc.order = append(sc.order, j.ID)
+	}
+	sc.dirty = true
+	return nil
+}
+
+// WriteSnapshot serializes the controller state as JSON.
+func (sc *Scheduler) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc.Snapshot())
+}
+
+// ReadSnapshot restores controller state from JSON.
+func (sc *Scheduler) ReadSnapshot(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("scheduler: decoding snapshot: %w", err)
+	}
+	return sc.Restore(snap)
+}

@@ -1,0 +1,104 @@
+package scheduler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := newTestScheduler(t, 2, 2)
+	_ = a.AddJob("x", 2, []float64{2, 1}, []float64{5, 3})
+	_ = a.AddJob("y", 1, []float64{1, 1}, nil)
+	_, _ = a.ReportProgress("x", []float64{1, 0})
+
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestScheduler(t, 2, 2)
+	if err := b.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The restored controller produces the same allocation.
+	ax, err := a.Shares("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := b.Shares("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range ax {
+		if ax[s] != bx[s] {
+			t.Fatalf("restored shares differ at site %d: %g vs %g", s, ax[s], bx[s])
+		}
+	}
+	// Remaining work carried over: exhaust it and the job completes.
+	done, err := b.ReportProgress("x", []float64{4, 3})
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v (remaining work not restored)", done, err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	sc := newTestScheduler(t, 2)
+	if err := sc.Restore(Snapshot{Jobs: []Job{{ID: "a", Demand: []float64{1}, Remaining: []float64{1, 2}}}}); err == nil {
+		t.Fatal("mismatched sites accepted")
+	}
+	if err := sc.Restore(Snapshot{Jobs: []Job{{Demand: []float64{1, 1}, Remaining: []float64{1, 1}}}}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if err := sc.Restore(Snapshot{Jobs: []Job{
+		{ID: "a", Demand: []float64{1, 1}, Remaining: []float64{1, 1}},
+		{ID: "a", Demand: []float64{1, 1}, Remaining: []float64{1, 1}},
+	}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestRestoreReplacesExistingJobs(t *testing.T) {
+	sc := newTestScheduler(t, 1)
+	_ = sc.AddJob("old", 1, []float64{1}, nil)
+	err := sc.Restore(Snapshot{Jobs: []Job{
+		{ID: "new", Weight: 1, Demand: []float64{1}, Remaining: []float64{1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Shares("old"); err == nil {
+		t.Fatal("old job survived restore")
+	}
+	if _, err := sc.Shares("new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSnapshotMalformed(t *testing.T) {
+	sc := newTestScheduler(t, 1)
+	if err := sc.ReadSnapshot(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}
+
+func TestSnapshotDefaultWeight(t *testing.T) {
+	sc, err := New(Config{SiteCapacity: []float64{2}, Policy: sim.PolicyAMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sc.Restore(Snapshot{Jobs: []Job{
+		{ID: "w0", Weight: 0, Demand: []float64{2}, Remaining: []float64{2}},
+		{ID: "w1", Weight: 1, Demand: []float64{2}, Remaining: []float64{2}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sc.Aggregate("w0")
+	b, _ := sc.Aggregate("w1")
+	if a != b {
+		t.Fatalf("zero weight not defaulted: %g vs %g", a, b)
+	}
+}

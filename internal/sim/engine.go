@@ -1,0 +1,89 @@
+// Package sim provides the evaluation substrate: a discrete-event engine,
+// a fluid multi-site cluster simulator (continuous allocation rates,
+// re-solved at every arrival and completion) and a slot-granular task
+// simulator (integral slots, non-preemptive tasks) that cross-checks the
+// fluid results. Both execute any of the allocation policies from
+// internal/core over online job streams from internal/workload.
+package sim
+
+import "container/heap"
+
+// Engine is a minimal discrete-event simulator: schedule closures at
+// absolute times, run them in order. Ties run in scheduling order.
+type Engine struct {
+	now float64
+	seq int64
+	h   eventHeap
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.h) }
+
+// Schedule runs fn at the given absolute time. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now {
+		panic("sim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.h, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step runs the next event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.h).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains all events (including those scheduled while running).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events up to and including time t; later events stay
+// queued and the clock advances to at most t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.h) > 0 && e.h[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// JobRecord is the per-job outcome of a simulation run.
+type JobRecord struct {
+	ID         int
+	Arrival    float64
+	Completion float64
+	TotalWork  float64
+	NumTasks   int
+	Weight     float64
+}
+
+// JCT reports the job's completion time (response time).
+func (r JobRecord) JCT() float64 { return r.Completion - r.Arrival }
+
+// FluidConfig parameterizes the fluid simulator.
+type FluidConfig struct {
+	// SiteCapacity is the per-site resource capacity.
+	SiteCapacity []float64
+	// Policy is the allocation discipline applied on every event.
+	Policy Policy
+	// Solver overrides the default core solver (optional).
+	Solver *core.Solver
+	// MaxEvents bounds the number of re-allocation events as a safety
+	// valve (default: 1000 + 100 per job).
+	MaxEvents int
+	// ReallocInterval > 0 switches from event-driven re-allocation to a
+	// periodic grid: the allocator runs only at multiples of the interval
+	// (plus arrivals/admissions); rates go stale in between, and a job
+	// portion that empties simply stops consuming until the next solve.
+	// This models schedulers that batch allocation decisions and is the
+	// staleness ablation of the evaluation.
+	ReallocInterval float64
+}
+
+// FluidResult aggregates a fluid run.
+type FluidResult struct {
+	Jobs []JobRecord
+	// Utilization is the time-averaged fraction of total capacity in use
+	// between time 0 and the makespan.
+	Utilization float64
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// Reallocations counts allocator invocations.
+	Reallocations int
+	// FairnessAvg is the time-averaged Jain index of the active jobs'
+	// weight-normalized aggregate rates, taken over intervals with at
+	// least two active jobs (1 if there are none): the online counterpart
+	// of the paper's allocation-balance metric.
+	FairnessAvg float64
+}
+
+// fluidJob is the in-flight state of one job.
+type fluidJob struct {
+	job      *workload.Job
+	rem      []float64 // remaining work per site
+	parallel []float64 // max useful parallelism per site (task counts)
+	share    []float64 // current rates
+}
+
+// RunFluid executes the job stream under the fluid model: each active job
+// receives a continuous rate per site from the policy; rates change only
+// at arrivals and (portion) completions, where the allocator is re-run on
+// the remaining work. Completion times are exact for the fluid dynamics.
+func RunFluid(cfg FluidConfig, jobs []workload.Job) (FluidResult, error) {
+	m := len(cfg.SiteCapacity)
+	if m == 0 {
+		return FluidResult{}, fmt.Errorf("sim: no sites")
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 1000 + 100*len(jobs)
+	}
+
+	pending := make([]*workload.Job, len(jobs))
+	for i := range jobs {
+		pending[i] = &jobs[i]
+	}
+	sort.SliceStable(pending, func(a, b int) bool {
+		return pending[a].Arrival < pending[b].Arrival
+	})
+
+	var totalCap float64
+	for _, c := range cfg.SiteCapacity {
+		totalCap += c
+	}
+	scale := 1.0
+	for _, j := range jobs {
+		scale = math.Max(scale, j.TotalWork())
+	}
+	workTol := 1e-9 * scale
+
+	var (
+		active    []*fluidJob
+		records   []JobRecord
+		now       float64
+		busyInt   float64 // integral of allocated capacity over time
+		jainInt   float64 // integral of instantaneous Jain over contention time
+		jainDur   float64 // total time with >= 2 active jobs
+		reallocs  int
+		nextIndex int
+		needSolve = true
+		nextSolve float64
+	)
+	periodic := cfg.ReallocInterval > 0
+
+	admit := func() {
+		for nextIndex < len(pending) && pending[nextIndex].Arrival <= now+workTol {
+			j := pending[nextIndex]
+			nextIndex++
+			if j.TotalWork() <= workTol {
+				// Nothing to execute: completes on arrival.
+				records = append(records, JobRecord{
+					ID: j.ID, Arrival: j.Arrival, Completion: j.Arrival,
+					NumTasks: len(j.Tasks), Weight: j.Weight,
+				})
+				continue
+			}
+			active = append(active, &fluidJob{
+				job:      j,
+				rem:      j.WorkBySite(m),
+				parallel: j.TasksBySite(m),
+				share:    make([]float64, m),
+			})
+		}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 10*maxEvents {
+			return FluidResult{}, fmt.Errorf("sim: exceeded %d loop iterations (livelock?)", 10*maxEvents)
+		}
+		admitted := nextIndex
+		admit()
+		if nextIndex > admitted {
+			needSolve = true
+		}
+		if len(active) == 0 {
+			if nextIndex >= len(pending) {
+				break
+			}
+			now = pending[nextIndex].Arrival
+			continue
+		}
+		if reallocs >= maxEvents {
+			return FluidResult{}, fmt.Errorf("sim: exceeded %d re-allocation events (livelock?)", maxEvents)
+		}
+
+		if !periodic || needSolve || now >= nextSolve-workTol {
+			// Build the residual instance and allocate.
+			in := &core.Instance{
+				SiteCapacity: cfg.SiteCapacity,
+				Demand:       make([][]float64, len(active)),
+				Work:         make([][]float64, len(active)),
+				Weight:       make([]float64, len(active)),
+			}
+			for i, fj := range active {
+				d := make([]float64, m)
+				w := make([]float64, m)
+				for s := 0; s < m; s++ {
+					if fj.rem[s] > workTol {
+						d[s] = fj.parallel[s]
+						w[s] = fj.rem[s]
+					}
+				}
+				in.Demand[i] = d
+				in.Work[i] = w
+				in.Weight[i] = fj.job.Weight
+			}
+			alloc, err := cfg.Policy.Allocate(cfg.Solver, in)
+			if err != nil {
+				return FluidResult{}, fmt.Errorf("sim: allocation failed at t=%g: %v", now, err)
+			}
+			reallocs++
+			needSolve = false
+			nextSolve = now + cfg.ReallocInterval
+			for i, fj := range active {
+				copy(fj.share, alloc.Share[i])
+			}
+		}
+		var used float64
+		for _, fj := range active {
+			for s := 0; s < m; s++ {
+				if fj.rem[s] > workTol {
+					used += fj.share[s]
+				}
+			}
+		}
+		jain := instantJain(active, workTol)
+
+		// Time to the next event: the earliest portion completion, the
+		// next arrival, or (in periodic mode) the next allocation slot.
+		dt := math.Inf(1)
+		if nextIndex < len(pending) {
+			dt = pending[nextIndex].Arrival - now
+		}
+		if periodic {
+			dt = math.Min(dt, nextSolve-now)
+		}
+		for _, fj := range active {
+			for s := 0; s < m; s++ {
+				if fj.rem[s] > workTol && fj.share[s] > 1e-15 {
+					dt = math.Min(dt, fj.rem[s]/fj.share[s])
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// No arrivals left and nobody is making progress.
+			return FluidResult{}, fmt.Errorf("sim: starvation at t=%g with %d active jobs", now, len(active))
+		}
+		if dt < 0 {
+			dt = 0
+		}
+
+		// Advance.
+		now += dt
+		busyInt += used * dt
+		if len(active) >= 2 {
+			jainInt += jain * dt
+			jainDur += dt
+		}
+		keep := active[:0]
+		for _, fj := range active {
+			done := true
+			for s := 0; s < m; s++ {
+				if fj.rem[s] <= workTol {
+					fj.rem[s] = 0
+					continue
+				}
+				fj.rem[s] -= fj.share[s] * dt
+				if fj.rem[s] <= workTol {
+					fj.rem[s] = 0
+				} else {
+					done = false
+				}
+			}
+			if done {
+				records = append(records, JobRecord{
+					ID:         fj.job.ID,
+					Arrival:    fj.job.Arrival,
+					Completion: now,
+					TotalWork:  fj.job.TotalWork(),
+					NumTasks:   len(fj.job.Tasks),
+					Weight:     fj.job.Weight,
+				})
+			} else {
+				keep = append(keep, fj)
+			}
+		}
+		active = keep
+	}
+
+	res := FluidResult{
+		Jobs:          records,
+		Makespan:      now,
+		Reallocations: reallocs,
+		FairnessAvg:   1,
+	}
+	if jainDur > 0 {
+		res.FairnessAvg = jainInt / jainDur
+	}
+	if now > 0 && totalCap > 0 {
+		res.Utilization = busyInt / (totalCap * now)
+	}
+	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].ID < res.Jobs[b].ID })
+	return res, nil
+}
+
+// instantJain computes the Jain index of the active jobs' weight-normalized
+// aggregate rates, counting only rates serving outstanding work.
+func instantJain(active []*fluidJob, workTol float64) float64 {
+	if len(active) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, fj := range active {
+		var rate float64
+		for s, r := range fj.share {
+			if fj.rem[s] > workTol {
+				rate += r
+			}
+		}
+		w := fj.job.Weight
+		if w <= 0 {
+			w = 1
+		}
+		rate /= w
+		sum += rate
+		sq += rate * rate
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(active)) * sq)
+}

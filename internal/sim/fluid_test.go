@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func singleTaskJob(id int, arrival float64, site int, dur float64) workload.Job {
+	return workload.Job{
+		ID: id, Arrival: arrival, Weight: 1,
+		Tasks: []workload.Task{{Site: site, Duration: dur}},
+	}
+}
+
+func TestFluidSingleJob(t *testing.T) {
+	jobs := []workload.Job{singleTaskJob(0, 0, 0, 4)}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 {
+		t.Fatalf("completed %d jobs", len(res.Jobs))
+	}
+	// One task, parallelism 1, capacity 1: completes at t=4.
+	if math.Abs(res.Jobs[0].JCT()-4) > 1e-6 {
+		t.Fatalf("JCT %g, want 4", res.Jobs[0].JCT())
+	}
+	if math.Abs(res.Makespan-4) > 1e-6 {
+		t.Fatalf("makespan %g", res.Makespan)
+	}
+	if math.Abs(res.Utilization-1) > 1e-6 {
+		t.Fatalf("utilization %g, want 1", res.Utilization)
+	}
+}
+
+func TestFluidTwoJobsShareSite(t *testing.T) {
+	// Two single-task jobs on one unit-capacity site. Each task is one unit
+	// of parallelism, so each runs at rate 0.5 until both finish at t=2
+	// under max-min sharing (fluid processor sharing).
+	jobs := []workload.Job{
+		singleTaskJob(0, 0, 0, 1),
+		singleTaskJob(1, 0, 0, 1),
+	}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Jobs {
+		if math.Abs(r.JCT()-2) > 1e-6 {
+			t.Fatalf("job %d JCT %g, want 2", r.ID, r.JCT())
+		}
+	}
+}
+
+func TestFluidLateArrival(t *testing.T) {
+	// Job 0 runs alone until t=1, then shares; both at rate 0.5 after.
+	// Job 0 has 2 units: finishes 1 + 1/0.5... it has 1 unit left at t=1,
+	// runs at 0.5 -> done at t=3. Job 1 has 1 unit at 0.5 -> would finish
+	// at 3 too; at t=3 both complete.
+	jobs := []workload.Job{
+		singleTaskJob(0, 0, 0, 2),
+		singleTaskJob(1, 1, 0, 1),
+	}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].Completion-3) > 1e-6 {
+		t.Fatalf("job 0 completes at %g, want 3", res.Jobs[0].Completion)
+	}
+	if math.Abs(res.Jobs[1].Completion-3) > 1e-6 {
+		t.Fatalf("job 1 completes at %g, want 3", res.Jobs[1].Completion)
+	}
+}
+
+func TestFluidParallelismCap(t *testing.T) {
+	// One job with a single task on a capacity-4 site: its parallelism is
+	// 1, so it runs at rate 1 despite the spare capacity.
+	jobs := []workload.Job{singleTaskJob(0, 0, 0, 2)}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{4}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].JCT()-2) > 1e-6 {
+		t.Fatalf("JCT %g, want 2 (parallelism cap ignored?)", res.Jobs[0].JCT())
+	}
+}
+
+func TestFluidMultiSiteJob(t *testing.T) {
+	// A job with one task at each of two sites completes when the slower
+	// portion does.
+	jobs := []workload.Job{{
+		ID: 0, Weight: 1,
+		Tasks: []workload.Task{{Site: 0, Duration: 1}, {Site: 1, Duration: 3}},
+	}}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1, 1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].JCT()-3) > 1e-6 {
+		t.Fatalf("JCT %g, want 3", res.Jobs[0].JCT())
+	}
+}
+
+func TestFluidAllPoliciesComplete(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1.5, NumJobs: 30, Skew: 1, TasksPerJobMean: 4,
+		TaskDurationMean: 0.5, Seed: 31,
+	})
+	for _, p := range Policies() {
+		res, err := RunFluid(FluidConfig{
+			SiteCapacity: []float64{3, 3, 3}, Policy: p,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Fatalf("%s: %d of %d jobs completed", p, len(res.Jobs), len(jobs))
+		}
+		for _, r := range res.Jobs {
+			if r.Completion < r.Arrival-1e-9 {
+				t.Fatalf("%s: job %d completed before arrival", p, r.ID)
+			}
+		}
+		if res.Utilization < 0 || res.Utilization > 1+1e-9 {
+			t.Fatalf("%s: utilization %g", p, res.Utilization)
+		}
+	}
+}
+
+func TestFluidDeterministic(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 1, NumJobs: 15, Seed: 37,
+	})
+	r1, err := RunFluid(FluidConfig{SiteCapacity: []float64{2, 2}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFluid(FluidConfig{SiteCapacity: []float64{2, 2}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Completion != r2.Jobs[i].Completion {
+			t.Fatal("fluid sim not deterministic")
+		}
+	}
+}
+
+func TestFluidZeroTaskJob(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 0, Arrival: 1, Weight: 1}, // no tasks
+		singleTaskJob(1, 0, 0, 1),
+	}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("completed %d jobs", len(res.Jobs))
+	}
+	if res.Jobs[0].JCT() > 1e-9 {
+		t.Fatalf("empty job JCT %g", res.Jobs[0].JCT())
+	}
+}
+
+func TestFluidNoSitesError(t *testing.T) {
+	if _, err := RunFluid(FluidConfig{Policy: PolicyAMF}, nil); err == nil {
+		t.Fatal("expected error with no sites")
+	}
+}
+
+func TestFluidConservesWork(t *testing.T) {
+	// Busy integral equals total work executed.
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 2, NumJobs: 20, TasksPerJobMean: 3, Seed: 41,
+	})
+	var total float64
+	for i := range jobs {
+		total += jobs[i].TotalWork()
+	}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{2, 2}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Utilization * 4 * res.Makespan
+	if math.Abs(got-total) > 1e-6*(1+total) {
+		t.Fatalf("busy integral %g, total work %g", got, total)
+	}
+}
+
+func TestFluidPSMMFvsAMFPinnedJob(t *testing.T) {
+	// The paper's motivating scenario in miniature: a pinned job contests
+	// site 0 with a flexible job. Under AMF the flexible job is pushed to
+	// site 1, so the pinned job finishes sooner than under PS-MMF.
+	mk := func() []workload.Job {
+		flexible := workload.Job{ID: 0, Weight: 1}
+		pinned := workload.Job{ID: 1, Weight: 1}
+		for i := 0; i < 4; i++ {
+			flexible.Tasks = append(flexible.Tasks,
+				workload.Task{Site: 0, Duration: 1},
+				workload.Task{Site: 1, Duration: 1})
+			pinned.Tasks = append(pinned.Tasks,
+				workload.Task{Site: 0, Duration: 1})
+		}
+		return []workload.Job{flexible, pinned}
+	}
+	amf, err := RunFluid(FluidConfig{SiteCapacity: []float64{1, 1}, Policy: PolicyAMF}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := RunFluid(FluidConfig{SiteCapacity: []float64{1, 1}, Policy: PolicyPSMMF}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under PS-MMF the flexible job takes half of site 0 while also owning
+	// site 1, so the pinned job needs 8 time units. AMF routes the flexible
+	// job to site 1, halving the pinned job's completion time.
+	if math.Abs(ps.Jobs[1].JCT()-8) > 1e-6 {
+		t.Fatalf("pinned job under PS-MMF: JCT %g, want 8", ps.Jobs[1].JCT())
+	}
+	if math.Abs(amf.Jobs[1].JCT()-4) > 1e-6 {
+		t.Fatalf("pinned job under AMF: JCT %g, want 4", amf.Jobs[1].JCT())
+	}
+	if amf.Jobs[0].JCT() > ps.Jobs[0].JCT()+1e-6 {
+		t.Fatalf("flexible job worsened: AMF %g vs PS-MMF %g",
+			amf.Jobs[0].JCT(), ps.Jobs[0].JCT())
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"repro/internal/stats"
+)
+
+// JCTs extracts the completion-time vector of a job record set.
+func JCTs(jobs []JobRecord) []float64 {
+	out := make([]float64, len(jobs))
+	for i, r := range jobs {
+		out[i] = r.JCT()
+	}
+	return out
+}
+
+// MeanJCT reports the average completion time.
+func MeanJCT(jobs []JobRecord) float64 { return stats.Mean(JCTs(jobs)) }
+
+// PercentileJCT reports the p-th percentile completion time.
+func PercentileJCT(jobs []JobRecord, p float64) float64 {
+	return stats.Percentile(JCTs(jobs), p)
+}
+
+// Slowdowns normalizes each job's JCT by a caller-supplied ideal time
+// (e.g. its critical path under unlimited resources), yielding the
+// slowdown distribution. Jobs whose ideal time is non-positive are
+// skipped.
+func Slowdowns(jobs []JobRecord, ideal func(JobRecord) float64) []float64 {
+	var out []float64
+	for _, r := range jobs {
+		base := ideal(r)
+		if base <= 0 {
+			continue
+		}
+		out = append(out, r.JCT()/base)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Policy selects the allocation discipline the simulated scheduler applies
+// whenever the active job set changes.
+type Policy int
+
+const (
+	// PolicyAMF applies aggregate max-min fairness (the paper's proposal).
+	PolicyAMF Policy = iota
+	// PolicyAMFJCT applies AMF plus the completion-time add-on.
+	PolicyAMFJCT
+	// PolicyEnhancedAMF applies the sharing-incentive-preserving variant.
+	PolicyEnhancedAMF
+	// PolicyPSMMF applies the per-site max-min baseline.
+	PolicyPSMMF
+)
+
+// Policies lists all policies in presentation order.
+func Policies() []Policy {
+	return []Policy{PolicyPSMMF, PolicyAMF, PolicyAMFJCT, PolicyEnhancedAMF}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyAMF:
+		return "amf"
+	case PolicyAMFJCT:
+		return "amf+jct"
+	case PolicyEnhancedAMF:
+		return "amf-enhanced"
+	case PolicyPSMMF:
+		return "psmmf"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the String form back into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown policy %q", s)
+}
+
+// Allocate computes the policy's allocation for the instance.
+func (p Policy) Allocate(sv *core.Solver, in *core.Instance) (*core.Allocation, error) {
+	if sv == nil {
+		sv = core.NewSolver()
+	}
+	switch p {
+	case PolicyAMF:
+		return sv.AMF(in)
+	case PolicyAMFJCT:
+		return sv.AMFWithJCT(in)
+	case PolicyEnhancedAMF:
+		return sv.EnhancedAMF(in)
+	case PolicyPSMMF:
+		return core.PerSiteMMF(in), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %d", int(p))
+	}
+}

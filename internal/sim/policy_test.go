@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPolicyStringsRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %s -> %s", p, got)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy parsed")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}
+
+func TestPolicyAllocateDispatch(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	for _, p := range Policies() {
+		a, err := p.Allocate(nil, in)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := a.CheckFeasible(1e-6); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		// Symmetric instance: both jobs must get 1 under every policy.
+		for j := 0; j < 2; j++ {
+			if d := a.Aggregate(j) - 1; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("%s: job %d aggregate %g, want 1", p, j, a.Aggregate(j))
+			}
+		}
+	}
+	if _, err := Policy(99).Allocate(nil, in); err == nil {
+		t.Fatal("unknown policy allocated")
+	}
+}
+
+func TestPolicyAllocateCustomSolver(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	sv := &core.Solver{Method: core.MethodBisect}
+	a, err := PolicyAMF.Allocate(sv, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	jobs := []JobRecord{
+		{ID: 0, Arrival: 0, Completion: 4, TotalWork: 2},
+		{ID: 1, Arrival: 0, Completion: 1, TotalWork: 0}, // skipped
+	}
+	out := Slowdowns(jobs, func(r JobRecord) float64 { return r.TotalWork })
+	if len(out) != 1 || out[0] != 2 {
+		t.Fatalf("slowdowns %v", out)
+	}
+}
+
+func TestJCTHelpers(t *testing.T) {
+	jobs := []JobRecord{
+		{Arrival: 0, Completion: 2},
+		{Arrival: 1, Completion: 5},
+	}
+	v := JCTs(jobs)
+	if v[0] != 2 || v[1] != 4 {
+		t.Fatalf("JCTs %v", v)
+	}
+	if MeanJCT(jobs) != 3 {
+		t.Fatalf("mean %g", MeanJCT(jobs))
+	}
+	if PercentileJCT(jobs, 100) != 4 {
+		t.Fatalf("p100 %g", PercentileJCT(jobs, 100))
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPreemptiveReclaimsSlots(t *testing.T) {
+	// Job 0 grabs both slots with long tasks; job 1 arrives at t=1.
+	// Non-preemptive: job 1 waits until t=4. Preemptive: one of job 0's
+	// tasks is checkpointed immediately and job 1 starts at t=1.
+	mk := func() []workload.Job {
+		return []workload.Job{
+			{ID: 0, Weight: 1, Tasks: []workload.Task{
+				{Site: 0, Duration: 4}, {Site: 0, Duration: 4},
+			}},
+			{ID: 1, Arrival: 1, Weight: 1, Tasks: []workload.Task{
+				{Site: 0, Duration: 1},
+			}},
+		}
+	}
+	nonp, err := RunSlots(SlotConfig{SlotsPerSite: []int{2}, Policy: PolicyAMF}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := RunSlots(SlotConfig{SlotsPerSite: []int{2}, Policy: PolicyAMF, Preemptive: true}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nonp.Jobs[1].Completion-5) > 1e-9 {
+		t.Fatalf("non-preemptive late job completes at %g, want 5", nonp.Jobs[1].Completion)
+	}
+	if math.Abs(pre.Jobs[1].Completion-2) > 1e-9 {
+		t.Fatalf("preemptive late job completes at %g, want 2", pre.Jobs[1].Completion)
+	}
+}
+
+func TestPreemptiveConservesWork(t *testing.T) {
+	// Checkpointing must not lose or duplicate work: job 0's preempted
+	// task resumes with its remainder, so its completion is exactly the
+	// fair-share outcome.
+	jobs := []workload.Job{
+		{ID: 0, Weight: 1, Tasks: []workload.Task{
+			{Site: 0, Duration: 4}, {Site: 0, Duration: 4},
+		}},
+		{ID: 1, Arrival: 1, Weight: 1, Tasks: []workload.Task{
+			{Site: 0, Duration: 1},
+		}},
+	}
+	pre, err := RunSlots(SlotConfig{SlotsPerSite: []int{2}, Policy: PolicyAMF, Preemptive: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total work = 9 slot-units on 2 slots; busy time integral must match.
+	totalWork := 9.0
+	busy := pre.Utilization * 2 * pre.Makespan
+	if math.Abs(busy-totalWork) > 1e-6 {
+		t.Fatalf("busy integral %g, want %g (work lost or duplicated)", busy, totalWork)
+	}
+	// Job 0: task A runs 0..4; task B runs 0..1, is checkpointed with 3
+	// units left, resumes at t=2 when job 1 finishes, and completes at 5
+	// (tasks are atomic, so the remainder cannot spread over both slots).
+	if math.Abs(pre.Jobs[0].Completion-5) > 1e-9 {
+		t.Fatalf("job 0 completes at %g, want 5", pre.Jobs[0].Completion)
+	}
+}
+
+func TestPreemptiveAllJobsComplete(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1, NumJobs: 30, Skew: 1.2, PerJobSkew: true,
+		TasksPerJobMean: 5, TaskDurationMean: 0.8, Seed: 73,
+	})
+	for _, p := range []Policy{PolicyPSMMF, PolicyAMF} {
+		res, err := RunSlots(SlotConfig{
+			SlotsPerSite: []int{3, 3, 3}, Policy: p, Preemptive: true,
+		}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Fatalf("%s: %d of %d completed", p, len(res.Jobs), len(jobs))
+		}
+		total := 0
+		for i := range jobs {
+			total += len(jobs[i].Tasks)
+		}
+		if res.TasksStarted < total {
+			t.Fatalf("%s: started %d below task count %d", p, res.TasksStarted, total)
+		}
+	}
+}
+
+func TestPreemptiveTracksFluidCloser(t *testing.T) {
+	// Preemption removes the drain lag, so slot-granular mean JCT should
+	// sit at least as close to the fluid model as the non-preemptive run
+	// (allowing a little noise).
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 0.8, NumJobs: 25, Skew: 1, PerJobSkew: true,
+		TasksPerJobMean: 6, Seed: 79,
+	})
+	fl, err := RunFluid(FluidConfig{SiteCapacity: []float64{4, 4}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonp, err := RunSlots(SlotConfig{SlotsPerSite: []int{4, 4}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := RunSlots(SlotConfig{SlotsPerSite: []int{4, 4}, Policy: PolicyAMF, Preemptive: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := MeanJCT(fl.Jobs)
+	gapNon := math.Abs(MeanJCT(nonp.Jobs) - fm)
+	gapPre := math.Abs(MeanJCT(pre.Jobs) - fm)
+	if gapPre > gapNon*1.25+0.1 {
+		t.Fatalf("preemptive gap %g much worse than non-preemptive %g (fluid %g)",
+			gapPre, gapNon, fm)
+	}
+}
+
+func TestPreemptiveDeterministic(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 1, NumJobs: 15, Seed: 83,
+	})
+	r1, err := RunSlots(SlotConfig{SlotsPerSite: []int{2, 2}, Policy: PolicyAMF, Preemptive: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSlots(SlotConfig{SlotsPerSite: []int{2, 2}, Policy: PolicyAMF, Preemptive: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Completion != r2.Jobs[i].Completion {
+			t.Fatal("preemptive sim not deterministic")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPeriodicReallocFewerSolves(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1, NumJobs: 25, Skew: 1, PerJobSkew: true,
+		TasksPerJobMean: 5, Seed: 61,
+	})
+	event, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{3, 3, 3}, Policy: PolicyAMF,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{3, 3, 3}, Policy: PolicyAMF,
+		ReallocInterval: 5,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Reallocations >= event.Reallocations {
+		t.Fatalf("periodic solves %d not below event-driven %d",
+			periodic.Reallocations, event.Reallocations)
+	}
+	if len(periodic.Jobs) != len(jobs) {
+		t.Fatalf("periodic completed %d of %d jobs", len(periodic.Jobs), len(jobs))
+	}
+}
+
+func TestPeriodicReallocStalenessCostsJCT(t *testing.T) {
+	// Stale rates waste freed capacity, so mean JCT should not improve
+	// with a coarse grid (it typically worsens).
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1.5, NumJobs: 40, Skew: 1.2, PerJobSkew: true,
+		TasksPerJobMean: 6, Seed: 67,
+	})
+	event, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{3, 3, 3}, Policy: PolicyAMF,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{3, 3, 3}, Policy: PolicyAMF,
+		ReallocInterval: 10,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanJCT(coarse.Jobs) < MeanJCT(event.Jobs)*0.98 {
+		t.Fatalf("coarse grid beat event-driven: %g vs %g",
+			MeanJCT(coarse.Jobs), MeanJCT(event.Jobs))
+	}
+}
+
+func TestPeriodicReallocConvergesToEventDriven(t *testing.T) {
+	// A very fine grid approximates event-driven completion times.
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 0.8, NumJobs: 15, Skew: 1, PerJobSkew: true,
+		TasksPerJobMean: 4, Seed: 71,
+	})
+	event, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{2, 2}, Policy: PolicyAMF,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := RunFluid(FluidConfig{
+		SiteCapacity: []float64{2, 2}, Policy: PolicyAMF,
+		ReallocInterval: 0.05,
+		MaxEvents:       100000,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, fm := MeanJCT(event.Jobs), MeanJCT(fine.Jobs)
+	if math.Abs(em-fm) > em*0.15 {
+		t.Fatalf("fine grid diverges: %g vs %g", fm, em)
+	}
+}
+
+func TestPeriodicNoStarvationWhenStalled(t *testing.T) {
+	// A single job whose only allocated portion empties mid-interval must
+	// wait for the grid, not trigger the starvation error.
+	jobs := []workload.Job{{
+		ID: 0, Weight: 1,
+		Tasks: []workload.Task{
+			{Site: 0, Duration: 1},
+			{Site: 1, Duration: 1},
+		},
+	}}
+	res, err := RunFluid(FluidConfig{
+		SiteCapacity:    []float64{1, 1},
+		Policy:          PolicyAMF,
+		ReallocInterval: 4,
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 {
+		t.Fatal("job did not complete")
+	}
+}
+
+func TestFairnessAvgAMFAboveBaseline(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1.5, NumJobs: 40, Skew: 1.5, PerJobSkew: true,
+		TasksPerJobMean: 6, SitesPerJobMax: 2, Seed: 91,
+	})
+	amf, err := RunFluid(FluidConfig{SiteCapacity: []float64{3, 3, 3}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := RunFluid(FluidConfig{SiteCapacity: []float64{3, 3, 3}, Policy: PolicyPSMMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amf.FairnessAvg <= ps.FairnessAvg {
+		t.Fatalf("AMF online fairness %g not above PS-MMF %g",
+			amf.FairnessAvg, ps.FairnessAvg)
+	}
+	if amf.FairnessAvg <= 0 || amf.FairnessAvg > 1+1e-9 {
+		t.Fatalf("fairness out of range: %g", amf.FairnessAvg)
+	}
+}
+
+func TestFairnessAvgSingleJobIsOne(t *testing.T) {
+	jobs := []workload.Job{{
+		ID: 0, Weight: 1,
+		Tasks: []workload.Task{{Site: 0, Duration: 2}},
+	}}
+	res, err := RunFluid(FluidConfig{SiteCapacity: []float64{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairnessAvg != 1 {
+		t.Fatalf("single-job fairness %g, want 1", res.FairnessAvg)
+	}
+}

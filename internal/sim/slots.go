@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// SlotConfig parameterizes the slot-granular task simulator.
+type SlotConfig struct {
+	// SlotsPerSite is the integral slot count of each site.
+	SlotsPerSite []int
+	// Policy decides each job's slot quota whenever the cluster state
+	// changes.
+	Policy Policy
+	// Solver overrides the default core solver (optional).
+	Solver *core.Solver
+	// Preemptive lets the scheduler stop running tasks of jobs above their
+	// quota (checkpointing semantics: a preempted task keeps its remaining
+	// duration and is requeued). Without it, quota changes only take
+	// effect as tasks drain — the realistic default.
+	Preemptive bool
+}
+
+// SlotResult aggregates a slot-granular run.
+type SlotResult struct {
+	Jobs []JobRecord
+	// Utilization is the time-averaged fraction of slots busy until the
+	// makespan.
+	Utilization float64
+	Makespan    float64
+	// TasksStarted counts task launches. Without preemption it equals the
+	// total task count on a successful run; with preemption, restarts of
+	// checkpointed tasks count again.
+	TasksStarted int
+}
+
+// runningTask tracks one occupied slot; preemption cancels the pending
+// finish event via the cancelled flag.
+type runningTask struct {
+	finish    float64
+	cancelled bool
+}
+
+type slotJob struct {
+	job     *workload.Job
+	pending [][]float64      // per site: stack of pending task durations
+	running []int            // per site: running task count
+	run     [][]*runningTask // per site: running task records
+	left    int              // tasks not yet finished
+}
+
+// RunSlots executes the job stream on integral slots: the policy's
+// fractional allocation is rounded to per-site slot quotas (largest
+// remainder) and free slots are handed to the jobs furthest below quota.
+// By default tasks run to completion, so quota changes take effect as
+// running tasks drain — the behaviour of a real cluster scheduler, which
+// is exactly the discretization the fluid model ignores; with
+// SlotConfig.Preemptive the scheduler instead stops over-quota tasks and
+// requeues their remainders (checkpointing).
+func RunSlots(cfg SlotConfig, jobs []workload.Job) (result SlotResult, err error) {
+	// The scheduler body reports allocator failures by panicking out of
+	// event closures; convert those to errors at the boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: %v", r)
+		}
+	}()
+	m := len(cfg.SlotsPerSite)
+	if m == 0 {
+		return SlotResult{}, fmt.Errorf("sim: no sites")
+	}
+	for s, c := range cfg.SlotsPerSite {
+		if c < 0 {
+			return SlotResult{}, fmt.Errorf("sim: negative slot count at site %d", s)
+		}
+	}
+
+	eng := NewEngine()
+	var (
+		active   []*slotJob
+		records  []JobRecord
+		busy     int
+		busyInt  float64
+		lastTime float64
+		started  int
+	)
+	totalSlots := 0
+	for _, c := range cfg.SlotsPerSite {
+		totalSlots += c
+	}
+	free := append([]int(nil), cfg.SlotsPerSite...)
+
+	accountTime := func() {
+		now := eng.Now()
+		busyInt += float64(busy) * (now - lastTime)
+		lastTime = now
+	}
+
+	var reschedule func()
+
+	finishTask := func(sj *slotJob, s int, task *runningTask) func() {
+		return func() {
+			if task.cancelled {
+				return // preempted; the slot was freed at preemption time
+			}
+			accountTime()
+			busy--
+			free[s]++
+			sj.running[s]--
+			for i, rt := range sj.run[s] {
+				if rt == task {
+					sj.run[s] = append(sj.run[s][:i], sj.run[s][i+1:]...)
+					break
+				}
+			}
+			sj.left--
+			if sj.left == 0 {
+				records = append(records, JobRecord{
+					ID:         sj.job.ID,
+					Arrival:    sj.job.Arrival,
+					Completion: eng.Now(),
+					TotalWork:  sj.job.TotalWork(),
+					NumTasks:   len(sj.job.Tasks),
+					Weight:     sj.job.Weight,
+				})
+				for i, a := range active {
+					if a == sj {
+						active = append(active[:i], active[i+1:]...)
+						break
+					}
+				}
+			}
+			reschedule()
+		}
+	}
+
+	startTask := func(sj *slotJob, s int) {
+		n := len(sj.pending[s])
+		d := sj.pending[s][n-1]
+		sj.pending[s] = sj.pending[s][:n-1]
+		task := &runningTask{finish: eng.Now() + d}
+		sj.running[s]++
+		sj.run[s] = append(sj.run[s], task)
+		free[s]--
+		busy++
+		started++
+		eng.Schedule(task.finish, finishTask(sj, s, task))
+	}
+
+	// preempt stops the running task of sj at site s with the most
+	// remaining time, requeueing its remainder (checkpoint semantics).
+	preempt := func(sj *slotJob, s int) {
+		best := -1
+		for i, rt := range sj.run[s] {
+			if best < 0 || rt.finish > sj.run[s][best].finish {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		rt := sj.run[s][best]
+		rt.cancelled = true
+		sj.run[s] = append(sj.run[s][:best], sj.run[s][best+1:]...)
+		sj.running[s]--
+		sj.pending[s] = append(sj.pending[s], rt.finish-eng.Now())
+		busy--
+		free[s]++
+	}
+
+	reschedule = func() {
+		if len(active) == 0 {
+			return
+		}
+		// Build the residual instance: demand = outstanding task count,
+		// work = pending durations + remaining run time.
+		now := eng.Now()
+		in := &core.Instance{
+			SiteCapacity: make([]float64, m),
+			Demand:       make([][]float64, len(active)),
+			Work:         make([][]float64, len(active)),
+			Weight:       make([]float64, len(active)),
+		}
+		for s := 0; s < m; s++ {
+			in.SiteCapacity[s] = float64(cfg.SlotsPerSite[s])
+		}
+		for i, sj := range active {
+			d := make([]float64, m)
+			w := make([]float64, m)
+			for s := 0; s < m; s++ {
+				d[s] = float64(len(sj.pending[s]) + sj.running[s])
+				w[s] = 0
+				for _, dur := range sj.pending[s] {
+					w[s] += dur
+				}
+				for _, rt := range sj.run[s] {
+					w[s] += rt.finish - now
+				}
+			}
+			in.Demand[i] = d
+			in.Work[i] = w
+			in.Weight[i] = sj.job.Weight
+		}
+		alloc, err := cfg.Policy.Allocate(cfg.Solver, in)
+		if err != nil {
+			panic(fmt.Sprintf("sim: slot allocation failed at t=%g: %v", now, err))
+		}
+		// Round per site to integral quotas, then hand out free slots by
+		// largest deficit.
+		for s := 0; s < m; s++ {
+			quota := roundQuotas(alloc, active, s, cfg.SlotsPerSite[s])
+			if cfg.Preemptive {
+				accountTime()
+				for i, sj := range active {
+					for sj.running[s] > quota[i] {
+						preempt(sj, s)
+					}
+				}
+			}
+			for free[s] > 0 {
+				best := -1
+				bestDef := 0
+				for i, sj := range active {
+					def := quota[i] - sj.running[s]
+					if def > bestDef && len(sj.pending[s]) > 0 {
+						best, bestDef = i, def
+					}
+				}
+				if best < 0 {
+					// Work-conserving backfill: quotas may round to zero
+					// while tasks still wait; give the slot to any job with
+					// pending work.
+					for i, sj := range active {
+						if len(sj.pending[s]) > 0 {
+							best = i
+							break
+						}
+					}
+					_ = bestDef
+				}
+				if best < 0 {
+					break
+				}
+				startTask(active[best], s)
+			}
+		}
+	}
+
+	// Schedule arrivals.
+	ordered := make([]*workload.Job, len(jobs))
+	for i := range jobs {
+		ordered[i] = &jobs[i]
+	}
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
+	for _, j := range ordered {
+		j := j
+		eng.Schedule(j.Arrival, func() {
+			accountTime()
+			sj := &slotJob{
+				job:     j,
+				pending: make([][]float64, m),
+				running: make([]int, m),
+				run:     make([][]*runningTask, m),
+				left:    len(j.Tasks),
+			}
+			for _, t := range j.Tasks {
+				sj.pending[t.Site] = append(sj.pending[t.Site], t.Duration)
+			}
+			if sj.left == 0 {
+				records = append(records, JobRecord{
+					ID: j.ID, Arrival: j.Arrival, Completion: j.Arrival,
+					Weight: j.Weight,
+				})
+				return
+			}
+			active = append(active, sj)
+			reschedule()
+		})
+	}
+
+	eng.Run()
+	res := SlotResult{
+		Jobs:         records,
+		Makespan:     eng.Now(),
+		TasksStarted: started,
+	}
+	if eng.Now() > 0 && totalSlots > 0 {
+		res.Utilization = busyInt / (float64(totalSlots) * eng.Now())
+	}
+	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].ID < res.Jobs[b].ID })
+	if remaining := len(jobs) - len(res.Jobs); remaining != 0 {
+		return res, fmt.Errorf("sim: %d jobs never completed", remaining)
+	}
+	return res, nil
+}
+
+// roundQuotas converts fractional shares at site s into integer quotas
+// summing to at most the slot count, using largest remainders.
+func roundQuotas(alloc *core.Allocation, active []*slotJob, s, slots int) []int {
+	n := len(active)
+	quota := make([]int, n)
+	type frac struct {
+		idx int
+		f   float64
+	}
+	var fracs []frac
+	used := 0
+	for i := 0; i < n; i++ {
+		sh := alloc.Share[i][s]
+		q := int(math.Floor(sh + 1e-9))
+		quota[i] = q
+		used += q
+		fracs = append(fracs, frac{idx: i, f: sh - float64(q)})
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for _, fr := range fracs {
+		if used >= slots {
+			break
+		}
+		if fr.f > 1e-9 {
+			quota[fr.idx]++
+			used++
+		}
+	}
+	return quota
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSlotsSingleJobSequential(t *testing.T) {
+	// 3 unit tasks, 1 slot: strictly sequential, JCT 3.
+	jobs := []workload.Job{{
+		ID: 0, Weight: 1,
+		Tasks: []workload.Task{
+			{Site: 0, Duration: 1}, {Site: 0, Duration: 1}, {Site: 0, Duration: 1},
+		},
+	}}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].JCT()-3) > 1e-9 {
+		t.Fatalf("JCT %g, want 3", res.Jobs[0].JCT())
+	}
+	if res.TasksStarted != 3 {
+		t.Fatalf("started %d tasks", res.TasksStarted)
+	}
+	if math.Abs(res.Utilization-1) > 1e-9 {
+		t.Fatalf("utilization %g", res.Utilization)
+	}
+}
+
+func TestSlotsParallelTasks(t *testing.T) {
+	// 3 unit tasks, 3 slots: fully parallel, JCT 1.
+	jobs := []workload.Job{{
+		ID: 0, Weight: 1,
+		Tasks: []workload.Task{
+			{Site: 0, Duration: 1}, {Site: 0, Duration: 1}, {Site: 0, Duration: 1},
+		},
+	}}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{3}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].JCT()-1) > 1e-9 {
+		t.Fatalf("JCT %g, want 1", res.Jobs[0].JCT())
+	}
+}
+
+func TestSlotsFairSplitTwoJobs(t *testing.T) {
+	// Two jobs, 4 tasks each (unit duration), 2 slots. Job 0's arrival
+	// event runs first, so it grabs both slots for the first unit
+	// (non-preemptive; quotas only bind as tasks drain). Afterwards each
+	// holds one slot: job 0 finishes its remaining 2 tasks by t=3, job 1
+	// its 4 sequential tasks by t=4. The makespan matches the fair
+	// fluid outcome exactly.
+	mk := func(id int) workload.Job {
+		j := workload.Job{ID: id, Weight: 1}
+		for i := 0; i < 4; i++ {
+			j.Tasks = append(j.Tasks, workload.Task{Site: 0, Duration: 1})
+		}
+		return j
+	}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{2}, Policy: PolicyAMF},
+		[]workload.Job{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Jobs[0].JCT()-3) > 1e-9 {
+		t.Fatalf("job 0 JCT %g, want 3", res.Jobs[0].JCT())
+	}
+	if math.Abs(res.Jobs[1].JCT()-4) > 1e-9 {
+		t.Fatalf("job 1 JCT %g, want 4", res.Jobs[1].JCT())
+	}
+	if math.Abs(res.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan %g, want 4", res.Makespan)
+	}
+}
+
+func TestSlotsWorkConservingBackfill(t *testing.T) {
+	// One tiny job and one big job on 4 slots: when the tiny job has no
+	// pending tasks left, its quota must flow to the big one.
+	tiny := workload.Job{ID: 0, Weight: 1, Tasks: []workload.Task{{Site: 0, Duration: 10}}}
+	big := workload.Job{ID: 1, Weight: 1}
+	for i := 0; i < 12; i++ {
+		big.Tasks = append(big.Tasks, workload.Task{Site: 0, Duration: 1})
+	}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{4}, Policy: PolicyAMF},
+		[]workload.Job{tiny, big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big job runs on 3 slots while tiny holds one: 12 tasks / 3 slots = 4.
+	if res.Jobs[1].JCT() > 4+1e-9 {
+		t.Fatalf("big job JCT %g, want <= 4 (backfill broken?)", res.Jobs[1].JCT())
+	}
+}
+
+func TestSlotsLateArrivalNonPreemptive(t *testing.T) {
+	// Job 0 grabs both slots with long tasks; job 1 arrives later and must
+	// wait for a slot to free (no preemption).
+	first := workload.Job{ID: 0, Weight: 1, Tasks: []workload.Task{
+		{Site: 0, Duration: 4}, {Site: 0, Duration: 4},
+	}}
+	second := workload.Job{ID: 1, Arrival: 1, Weight: 1, Tasks: []workload.Task{
+		{Site: 0, Duration: 1},
+	}}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{2}, Policy: PolicyAMF},
+		[]workload.Job{first, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job starts at t=4 when a slot frees, done at 5, JCT 4.
+	if math.Abs(res.Jobs[1].Completion-5) > 1e-9 {
+		t.Fatalf("late job completes at %g, want 5", res.Jobs[1].Completion)
+	}
+}
+
+func TestSlotsAllPoliciesComplete(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1, NumJobs: 25, Skew: 1, TasksPerJobMean: 5,
+		TaskDurationMean: 0.5, Seed: 43,
+	})
+	for _, p := range Policies() {
+		res, err := RunSlots(SlotConfig{SlotsPerSite: []int{3, 3, 3}, Policy: p}, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(res.Jobs) != len(jobs) {
+			t.Fatalf("%s: %d of %d completed", p, len(res.Jobs), len(jobs))
+		}
+		total := 0
+		for i := range jobs {
+			total += len(jobs[i].Tasks)
+		}
+		if res.TasksStarted != total {
+			t.Fatalf("%s: started %d of %d tasks", p, res.TasksStarted, total)
+		}
+	}
+}
+
+func TestSlotsDeterministic(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 1, NumJobs: 12, Seed: 47,
+	})
+	r1, err := RunSlots(SlotConfig{SlotsPerSite: []int{2, 2}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSlots(SlotConfig{SlotsPerSite: []int{2, 2}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Completion != r2.Jobs[i].Completion {
+			t.Fatal("slot sim not deterministic")
+		}
+	}
+}
+
+func TestSlotsZeroTaskJob(t *testing.T) {
+	jobs := []workload.Job{{ID: 0, Arrival: 2, Weight: 1}}
+	res, err := RunSlots(SlotConfig{SlotsPerSite: []int{1}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 || res.Jobs[0].JCT() != 0 {
+		t.Fatalf("zero-task job record %v", res.Jobs)
+	}
+}
+
+func TestSlotsNoSitesError(t *testing.T) {
+	if _, err := RunSlots(SlotConfig{Policy: PolicyAMF}, nil); err == nil {
+		t.Fatal("expected error with no sites")
+	}
+}
+
+func TestSlotsNegativeSlotsError(t *testing.T) {
+	if _, err := RunSlots(SlotConfig{SlotsPerSite: []int{-1}, Policy: PolicyAMF}, nil); err == nil {
+		t.Fatal("expected error with negative slots")
+	}
+}
+
+func TestSlotsVsFluidAgreement(t *testing.T) {
+	// On coarse workloads the two simulators must agree on mean JCT within
+	// discretization error (tasks are unit-ish, slots are plentiful).
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 2, Lambda: 0.5, NumJobs: 20, TasksPerJobMean: 6,
+		TaskDurationMean: 1, Seed: 53,
+	})
+	fl, err := RunFluid(FluidConfig{SiteCapacity: []float64{6, 6}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := RunSlots(SlotConfig{SlotsPerSite: []int{6, 6}, Policy: PolicyAMF}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, sm := MeanJCT(fl.Jobs), MeanJCT(sl.Jobs)
+	if sm < fm*0.5 || sm > fm*2.5 {
+		t.Fatalf("fluid mean JCT %g vs slot %g: discretization gap too large", fm, sm)
+	}
+}

@@ -1,0 +1,195 @@
+package spill
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+)
+
+func feq(a, b float64) bool { return math.Abs(a-b) <= 1e-4*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestGammaOneMatchesRelaxedAMF(t *testing.T) {
+	// With gamma=1 remote units are as good as local: useful max-min must
+	// match plain AMF on the demand-relaxed instance.
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0},
+			{1, 0},
+		},
+	}
+	cfg := Config{RemotePerSite: 1, Gamma: 1}
+	res, err := cfg.MaxMinUseful(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs pinned to site 0; remote slots open site 1: each ends at
+	// useful rate 1 (0.5 local + 0.5 remote, or any equivalent split).
+	for j := 0; j < 2; j++ {
+		if !feq(res.Useful[j], 1) {
+			t.Fatalf("job %d useful %g, want 1", j, res.Useful[j])
+		}
+	}
+}
+
+func TestGammaZeroMatchesPinnedAMF(t *testing.T) {
+	// With gamma=0 remote units are worthless: useful rates must equal the
+	// pinned AMF aggregates.
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 1},
+			{1, 0},
+		},
+	}
+	cfg := Config{RemotePerSite: 2, Gamma: 0}
+	res, err := cfg.MaxMinUseful(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := core.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if !feq(res.Useful[j], pinned.Aggregate(j)) {
+			t.Fatalf("job %d useful %g, want pinned %g", j, res.Useful[j], pinned.Aggregate(j))
+		}
+	}
+}
+
+func TestUsefulAwareBeatsObliviousRelaxation(t *testing.T) {
+	// The X3 pitfall: two pinned jobs share site 0; site 1 is empty.
+	// Oblivious AMF on the relaxed demands may serve a job purely remotely
+	// (raw aggregates equal, useful rates skewed); the useful-rate
+	// allocator must give every job at least the pinned baseline.
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 0},
+			{1, 0},
+			{1, 0},
+		},
+	}
+	cfg := Config{RemotePerSite: 1, Gamma: 0.5}
+	res, err := cfg.MaxMinUseful(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned baseline: 1/3 each. With remote slots at gamma 0.5: site 1
+	// adds 0.5 useful total -> max-min gives each 1/3 + 1/6 = 0.5.
+	for j := 0; j < 3; j++ {
+		if res.Useful[j] < 1.0/3-1e-6 {
+			t.Fatalf("job %d below pinned baseline: %g", j, res.Useful[j])
+		}
+		if !feq(res.Useful[j], 0.5) {
+			t.Fatalf("job %d useful %g, want 0.5", j, res.Useful[j])
+		}
+	}
+	if err := res.CheckFeasible(in, cfg, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneInGamma(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 2},
+		Demand: [][]float64{
+			{1, 0},
+			{1, 0},
+		},
+	}
+	prev := -1.0
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		cfg := Config{RemotePerSite: 1, Gamma: gamma}
+		res, err := cfg.MaxMinUseful(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := math.Min(res.Useful[0], res.Useful[1])
+		if min < prev-1e-6 {
+			t.Fatalf("min useful not monotone in gamma: %g -> %g at %g", prev, min, gamma)
+		}
+		prev = min
+	}
+}
+
+func TestMaxMinCertificateOnUsefulRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(2)
+		in := &core.Instance{
+			SiteCapacity: make([]float64, m),
+			Demand:       make([][]float64, n),
+		}
+		for s := range in.SiteCapacity {
+			in.SiteCapacity[s] = 0.5 + rng.Float64()*2
+		}
+		for j := range in.Demand {
+			in.Demand[j] = make([]float64, m)
+			for s := range in.Demand[j] {
+				if rng.Intn(2) == 0 {
+					in.Demand[j][s] = rng.Float64() * 2
+				}
+			}
+		}
+		cfg := Config{RemotePerSite: rng.Float64(), Gamma: 0.25 + rng.Float64()*0.75}
+		res, err := cfg.MaxMinUseful(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.CheckFeasible(in, cfg, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// uMax bounds for the certificate.
+		uMax := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for s := 0; s < m; s++ {
+				take := math.Min(in.Demand[j][s]+cfg.RemotePerSite, in.SiteCapacity[s])
+				lp := math.Min(take, in.Demand[j][s])
+				uMax[j] += lp + cfg.Gamma*(take-lp)
+			}
+		}
+		oracle := func(target []float64) bool {
+			_, ok := cfg.feasible(in, target)
+			return ok
+		}
+		if j, bad := fairness.MaxMinViolation(res.Useful, uMax, oracle, 1e-3); bad {
+			t.Fatalf("trial %d: useful rates not max-min fair (job %d: %v)",
+				trial, j, res.Useful)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	in := &core.Instance{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}}
+	if _, err := (Config{Gamma: -0.1}).MaxMinUseful(in); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+	if _, err := (Config{Gamma: 1.5}).MaxMinUseful(in); err == nil {
+		t.Fatal("gamma > 1 accepted")
+	}
+	if _, err := (Config{Gamma: 0.5, RemotePerSite: -1}).MaxMinUseful(in); err == nil {
+		t.Fatal("negative remote slots accepted")
+	}
+}
+
+func TestWeightedUsefulRates(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{3}, {3}},
+		Weight:       []float64{1, 2},
+	}
+	cfg := Config{RemotePerSite: 0, Gamma: 0.5}
+	res, err := cfg.MaxMinUseful(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.Useful[0], 1) || !feq(res.Useful[1], 2) {
+		t.Fatalf("weighted useful %v, want [1 2]", res.Useful)
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "sort"
+
+// CDFPoint is one point of an empirical CDF: Fraction of the samples are
+// <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the full empirical CDF of the samples (one point per sample,
+// duplicates collapsed to their highest fraction). Empty input yields nil.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		f := float64(i+1) / n
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = f
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: f})
+	}
+	return out
+}
+
+// CDFAt evaluates the empirical CDF at x: the fraction of samples <= x.
+func CDFAt(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := sort.SearchFloat64s(sorted, x)
+	// Move past duplicates equal to x.
+	for idx < len(sorted) && sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(sorted))
+}
+
+// SampleCDF downsamples the empirical CDF to at most k evenly spaced
+// fraction levels, suitable for plotting series.
+func SampleCDF(xs []float64, k int) []CDFPoint {
+	if len(xs) == 0 || k <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, k)
+	for i := 1; i <= k; i++ {
+		f := float64(i) / float64(k)
+		idx := int(f*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Value: sorted[idx], Fraction: f})
+	}
+	return out
+}

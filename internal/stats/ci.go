@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// CI is a two-sided confidence interval around a mean.
+type CI struct {
+	Mean, Lower, Upper float64
+}
+
+// Halfwidth reports half the interval width.
+func (c CI) Halfwidth() float64 { return (c.Upper - c.Lower) / 2 }
+
+// NormalCI returns the normal-approximation confidence interval for the
+// mean of the samples at the given confidence level (e.g. 0.95). With
+// fewer than two samples the interval collapses to the mean.
+func NormalCI(xs []float64, level float64) CI {
+	var s Summary
+	s.AddAll(xs)
+	if s.N() < 2 {
+		return CI{Mean: s.Mean(), Lower: s.Mean(), Upper: s.Mean()}
+	}
+	z := zQuantile((1 + level) / 2)
+	h := z * s.Std() / math.Sqrt(float64(s.N()))
+	return CI{Mean: s.Mean(), Lower: s.Mean() - h, Upper: s.Mean() + h}
+}
+
+// zQuantile approximates the standard normal quantile function using the
+// Beasley-Springer-Moro rational approximation; accurate to ~1e-9 over
+// (0, 1), far beyond what experiment error bars need.
+func zQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: streaming moments (Welford), percentiles, CDFs, coefficient of
+// variation and normal-approximation confidence intervals. It deliberately
+// sticks to the small set of estimators the paper's evaluation needs.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max via Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds a value into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddAll folds a slice of values.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N reports the number of values seen.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var reports the sample variance (0 with fewer than two values).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest value (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest value (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// CoV reports the coefficient of variation std/mean (0 when mean is 0).
+func (s *Summary) CoV() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return s.Std() / s.mean
+}
+
+// Mean is a convenience over a slice.
+func Mean(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.Mean()
+}
+
+// Std is a convenience over a slice.
+func Std(xs []float64) float64 {
+	var s Summary
+	s.AddAll(xs)
+	return s.Std()
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns NaN on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if !feq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean %g", s.Mean())
+	}
+	// Sample variance of this classic set: 32/7.
+	if !feq(s.Var(), 32.0/7, 1e-12) {
+		t.Fatalf("var %g", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.CoV() != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Var() != 0 || s.Std() != 0 {
+		t.Fatal("single value has zero variance")
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single value min/max")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{1, 1, 1})
+	if s.CoV() != 0 {
+		t.Fatalf("constant CoV %g", s.CoV())
+	}
+	var u Summary
+	u.AddAll([]float64{1, 3})
+	want := u.Std() / 2
+	if !feq(u.CoV(), want, 1e-12) {
+		t.Fatalf("CoV %g want %g", u.CoV(), want)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+		}
+		var s Summary
+		s.AddAll(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return feq(s.Mean(), mean, 1e-9) && feq(s.Var(), v, 1e-9*(1+v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 %g", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 %g", got)
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("interpolated p50 %g", got)
+	}
+}
+
+func TestPercentileUnsortedInputUntouched(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile must be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("median %g", got)
+	}
+}
+
+func TestMeanStdHelpers(t *testing.T) {
+	if !feq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean helper")
+	}
+	if !feq(Std([]float64{1, 3}), math.Sqrt2, 1e-12) {
+		t.Fatal("Std helper")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2, 2})
+	// values 1,2,2,3 -> points (1,.25) (2,.75) (3,1)
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 2, 5}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Fatalf("below min: %g", got)
+	}
+	if got := CDFAt(xs, 2); got != 0.75 {
+		t.Fatalf("at duplicate: %g", got)
+	}
+	if got := CDFAt(xs, 10); got != 1 {
+		t.Fatalf("above max: %g", got)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	pts := SampleCDF(xs, 4)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Value != 25 || pts[3].Value != 100 {
+		t.Fatalf("quartiles %v", pts)
+	}
+	if pts[3].Fraction != 1 {
+		t.Fatalf("last fraction %g", pts[3].Fraction)
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	xs := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ci := NormalCI(xs, 0.95)
+	if ci.Lower > ci.Mean || ci.Upper < ci.Mean {
+		t.Fatal("interval must bracket the mean")
+	}
+	// Halfwidth about 1.96/sqrt(1000) ~ 0.062 for unit-variance samples.
+	if ci.Halfwidth() < 0.03 || ci.Halfwidth() > 0.12 {
+		t.Fatalf("halfwidth %g out of expected range", ci.Halfwidth())
+	}
+}
+
+func TestNormalCISmallSamples(t *testing.T) {
+	ci := NormalCI([]float64{4}, 0.95)
+	if ci.Lower != 4 || ci.Upper != 4 {
+		t.Fatalf("degenerate CI %v", ci)
+	}
+}
+
+func TestZQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.9, 1.281552},
+	}
+	for _, c := range cases {
+		if got := zQuantile(c.p); !feq(got, c.z, 1e-4) {
+			t.Fatalf("z(%g) = %g, want %g", c.p, got, c.z)
+		}
+	}
+	if !math.IsInf(zQuantile(0), -1) || !math.IsInf(zQuantile(1), 1) {
+		t.Fatal("boundary quantiles must be infinite")
+	}
+}

@@ -1,0 +1,117 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series represents a figure: an x axis plus one or more named y series,
+// printed as aligned columns (gnuplot-friendly).
+type Series struct {
+	Title  string
+	XLabel string
+	Names  []string // y series names
+	X      []float64
+	Y      [][]float64 // Y[i] parallel to X, one slice per name
+}
+
+// NewSeries returns a series container for the given y series names.
+func NewSeries(title, xlabel string, names ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, Names: names, Y: make([][]float64, len(names))}
+}
+
+// AddPoint appends an x value with one y per series.
+func (s *Series) AddPoint(x float64, ys ...float64) {
+	if len(ys) != len(s.Names) {
+		panic(fmt.Sprintf("table: %d y values for %d series", len(ys), len(s.Names)))
+	}
+	s.X = append(s.X, x)
+	for i, y := range ys {
+		s.Y[i] = append(s.Y[i], y)
+	}
+}
+
+// Render produces the aligned column form.
+func (s *Series) Render() string {
+	t := New(s.Title, append([]string{s.XLabel}, s.Names...)...)
+	for i, x := range s.X {
+		row := make([]interface{}, 0, 1+len(s.Names))
+		row = append(row, x)
+		for k := range s.Names {
+			row = append(row, s.Y[k][i])
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// Markdown renders the series as a GitHub-flavoured markdown table.
+func (s *Series) Markdown() string {
+	t := New(s.Title, append([]string{s.XLabel}, s.Names...)...)
+	for i, x := range s.X {
+		row := make([]interface{}, 0, 1+len(s.Names))
+		row = append(row, x)
+		for k := range s.Names {
+			row = append(row, s.Y[k][i])
+		}
+		t.AddRow(row...)
+	}
+	return t.Markdown()
+}
+
+// AsciiPlot renders a crude terminal plot of the series (one glyph per
+// series), useful for eyeballing trends without leaving the shell.
+func (s *Series) AsciiPlot(width, height int) string {
+	if len(s.X) == 0 || width < 8 || height < 3 {
+		return ""
+	}
+	glyphs := "*+x#o@%&"
+	minY, maxY := s.Y[0][0], s.Y[0][0]
+	for _, ys := range s.Y {
+		for _, y := range ys {
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	minX, maxX := s.X[0], s.X[len(s.X)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	for k, ys := range s.Y {
+		g := glyphs[k%len(glyphs)]
+		for i, y := range ys {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s  [y: %.3g..%.3g]\n", s.Title, minY, maxY)
+	}
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+-")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	legend := make([]string, len(s.Names))
+	for k, n := range s.Names {
+		legend[k] = fmt.Sprintf("%c=%s", glyphs[k%len(glyphs)], n)
+	}
+	b.WriteString("  " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

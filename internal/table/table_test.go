@@ -1,0 +1,150 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("My Table", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("longer-name", 0.333333333)
+	out := tb.Render()
+	if !strings.Contains(out, "My Table") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer-name") {
+		t.Fatal("missing row")
+	}
+	if !strings.Contains(out, "0.3333") {
+		t.Fatalf("float not formatted to 4 significant digits:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the position of column 2.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[3][idx-1] != ' ' && lines[3][idx] == ' ' {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableMixedTypes(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow(42, "str", float32(2.5))
+	out := tb.Render()
+	for _, want := range []string{"42", "str", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig", "alpha", "amf", "psmmf")
+	s.AddPoint(0, 1, 0.9)
+	s.AddPoint(1, 0.95, 0.5)
+	out := s.Render()
+	for _, want := range []string{"Fig", "alpha", "amf", "psmmf", "0.95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesAddPointArityPanics(t *testing.T) {
+	s := NewSeries("", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	s.AddPoint(0, 1, 2)
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := NewSeries("Trend", "x", "up")
+	for i := 0; i < 10; i++ {
+		s.AddPoint(float64(i), float64(i))
+	}
+	out := s.AsciiPlot(40, 10)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no points plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "*=up") {
+		t.Fatalf("no legend:\n%s", out)
+	}
+	// Monotone series: first point in bottom-left region, last in top-right.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	s := NewSeries("", "x", "y")
+	if out := s.AsciiPlot(40, 10); out != "" {
+		t.Fatal("empty series should render nothing")
+	}
+	s.AddPoint(1, 5)
+	if out := s.AsciiPlot(40, 10); !strings.Contains(out, "*") {
+		t.Fatalf("single constant point should still plot:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := New("Title", "a", "b")
+	tb.AddRow(1, 2.5)
+	md := tb.Markdown()
+	for _, want := range []string{"**Title**", "| a | b |", "| --- | --- |", "| 1 | 2.5 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// No title -> no bold header line.
+	tb2 := New("", "x")
+	tb2.AddRow(1)
+	if strings.Contains(tb2.Markdown(), "**") {
+		t.Fatal("unexpected title in markdown")
+	}
+}
+
+func TestSeriesMarkdown(t *testing.T) {
+	s := NewSeries("Fig", "x", "y1", "y2")
+	s.AddPoint(0, 1, 2)
+	s.AddPoint(1, 3, 4)
+	md := s.Markdown()
+	for _, want := range []string{"**Fig**", "| x | y1 | y2 |", "| 1 | 3 | 4 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("series markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAsciiPlotMultiSeries(t *testing.T) {
+	s := NewSeries("Two", "x", "up", "down")
+	for i := 0; i < 8; i++ {
+		s.AddPoint(float64(i), float64(i), float64(8-i))
+	}
+	out := s.AsciiPlot(40, 10)
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatalf("second glyph not plotted:\n%s", out)
+	}
+}
+
+func TestAsciiPlotTooSmall(t *testing.T) {
+	s := NewSeries("", "x", "y")
+	s.AddPoint(0, 1)
+	if out := s.AsciiPlot(4, 2); out != "" {
+		t.Fatalf("tiny viewport should render nothing, got:\n%s", out)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// WriteAllocationCSV exports one row per (job, site) pair with positive
+// demand: job, site, demand, share.
+func WriteAllocationCSV(w io.Writer, a *core.Allocation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job", "site", "demand", "share"}); err != nil {
+		return err
+	}
+	for j := range a.Share {
+		for s := range a.Share[j] {
+			if a.Inst.Demand[j][s] <= 0 {
+				continue
+			}
+			rec := []string{
+				strconv.Itoa(j),
+				strconv.Itoa(s),
+				formatFloat(a.Inst.Demand[j][s]),
+				formatFloat(a.Share[j][s]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJobRecordsCSV exports job records: id, arrival, completion, jct,
+// total_work, num_tasks.
+func WriteJobRecordsCSV(w io.Writer, jobs []sim.JobRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival", "completion", "jct", "total_work", "num_tasks"}); err != nil {
+		return err
+	}
+	for _, r := range jobs {
+		rec := []string{
+			strconv.Itoa(r.ID),
+			formatFloat(r.Arrival),
+			formatFloat(r.Completion),
+			formatFloat(r.JCT()),
+			formatFloat(r.TotalWork),
+			strconv.Itoa(r.NumTasks),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJobRecordsCSV parses the format written by WriteJobRecordsCSV.
+func ReadJobRecordsCSV(r io.Reader) ([]sim.JobRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var out []sim.JobRecord
+	for i, row := range rows[1:] {
+		if len(row) != 6 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 6", i+1, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d id: %w", i+1, err)
+		}
+		arrival, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d arrival: %w", i+1, err)
+		}
+		completion, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d completion: %w", i+1, err)
+		}
+		work, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d work: %w", i+1, err)
+		}
+		tasks, err := strconv.Atoi(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d tasks: %w", i+1, err)
+		}
+		out = append(out, sim.JobRecord{
+			ID: id, Arrival: arrival, Completion: completion,
+			TotalWork: work, NumTasks: tasks,
+		})
+	}
+	return out, nil
+}
+
+func formatFloat(f float64) string {
+	// Shortest representation that parses back exactly: traces must
+	// round-trip bit-for-bit for reproducibility.
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

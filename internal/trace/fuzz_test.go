@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance ensures arbitrary bytes never panic the decoder and
+// that anything it accepts re-encodes cleanly.
+func FuzzReadInstance(f *testing.F) {
+	f.Add(`{"site_capacity":[1,2],"demand":[[1,0],[0,2]]}`)
+	f.Add(`{"site_capacity":[],"demand":[]}`)
+	f.Add(`{nonsense`)
+	f.Add(`{"site_capacity":[1],"demand":[[-1]]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		in, err := ReadInstance(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("accepted instance failed to encode: %v", err)
+		}
+		if _, err := ReadInstance(&buf); err != nil {
+			t.Fatalf("re-encoded instance rejected: %v", err)
+		}
+	})
+}
+
+// FuzzReadJobStreamCSV ensures arbitrary CSV never panics and that
+// accepted streams round-trip.
+func FuzzReadJobStreamCSV(f *testing.F) {
+	f.Add("job,arrival,weight,site,duration\n1,0,1,0,2\n")
+	f.Add("job,arrival,weight,site,duration\n1,0,1,-1,0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		jobs, err := ReadJobStreamCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJobStreamCSV(&buf, jobs); err != nil {
+			t.Fatalf("accepted stream failed to encode: %v", err)
+		}
+		again, err := ReadJobStreamCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded stream rejected: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count %d -> %d", len(jobs), len(again))
+		}
+	})
+}

@@ -1,0 +1,100 @@
+// Package trace serializes instances, allocations and simulation results
+// so experiments can be archived, diffed and replayed by the CLI tools:
+// JSON for structured round-trips, CSV for spreadsheet-friendly exports.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// instanceJSON is the wire form of core.Instance.
+type instanceJSON struct {
+	SiteCapacity []float64   `json:"site_capacity"`
+	Demand       [][]float64 `json:"demand"`
+	Weight       []float64   `json:"weight,omitempty"`
+	Work         [][]float64 `json:"work,omitempty"`
+	JobName      []string    `json:"job_name,omitempty"`
+	SiteName     []string    `json:"site_name,omitempty"`
+}
+
+// WriteInstance encodes the instance as indented JSON.
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(instanceJSON{
+		SiteCapacity: in.SiteCapacity,
+		Demand:       in.Demand,
+		Weight:       in.Weight,
+		Work:         in.Work,
+		JobName:      in.JobName,
+		SiteName:     in.SiteName,
+	})
+}
+
+// ReadInstance decodes an instance and validates it.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var raw instanceJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decoding instance: %w", err)
+	}
+	in := &core.Instance{
+		SiteCapacity: raw.SiteCapacity,
+		Demand:       raw.Demand,
+		Weight:       raw.Weight,
+		Work:         raw.Work,
+		JobName:      raw.JobName,
+		SiteName:     raw.SiteName,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// allocationJSON is the wire form of an allocation (without the instance).
+type allocationJSON struct {
+	Share      [][]float64 `json:"share"`
+	Aggregates []float64   `json:"aggregates"`
+}
+
+// WriteAllocation encodes the allocation (shares plus derived aggregates).
+func WriteAllocation(w io.Writer, a *core.Allocation) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(allocationJSON{Share: a.Share, Aggregates: a.Aggregates()})
+}
+
+// ReadAllocation decodes shares against the given instance and checks
+// feasibility within tol.
+func ReadAllocation(r io.Reader, in *core.Instance, tol float64) (*core.Allocation, error) {
+	var raw allocationJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decoding allocation: %w", err)
+	}
+	a := &core.Allocation{Inst: in, Share: raw.Share}
+	if err := a.CheckFeasible(tol); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WriteJobRecords encodes simulation job records as JSON.
+func WriteJobRecords(w io.Writer, jobs []sim.JobRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jobs)
+}
+
+// ReadJobRecords decodes simulation job records.
+func ReadJobRecords(r io.Reader) ([]sim.JobRecord, error) {
+	var jobs []sim.JobRecord
+	if err := json.NewDecoder(r).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("trace: decoding job records: %w", err)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// WriteJobStreamCSV exports an online job stream, one row per task:
+// job, arrival, weight, site, duration. The format round-trips through
+// ReadJobStreamCSV and is the interchange format of amf-sim.
+func WriteJobStreamCSV(w io.Writer, jobs []workload.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job", "arrival", "weight", "site", "duration"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		for _, task := range j.Tasks {
+			rec := []string{
+				strconv.Itoa(j.ID),
+				formatFloat(j.Arrival),
+				formatFloat(j.Weight),
+				strconv.Itoa(task.Site),
+				formatFloat(task.Duration),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		if len(j.Tasks) == 0 {
+			// Preserve empty jobs with a sentinel row (site -1).
+			rec := []string{
+				strconv.Itoa(j.ID),
+				formatFloat(j.Arrival),
+				formatFloat(j.Weight),
+				"-1",
+				"0",
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJobStreamCSV parses the format written by WriteJobStreamCSV. Jobs
+// are returned sorted by arrival time (ties by ID).
+func ReadJobStreamCSV(r io.Reader) ([]workload.Job, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading stream CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	byID := map[int]*workload.Job{}
+	var order []int
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("trace: stream row %d has %d fields, want 5", i+1, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream row %d job: %w", i+1, err)
+		}
+		arrival, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream row %d arrival: %w", i+1, err)
+		}
+		weight, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream row %d weight: %w", i+1, err)
+		}
+		site, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream row %d site: %w", i+1, err)
+		}
+		duration, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: stream row %d duration: %w", i+1, err)
+		}
+		j, ok := byID[id]
+		if !ok {
+			j = &workload.Job{ID: id, Arrival: arrival, Weight: weight}
+			byID[id] = j
+			order = append(order, id)
+		}
+		if site >= 0 {
+			if duration < 0 {
+				return nil, fmt.Errorf("trace: stream row %d negative duration", i+1)
+			}
+			j.Tasks = append(j.Tasks, workload.Task{Site: site, Duration: duration})
+		}
+	}
+	out := make([]workload.Job, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Arrival != out[b].Arrival {
+			return out[a].Arrival < out[b].Arrival
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out, nil
+}
+
+// NumSitesOf reports the minimum site count a stream requires (max site
+// index + 1).
+func NumSitesOf(jobs []workload.Job) int {
+	max := -1
+	for _, j := range jobs {
+		for _, t := range j.Tasks {
+			if t.Site > max {
+				max = t.Site
+			}
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestJobStreamRoundTrip(t *testing.T) {
+	jobs := workload.GenerateStream(workload.StreamConfig{
+		NumSites: 3, Lambda: 1, NumJobs: 12, Skew: 1, Seed: 5,
+	})
+	var buf bytes.Buffer
+	if err := WriteJobStreamCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobStreamCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("round trip %d of %d jobs", len(got), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], got[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Weight != b.Weight {
+			t.Fatalf("job %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if len(a.Tasks) != len(b.Tasks) {
+			t.Fatalf("job %d has %d tasks, want %d", i, len(b.Tasks), len(a.Tasks))
+		}
+		for k := range a.Tasks {
+			if a.Tasks[k] != b.Tasks[k] {
+				t.Fatalf("job %d task %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestJobStreamEmptyJobPreserved(t *testing.T) {
+	jobs := []workload.Job{{ID: 7, Arrival: 1.5, Weight: 2}}
+	var buf bytes.Buffer
+	if err := WriteJobStreamCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobStreamCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || len(got[0].Tasks) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestJobStreamSortsByArrival(t *testing.T) {
+	csv := `job,arrival,weight,site,duration
+2,5,1,0,1
+1,2,1,0,1
+3,2,1,1,1
+`
+	got, err := ReadJobStreamCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 1 || got[1].ID != 3 || got[2].ID != 2 {
+		t.Fatalf("order %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+}
+
+func TestJobStreamErrors(t *testing.T) {
+	bad := []string{
+		"job,arrival,weight,site\n1,0,1,0\n", // short row
+		"h1,h2,h3,h4,h5\nx,0,1,0,1\n",        // bad job id
+		"h1,h2,h3,h4,h5\n1,x,1,0,1\n",        // bad arrival
+		"h1,h2,h3,h4,h5\n1,0,1,0,-2\n",       // negative duration
+	}
+	for i, s := range bad {
+		if _, err := ReadJobStreamCSV(strings.NewReader(s)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if got, err := ReadJobStreamCSV(strings.NewReader("")); err != nil || got != nil {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}
+
+func TestNumSitesOf(t *testing.T) {
+	jobs := []workload.Job{
+		{Tasks: []workload.Task{{Site: 2}, {Site: 0}}},
+		{Tasks: []workload.Task{{Site: 5}}},
+	}
+	if n := NumSitesOf(jobs); n != 6 {
+		t.Fatalf("sites %d, want 6", n)
+	}
+	if n := NumSitesOf(nil); n != 0 {
+		t.Fatalf("empty sites %d", n)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func sampleInstance() *core.Instance {
+	return &core.Instance{
+		SiteCapacity: []float64{2, 3},
+		Demand:       [][]float64{{1, 2}, {0, 3}},
+		Weight:       []float64{1, 2},
+		Work:         [][]float64{{1, 2}, {0, 4}},
+		JobName:      []string{"a", "b"},
+		SiteName:     []string{"s0", "s1"},
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := sampleInstance()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumJobs() != 2 || got.NumSites() != 2 {
+		t.Fatalf("dims %dx%d", got.NumJobs(), got.NumSites())
+	}
+	if got.Demand[1][1] != 3 || got.Weight[1] != 2 || got.Work[1][1] != 4 {
+		t.Fatal("values lost in round trip")
+	}
+	if got.JobName[0] != "a" || got.SiteName[1] != "s1" {
+		t.Fatal("names lost in round trip")
+	}
+}
+
+func TestReadInstanceValidates(t *testing.T) {
+	bad := `{"site_capacity":[1],"demand":[[-1]]}`
+	if _, err := ReadInstance(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	if _, err := ReadInstance(strings.NewReader("{nonsense")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestAllocationRoundTrip(t *testing.T) {
+	in := sampleInstance()
+	a, err := core.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAllocation(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllocation(&buf, in, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Share {
+		for s := range a.Share[j] {
+			if got.Share[j][s] != a.Share[j][s] {
+				t.Fatal("shares lost in round trip")
+			}
+		}
+	}
+}
+
+func TestReadAllocationChecksFeasibility(t *testing.T) {
+	in := sampleInstance()
+	bad := `{"share":[[9,9],[9,9]]}`
+	if _, err := ReadAllocation(strings.NewReader(bad), in, 1e-9); err == nil {
+		t.Fatal("infeasible allocation accepted")
+	}
+}
+
+func TestJobRecordsJSONRoundTrip(t *testing.T) {
+	jobs := []sim.JobRecord{
+		{ID: 0, Arrival: 0, Completion: 2.5, TotalWork: 3, NumTasks: 4, Weight: 1},
+		{ID: 1, Arrival: 1, Completion: 4, TotalWork: 1, NumTasks: 1, Weight: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobRecords(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Completion != 4 || got[0].NumTasks != 4 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestAllocationCSV(t *testing.T) {
+	in := sampleInstance()
+	a, err := core.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAllocationCSV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "job,site,demand,share") {
+		t.Fatalf("missing header: %s", out)
+	}
+	// Job 1 has no demand at site 0: exactly 3 data rows.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestJobRecordsCSVRoundTrip(t *testing.T) {
+	jobs := []sim.JobRecord{
+		{ID: 3, Arrival: 0.5, Completion: 2.5, TotalWork: 3.25, NumTasks: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobRecordsCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records", len(got))
+	}
+	r := got[0]
+	if r.ID != 3 || r.Arrival != 0.5 || r.Completion != 2.5 || r.TotalWork != 3.25 || r.NumTasks != 7 {
+		t.Fatalf("round trip mismatch: %+v", r)
+	}
+}
+
+func TestReadJobRecordsCSVErrors(t *testing.T) {
+	if _, err := ReadJobRecordsCSV(strings.NewReader("id,arrival\n1,2\n")); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := ReadJobRecordsCSV(strings.NewReader("h1,h2,h3,h4,h5,h6\nx,0,0,0,0,0\n")); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+	got, err := ReadJobRecordsCSV(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/randx"
+)
+
+// Task is one unit of work pinned to a site (data locality): it occupies
+// one resource unit at Site for Duration time units.
+type Task struct {
+	Site     int
+	Duration float64
+}
+
+// Job is an online job for the simulators: it arrives at Arrival and must
+// run all of its tasks, each at its pinned site.
+type Job struct {
+	ID      int
+	Arrival float64
+	Weight  float64
+	Tasks   []Task
+}
+
+// WorkBySite sums task durations per site into a length-m vector.
+func (j *Job) WorkBySite(m int) []float64 {
+	w := make([]float64, m)
+	for _, t := range j.Tasks {
+		w[t.Site] += t.Duration
+	}
+	return w
+}
+
+// TasksBySite counts tasks per site into a length-m vector; this is the
+// job's maximum useful parallelism at each site.
+func (j *Job) TasksBySite(m int) []float64 {
+	c := make([]float64, m)
+	for _, t := range j.Tasks {
+		c[t.Site]++
+	}
+	return c
+}
+
+// TotalWork sums all task durations.
+func (j *Job) TotalWork() float64 {
+	var w float64
+	for _, t := range j.Tasks {
+		w += t.Duration
+	}
+	return w
+}
+
+// StreamConfig parameterizes online job streams.
+type StreamConfig struct {
+	NumSites int
+	// Lambda is the Poisson arrival rate (jobs per time unit). Zero makes
+	// every job arrive at time 0 (a batch).
+	Lambda float64
+	// NumJobs is the number of jobs to emit.
+	NumJobs int
+	// Skew is the Zipf alpha of task placement across sites.
+	Skew float64
+	// PerJobSkew mirrors workload.Config.PerJobSkew: when true each job
+	// concentrates its tasks on its own randomly-ordered site subset
+	// instead of globally shared hot sites.
+	PerJobSkew bool
+	// TasksPerJobMean is the mean task count (geometric-ish, min 1;
+	// default 10).
+	TasksPerJobMean float64
+	// TaskDurationMean is the mean task duration (exponential; default 1).
+	TaskDurationMean float64
+	// SitesPerJobMax bounds how many distinct sites a job's tasks span
+	// (default: no bound).
+	SitesPerJobMax int
+	// Weighted assigns random job weights in [0.5, 4].
+	Weighted bool
+	// DiurnalAmplitude in [0, 1) modulates the arrival rate sinusoidally:
+	// lambda(t) = Lambda * (1 + A*sin(2*pi*t/DiurnalPeriod)), sampled by
+	// thinning — the day/night load cycle of real clusters. Zero keeps
+	// arrivals homogeneous Poisson.
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the cycle length (default 20 time units).
+	DiurnalPeriod float64
+	Seed          uint64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.TasksPerJobMean <= 0 {
+		c.TasksPerJobMean = 10
+	}
+	if c.TaskDurationMean <= 0 {
+		c.TaskDurationMean = 1
+	}
+	if c.SitesPerJobMax <= 0 || c.SitesPerJobMax > c.NumSites {
+		c.SitesPerJobMax = c.NumSites
+	}
+	if c.DiurnalPeriod <= 0 {
+		c.DiurnalPeriod = 20
+	}
+	if c.DiurnalAmplitude < 0 {
+		c.DiurnalAmplitude = 0
+	}
+	if c.DiurnalAmplitude >= 1 {
+		c.DiurnalAmplitude = 0.99
+	}
+	return c
+}
+
+// GenerateStream emits NumJobs jobs with Poisson arrivals and Zipf-placed
+// tasks, sorted by arrival time.
+func GenerateStream(cfg StreamConfig) []Job {
+	cfg = cfg.withDefaults()
+	arrRng := randx.Stream(cfg.Seed, "stream/arrivals")
+	taskRng := randx.Stream(cfg.Seed, "stream/tasks")
+
+	pop := ZipfWeights(cfg.NumSites, cfg.Skew)
+	jobs := make([]Job, cfg.NumJobs)
+	now := 0.0
+	for i := range jobs {
+		if cfg.Lambda > 0 {
+			now = nextArrival(arrRng, cfg, now)
+		}
+		jobs[i] = Job{
+			ID:      i,
+			Arrival: now,
+			Weight:  1,
+			Tasks:   genTasks(taskRng, cfg, pop),
+		}
+		if cfg.Weighted {
+			jobs[i].Weight = 0.5 + taskRng.Float64()*3.5
+		}
+	}
+	return jobs
+}
+
+func genTasks(rng *rand.Rand, cfg StreamConfig, pop []float64) []Task {
+	// Geometric task count with the requested mean (min 1).
+	count := 1
+	p := 1 / cfg.TasksPerJobMean
+	for rng.Float64() > p && count < 10000 {
+		count++
+	}
+	var sites []int
+	var sub []float64
+	if cfg.PerJobSkew {
+		// Uniform site subset; the job's own tasks concentrate by Zipf in
+		// a random per-job order.
+		sites = rng.Perm(cfg.NumSites)[:cfg.SitesPerJobMax]
+		sub = ZipfWeights(len(sites), cfg.Skew)
+	} else {
+		// Restrict the job to a popular subset of sites.
+		sites = SampleDistinct(rng, pop, cfg.SitesPerJobMax)
+		sub = make([]float64, len(sites))
+		for i, s := range sites {
+			sub[i] = pop[s]
+		}
+	}
+	tasks := make([]Task, count)
+	for i := range tasks {
+		tasks[i] = Task{
+			Site:     sites[SampleIndex(rng, sub)],
+			Duration: rng.ExpFloat64() * cfg.TaskDurationMean,
+		}
+	}
+	return tasks
+}
+
+// nextArrival samples the next arrival after t. Homogeneous Poisson when
+// DiurnalAmplitude is zero; otherwise a nonhomogeneous Poisson process via
+// thinning against the peak rate Lambda*(1+A).
+func nextArrival(rng *rand.Rand, cfg StreamConfig, t float64) float64 {
+	if cfg.DiurnalAmplitude == 0 {
+		return t + rng.ExpFloat64()/cfg.Lambda
+	}
+	peak := cfg.Lambda * (1 + cfg.DiurnalAmplitude)
+	for {
+		t += rng.ExpFloat64() / peak
+		rate := cfg.Lambda * (1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*t/cfg.DiurnalPeriod))
+		if rng.Float64()*peak <= rate {
+			return t
+		}
+	}
+}
+
+// OfferedLoad estimates the offered load of a stream against per-site
+// capacity total: lambda x mean job work / total capacity.
+func OfferedLoad(cfg StreamConfig, totalCapacity float64) float64 {
+	cfg = cfg.withDefaults()
+	if totalCapacity <= 0 {
+		return math.Inf(1)
+	}
+	return cfg.Lambda * cfg.TasksPerJobMean * cfg.TaskDurationMean / totalCapacity
+}
+
+// LambdaForLoad returns the arrival rate that hits the target offered load
+// rho against the given total capacity.
+func LambdaForLoad(cfg StreamConfig, totalCapacity, rho float64) float64 {
+	cfg = cfg.withDefaults()
+	return rho * totalCapacity / (cfg.TasksPerJobMean * cfg.TaskDurationMean)
+}

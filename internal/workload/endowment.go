@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// EndowmentConfig parameterizes the sharing-incentive stress family, built
+// from the counterexample motif of the paper's negative result: "endowed"
+// jobs own a generous private site (where their demand, not capacity, is
+// the binding cap) and hold small claims on scarce shared sites that are
+// crowded by "poor" jobs living only there. Aggregate max-min fairness
+// hands the shared sites entirely to the poor jobs, pushing every endowed
+// job below its isolated equal share; Enhanced AMF restores the
+// entitlement.
+type EndowmentConfig struct {
+	// NumEndowed is the number of endowed jobs (each gets its own private
+	// site).
+	NumEndowed int
+	// NumShared is the number of scarce shared sites.
+	NumShared int
+	// PoorPerSite is how many poor jobs are pinned at each shared site —
+	// the contention axis of the E5 figure.
+	PoorPerSite int
+	// SharedCapacity is each shared site's capacity (default 0.2).
+	SharedCapacity float64
+	// PrivateCapacity is each private site's capacity. The default scales
+	// with the job count (2 * n * PrivateDemand) so that the equal split
+	// of the private site always exceeds the endowed job's demand there —
+	// the motif requires the demand, not the capacity, to be binding.
+	PrivateCapacity float64
+	// PrivateDemand is each endowed job's demand at its private site
+	// (default 0.9). It is deliberately not jittered: with symmetric
+	// endowments and no poor jobs, AMF meets every equal share exactly,
+	// giving the contention sweep a clean zero baseline.
+	PrivateDemand float64
+	// Jitter randomizes demands by +-Jitter fraction (default 0: exact).
+	Jitter float64
+	Seed   uint64
+}
+
+func (c EndowmentConfig) withDefaults() EndowmentConfig {
+	if c.SharedCapacity <= 0 {
+		c.SharedCapacity = 0.2
+	}
+	if c.PrivateDemand <= 0 {
+		c.PrivateDemand = 0.9
+	}
+	if c.PrivateCapacity <= 0 {
+		n := c.NumEndowed + c.NumShared*c.PoorPerSite
+		c.PrivateCapacity = 2 * float64(n) * c.PrivateDemand
+	}
+	return c
+}
+
+// EndowmentInstance builds the instance: sites are [shared..., private...];
+// jobs are [endowed..., poor...]. Endowed job i demands PrivateDemand at
+// private site i and 1 unit at every shared site; each poor job demands 1
+// unit at its single shared site.
+func EndowmentInstance(cfg EndowmentConfig) *core.Instance {
+	cfg = cfg.withDefaults()
+	rng := randx.Stream(cfg.Seed, "endowment")
+	jitter := func(v float64) float64 {
+		if cfg.Jitter <= 0 {
+			return v
+		}
+		return v * (1 + cfg.Jitter*(2*rng.Float64()-1))
+	}
+
+	m := cfg.NumShared + cfg.NumEndowed
+	n := cfg.NumEndowed + cfg.NumShared*cfg.PoorPerSite
+	in := &core.Instance{
+		SiteCapacity: make([]float64, m),
+		Demand:       make([][]float64, n),
+	}
+	for s := 0; s < cfg.NumShared; s++ {
+		in.SiteCapacity[s] = jitter(cfg.SharedCapacity)
+	}
+	for i := 0; i < cfg.NumEndowed; i++ {
+		in.SiteCapacity[cfg.NumShared+i] = cfg.PrivateCapacity
+	}
+	for j := 0; j < n; j++ {
+		in.Demand[j] = make([]float64, m)
+	}
+	for i := 0; i < cfg.NumEndowed; i++ {
+		in.Demand[i][cfg.NumShared+i] = cfg.PrivateDemand
+		for s := 0; s < cfg.NumShared; s++ {
+			in.Demand[i][s] = jitter(1)
+		}
+	}
+	j := cfg.NumEndowed
+	for s := 0; s < cfg.NumShared; s++ {
+		for k := 0; k < cfg.PoorPerSite; k++ {
+			in.Demand[j][s] = jitter(1)
+			j++
+		}
+	}
+	return in
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestEndowmentInstanceShape(t *testing.T) {
+	in := EndowmentInstance(EndowmentConfig{
+		NumEndowed: 3, NumShared: 2, PoorPerSite: 2, Seed: 1,
+	})
+	if in.NumSites() != 5 { // 2 shared + 3 private
+		t.Fatalf("sites %d", in.NumSites())
+	}
+	if in.NumJobs() != 7 { // 3 endowed + 4 poor
+		t.Fatalf("jobs %d", in.NumJobs())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Endowed job 0 demands its private site 2 and both shared sites.
+	if in.Demand[0][2] != 0.9 {
+		t.Fatalf("private demand %g", in.Demand[0][2])
+	}
+	if in.Demand[0][0] <= 0 || in.Demand[0][1] <= 0 {
+		t.Fatal("endowed job missing shared claims")
+	}
+	if in.Demand[0][3] != 0 || in.Demand[0][4] != 0 {
+		t.Fatal("endowed job claims another job's private site")
+	}
+	// Poor jobs are pinned to exactly one shared site.
+	for j := 3; j < 7; j++ {
+		count := 0
+		for s := 0; s < in.NumSites(); s++ {
+			if in.Demand[j][s] > 0 {
+				if s >= 2 {
+					t.Fatalf("poor job %d demands private site %d", j, s)
+				}
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("poor job %d demands %d sites", j, count)
+		}
+	}
+}
+
+func TestEndowmentPrivateCapacityScales(t *testing.T) {
+	in := EndowmentInstance(EndowmentConfig{
+		NumEndowed: 4, NumShared: 3, PoorPerSite: 5, Seed: 2,
+	})
+	n := float64(in.NumJobs())
+	// The equal split of every private site must exceed the private
+	// demand, or the motif degenerates.
+	for i := 0; i < 4; i++ {
+		if in.SiteCapacity[3+i]/n <= 0.9 {
+			t.Fatalf("private site %d equal split %g below demand 0.9",
+				i, in.SiteCapacity[3+i]/n)
+		}
+	}
+}
+
+func TestEndowmentElicitsViolations(t *testing.T) {
+	// The defining behaviour: with contention, every endowed job falls
+	// below its equal share under plain AMF, and Enhanced AMF repairs all
+	// of them.
+	in := EndowmentInstance(EndowmentConfig{
+		NumEndowed: 5, NumShared: 3, PoorPerSite: 2, Jitter: 0.1, Seed: 3,
+	})
+	sv := core.NewSolver()
+	amf, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := core.SharingIncentiveViolations(amf, 1e-6*in.Scale())
+	if len(jobs) != 5 {
+		t.Fatalf("AMF violated %d jobs, want all 5 endowed (%v)", len(jobs), jobs)
+	}
+	for _, j := range jobs {
+		if j >= 5 {
+			t.Fatalf("poor job %d flagged as violated", j)
+		}
+	}
+	enh, err := sv.EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := core.SharingIncentiveViolations(enh, 1e-6*in.Scale()); len(jobs) != 0 {
+		t.Fatalf("enhanced AMF violated %v", jobs)
+	}
+}
+
+func TestEndowmentNoPoorNoViolation(t *testing.T) {
+	in := EndowmentInstance(EndowmentConfig{
+		NumEndowed: 5, NumShared: 3, PoorPerSite: 0, Jitter: 0.1, Seed: 4,
+	})
+	amf, err := core.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := core.SharingIncentiveViolations(amf, 1e-6*in.Scale()); len(jobs) != 0 {
+		t.Fatalf("violations without contention: %v", jobs)
+	}
+}
+
+func TestEndowmentDeterministic(t *testing.T) {
+	cfg := EndowmentConfig{NumEndowed: 3, NumShared: 2, PoorPerSite: 1, Jitter: 0.3, Seed: 5}
+	a := EndowmentInstance(cfg)
+	b := EndowmentInstance(cfg)
+	for j := range a.Demand {
+		for s := range a.Demand[j] {
+			if a.Demand[j][s] != b.Demand[j][s] {
+				t.Fatal("same seed produced different instances")
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// SizeDist selects the distribution of total job sizes.
+type SizeDist int
+
+const (
+	// SizeUniform draws sizes uniformly in [0.5, 1.5] x mean.
+	SizeUniform SizeDist = iota
+	// SizeExponential draws exponentially with the given mean.
+	SizeExponential
+	// SizeBoundedPareto draws from a bounded Pareto (alpha 1.5, bounds
+	// [mean/5, mean*20]) rescaled to the requested mean — the heavy-tailed
+	// mix typical of analytics clusters.
+	SizeBoundedPareto
+)
+
+func (d SizeDist) String() string {
+	switch d {
+	case SizeUniform:
+		return "uniform"
+	case SizeExponential:
+		return "exponential"
+	case SizeBoundedPareto:
+		return "bounded-pareto"
+	default:
+		return fmt.Sprintf("sizedist(%d)", int(d))
+	}
+}
+
+// sample draws one size with the given mean.
+func (d SizeDist) sample(rng *rand.Rand, mean float64) float64 {
+	switch d {
+	case SizeExponential:
+		return rng.ExpFloat64() * mean
+	case SizeBoundedPareto:
+		return boundedPareto(rng, 1.5, mean/5, mean*20) * mean / boundedParetoMean(1.5, mean/5, mean*20)
+	default:
+		return mean * (0.5 + rng.Float64())
+	}
+}
+
+// boundedPareto draws from a Pareto(alpha) truncated to [lo, hi] by
+// inverse-CDF sampling.
+func boundedPareto(rng *rand.Rand, alpha, lo, hi float64) float64 {
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+func boundedParetoMean(alpha, lo, hi float64) float64 {
+	// E[X] for bounded Pareto with alpha != 1.
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return la / (1 - la/ha) * alpha / (alpha - 1) *
+		(1/math.Pow(lo, alpha-1) - 1/math.Pow(hi, alpha-1))
+}
+
+// Config parameterizes batch instance generation.
+type Config struct {
+	NumJobs  int
+	NumSites int
+	// SiteCapacity is each site's capacity; with HeteroCapacity it is the
+	// mean of a log-uniform draw over [x/4, 4x].
+	SiteCapacity   float64
+	HeteroCapacity bool
+	// Skew is the Zipf alpha of the per-site workload distribution. 0 means
+	// uniform.
+	Skew float64
+	// PerJobSkew changes what Skew shapes. When false (default), sites have
+	// a global popularity ranking: every job's workload concentrates on the
+	// same hot sites (shared-dataset hotspots). When true, each job
+	// concentrates its workload on its own randomly-ordered site subset:
+	// the cluster stays globally balanced while individual jobs become
+	// increasingly pinned — the skew axis of the paper's evaluation, where
+	// per-site fairness starves pinned jobs and AMF compensates across
+	// sites.
+	PerJobSkew bool
+	// SitesPerJobMin/Max bound the number of sites a job touches
+	// (defaults: 1 and NumSites).
+	SitesPerJobMin, SitesPerJobMax int
+	// MeanDemand is the mean total demand per job (default 1).
+	MeanDemand float64
+	// SizeDist selects the job-size distribution.
+	SizeDist SizeDist
+	// Weighted assigns random job weights in [0.5, 4] when set.
+	Weighted bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SitesPerJobMin <= 0 {
+		c.SitesPerJobMin = 1
+	}
+	if c.SitesPerJobMax <= 0 || c.SitesPerJobMax > c.NumSites {
+		c.SitesPerJobMax = c.NumSites
+	}
+	if c.SitesPerJobMin > c.SitesPerJobMax {
+		c.SitesPerJobMin = c.SitesPerJobMax
+	}
+	if c.MeanDemand <= 0 {
+		c.MeanDemand = 1
+	}
+	if c.SiteCapacity <= 0 {
+		c.SiteCapacity = 1
+	}
+	return c
+}
+
+// Generate builds a batch instance: NumJobs jobs over NumSites sites, each
+// job spreading its total demand over a Zipf-popular subset of sites.
+func Generate(cfg Config) *core.Instance {
+	cfg = cfg.withDefaults()
+	n, m := cfg.NumJobs, cfg.NumSites
+	capRng := randx.Stream(cfg.Seed, "workload/capacity")
+	jobRng := randx.Stream(cfg.Seed, "workload/jobs")
+
+	in := &core.Instance{
+		SiteCapacity: make([]float64, m),
+		Demand:       make([][]float64, n),
+	}
+	for s := range in.SiteCapacity {
+		if cfg.HeteroCapacity {
+			// Log-uniform over [cap/4, 4cap].
+			in.SiteCapacity[s] = cfg.SiteCapacity / 4 * math.Pow(16, capRng.Float64())
+		} else {
+			in.SiteCapacity[s] = cfg.SiteCapacity
+		}
+	}
+
+	pop := ZipfWeights(m, cfg.Skew)
+	for j := 0; j < n; j++ {
+		in.Demand[j] = make([]float64, m)
+		k := cfg.SitesPerJobMin
+		if cfg.SitesPerJobMax > cfg.SitesPerJobMin {
+			k += jobRng.Intn(cfg.SitesPerJobMax - cfg.SitesPerJobMin + 1)
+		}
+		total := cfg.SizeDist.sample(jobRng, cfg.MeanDemand)
+		var sites []int
+		var split []float64
+		if cfg.PerJobSkew {
+			// Uniform site subset, Zipf split in a random per-job order.
+			sites = jobRng.Perm(m)[:k]
+			split = ZipfWeights(k, cfg.Skew)
+		} else {
+			// Global hotspots: popular sites drawn and weighted by the
+			// shared popularity ranking (jittered).
+			sites = SampleDistinct(jobRng, pop, k)
+			split = make([]float64, len(sites))
+			for i, s := range sites {
+				split[i] = pop[s] * (0.5 + jobRng.Float64())
+			}
+		}
+		var sum float64
+		for _, w := range split {
+			sum += w
+		}
+		for i, s := range sites {
+			in.Demand[j][s] = total * split[i] / sum
+		}
+	}
+	if cfg.Weighted {
+		in.Weight = make([]float64, n)
+		for j := range in.Weight {
+			in.Weight[j] = 0.5 + jobRng.Float64()*3.5
+		}
+	}
+	return in
+}

@@ -1,0 +1,58 @@
+package workload
+
+import "fmt"
+
+// Scenario is a named preset matching the workload families used across
+// the experiment suite.
+type Scenario string
+
+const (
+	// ScenarioUniform spreads work evenly across sites (skew 0).
+	ScenarioUniform Scenario = "uniform"
+	// ScenarioMildSkew concentrates work mildly (Zipf 0.8).
+	ScenarioMildSkew Scenario = "mild-skew"
+	// ScenarioHighSkew concentrates work strongly (Zipf 1.5), the regime
+	// where the paper reports AMF's largest wins.
+	ScenarioHighSkew Scenario = "high-skew"
+	// ScenarioHotspot sends most work to a single hot site (Zipf 2.5).
+	ScenarioHotspot Scenario = "hotspot"
+	// ScenarioHetero uses heterogeneous site capacities with mild skew.
+	ScenarioHetero Scenario = "hetero"
+)
+
+// Scenarios lists all presets in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioUniform, ScenarioMildSkew, ScenarioHighSkew,
+		ScenarioHotspot, ScenarioHetero}
+}
+
+// Configure returns the batch Config for the scenario with the given
+// shape and seed.
+func (sc Scenario) Configure(numJobs, numSites int, seed uint64) (Config, error) {
+	cfg := Config{
+		NumJobs:      numJobs,
+		NumSites:     numSites,
+		SiteCapacity: 1,
+		// Total demand comfortably oversubscribes capacity so fairness
+		// actually binds: mean demand 3x the per-job fair share.
+		MeanDemand: 3 * float64(numSites) / float64(numJobs),
+		SizeDist:   SizeBoundedPareto,
+		Seed:       seed,
+	}
+	switch sc {
+	case ScenarioUniform:
+		cfg.Skew = 0
+	case ScenarioMildSkew:
+		cfg.Skew = 0.8
+	case ScenarioHighSkew:
+		cfg.Skew = 1.5
+	case ScenarioHotspot:
+		cfg.Skew = 2.5
+	case ScenarioHetero:
+		cfg.Skew = 0.8
+		cfg.HeteroCapacity = true
+	default:
+		return Config{}, fmt.Errorf("workload: unknown scenario %q", sc)
+	}
+	return cfg, nil
+}

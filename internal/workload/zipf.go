@@ -1,0 +1,68 @@
+// Package workload generates the synthetic inputs for all experiments:
+// multi-site instances whose per-site workload distribution follows a
+// Zipf popularity law (the skew axis the paper's evaluation sweeps),
+// job-size distributions, Poisson arrival streams and named scenario
+// presets. Everything is seeded and deterministic.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ZipfWeights returns m popularity weights proportional to rank^(-alpha),
+// normalized to sum to 1. alpha = 0 yields a uniform distribution; larger
+// alpha concentrates mass on low ranks ("hot" sites).
+func ZipfWeights(m int, alpha float64) []float64 {
+	if m <= 0 {
+		return nil
+	}
+	w := make([]float64, m)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// SampleIndex draws an index from the (normalized or unnormalized)
+// non-negative weight vector.
+func SampleIndex(rng *rand.Rand, weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return rng.Intn(len(weights))
+	}
+	x := rng.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleDistinct draws k distinct indices from the weight vector by
+// sampling without replacement (weights of drawn indices are removed).
+// k is clamped to len(weights).
+func SampleDistinct(rng *rand.Rand, weights []float64, k int) []int {
+	m := len(weights)
+	if k > m {
+		k = m
+	}
+	w := append([]float64(nil), weights...)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := SampleIndex(rng, w)
+		out = append(out, i)
+		w[i] = 0
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package repro_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the public API exactly as the README and the
+// examples present it, guarding the re-exported surface.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 1},
+			{1, 0},
+		},
+	}
+	alloc, err := repro.NewSolver().AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.Aggregate(0)-1) > 1e-6 || math.Abs(alloc.Aggregate(1)-1) > 1e-6 {
+		t.Fatalf("aggregates %v, want [1 1]", alloc.Aggregates())
+	}
+	baseline := repro.PerSiteMMF(in)
+	if math.Abs(baseline.Aggregate(1)-0.5) > 1e-9 {
+		t.Fatalf("baseline pinned job %g, want 0.5", baseline.Aggregate(1))
+	}
+}
+
+func TestPublicEnhancedAndVerifiers(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{10, 0.2},
+		Demand: [][]float64{
+			{0.9, 1},
+			{0, 1},
+			{0, 1},
+		},
+	}
+	sv := repro.NewSolver()
+	amf, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := repro.SharingIncentiveViolations(amf, 1e-6)
+	if len(jobs) != 1 {
+		t.Fatalf("violations %v, want exactly job 0", jobs)
+	}
+	enh, err := sv.EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := repro.SharingIncentiveViolations(enh, 1e-6); len(jobs) != 0 {
+		t.Fatalf("enhanced violations %v", jobs)
+	}
+	if !repro.IsParetoEfficient(amf, 1e-5*10*4) {
+		t.Fatal("AMF not Pareto efficient")
+	}
+	if _, bad := repro.AggregateMaxMinViolation(amf, 1e-3); bad {
+		t.Fatal("AMF flagged as unfair")
+	}
+	if pairs := repro.EnvyPairs(amf, 1e-5); len(pairs) != 0 {
+		t.Fatalf("envy pairs %v", pairs)
+	}
+	if es := repro.EqualShares(in); math.Abs(es[0]-(0.9+0.2/3)) > 1e-9 {
+		t.Fatalf("equal share %g", es[0])
+	}
+	if mt := repro.MaxTotalAllocation(in); math.Abs(mt-1.1) > 1e-6 {
+		t.Fatalf("max total %g, want 1.1", mt)
+	}
+}
+
+func TestPublicSolverOptions(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{3},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	for _, m := range []repro.Method{repro.MethodNewton, repro.MethodBisect} {
+		sv := &repro.Solver{Method: m}
+		a, err := sv.AMF(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Aggregate(0)-1.5) > 1e-6 {
+			t.Fatalf("%v: aggregate %g", m, a.Aggregate(0))
+		}
+	}
+}
+
+func TestPublicJCTAddon(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{1, 1},
+		Demand: [][]float64{
+			{1, 1},
+			{1, 1},
+		},
+	}
+	sv := repro.NewSolver()
+	opt, err := sv.AMFWithJCT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if s := opt.Stretch(j); s > 1.01 {
+			t.Fatalf("job %d stretch %g after add-on", j, s)
+		}
+	}
+}
+
+func TestPublicStrategyProbe(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{2}, {2}},
+	}
+	sv := repro.NewSolver()
+	amf := func(in *repro.Instance) (*repro.Allocation, error) { return sv.AMF(in) }
+	outs, err := repro.ProbeStrategyProofness(in, amf, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Gain > 1e-6 {
+			t.Fatalf("job %d gained %g", o.Job, o.Gain)
+		}
+	}
+}
+
+func TestPublicUsefulAllocation(t *testing.T) {
+	in := &repro.Instance{
+		SiteCapacity: []float64{2},
+		Demand:       [][]float64{{2}},
+	}
+	a := repro.NewAllocation(in)
+	a.Share[0][0] = 2
+	if u := repro.UsefulAllocation(a, 0, []float64{1}); u != 1 {
+		t.Fatalf("useful %g, want 1", u)
+	}
+}
