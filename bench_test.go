@@ -11,11 +11,17 @@
 package repro_test
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/maxflow"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -152,6 +158,89 @@ func BenchmarkOptimizeJCT60x10(b *testing.B) {
 		}
 	}
 }
+
+// benchServe measures serving-engine mutation throughput under 8
+// concurrent mutators and 8 polling readers. Batched uses group commit
+// (a batch the size of the mutator pool, bounded by a 1ms window);
+// unbatched solves once per mutation. ns/op is per mutation, so the
+// batched/unbatched ratio is the group-commit win tracked by BENCH runs.
+func benchServe(b *testing.B, maxBatch int, window time.Duration) {
+	const (
+		mutators = 8
+		readers  = 8
+		jobs     = 64
+		sites    = 8
+	)
+	caps := make([]float64, sites)
+	for s := range caps {
+		caps[s] = jobs / sites
+	}
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(sc, serve.Config{MaxBatch: maxBatch, BatchWindow: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for j := 0; j < jobs; j++ {
+		demand := make([]float64, sites)
+		demand[j%sites] = 2
+		demand[(j+1)%sites] = 1
+		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demand, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var readerWG sync.WaitGroup
+	var readOps atomic.Int64
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for !stop.Load() {
+				_ = eng.Current()
+				readOps.Add(1)
+				time.Sleep(250 * time.Microsecond)
+			}
+		}()
+	}
+
+	per := (b.N + mutators - 1) / mutators
+	b.ResetTimer()
+	var mutWG sync.WaitGroup
+	for w := 0; w < mutators; w++ {
+		mutWG.Add(1)
+		go func(w int) {
+			defer mutWG.Done()
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("job-%d", (w+i*mutators)%jobs)
+				// Cycle weights so every mutation dirties the allocation.
+				weight := 1 + float64((i*7+w*3)%13)/13
+				if err := eng.UpdateWeight(id, weight); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	mutWG.Wait()
+	b.StopTimer()
+	stop.Store(true)
+	readerWG.Wait()
+	st := sc.Stats()
+	b.ReportMetric(float64(mutators*per)/float64(st.Solves), "mutations/solve")
+	b.ReportMetric(float64(readOps.Load())/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkServeBatched is the engine with group commit enabled.
+func BenchmarkServeBatched(b *testing.B) { benchServe(b, 8, time.Millisecond) }
+
+// BenchmarkServeUnbatched solves once per mutation (the pre-engine
+// behavior) for comparison.
+func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1, 0) }
 
 func BenchmarkMaxFlowBipartite(b *testing.B) {
 	in := benchInstance(200, 20, 1.2)

@@ -10,6 +10,13 @@
 //	amf-bench -seed 7         # different workload seed
 //	amf-bench -list           # list experiment IDs and titles
 //
+// A separate serving-throughput mode benchmarks the concurrent engine
+// (internal/serve) under mixed mutator/reader load, batched group commit
+// vs. one solve per mutation:
+//
+//	amf-bench -serve                            # 8 mutators + 8 readers
+//	amf-bench -serve -serve-mutators 16 -serve-dur 5s
+//
 // Output is the same Render() text the root-level benchmarks produce, so
 // `go test -bench` and this tool can never drift apart.
 package main
@@ -33,8 +40,33 @@ func main() {
 		list   = flag.Bool("list", false, "list experiments and exit")
 		format = flag.String("format", "text", "output format: text or md")
 		outDir = flag.String("out", "", "also write each experiment's report into this directory")
+
+		serveMode    = flag.Bool("serve", false, "run the serving-throughput benchmark instead of experiments")
+		serveMut     = flag.Int("serve-mutators", 8, "concurrent mutator goroutines")
+		serveReaders = flag.Int("serve-readers", 8, "concurrent reader goroutines")
+		serveJobs    = flag.Int("serve-jobs", 64, "preloaded job count")
+		serveSites   = flag.Int("serve-sites", 8, "site count")
+		serveBatch   = flag.Int("serve-batch", 0, "MaxBatch for the batched configuration (0 = mutator count)")
+		serveWindow  = flag.Duration("serve-window", time.Millisecond, "BatchWindow for the batched configuration")
+		serveDur     = flag.Duration("serve-dur", 2*time.Second, "measurement duration per configuration")
 	)
 	flag.Parse()
+
+	if *serveMode {
+		if err := runServing(servingOptions{
+			mutators: *serveMut,
+			readers:  *serveReaders,
+			jobs:     *serveJobs,
+			sites:    *serveSites,
+			batchMax: *serveBatch,
+			window:   *serveWindow,
+			dur:      *serveDur,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.List() {

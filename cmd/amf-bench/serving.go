@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+)
+
+// servingOptions parameterizes the serving-throughput benchmark
+// (-serve): N mutator goroutines push weight updates through the engine
+// while M reader goroutines poll the allocation snapshot, once with
+// group-committed batching and once with one solve per mutation.
+type servingOptions struct {
+	mutators int
+	readers  int
+	jobs     int
+	sites    int
+	batchMax int
+	window   time.Duration
+	dur      time.Duration
+}
+
+// readPollInterval is each benchmark reader's polling cadence.
+const readPollInterval = 250 * time.Microsecond
+
+type servingResult struct {
+	mode      string
+	mutOps    int64
+	readOps   int64
+	solves    int
+	elapsed   time.Duration
+	solveP95  float64
+	commitP95 float64
+}
+
+func (r servingResult) mutPerSec() float64 {
+	return float64(r.mutOps) / r.elapsed.Seconds()
+}
+
+func (r servingResult) readPerSec() float64 {
+	return float64(r.readOps) / r.elapsed.Seconds()
+}
+
+// runServing runs the batched and unbatched configurations and prints a
+// comparison table.
+func runServing(o servingOptions) error {
+	if o.batchMax <= 0 {
+		// Group-commit sweet spot: a batch the size of the writer pool
+		// commits the moment every in-flight mutation has arrived, so the
+		// window below is a bound, not a wait.
+		o.batchMax = o.mutators
+	}
+	unbatched, err := runServingMode("unbatched", 1, o)
+	if err != nil {
+		return err
+	}
+	batched, err := runServingMode("batched", o.batchMax, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Serving throughput: %d mutators + %d readers, %d jobs x %d sites, %v per mode\n\n",
+		o.mutators, o.readers, o.jobs, o.sites, o.dur)
+	fmt.Printf("%-10s %12s %14s %8s %14s %14s\n",
+		"mode", "mutations/s", "reads/s", "solves", "solve p95 (s)", "commit p95 (s)")
+	for _, r := range []servingResult{unbatched, batched} {
+		fmt.Printf("%-10s %12.0f %14.0f %8d %14.6f %14.6f\n",
+			r.mode, r.mutPerSec(), r.readPerSec(), r.solves, r.solveP95, r.commitP95)
+	}
+	fmt.Printf("\nbatched/unbatched mutation throughput: %.2fx\n",
+		batched.mutPerSec()/unbatched.mutPerSec())
+	return nil
+}
+
+func runServingMode(mode string, batchMax int, o servingOptions) (servingResult, error) {
+	caps := make([]float64, o.sites)
+	for s := range caps {
+		caps[s] = float64(o.jobs) / float64(o.sites)
+	}
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps})
+	if err != nil {
+		return servingResult{}, err
+	}
+	reg := obs.NewRegistry()
+	eng, err := serve.New(sc, serve.Config{
+		MaxBatch:    batchMax,
+		BatchWindow: o.window,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return servingResult{}, err
+	}
+	defer eng.Close()
+
+	// Preload a steady-state job set: each job demands work at two sites.
+	for j := 0; j < o.jobs; j++ {
+		demand := make([]float64, o.sites)
+		demand[j%o.sites] = 2
+		demand[(j+1)%o.sites] = 1
+		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demand, nil); err != nil {
+			return servingResult{}, err
+		}
+	}
+	baseSolves := sc.Stats().Solves
+
+	var stop atomic.Bool
+	var mutOps, readOps atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < o.mutators; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				id := fmt.Sprintf("job-%d", (w+i*o.mutators)%o.jobs)
+				// Cycle weights so every update dirties the allocation.
+				weight := 1 + float64((i*7+w*3)%13)/13
+				if err := eng.UpdateWeight(id, weight); err != nil {
+					return
+				}
+				mutOps.Add(1)
+			}
+		}(w)
+	}
+	for r := 0; r < o.readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for !stop.Load() {
+				snap := eng.Current()
+				if snap.Version < last {
+					panic("snapshot version went backwards")
+				}
+				last = snap.Version
+				readOps.Add(1)
+				// Poll like a monitoring client rather than hot-spinning,
+				// so readers don't monopolize small hosts. The snapshot
+				// read itself is a single atomic load.
+				time.Sleep(readPollInterval)
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(o.dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return servingResult{
+		mode:      mode,
+		mutOps:    mutOps.Load(),
+		readOps:   readOps.Load(),
+		solves:    sc.Stats().Solves - baseSolves,
+		elapsed:   elapsed,
+		solveP95:  reg.Histogram("engine.solve_latency").Quantile(0.95),
+		commitP95: reg.Histogram("engine.commit_latency").Quantile(0.95),
+	}, nil
+}

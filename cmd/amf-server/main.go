@@ -1,9 +1,16 @@
 // Command amf-server runs the allocation controller as a standalone JSON/
 // HTTP service (see internal/api for the endpoint reference).
 //
+// Requests are served through the concurrent engine (internal/serve):
+// mutations are group-committed — many queued mutations share one
+// re-solve — and allocation reads come lock-free from an immutable
+// snapshot. -batch-max and -batch-window tune the batching; -batch-max 1
+// restores one-solve-per-mutation behavior.
+//
 // Usage:
 //
 //	amf-server -listen :8080 -capacity 4,4,8 -policy amf
+//	amf-server -batch-max 256 -batch-window 2ms
 //
 // Example session:
 //
@@ -12,9 +19,11 @@
 //	curl localhost:8080/v1/allocation
 //	curl -X POST localhost:8080/v1/jobs/etl/progress -d '{"done":[2,2,0]}'
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,16 +36,21 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "listen address")
-		capacity = flag.String("capacity", "4,4", "comma-separated per-site capacities")
-		policy   = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
-		state    = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
+		listen      = flag.String("listen", ":8080", "listen address")
+		capacity    = flag.String("capacity", "4,4", "comma-separated per-site capacities")
+		policy      = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
+		state       = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
+		batchMax    = flag.Int("batch-max", 256, "max mutations committed per solve (1 = solve per mutation)")
+		batchWindow = flag.Duration("batch-window", 0, "extra time to gather a batch after its first mutation (0 = only drain what is queued)")
+		dumpMetrics = flag.Bool("metrics-on-exit", true, "log a metrics snapshot on shutdown")
 	)
 	flag.Parse()
 
@@ -57,29 +71,44 @@ func main() {
 			log.Fatalf("amf-server: %v", err)
 		}
 	}
-	srv := api.NewServer(sc, caps, p)
+	reg := obs.NewRegistry()
+	eng, err := serve.New(sc, serve.Config{
+		MaxBatch:    *batchMax,
+		BatchWindow: *batchWindow,
+		Metrics:     reg,
+	})
+	if err != nil {
+		log.Fatalf("amf-server: %v", err)
+	}
+	srv := api.NewEngineServer(eng, reg, caps, p)
 
 	hs := &http.Server{
 		Addr:              *listen,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if *state != "" {
-		// Persist the job set on shutdown so a restart resumes where it
-		// left off.
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigs
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		_ = eng.Close() // drain queued mutations before persisting
+		if *state != "" {
+			// Persist the job set so a restart resumes where it left off.
 			if err := saveState(sc, *state); err != nil {
 				log.Printf("amf-server: saving state: %v", err)
 			} else {
 				log.Printf("amf-server: state saved to %s", *state)
 			}
-			os.Exit(0)
-		}()
-	}
-	log.Printf("amf-server: %d sites, policy %s, listening on %s", len(caps), p, *listen)
+		}
+		if *dumpMetrics {
+			if buf, err := json.MarshalIndent(reg.Snapshot(), "", "  "); err == nil {
+				log.Printf("amf-server: final metrics:\n%s", buf)
+			}
+		}
+		os.Exit(0)
+	}()
+	log.Printf("amf-server: %d sites, policy %s, batch-max %d, listening on %s",
+		len(caps), p, *batchMax, *listen)
 	if err := hs.ListenAndServe(); err != nil {
 		log.Fatalf("amf-server: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 )
 
@@ -130,6 +131,13 @@ func (c *Client) Allocation() (AllocationResponse, error) {
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
 	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the server's metrics registry snapshot.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var out obs.Snapshot
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
 }
 

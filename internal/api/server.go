@@ -14,8 +14,18 @@
 //	GET    /v1/jobs/{id}/shares       one job's current shares
 //	GET    /v1/allocation              all current shares
 //	GET    /v1/stats                   controller counters
+//	GET    /v1/metrics                 metrics registry snapshot
 //	GET    /v1/snapshot                download controller state
 //	PUT    /v1/snapshot                restore controller state
+//
+// Every endpoint is wrapped in metrics middleware recording per-endpoint
+// request counts, error counts and latency histograms into an obs.Registry,
+// served at GET /v1/metrics alongside the solver's counters.
+//
+// The server fronts either a bare scheduler.Scheduler (NewServer) or a
+// serve.Engine (NewEngineServer) — with the engine, mutations are batched
+// through its group commit and GET /v1/allocation is served lock-free from
+// the engine's published snapshot.
 //
 // Errors are returned as {"error": "..."} with conventional status codes:
 // 400 for validation failures, 404 for unknown jobs, 409 for duplicates.
@@ -25,9 +35,34 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scheduler"
+	"repro/internal/serve"
 	"repro/internal/sim"
+)
+
+// Backend is the controller surface the API serves: implemented by both
+// *scheduler.Scheduler (direct, lazy-solving) and *serve.Engine (batched
+// mutations, lock-free snapshot reads).
+type Backend interface {
+	AddJob(id string, weight float64, demand, work []float64) error
+	AddJobInQueue(queue, id string, weight float64, demand, work []float64) error
+	AddQueue(name string, weight float64) error
+	RemoveJob(id string) error
+	ReportProgress(id string, done []float64) (bool, error)
+	UpdateWeight(id string, weight float64) error
+	Shares(id string) ([]float64, error)
+	Allocation() (map[string][]float64, error)
+	Stats() scheduler.Stats
+	Snapshot() scheduler.Snapshot
+	Restore(scheduler.Snapshot) error
+}
+
+var (
+	_ Backend = (*scheduler.Scheduler)(nil)
+	_ Backend = (*serve.Engine)(nil)
 )
 
 // AddJobRequest registers a job. Queue, when set, must name a queue
@@ -76,53 +111,108 @@ type ConfigResponse struct {
 
 // StatsResponse mirrors scheduler.Stats.
 type StatsResponse struct {
-	Solves    int `json:"solves"`
-	Skipped   int `json:"skipped"`
-	Jobs      int `json:"jobs"`
-	Completed int `json:"completed"`
+	Solves            int     `json:"solves"`
+	Skipped           int     `json:"skipped"`
+	Jobs              int     `json:"jobs"`
+	Completed         int     `json:"completed"`
+	LastSolveSeconds  float64 `json:"last_solve_seconds"`
+	TotalSolveSeconds float64 `json:"total_solve_seconds"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Server wraps a scheduler with the HTTP API.
+// Server wraps a controller backend with the HTTP API.
 type Server struct {
-	sc     *scheduler.Scheduler
+	sc     Backend
 	cfg    ConfigResponse
 	mux    *http.ServeMux
 	policy sim.Policy
+	reg    *obs.Registry
 }
 
-// NewServer builds the API around an existing controller. capacity and
+// NewServer builds the API around a bare controller. capacity and
 // policy are echoed by /v1/config (the scheduler does not expose them).
+// The server creates its own metrics registry (see Metrics).
 func NewServer(sc *scheduler.Scheduler, capacity []float64, policy sim.Policy) *Server {
+	return newServer(sc, obs.NewRegistry(), capacity, policy)
+}
+
+// NewEngineServer builds the API around a serving engine: mutations are
+// group-committed, allocation reads come lock-free from the engine's
+// published snapshot. reg should be the registry the engine instruments
+// (so /v1/metrics unifies HTTP and solver telemetry); nil creates a fresh
+// one.
+func NewEngineServer(eng *serve.Engine, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return newServer(eng, reg, capacity, policy)
+}
+
+func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
 	s := &Server{
-		sc: sc,
+		sc: be,
 		cfg: ConfigResponse{
 			SiteCapacity: append([]float64(nil), capacity...),
 			Policy:       policy.String(),
 		},
 		mux:    http.NewServeMux(),
 		policy: policy,
+		reg:    reg,
 	}
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleAddJob)
-	s.mux.HandleFunc("POST /v1/queues", s.handleAddQueue)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemoveJob)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/progress", s.handleProgress)
-	s.mux.HandleFunc("PUT /v1/jobs/{id}/weight", s.handleWeight)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/shares", s.handleShares)
-	s.mux.HandleFunc("GET /v1/allocation", s.handleAllocation)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleGetSnapshot)
-	s.mux.HandleFunc("PUT /v1/snapshot", s.handlePutSnapshot)
+	s.route("GET /v1/healthz", s.handleHealthz)
+	s.route("GET /v1/config", s.handleConfig)
+	s.route("POST /v1/jobs", s.handleAddJob)
+	s.route("POST /v1/queues", s.handleAddQueue)
+	s.route("DELETE /v1/jobs/{id}", s.handleRemoveJob)
+	s.route("POST /v1/jobs/{id}/progress", s.handleProgress)
+	s.route("PUT /v1/jobs/{id}/weight", s.handleWeight)
+	s.route("GET /v1/jobs/{id}/shares", s.handleShares)
+	s.route("GET /v1/allocation", s.handleAllocation)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /v1/metrics", s.handleMetrics)
+	s.route("GET /v1/snapshot", s.handleGetSnapshot)
+	s.route("PUT /v1/snapshot", s.handlePutSnapshot)
 	return s
 }
 
 // Handler returns the HTTP handler for mounting.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry the server instruments into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// route registers a handler wrapped in per-endpoint metrics middleware:
+// request and error counters plus a latency histogram, keyed by the route
+// pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	reqs := s.reg.Counter("http.requests." + pattern)
+	errs := s.reg.Counter("http.errors." + pattern)
+	lat := s.reg.Histogram("http.latency." + pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(time.Since(start))
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -277,5 +367,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sc.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
+		LastSolveSeconds:  st.LastSolve.Seconds(),
+		TotalSolveSeconds: st.TotalSolveTime.Seconds(),
 	})
+}
+
+// handleMetrics serves the registry snapshot. Scheduler counters are
+// mirrored into gauges right before snapshotting, so /v1/metrics and
+// /v1/stats always report the same solver numbers.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.sc.Stats()
+	s.reg.Gauge("scheduler.solves").Set(float64(st.Solves))
+	s.reg.Gauge("scheduler.skipped").Set(float64(st.Skipped))
+	s.reg.Gauge("scheduler.jobs").Set(float64(st.Jobs))
+	s.reg.Gauge("scheduler.completed").Set(float64(st.Completed))
+	s.reg.Gauge("scheduler.last_solve_seconds").Set(st.LastSolve.Seconds())
+	s.reg.Gauge("scheduler.total_solve_seconds").Set(st.TotalSolveTime.Seconds())
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

@@ -1,0 +1,390 @@
+// Package obs is a small, dependency-free metrics registry for
+// instrumenting the allocator's serving path: atomic counters, float
+// gauges, and fixed-bucket latency histograms with quantile summaries.
+//
+// All metric types are safe for concurrent use and update with a handful
+// of atomic operations — no locks on the hot path — so they can sit inside
+// the solver and request handlers without perturbing what they measure.
+// Metric handles are cheap to look up but are meant to be resolved once
+// and retained.
+//
+// A Registry snapshots to a JSON-friendly Snapshot; internal/api serves it
+// at GET /v1/metrics.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float-valued metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the current value (CAS loop; safe concurrently).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// numBuckets covers 1µs .. ~35s in powers of two, plus one overflow
+// bucket. Bucket i counts observations with d <= 1µs<<i.
+const numBuckets = 26
+
+// Histogram records durations in fixed exponential buckets and reports
+// count, sum, min/max and interpolated quantiles. The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	minNS   atomic.Int64 // 0 = unset; stored as ns+1 to distinguish
+	maxNS   atomic.Int64
+	buckets [numBuckets + 1]atomic.Int64
+}
+
+// bucketUpperNS returns the inclusive upper bound of bucket i in
+// nanoseconds (the overflow bucket has no bound).
+func bucketUpperNS(i int) int64 { return int64(1000) << uint(i) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.minNS.Load()
+		if old != 0 && ns+1 >= old {
+			break
+		}
+		if h.minNS.CompareAndSwap(old, ns+1) {
+			break
+		}
+	}
+	i := 0
+	for i < numBuckets && ns > bucketUpperNS(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// Time starts a timer; the returned func stops it and records the elapsed
+// duration. Typical use: defer h.Time()().
+func (h *Histogram) Time() func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// Quantile returns an interpolated estimate of the q-quantile (0..1) in
+// seconds, or 0 when the histogram is empty. Within a bucket the
+// distribution is assumed uniform.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.snapshot()
+	return s.quantile(q)
+}
+
+// histState is an atomically inconsistent but monotone-safe read of the
+// histogram (counters only ever grow, so rank estimates stay sane).
+type histState struct {
+	count, sumNS, minNS, maxNS int64
+	buckets                    [numBuckets + 1]int64
+}
+
+func (h *Histogram) snapshot() histState {
+	var s histState
+	s.count = h.count.Load()
+	s.sumNS = h.sumNS.Load()
+	s.maxNS = h.maxNS.Load()
+	if m := h.minNS.Load(); m > 0 {
+		s.minNS = m - 1
+	}
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+func (s *histState) quantile(q float64) float64 {
+	var total int64
+	for _, c := range s.buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == numBuckets {
+			lo := 0.0
+			if i > 0 {
+				lo = float64(bucketUpperNS(i - 1))
+			}
+			hi := float64(bucketUpperNS(i))
+			if i == numBuckets {
+				hi = float64(s.maxNS) // overflow bucket: cap at observed max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			v := lo + frac*(hi-lo)
+			// Clamp to the observed range: interpolation over a sparse
+			// bucket can land outside [min, max], which reads as nonsense
+			// (a p50 above the max for a single-sample histogram).
+			if v > float64(s.maxNS) {
+				v = float64(s.maxNS)
+			}
+			if v < float64(s.minNS) {
+				v = float64(s.minNS)
+			}
+			return v / 1e9
+		}
+		cum = next
+	}
+	return float64(s.maxNS) / 1e9
+}
+
+// Registry holds named metrics. Lookup is get-or-create and safe for
+// concurrent use; the zero value is not usable — call NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Observe records d on the named histogram (convenience).
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.Histogram(name).Observe(d)
+}
+
+// Time starts a named timer; the returned func records the elapsed
+// duration. Typical use: defer reg.Time("solver.solve")().
+func (r *Registry) Time(name string) func() {
+	return r.Histogram(name).Time()
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound in seconds (the last bucket
+	// of a histogram reports the observed maximum).
+	LE float64 `json:"le_seconds"`
+	// Count is the number of observations in this bucket.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	Min   float64 `json:"min_seconds"`
+	Max   float64 `json:"max_seconds"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	// Buckets lists only non-empty buckets.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric. Values are read atomically per metric
+// but the snapshot as a whole is not a consistent cut — fine for
+// monitoring.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := Snapshot{}
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			snap.Histograms[name] = h.Summary()
+		}
+	}
+	return snap
+}
+
+// Summary returns the histogram's JSON form.
+func (h *Histogram) Summary() HistogramSnapshot {
+	s := h.snapshot()
+	hs := HistogramSnapshot{
+		Count: s.count,
+		Sum:   float64(s.sumNS) / 1e9,
+		Min:   float64(s.minNS) / 1e9,
+		Max:   float64(s.maxNS) / 1e9,
+		P50:   s.quantile(0.50),
+		P95:   s.quantile(0.95),
+		P99:   s.quantile(0.99),
+	}
+	if s.count > 0 {
+		hs.Mean = hs.Sum / float64(s.count)
+	}
+	for i, c := range s.buckets {
+		if c == 0 {
+			continue
+		}
+		le := float64(bucketUpperNS(i)) / 1e9
+		if i == numBuckets {
+			le = float64(s.maxNS) / 1e9
+		}
+		hs.Buckets = append(hs.Buckets, BucketCount{LE: le, Count: c})
+	}
+	return hs
+}
+
+// Names returns all registered metric names, sorted, for diagnostics.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("Counter lookup is not idempotent")
+	}
+	g := r.Gauge("jobs")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations uniform over (0, 10ms].
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if math.Abs(s.Sum-5.005) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.005", s.Sum)
+	}
+	if s.Min != 10e-6 || s.Max != 10e-3 {
+		t.Fatalf("min/max = %g/%g, want 10µs/10ms", s.Min, s.Max)
+	}
+	// Exponential buckets are coarse: accept a factor-2 band around truth.
+	checks := []struct{ got, want float64 }{
+		{s.P50, 5e-3}, {s.P95, 9.5e-3}, {s.P99, 9.9e-3},
+	}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("quantile = %g, want within 2x of %g", c.got, c.want)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(90 * time.Second) // beyond the last bounded bucket
+	s := h.Summary()
+	if s.Count != 1 || s.Max != 90 {
+		t.Fatalf("summary = %+v, want count 1 max 90s", s)
+	}
+	if p := h.Quantile(0.99); p > 90+1e-9 {
+		t.Fatalf("p99 = %g, must not exceed observed max", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(1.5)
+	r.Observe("c", time.Millisecond)
+	buf, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 2 || back.Gauges["b"] != 1.5 {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+	if back.Histograms["c"].Count != 1 {
+		t.Fatalf("histogram lost: %+v", back.Histograms)
+	}
+	if got := r.Names(); len(got) != 3 {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	stop := r.Time("op")
+	time.Sleep(time.Millisecond)
+	stop()
+	s := r.Histogram("op").Summary()
+	if s.Count != 1 || s.Max < 0.0005 {
+		t.Fatalf("timer recorded %+v", s)
+	}
+}
+
+// TestConcurrent hammers every metric type from many goroutines; run under
+// -race this is the registry's thread-safety proof.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Observe("h", time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g").Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h").Summary().Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

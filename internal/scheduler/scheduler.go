@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -38,6 +39,11 @@ type Config struct {
 	Policy sim.Policy
 	// Solver overrides the default core solver.
 	Solver *core.Solver
+	// OnSolve, when set, is invoked after every allocator run with its
+	// wall-clock duration — the instrumentation hook internal/serve uses to
+	// feed solve-latency histograms. It is called with the controller's
+	// mutex held and must not call back into the Scheduler.
+	OnSolve func(time.Duration)
 }
 
 // Job is the controller's view of one running job. The JSON form is the
@@ -54,7 +60,9 @@ type Job struct {
 	Remaining []float64 `json:"remaining"`
 }
 
-// Stats reports controller activity counters.
+// Stats reports controller activity counters. It is the single source of
+// truth for solve accounting: /v1/stats and the internal/obs metrics both
+// report these numbers.
 type Stats struct {
 	// Solves counts allocator invocations.
 	Solves int
@@ -64,6 +72,11 @@ type Stats struct {
 	Jobs int
 	// Completed counts jobs that finished (all remaining work zero).
 	Completed int
+	// LastSolve is the wall-clock duration of the most recent allocator
+	// run (zero if the controller has never solved).
+	LastSolve time.Duration
+	// TotalSolveTime accumulates wall-clock time spent in the allocator.
+	TotalSolveTime time.Duration
 }
 
 // Scheduler is the live allocation controller.
@@ -269,6 +282,14 @@ func (sc *Scheduler) Aggregate(id string) (float64, error) {
 	return t, nil
 }
 
+// SetOnSolve installs (or replaces) the post-solve instrumentation hook;
+// see Config.OnSolve for the contract. nil uninstalls it.
+func (sc *Scheduler) SetOnSolve(fn func(time.Duration)) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.cfg.OnSolve = fn
+}
+
 // Stats returns activity counters.
 func (sc *Scheduler) Stats() Stats {
 	sc.mu.Lock()
@@ -313,10 +334,27 @@ func (sc *Scheduler) solveLocked() error {
 		sc.dirty = false
 		return nil
 	}
+	start := time.Now()
 	in := sc.instanceLocked()
+	var err error
 	if sc.queuedLocked() {
-		return sc.solveHierarchicalLocked(in)
+		err = sc.solveHierarchicalLocked(in)
+	} else {
+		err = sc.solveFlatLocked(in)
 	}
+	if err != nil {
+		return err
+	}
+	d := time.Since(start)
+	sc.stats.LastSolve = d
+	sc.stats.TotalSolveTime += d
+	if sc.cfg.OnSolve != nil {
+		sc.cfg.OnSolve(d)
+	}
+	return nil
+}
+
+func (sc *Scheduler) solveFlatLocked(in *core.Instance) error {
 	alloc, err := sc.cfg.Policy.Allocate(sc.cfg.Solver, in)
 	if err != nil {
 		return fmt.Errorf("scheduler: %w", err)
@@ -328,4 +366,22 @@ func (sc *Scheduler) solveLocked() error {
 	}
 	sc.dirty = false
 	return nil
+}
+
+// Resolve re-solves if the job set changed and returns a self-consistent
+// view under one lock acquisition: the instance the shares were computed
+// against (job order = Instance.JobName) and the per-job share vectors.
+// Both are fresh copies the caller owns — the serving engine publishes
+// them as an immutable snapshot.
+func (sc *Scheduler) Resolve() (*core.Instance, map[string][]float64, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.solveLocked(); err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string][]float64, len(sc.shares))
+	for id, sh := range sc.shares {
+		out[id] = append([]float64(nil), sh...)
+	}
+	return sc.instanceLocked(), out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -333,5 +334,75 @@ func TestUpdateWeight(t *testing.T) {
 	aa, _ = sc.Aggregate("a")
 	if !feq(aa, 3) {
 		t.Fatalf("reset weight split %g, want 3", aa)
+	}
+}
+
+func TestStatsSolveDurations(t *testing.T) {
+	sc := newTestScheduler(t, 1, 1)
+	var hookDurs []time.Duration
+	sc.SetOnSolve(func(d time.Duration) { hookDurs = append(hookDurs, d) })
+	if st := sc.Stats(); st.LastSolve != 0 || st.TotalSolveTime != 0 {
+		t.Fatalf("fresh controller has solve durations: %+v", st)
+	}
+	if err := sc.AddJob("a", 1, []float64{1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Solves != 1 || st.LastSolve <= 0 || st.TotalSolveTime < st.LastSolve {
+		t.Fatalf("after one solve: %+v", st)
+	}
+	if len(hookDurs) != 1 || hookDurs[0] != st.LastSolve {
+		t.Fatalf("OnSolve hook saw %v, stats say %v", hookDurs, st.LastSolve)
+	}
+	// A cached query must not touch the durations.
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := sc.Stats(); st2.TotalSolveTime != st.TotalSolveTime || len(hookDurs) != 1 {
+		t.Fatalf("cached query changed solve accounting: %+v", st2)
+	}
+	// Another dirtying mutation accumulates.
+	if err := sc.AddJob("b", 1, []float64{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	if st3 := sc.Stats(); st3.Solves != 2 || st3.TotalSolveTime <= st.TotalSolveTime || len(hookDurs) != 2 {
+		t.Fatalf("after second solve: %+v (hook %v)", st3, hookDurs)
+	}
+}
+
+func TestResolveConsistentView(t *testing.T) {
+	sc := newTestScheduler(t, 1, 1)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := sc.AddJob(id, 1, []float64{1, 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, shares, err := sc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumJobs() != 3 || len(shares) != 3 {
+		t.Fatalf("resolve: %d jobs, %d share rows", in.NumJobs(), len(shares))
+	}
+	for _, id := range in.JobName {
+		if len(shares[id]) != in.NumSites() {
+			t.Fatalf("job %q has row %v", id, shares[id])
+		}
+	}
+	// Mutating the returned copies must not leak into the controller.
+	shares["a"][0] = 99
+	in.SiteCapacity[0] = 99
+	sh, err := sc.Shares("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh[0] == 99 {
+		t.Fatal("Resolve returned aliased share storage")
 	}
 }

@@ -1,0 +1,383 @@
+// Package serve is the concurrent serving engine around the scheduler
+// controller: the subsystem that lets one allocator instance absorb heavy
+// mutation and read traffic without the solver sitting on every request's
+// critical path.
+//
+// Two mechanisms do the work:
+//
+//   - Group-committed mutations. Mutations (add/remove/progress/weight,
+//     queue declarations, snapshot restores) are enqueued to a single
+//     committer goroutine, which drains whatever is pending — bounded by
+//     MaxBatch and optionally stretched by BatchWindow — applies the whole
+//     batch to the scheduler, and re-solves ONCE for the batch instead of
+//     once per mutation. Callers block until their batch commits, so a
+//     mutation's success/error is returned synchronously and a subsequent
+//     read observes the write (read-your-writes).
+//
+//   - RCU-style allocation snapshots. Every commit publishes an immutable,
+//     version-numbered AllocSnapshot through an atomic.Pointer. Reads
+//     (Current, Allocation, Shares) load the pointer and walk the frozen
+//     data — no lock, no contention with writers, never blocked behind a
+//     solve.
+//
+// The engine optionally instruments itself into an obs.Registry: solver
+// latency, commit latency, batch sizes, mutation/read counters, and the
+// published snapshot version.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+)
+
+// ErrClosed is returned for mutations submitted after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Config parameterizes an Engine.
+type Config struct {
+	// MaxBatch caps the number of mutations committed per solve.
+	// Values <= 1 disable batching: every mutation solves individually
+	// (the "unbatched" baseline). Default 256.
+	MaxBatch int
+	// BatchWindow stretches batch collection: after the first mutation of
+	// a batch arrives, the committer waits up to this long for more before
+	// solving. Zero (the default) is opportunistic batching — the
+	// committer drains only what is already queued, adding no latency.
+	BatchWindow time.Duration
+	// QueueDepth is the mutation queue's buffer (default 256).
+	QueueDepth int
+	// Metrics, when set, receives engine instrumentation (see package
+	// comment). Nil disables it.
+	Metrics *obs.Registry
+}
+
+// AllocSnapshot is one immutable published allocation: everything a read
+// needs, frozen at commit time. Fields must not be mutated by readers.
+type AllocSnapshot struct {
+	// Version increases by one per commit; readers can use it to detect
+	// staleness or order observations.
+	Version uint64
+	// Taken is the commit wall-clock time.
+	Taken time.Time
+	// Shares maps job ID to its per-site share vector.
+	Shares map[string][]float64
+	// Inst is the instance the shares were solved against (job order =
+	// Inst.JobName).
+	Inst *core.Instance
+	// BatchSize is the number of mutations in the commit that produced
+	// this snapshot (0 for the initial snapshot).
+	BatchSize int
+	// SolveDuration is how long the commit's re-solve took.
+	SolveDuration time.Duration
+}
+
+// Allocation materializes the snapshot as a core.Allocation (rows in
+// Inst.JobName order), for the fairness/feasibility verifiers.
+func (s *AllocSnapshot) Allocation() *core.Allocation {
+	a := &core.Allocation{
+		Inst:  s.Inst,
+		Share: make([][]float64, len(s.Inst.JobName)),
+	}
+	for i, id := range s.Inst.JobName {
+		a.Share[i] = s.Shares[id]
+	}
+	return a
+}
+
+// op is one queued mutation. apply runs under the committer; done is
+// closed after the batch containing the op has committed and its snapshot
+// is published.
+type op struct {
+	apply func(*scheduler.Scheduler) error
+	err   error
+	done  chan struct{}
+}
+
+// Engine is the concurrent serving engine. Create with New, stop with
+// Close. All methods are safe for concurrent use.
+type Engine struct {
+	sc  *scheduler.Scheduler
+	cfg Config
+
+	mu     sync.RWMutex // guards closed + sends on ops vs. Close
+	closed bool
+	ops    chan *op
+	done   chan struct{} // closed when the committer exits
+
+	snap atomic.Pointer[AllocSnapshot]
+
+	// Cached metric handles; when Config.Metrics is unset they point into
+	// a private throwaway registry so the hot path stays branch-free.
+	mMutations *obs.Counter
+	mCommits   *obs.Counter
+	mSolveErrs *obs.Counter
+	mReads     *obs.Counter
+	hSolve     *obs.Histogram
+	hCommit    *obs.Histogram
+	gBatch     *obs.Gauge
+	gVersion   *obs.Gauge
+	gJobs      *obs.Gauge
+}
+
+// New wraps a scheduler in a serving engine, publishes the initial
+// snapshot (solving the scheduler's current state), and starts the
+// committer. The engine assumes ownership of mutations: apply writes only
+// through it, or snapshots will lag the controller.
+func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	e := &Engine{
+		sc:   sc,
+		cfg:  cfg,
+		ops:  make(chan *op, cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.mMutations = reg.Counter("engine.mutations_total")
+	e.mCommits = reg.Counter("engine.commits_total")
+	e.mSolveErrs = reg.Counter("engine.solve_errors_total")
+	e.mReads = reg.Counter("engine.snapshot_reads_total")
+	e.hSolve = reg.Histogram("engine.solve_latency")
+	e.hCommit = reg.Histogram("engine.commit_latency")
+	e.gBatch = reg.Gauge("engine.last_batch_size")
+	e.gVersion = reg.Gauge("engine.snapshot_version")
+	e.gJobs = reg.Gauge("engine.jobs")
+	sc.SetOnSolve(func(d time.Duration) { e.hSolve.Observe(d) })
+	if _, err := e.publish(0); err != nil {
+		return nil, fmt.Errorf("serve: initial solve: %w", err)
+	}
+	go e.commitLoop()
+	return e, nil
+}
+
+// Close stops the committer after draining already-queued mutations
+// (they commit normally). Later mutations fail with ErrClosed; reads keep
+// serving the last published snapshot.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return nil
+	}
+	e.closed = true
+	close(e.ops)
+	e.mu.Unlock()
+	<-e.done
+	return nil
+}
+
+// submit enqueues a mutation and blocks until its batch commits.
+func (e *Engine) submit(apply func(*scheduler.Scheduler) error) error {
+	o := &op{apply: apply, done: make(chan struct{})}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	e.ops <- o
+	e.mu.RUnlock()
+	<-o.done
+	return o.err
+}
+
+// commitLoop is the single committer goroutine: gather a batch, apply it,
+// solve once, publish, release the batch's waiters.
+func (e *Engine) commitLoop() {
+	defer close(e.done)
+	for first := range e.ops {
+		batch := e.gather(first)
+		e.commit(batch)
+	}
+}
+
+// gather collects up to MaxBatch ops: everything already queued, plus —
+// when BatchWindow > 0 — whatever else arrives within the window.
+func (e *Engine) gather(first *op) []*op {
+	batch := []*op{first}
+	if e.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	var window <-chan time.Time
+	if e.cfg.BatchWindow > 0 {
+		t := time.NewTimer(e.cfg.BatchWindow)
+		defer t.Stop()
+		window = t.C
+	}
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case o, ok := <-e.ops:
+			if !ok {
+				return batch // closing: commit what we have
+			}
+			batch = append(batch, o)
+		default:
+			if window == nil {
+				return batch
+			}
+			select {
+			case o, ok := <-e.ops:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, o)
+			case <-window:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// commit applies a batch, re-solves once, publishes the new snapshot, and
+// wakes the batch's submitters.
+func (e *Engine) commit(batch []*op) {
+	start := time.Now()
+	for _, o := range batch {
+		o.err = o.apply(e.sc)
+	}
+	snap, err := e.publish(len(batch))
+	if err != nil {
+		// The mutations were applied but the allocation could not be
+		// recomputed; surface the solve failure to every op that had
+		// succeeded so no caller mistakes a stale snapshot for fresh.
+		e.mSolveErrs.Inc()
+		for _, o := range batch {
+			if o.err == nil {
+				o.err = err
+			}
+		}
+	} else {
+		e.gJobs.Set(float64(len(snap.Shares)))
+		e.gVersion.Set(float64(snap.Version))
+	}
+	e.mMutations.Add(int64(len(batch)))
+	e.mCommits.Inc()
+	e.gBatch.Set(float64(len(batch)))
+	e.hCommit.Observe(time.Since(start))
+	for _, o := range batch {
+		close(o.done)
+	}
+}
+
+// publish re-solves (if dirty) and swaps in the next snapshot.
+func (e *Engine) publish(batchSize int) (*AllocSnapshot, error) {
+	solveStart := time.Now()
+	inst, shares, err := e.sc.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	prev := e.snap.Load()
+	next := &AllocSnapshot{
+		Version:       1,
+		Taken:         time.Now(),
+		Shares:        shares,
+		Inst:          inst,
+		BatchSize:     batchSize,
+		SolveDuration: time.Since(solveStart),
+	}
+	if prev != nil {
+		next.Version = prev.Version + 1
+	}
+	e.snap.Store(next)
+	return next, nil
+}
+
+// Current returns the latest published allocation snapshot. It never
+// blocks and never contends with writers.
+func (e *Engine) Current() *AllocSnapshot {
+	e.mReads.Inc()
+	return e.snap.Load()
+}
+
+// --- Mutations (all group-committed) ------------------------------------
+
+// AddJob registers a job; see scheduler.AddJob.
+func (e *Engine) AddJob(id string, weight float64, demand, work []float64) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.AddJob(id, weight, demand, work)
+	})
+}
+
+// AddJobInQueue registers a job under a declared queue.
+func (e *Engine) AddJobInQueue(queue, id string, weight float64, demand, work []float64) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.AddJobInQueue(queue, id, weight, demand, work)
+	})
+}
+
+// AddQueue declares a weighted queue.
+func (e *Engine) AddQueue(name string, weight float64) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.AddQueue(name, weight)
+	})
+}
+
+// RemoveJob deregisters a job.
+func (e *Engine) RemoveJob(id string) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.RemoveJob(id)
+	})
+}
+
+// ReportProgress subtracts completed work; it reports whether the job
+// finished.
+func (e *Engine) ReportProgress(id string, done []float64) (bool, error) {
+	var completed bool
+	err := e.submit(func(sc *scheduler.Scheduler) error {
+		var err error
+		completed, err = sc.ReportProgress(id, done)
+		return err
+	})
+	return completed, err
+}
+
+// UpdateWeight changes a job's share weight.
+func (e *Engine) UpdateWeight(id string, weight float64) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.UpdateWeight(id, weight)
+	})
+}
+
+// Restore replaces the controller's job set from a state snapshot.
+func (e *Engine) Restore(snap scheduler.Snapshot) error {
+	return e.submit(func(sc *scheduler.Scheduler) error {
+		return sc.Restore(snap)
+	})
+}
+
+// --- Reads (lock-free, from the published snapshot) ---------------------
+
+// Allocation returns every job's shares from the current snapshot.
+func (e *Engine) Allocation() (map[string][]float64, error) {
+	return e.Current().Shares, nil
+}
+
+// Shares returns one job's share vector from the current snapshot.
+func (e *Engine) Shares(id string) ([]float64, error) {
+	sh, ok := e.Current().Shares[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	return sh, nil
+}
+
+// Stats passes through the controller's counters.
+func (e *Engine) Stats() scheduler.Stats { return e.sc.Stats() }
+
+// Snapshot passes through the controller's persistable job-set state.
+func (e *Engine) Snapshot() scheduler.Snapshot { return e.sc.Snapshot() }
