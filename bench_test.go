@@ -159,12 +159,60 @@ func BenchmarkOptimizeJCT60x10(b *testing.B) {
 	}
 }
 
+// benchSolveSparse solves a block-diagonal instance (64 components of
+// 16 jobs over 4 sites each) repeatedly with one warm solver. Monolithic
+// forces the single-network path; the decomposed path solves the
+// components in parallel, so the Mono/Decomposed ratio is the
+// decomposition win tracked by BENCH runs.
+func benchSolveSparse(b *testing.B, monolithic bool) {
+	in := workload.GenerateSparse(workload.SparseConfig{
+		Components:        64,
+		JobsPerComponent:  16,
+		SitesPerComponent: 4,
+		Seed:              7,
+	})
+	sv := &core.Solver{SkipJCTRefine: true, Monolithic: monolithic}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.AMF(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := sv.LastStats(); !monolithic {
+		b.ReportMetric(float64(st.Components), "components")
+		b.ReportMetric(st.Speedup, "speedup")
+	}
+}
+
+func BenchmarkSolveSparseMono(b *testing.B)       { benchSolveSparse(b, true) }
+func BenchmarkSolveSparseDecomposed(b *testing.B) { benchSolveSparse(b, false) }
+
+// ringDemand chains job j to sites j and j+1 (mod sites), coupling the
+// whole instance into one component.
+func ringDemand(j, sites int) []float64 {
+	demand := make([]float64, sites)
+	demand[j%sites] = 2
+	demand[(j+1)%sites] = 1
+	return demand
+}
+
+// pairedDemand confines job j to the disjoint site pair 2k/2k+1, so the
+// instance splits into sites/2 independent components.
+func pairedDemand(j, sites int) []float64 {
+	demand := make([]float64, sites)
+	pair := 2 * (j % (sites / 2))
+	demand[pair] = 2
+	demand[pair+1] = 1
+	return demand
+}
+
 // benchServe measures serving-engine mutation throughput under 8
 // concurrent mutators and 8 polling readers. Batched uses group commit
 // (a batch the size of the mutator pool, bounded by a 1ms window);
 // unbatched solves once per mutation. ns/op is per mutation, so the
 // batched/unbatched ratio is the group-commit win tracked by BENCH runs.
-func benchServe(b *testing.B, maxBatch int, window time.Duration) {
+func benchServe(b *testing.B, maxBatch int, window time.Duration, demandFor func(j, sites int) []float64) {
 	const (
 		mutators = 8
 		readers  = 8
@@ -185,10 +233,7 @@ func benchServe(b *testing.B, maxBatch int, window time.Duration) {
 	}
 	defer eng.Close()
 	for j := 0; j < jobs; j++ {
-		demand := make([]float64, sites)
-		demand[j%sites] = 2
-		demand[(j+1)%sites] = 1
-		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demand, nil); err != nil {
+		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demandFor(j, sites), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -236,11 +281,17 @@ func benchServe(b *testing.B, maxBatch int, window time.Duration) {
 }
 
 // BenchmarkServeBatched is the engine with group commit enabled.
-func BenchmarkServeBatched(b *testing.B) { benchServe(b, 8, time.Millisecond) }
+func BenchmarkServeBatched(b *testing.B) { benchServe(b, 8, time.Millisecond, ringDemand) }
 
 // BenchmarkServeUnbatched solves once per mutation (the pre-engine
 // behavior) for comparison.
-func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1, 0) }
+func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1, 0, ringDemand) }
+
+// BenchmarkServeBatchedDecomposed is group commit over a multi-component
+// workload, so each batch re-solve takes the decomposed-parallel path.
+func BenchmarkServeBatchedDecomposed(b *testing.B) {
+	benchServe(b, 8, time.Millisecond, pairedDemand)
+}
 
 func BenchmarkMaxFlowBipartite(b *testing.B) {
 	in := benchInstance(200, 20, 1.2)

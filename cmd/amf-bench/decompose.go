@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// decomposeOptions parameterizes the decomposition benchmark
+// (-decompose): solve the same block-diagonal sparse instance with the
+// monolithic single-network path and with the component-decomposed
+// parallel path, and report the ratio.
+type decomposeOptions struct {
+	components int
+	jobs       int // per component
+	sites      int // per component
+	trials     int
+	seed       uint64
+	out        string // JSON results path ("" = skip)
+}
+
+// decomposeResult is the machine-readable benchmark record written to
+// the -decompose-out JSON file (BENCH_solver.json in CI).
+type decomposeResult struct {
+	Benchmark         string  `json:"benchmark"`
+	Components        int     `json:"components"`
+	JobsPerComponent  int     `json:"jobs_per_component"`
+	SitesPerComponent int     `json:"sites_per_component"`
+	Trials            int     `json:"trials"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	MonoMedianNS      int64   `json:"mono_median_ns"`
+	DecompMedianNS    int64   `json:"decomposed_median_ns"`
+	Ratio             float64 `json:"mono_over_decomposed"`
+	SolvedComponents  int     `json:"solved_components"`
+	LargestComponent  int     `json:"largest_component"`
+	ParallelSpeedup   float64 `json:"parallel_speedup"`
+}
+
+// runDecompose times both solver paths over the same warm solver per
+// mode, prints a comparison, and optionally writes the JSON record.
+func runDecompose(o decomposeOptions) error {
+	in := workload.GenerateSparse(workload.SparseConfig{
+		Components:        o.components,
+		JobsPerComponent:  o.jobs,
+		SitesPerComponent: o.sites,
+		Seed:              o.seed,
+	})
+	mono := &core.Solver{SkipJCTRefine: true, Monolithic: true}
+	dec := &core.Solver{SkipJCTRefine: true}
+
+	monoNS, err := timeSolves(mono, in, o.trials)
+	if err != nil {
+		return err
+	}
+	decNS, err := timeSolves(dec, in, o.trials)
+	if err != nil {
+		return err
+	}
+	st := dec.LastStats()
+
+	res := decomposeResult{
+		Benchmark:         "decompose",
+		Components:        o.components,
+		JobsPerComponent:  o.jobs,
+		SitesPerComponent: o.sites,
+		Trials:            o.trials,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		MonoMedianNS:      monoNS,
+		DecompMedianNS:    decNS,
+		Ratio:             float64(monoNS) / float64(decNS),
+		SolvedComponents:  st.Components,
+		LargestComponent:  st.LargestComponent,
+		ParallelSpeedup:   st.Speedup,
+	}
+
+	fmt.Printf("Decomposition benchmark: %d components x %d jobs x %d sites, %d trials, GOMAXPROCS=%d\n\n",
+		o.components, o.jobs, o.sites, o.trials, res.GOMAXPROCS)
+	fmt.Printf("%-12s %16s\n", "path", "median solve")
+	fmt.Printf("%-12s %16v\n", "monolithic", time.Duration(monoNS).Round(time.Microsecond))
+	fmt.Printf("%-12s %16v\n", "decomposed", time.Duration(decNS).Round(time.Microsecond))
+	fmt.Printf("\nmono/decomposed: %.2fx  (components=%d largest=%d parallel speedup=%.2fx)\n",
+		res.Ratio, st.Components, st.LargestComponent, st.Speedup)
+
+	if o.out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	return nil
+}
+
+// timeSolves returns the median wall time of trials AMF solves on a warm
+// solver (one untimed warm-up populates the scratch pool first).
+func timeSolves(sv *core.Solver, in *core.Instance, trials int) (int64, error) {
+	if _, err := sv.AMF(in); err != nil {
+		return 0, err
+	}
+	times := make([]int64, 0, trials)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		if _, err := sv.AMF(in); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[len(times)/2], nil
+}

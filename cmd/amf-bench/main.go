@@ -17,6 +17,13 @@
 //	amf-bench -serve                            # 8 mutators + 8 readers
 //	amf-bench -serve -serve-mutators 16 -serve-dur 5s
 //
+// A decomposition mode compares the monolithic solve against the
+// component-decomposed parallel path on a block-diagonal sparse
+// instance, optionally emitting machine-readable results:
+//
+//	amf-bench -decompose
+//	amf-bench -decompose -decompose-components 128 -decompose-out BENCH_solver.json
+//
 // Output is the same Render() text the root-level benchmarks produce, so
 // `go test -bench` and this tool can never drift apart.
 package main
@@ -49,8 +56,30 @@ func main() {
 		serveBatch   = flag.Int("serve-batch", 0, "MaxBatch for the batched configuration (0 = mutator count)")
 		serveWindow  = flag.Duration("serve-window", time.Millisecond, "BatchWindow for the batched configuration")
 		serveDur     = flag.Duration("serve-dur", 2*time.Second, "measurement duration per configuration")
+
+		decompMode   = flag.Bool("decompose", false, "run the decomposition benchmark (monolithic vs component-parallel solve)")
+		decompComps  = flag.Int("decompose-components", 64, "independent components in the sparse instance")
+		decompJobs   = flag.Int("decompose-jobs", 16, "jobs per component")
+		decompSites  = flag.Int("decompose-sites", 4, "sites per component")
+		decompTrials = flag.Int("decompose-trials", 5, "timed solves per path (median reported)")
+		decompOut    = flag.String("decompose-out", "", "write machine-readable results to this JSON file (e.g. BENCH_solver.json)")
 	)
 	flag.Parse()
+
+	if *decompMode {
+		if err := runDecompose(decomposeOptions{
+			components: *decompComps,
+			jobs:       *decompJobs,
+			sites:      *decompSites,
+			trials:     *decompTrials,
+			seed:       *seed,
+			out:        *decompOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveMode {
 		if err := runServing(servingOptions{

@@ -124,6 +124,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := m.Gauges["scheduler.jobs"]; got != 1 {
 		t.Fatalf("metrics jobs gauge = %g, want 1", got)
 	}
+	// Decomposition telemetry: one job over two sites is one component,
+	// reported by both the scheduler mirror and the engine gauges.
+	if got := m.Gauges["scheduler.last_components"]; got != 1 {
+		t.Fatalf("metrics last_components gauge = %g, want 1", got)
+	}
+	if got := m.Gauges["scheduler.largest_component"]; got != 1 {
+		t.Fatalf("metrics largest_component gauge = %g, want 1", got)
+	}
+	if got := m.Gauges["engine.solve_components"]; got != 1 {
+		t.Fatalf("engine solve_components gauge = %g, want 1", got)
+	}
+	if got := m.Gauges["scheduler.last_speedup"]; got != float64(st.LastSpeedup) || got <= 0 {
+		t.Fatalf("metrics last_speedup gauge = %g, stats %g", got, st.LastSpeedup)
+	}
 }
 
 // TestMetricsOnDirectServer: the non-engine server also serves /v1/metrics

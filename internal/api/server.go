@@ -117,6 +117,9 @@ type StatsResponse struct {
 	Completed         int     `json:"completed"`
 	LastSolveSeconds  float64 `json:"last_solve_seconds"`
 	TotalSolveSeconds float64 `json:"total_solve_seconds"`
+	LastComponents    int     `json:"last_components"`
+	LargestComponent  int     `json:"largest_component"`
+	LastSpeedup       float64 `json:"last_speedup"`
 }
 
 type errorResponse struct {
@@ -369,6 +372,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
 		LastSolveSeconds:  st.LastSolve.Seconds(),
 		TotalSolveSeconds: st.TotalSolveTime.Seconds(),
+		LastComponents:    st.LastComponents,
+		LargestComponent:  st.LastLargestComponent,
+		LastSpeedup:       st.LastSpeedup,
 	})
 }
 
@@ -383,5 +389,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.Gauge("scheduler.completed").Set(float64(st.Completed))
 	s.reg.Gauge("scheduler.last_solve_seconds").Set(st.LastSolve.Seconds())
 	s.reg.Gauge("scheduler.total_solve_seconds").Set(st.TotalSolveTime.Seconds())
+	s.reg.Gauge("scheduler.last_components").Set(float64(st.LastComponents))
+	s.reg.Gauge("scheduler.largest_component").Set(float64(st.LastLargestComponent))
+	s.reg.Gauge("scheduler.last_speedup").Set(st.LastSpeedup)
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"time"
 )
 
 // Method selects how the progressive-filling loop locates the bottleneck
@@ -30,7 +32,12 @@ func (m Method) String() string {
 	}
 }
 
-// Solver computes AMF allocations. The zero value is ready to use.
+// Solver computes AMF allocations. The zero value is ready to use, and all
+// methods are safe for concurrent use. A solver is worth keeping warm: it
+// pools its per-solve working state (flow-network arena, checkpoint
+// buffers, level vectors), so repeated solves over similarly-shaped
+// instances — the serving engine's batch commits — stop paying the build
+// cost; see Reset to drop that state.
 type Solver struct {
 	// Method selects the bottleneck finder (default MethodNewton).
 	Method Method
@@ -44,6 +51,20 @@ type Solver struct {
 	// on every event use this to trade a slightly looser split for an
 	// order-of-magnitude fewer flow computations.
 	SkipJCTRefine bool
+	// Parallelism bounds the worker pool used to solve independent
+	// connected components concurrently (default GOMAXPROCS; 1 solves
+	// components sequentially). See partition.go.
+	Parallelism int
+	// Monolithic disables connected-component decomposition: the instance
+	// is always solved as one flow network, the pre-decomposition behavior.
+	Monolithic bool
+
+	// scratch pools per-solve working state across solves and across
+	// parallel component workers; see solveScratch.
+	scratch sync.Pool
+	// statsMu guards stats, the decomposition record of the latest solve.
+	statsMu sync.Mutex
+	stats   SolveStats
 }
 
 // NewSolver returns a solver with default settings.
@@ -102,8 +123,36 @@ func (sv *Solver) fill(in *Instance, floors []float64) (*Allocation, error) {
 	return sv.fillDiag(in, floors, nil)
 }
 
-// fillDiag is fill with an optional freeze-cascade recorder.
+// fillDiag is fill with an optional freeze-cascade recorder. It dispatches
+// between the component-decomposed path (partition.go) and the monolithic
+// single-network path; diagnostics always take the monolithic path so that
+// freeze rounds are reported against the global level order.
 func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*Allocation, error) {
+	if diag == nil && !sv.Monolithic {
+		if alloc, done, err := sv.fillDecomposed(in, floors); done {
+			return alloc, err
+		}
+	}
+	start := time.Now()
+	alloc, err := sv.fillMono(in, floors, diag)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	sv.recordStats(SolveStats{
+		Components:       1,
+		LargestComponent: in.NumJobs(),
+		SequentialTime:   wall,
+		WallTime:         wall,
+		Speedup:          1,
+	})
+	return alloc, nil
+}
+
+// fillMono runs progressive filling over the whole instance as a single
+// flow network. It is both the monolithic solve path and the per-component
+// worker of the decomposed path.
+func (sv *Solver) fillMono(in *Instance, floors []float64, diag *Diagnostics) (*Allocation, error) {
 	n := in.NumJobs()
 	alloc := NewAllocation(in)
 	if n == 0 {
@@ -117,7 +166,11 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 	// needlessly caps the dynamic range between the smallest meaningful
 	// allocation and the largest capacity (~1e5 with the 1e-9 default).
 	featol := sv.eps() * scale * (1 + math.Sqrt(float64(n)))
-	nw := buildNetwork(in, flowEps)
+	scr := sv.getScratch()
+	defer sv.putScratch(scr)
+	scr.resize(n)
+	nw := &scr.nw
+	nw.rebuild(in, flowEps)
 
 	floor := func(j int) float64 {
 		if floors == nil {
@@ -126,12 +179,12 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 		return math.Min(floors[j], in.TotalDemand(j))
 	}
 
-	level := make([]float64, n) // frozen aggregate per job
-	frozen := make([]bool, n)
-	targets := make([]float64, n) // scratch
+	level := scr.level // frozen aggregate per job
+	frozen := scr.frozen
+	targets := scr.targets // scratch
 
 	// Jobs with zero demand freeze immediately.
-	total := make([]float64, n)
+	total := scr.total
 	remaining := 0
 	for j := 0; j < n; j++ {
 		total[j] = in.TotalDemand(j)
@@ -158,7 +211,7 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 	// Establish the initial feasible checkpoint: every job at its floor
 	// (zero for plain AMF; the isolated equal shares — feasible by
 	// construction — for Enhanced AMF).
-	initTargets := make([]float64, n)
+	initTargets := scr.init
 	for j := 0; j < n; j++ {
 		if frozen[j] {
 			initTargets[j] = level[j]
@@ -170,7 +223,8 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 	if flow0 < want0-featol {
 		return nil, fmt.Errorf("core: floor vector infeasible: flow %g < %g", flow0, want0)
 	}
-	cp := nw.saveCheckpoint(flow0)
+	cp := &scr.cp
+	nw.saveCheckpointTo(cp, flow0)
 	tPrev := 0.0
 
 	for round := 0; remaining > 0; round++ {
@@ -196,7 +250,7 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 			t := tPrev + gap*frac
 			flow, want := nw.probeFrom(cp, target(t))
 			if flow >= want-featol {
-				cp = nw.saveCheckpoint(flow)
+				nw.saveCheckpointTo(cp, flow)
 				tLow = t
 			} else {
 				tHigh = t
@@ -239,8 +293,12 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 			}
 		}
 
-		// Re-run max flow at the bottleneck to get freeze information.
+		// Probe once at the bottleneck: the resulting residual state yields
+		// the freeze information, and the same feasible flow becomes the
+		// next round's checkpoint — saving it now (instead of re-probing
+		// after freezing) removes one full flow computation per round.
 		flowStar, _ := nw.probeFrom(cp, target(tstar))
+		nw.saveCheckpointTo(cp, flowStar)
 		var sumW float64
 		for j := 0; j < n; j++ {
 			if !frozen[j] {
@@ -277,14 +335,16 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 		}
 		if !frozeAny {
 			// Residual-based detection failed (possible when bisection left
-			// slack); probe each job individually.
+			// slack); probe each job individually from the bottleneck
+			// checkpoint using the hoisted scratch buffer.
 			bump := math.Max(100*featol, 1e-6*scale)
+			probe := scr.probe
 			for j := 0; j < n; j++ {
 				if frozen[j] {
 					continue
 				}
 				tj := math.Max(floor(j), math.Min(tstar*in.JobWeight(j), total[j]))
-				probe := append([]float64(nil), target(tstar)...)
+				copy(probe, target(tstar))
 				probe[j] = tj + bump
 				if flow, want := nw.probeFrom(cp, probe); flow < want-featol {
 					frozen[j] = true
@@ -301,9 +361,6 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 		if diag != nil {
 			diag.Rounds = append(diag.Rounds, round)
 		}
-		// Advance the checkpoint to the feasible state at this bottleneck.
-		flowStar, _ = nw.probeFrom(cp, target(tstar))
-		cp = nw.saveCheckpoint(flowStar)
 		tPrev = tstar
 	}
 
@@ -326,7 +383,7 @@ func (sv *Solver) bisectBottleneck(nw *network, cp *checkpoint, target func(floa
 	for hi-lo > ttol {
 		mid := (lo + hi) / 2
 		if flow, want := nw.probeFrom(cp, target(mid)); flow >= want-featol {
-			*cp = *nw.saveCheckpoint(flow)
+			nw.saveCheckpointTo(cp, flow)
 			lo = mid
 		} else {
 			hi = mid

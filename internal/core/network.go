@@ -35,20 +35,42 @@ func (nw *network) siteNode(s int) int { return 1 + nw.in.NumJobs() + s }
 // buildNetwork constructs the flow network for the instance. flowEps is the
 // residual-slack threshold handed to the max-flow solver.
 func buildNetwork(in *Instance, flowEps float64) *network {
+	nw := &network{}
+	nw.rebuild(in, flowEps)
+	return nw
+}
+
+// rebuild (re)constructs the flow network in place, reusing the graph's arc
+// storage and the edge-index slices of a previous solve when present. This
+// is what makes a warm solver cheap to re-run: the serving engine re-solves
+// a nearly identical instance on every batch commit, and rebuilding in
+// place turns that into pure writes over already-allocated arenas.
+func (nw *network) rebuild(in *Instance, flowEps float64) {
 	n := in.NumJobs()
 	m := in.NumSites()
-	nw := &network{
-		in:       in,
-		src:      0,
-		sink:     1 + n + m,
-		srcEdge:  make([]maxflow.EdgeID, n),
-		jobEdges: make([][]siteEdge, n),
-		scale:    in.Scale(),
-		flowEps:  flowEps,
+	nw.in = in
+	nw.src = 0
+	nw.sink = 1 + n + m
+	nw.scale = in.Scale()
+	nw.flowEps = flowEps
+	if nw.g == nil {
+		nw.g = maxflow.New(2 + n + m)
+	} else {
+		nw.g.Reuse(2 + n + m)
 	}
-	nw.g = maxflow.New(2 + n + m)
 	nw.g.SetEps(flowEps)
+	if cap(nw.srcEdge) < n {
+		nw.srcEdge = make([]maxflow.EdgeID, n)
+	} else {
+		nw.srcEdge = nw.srcEdge[:n]
+	}
+	if cap(nw.jobEdges) < n {
+		nw.jobEdges = append(nw.jobEdges[:cap(nw.jobEdges)], make([][]siteEdge, n-cap(nw.jobEdges))...)
+	} else {
+		nw.jobEdges = nw.jobEdges[:n]
+	}
 	for j := 0; j < n; j++ {
+		nw.jobEdges[j] = nw.jobEdges[j][:0]
 		nw.srcEdge[j] = nw.g.AddEdge(nw.src, nw.jobNode(j), 0)
 		for s := 0; s < m; s++ {
 			if d := in.Demand[j][s]; d > 0 {
@@ -60,7 +82,6 @@ func buildNetwork(in *Instance, flowEps float64) *network {
 	for s := 0; s < m; s++ {
 		nw.g.AddEdge(nw.siteNode(s), nw.sink, in.SiteCapacity[s])
 	}
-	return nw
 }
 
 // maxFlowAt installs the target vector on the source edges, clears previous
@@ -82,20 +103,22 @@ func (nw *network) maxFlowAt(targets []float64) (flow, want float64) {
 // checkpoint remembers a feasible flow so later probes can augment
 // incrementally instead of recomputing from zero.
 type checkpoint struct {
-	state *maxflow.State
+	state maxflow.State
 	flow  float64
 }
 
-// saveCheckpoint captures the current (feasible) flow state.
-func (nw *network) saveCheckpoint(flow float64) *checkpoint {
-	return &checkpoint{state: nw.g.SaveState(), flow: flow}
+// saveCheckpointTo captures the current (feasible) flow state into cp,
+// reusing its buffers across rounds and across solves.
+func (nw *network) saveCheckpointTo(cp *checkpoint, flow float64) {
+	nw.g.SaveStateTo(&cp.state)
+	cp.flow = flow
 }
 
 // probeFrom restores the checkpoint, raises the source capacities to the
 // target vector (which must dominate the checkpoint's levels) and augments
 // to max flow. It returns the new flow value and the target sum.
 func (nw *network) probeFrom(cp *checkpoint, targets []float64) (flow, want float64) {
-	nw.g.RestoreState(cp.state)
+	nw.g.RestoreState(&cp.state)
 	for j, t := range targets {
 		if t < 0 {
 			t = 0

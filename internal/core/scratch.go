@@ -1,0 +1,75 @@
+package core
+
+// solveScratch holds the per-solve working state of progressive filling:
+// the flow network (graph arena), the advancing checkpoint, and the
+// level/target vectors. Solvers pool scratches (see Solver.getScratch) so
+// that a warm solver re-solving — the serving engine re-solves a nearly
+// identical instance on every batch commit — reuses the arena instead of
+// rebuilding every slice, arc list and checkpoint buffer from scratch. A
+// scratch is also what each parallel component worker checks out, so the
+// pool doubles as the per-worker arena during decomposed solves.
+type solveScratch struct {
+	nw network
+	cp checkpoint
+	// level is the frozen aggregate per job; targets the probe vector for a
+	// common unfrozen level; total the per-job total demand; init the floor
+	// vector of the initial feasible checkpoint; probe the slow-path freeze
+	// probe buffer; frozen the per-job freeze flags.
+	level   []float64
+	targets []float64
+	total   []float64
+	init    []float64
+	probe   []float64
+	frozen  []bool
+}
+
+// resize readies the scratch for an n-job solve. Only level and frozen
+// carry state between writes and reads, so only they are cleared; the rest
+// are fully overwritten before first use.
+func (scr *solveScratch) resize(n int) {
+	if cap(scr.level) < n {
+		scr.level = make([]float64, n)
+		scr.targets = make([]float64, n)
+		scr.total = make([]float64, n)
+		scr.init = make([]float64, n)
+		scr.probe = make([]float64, n)
+		scr.frozen = make([]bool, n)
+		return
+	}
+	scr.level = scr.level[:n]
+	scr.targets = scr.targets[:n]
+	scr.total = scr.total[:n]
+	scr.init = scr.init[:n]
+	scr.probe = scr.probe[:n]
+	scr.frozen = scr.frozen[:n]
+	for j := 0; j < n; j++ {
+		scr.level[j] = 0
+		scr.frozen[j] = false
+	}
+}
+
+// getScratch checks a scratch out of the solver's pool (allocating a fresh
+// one when the pool is empty). Safe for concurrent use.
+func (sv *Solver) getScratch() *solveScratch {
+	if s, ok := sv.scratch.Get().(*solveScratch); ok {
+		return s
+	}
+	return &solveScratch{}
+}
+
+// putScratch returns a scratch to the pool. The instance reference is
+// dropped so pooling a scratch never pins a retired instance; the arenas
+// (graph arcs, adjacency, checkpoint buffers, vectors) stay warm.
+func (sv *Solver) putScratch(scr *solveScratch) {
+	scr.nw.in = nil
+	sv.scratch.Put(scr)
+}
+
+// Reset drops the solver's pooled scratch state (network arenas, checkpoint
+// buffers, probe vectors). A warm solver retains arenas sized for the last
+// instances it solved; call Reset to release that memory when switching to
+// a much smaller workload, or to return the solver to its cold state.
+func (sv *Solver) Reset() {
+	for sv.scratch.Get() != nil {
+	}
+}

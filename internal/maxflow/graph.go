@@ -124,3 +124,37 @@ func (g *Graph) Reset() {
 		g.arcs[i].cap = g.arcs[i].init
 	}
 }
+
+// Reuse reinitializes the graph in place to n empty nodes, retaining the
+// arc and adjacency storage from earlier builds so that rebuilding a
+// similarly-shaped network performs no allocation. The epsilon is kept.
+func (g *Graph) Reuse(n int) {
+	if n < 0 {
+		panic("maxflow: negative node count")
+	}
+	g.arcs = g.arcs[:0]
+	if n <= cap(g.head) {
+		// Reslicing from capacity revives the per-node adjacency slices of
+		// earlier builds; truncate each so their storage is reused.
+		g.head = g.head[:n]
+		for i := range g.head {
+			g.head[i] = g.head[i][:0]
+		}
+	} else {
+		for i := range g.head {
+			g.head[i] = g.head[i][:0]
+		}
+		for len(g.head) < n {
+			g.head = append(g.head, nil)
+		}
+	}
+	if cap(g.level) < n {
+		g.level = make([]int32, n)
+		g.iter = make([]int32, n)
+	} else {
+		g.level = g.level[:n]
+		g.iter = g.iter[:n]
+	}
+	g.queue = g.queue[:0]
+	g.n = n
+}

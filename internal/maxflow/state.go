@@ -12,15 +12,27 @@ type State struct {
 
 // SaveState captures the current capacities and flows.
 func (g *Graph) SaveState() *State {
-	st := &State{
-		caps:  make([]float64, len(g.arcs)),
-		inits: make([]float64, len(g.arcs)),
+	st := &State{}
+	g.SaveStateTo(st)
+	return st
+}
+
+// SaveStateTo captures the current capacities and flows into st, reusing
+// its storage. The AMF allocator checkpoints after every feasible probe;
+// saving in place keeps those snapshots off the allocation profile.
+func (g *Graph) SaveStateTo(st *State) {
+	m := len(g.arcs)
+	if cap(st.caps) < m {
+		st.caps = make([]float64, m)
+		st.inits = make([]float64, m)
+	} else {
+		st.caps = st.caps[:m]
+		st.inits = st.inits[:m]
 	}
 	for i := range g.arcs {
 		st.caps[i] = g.arcs[i].cap
 		st.inits[i] = g.arcs[i].init
 	}
-	return st
 }
 
 // RestoreState rolls the graph back to a snapshot taken on the same graph

@@ -77,6 +77,16 @@ type Stats struct {
 	LastSolve time.Duration
 	// TotalSolveTime accumulates wall-clock time spent in the allocator.
 	TotalSolveTime time.Duration
+	// LastComponents is the number of connected components of the demand
+	// graph the most recent solve decomposed into (see core.SolveStats);
+	// zero when the policy never ran the core solver.
+	LastComponents int
+	// LastLargestComponent is the job count of the largest component of
+	// the most recent solve.
+	LastLargestComponent int
+	// LastSpeedup is the parallel speedup of the most recent solve
+	// (sequential component time / wall time; 1 for monolithic solves).
+	LastSpeedup float64
 }
 
 // Scheduler is the live allocation controller.
@@ -348,6 +358,11 @@ func (sc *Scheduler) solveLocked() error {
 	d := time.Since(start)
 	sc.stats.LastSolve = d
 	sc.stats.TotalSolveTime += d
+	if ss := sc.cfg.Solver.LastStats(); ss.Components > 0 {
+		sc.stats.LastComponents = ss.Components
+		sc.stats.LastLargestComponent = ss.LargestComponent
+		sc.stats.LastSpeedup = ss.Speedup
+	}
 	if sc.cfg.OnSolve != nil {
 		sc.cfg.OnSolve(d)
 	}

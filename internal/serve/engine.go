@@ -21,8 +21,15 @@
 //     solve.
 //
 // The engine optionally instruments itself into an obs.Registry: solver
-// latency, commit latency, batch sizes, mutation/read counters, and the
-// published snapshot version.
+// latency, commit latency, batch sizes, mutation/read counters, the
+// published snapshot version, and the solver's decomposition telemetry
+// (component count, largest component, parallel speedup).
+//
+// The scheduler owns one core.Solver for the engine's lifetime, and that
+// solver pools its flow-network arena and checkpoint buffers across
+// solves (see core.Solver), so consecutive batch commits over a
+// similarly-shaped instance re-solve against warm state instead of
+// rebuilding the network from scratch.
 package serve
 
 import (
@@ -124,6 +131,9 @@ type Engine struct {
 	gBatch     *obs.Gauge
 	gVersion   *obs.Gauge
 	gJobs      *obs.Gauge
+	gComps     *obs.Gauge
+	gLargest   *obs.Gauge
+	gSpeedup   *obs.Gauge
 }
 
 // New wraps a scheduler in a serving engine, publishes the initial
@@ -156,6 +166,9 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.gBatch = reg.Gauge("engine.last_batch_size")
 	e.gVersion = reg.Gauge("engine.snapshot_version")
 	e.gJobs = reg.Gauge("engine.jobs")
+	e.gComps = reg.Gauge("engine.solve_components")
+	e.gLargest = reg.Gauge("engine.solve_largest_component")
+	e.gSpeedup = reg.Gauge("engine.solve_speedup")
 	sc.SetOnSolve(func(d time.Duration) { e.hSolve.Observe(d) })
 	if _, err := e.publish(0); err != nil {
 		return nil, fmt.Errorf("serve: initial solve: %w", err)
@@ -264,6 +277,10 @@ func (e *Engine) commit(batch []*op) {
 	} else {
 		e.gJobs.Set(float64(len(snap.Shares)))
 		e.gVersion.Set(float64(snap.Version))
+		st := e.sc.Stats()
+		e.gComps.Set(float64(st.LastComponents))
+		e.gLargest.Set(float64(st.LastLargestComponent))
+		e.gSpeedup.Set(st.LastSpeedup)
 	}
 	e.mMutations.Add(int64(len(batch)))
 	e.mCommits.Inc()

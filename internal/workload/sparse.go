@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// SparseConfig parameterizes a block-diagonal multi-component instance:
+// the data-locality regime the component decomposition targets, where each
+// job demands resource only at the few sites holding its data and the
+// job×site demand graph splits into many independent components.
+type SparseConfig struct {
+	// Components is the number of independent blocks (default 16).
+	Components int
+	// JobsPerComponent and SitesPerComponent size each block
+	// (defaults 16 and 4).
+	JobsPerComponent  int
+	SitesPerComponent int
+	// SiteCapacity is each site's capacity (default 1).
+	SiteCapacity float64
+	// MeanDemand is the mean total demand per job (default sized so each
+	// block is moderately contended: 2×SitesPerComponent/JobsPerComponent
+	// of the block capacity).
+	MeanDemand float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c SparseConfig) withDefaults() SparseConfig {
+	if c.Components <= 0 {
+		c.Components = 16
+	}
+	if c.JobsPerComponent <= 0 {
+		c.JobsPerComponent = 16
+	}
+	if c.SitesPerComponent <= 0 {
+		c.SitesPerComponent = 4
+	}
+	if c.SiteCapacity <= 0 {
+		c.SiteCapacity = 1
+	}
+	if c.MeanDemand <= 0 {
+		c.MeanDemand = 2 * c.SiteCapacity * float64(c.SitesPerComponent) / float64(c.JobsPerComponent)
+	}
+	return c
+}
+
+// GenerateSparse builds a sparse instance of Components independent blocks,
+// each with JobsPerComponent jobs demanding only within the block's
+// SitesPerComponent sites. Every block is connected (each job touches the
+// block's first site), so the instance has exactly Components connected
+// components.
+func GenerateSparse(cfg SparseConfig) *core.Instance {
+	cfg = cfg.withDefaults()
+	rng := randx.Stream(cfg.Seed, "workload/sparse")
+	n := cfg.Components * cfg.JobsPerComponent
+	m := cfg.Components * cfg.SitesPerComponent
+	in := &core.Instance{
+		SiteCapacity: make([]float64, m),
+		Demand:       make([][]float64, n),
+	}
+	for s := range in.SiteCapacity {
+		in.SiteCapacity[s] = cfg.SiteCapacity
+	}
+	for c := 0; c < cfg.Components; c++ {
+		s0 := c * cfg.SitesPerComponent
+		for i := 0; i < cfg.JobsPerComponent; i++ {
+			j := c*cfg.JobsPerComponent + i
+			row := make([]float64, m)
+			// Anchor every job at the block's first site so the block is one
+			// component, then spread over a random subset of the rest.
+			k := 1 + rng.Intn(cfg.SitesPerComponent)
+			sites := append([]int{0}, rng.Perm(cfg.SitesPerComponent - 1)[:k-1]...)
+			total := cfg.MeanDemand * (0.5 + rng.Float64())
+			split := make([]float64, k)
+			var sum float64
+			for x := range split {
+				split[x] = 0.1 + rng.Float64()
+				sum += split[x]
+			}
+			for x, off := range sites {
+				if x > 0 {
+					off++ // Perm draws from the sites after the anchor
+				}
+				row[s0+off] = total * split[x] / sum
+			}
+			in.Demand[j] = row
+		}
+	}
+	return in
+}
