@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -292,6 +293,62 @@ func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1, 0, ringDemand) }
 func BenchmarkServeBatchedDecomposed(b *testing.B) {
 	benchServe(b, 8, time.Millisecond, pairedDemand)
 }
+
+// benchServeChurn drives a generated churn stream — component-local
+// mutations over a 64-component sparse instance — through an unbatched
+// engine, so ns/op is the per-mutation commit latency (enqueue → solve →
+// snapshot publish). The incremental variant re-solves only the mutated
+// component and splices cached rows for the rest; the full-resolve
+// variant re-solves every component per commit.
+func benchServeChurn(b *testing.B, disableIncremental bool) {
+	ch := workload.GenerateChurn(workload.ChurnConfig{
+		Sparse:    workload.SparseConfig{Components: 64, JobsPerComponent: 16, SitesPerComponent: 4, Seed: 7},
+		Mutations: 4096,
+		Seed:      11,
+	})
+	sc, err := scheduler.New(scheduler.Config{
+		SiteCapacity:       ch.Inst.SiteCapacity,
+		DisableIncremental: disableIncremental,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate before the engine exists: the adds stay lazy and the
+	// engine's initial publish performs the single warm-up solve.
+	if err := ch.Populate(sc); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(sc, serve.Config{MaxBatch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cyclic replay can re-add a live transient or re-remove an
+		// evicted one; those rejections are expected and free.
+		if err := ch.Ops[i%len(ch.Ops)].Apply(eng); err != nil &&
+			!errors.Is(err, scheduler.ErrUnknownJob) &&
+			!errors.Is(err, scheduler.ErrDuplicateJob) {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sc.Stats()
+	b.ReportMetric(float64(st.LastReused), "reused")
+	b.ReportMetric(float64(st.LastResolved), "resolved")
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(total), "hit_ratio")
+	}
+}
+
+// BenchmarkServeChurnIncremental commits single-component mutations with
+// dirty-component tracking and the fingerprint cache enabled.
+func BenchmarkServeChurnIncremental(b *testing.B) { benchServeChurn(b, false) }
+
+// BenchmarkServeChurnFullResolve is the same stream with incremental
+// solving disabled: every commit re-solves the whole instance.
+func BenchmarkServeChurnFullResolve(b *testing.B) { benchServeChurn(b, true) }
 
 func BenchmarkMaxFlowBipartite(b *testing.B) {
 	in := benchInstance(200, 20, 1.2)

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// churnOptions parameterizes the incremental-solve churn benchmark
+// (-churn): drive the same component-local mutation stream through an
+// unbatched serving engine with and without incremental re-solving, and
+// report the per-commit latency ratio.
+type churnOptions struct {
+	components int
+	jobs       int // per component
+	sites      int // per component
+	mutations  int
+	seed       uint64
+	out        string // JSON results path ("" = skip)
+}
+
+// churnResult is the machine-readable record written to the -churn-out
+// JSON file (BENCH_incremental.json in CI).
+type churnResult struct {
+	Benchmark           string  `json:"benchmark"`
+	Components          int     `json:"components"`
+	JobsPerComponent    int     `json:"jobs_per_component"`
+	SitesPerComponent   int     `json:"sites_per_component"`
+	Mutations           int     `json:"mutations"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	IncrementalMedianNS int64   `json:"incremental_median_ns"`
+	FullMedianNS        int64   `json:"full_median_ns"`
+	Ratio               float64 `json:"full_over_incremental"`
+	LastReused          int     `json:"last_reused"`
+	LastResolved        int     `json:"last_resolved"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheHitRatio       float64 `json:"cache_hit_ratio"`
+	GlobalInvalidations int64   `json:"global_invalidations"`
+}
+
+// runChurn replays one generated churn stream through both scheduler
+// configurations, prints a comparison, and optionally writes the JSON
+// record.
+func runChurn(o churnOptions) error {
+	ch := workload.GenerateChurn(workload.ChurnConfig{
+		Sparse: workload.SparseConfig{
+			Components:        o.components,
+			JobsPerComponent:  o.jobs,
+			SitesPerComponent: o.sites,
+			Seed:              o.seed,
+		},
+		Mutations: o.mutations,
+		Seed:      o.seed + 1,
+	})
+
+	incNS, incStats, err := churnPass(ch, false)
+	if err != nil {
+		return err
+	}
+	fullNS, _, err := churnPass(ch, true)
+	if err != nil {
+		return err
+	}
+
+	res := churnResult{
+		Benchmark:           "incremental_churn",
+		Components:          o.components,
+		JobsPerComponent:    o.jobs,
+		SitesPerComponent:   o.sites,
+		Mutations:           o.mutations,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		IncrementalMedianNS: incNS,
+		FullMedianNS:        fullNS,
+		Ratio:               float64(fullNS) / float64(incNS),
+		LastReused:          incStats.LastReused,
+		LastResolved:        incStats.LastResolved,
+		CacheHits:           incStats.CacheHits,
+		CacheMisses:         incStats.CacheMisses,
+		GlobalInvalidations: incStats.GlobalInvalidations,
+	}
+	if total := incStats.CacheHits + incStats.CacheMisses; total > 0 {
+		res.CacheHitRatio = float64(incStats.CacheHits) / float64(total)
+	}
+
+	fmt.Printf("Churn benchmark: %d components x %d jobs x %d sites, %d single-component mutations, GOMAXPROCS=%d\n\n",
+		o.components, o.jobs, o.sites, o.mutations, res.GOMAXPROCS)
+	fmt.Printf("%-14s %20s\n", "path", "median commit")
+	fmt.Printf("%-14s %20v\n", "full resolve", time.Duration(fullNS).Round(time.Microsecond))
+	fmt.Printf("%-14s %20v\n", "incremental", time.Duration(incNS).Round(time.Microsecond))
+	fmt.Printf("\nfull/incremental: %.2fx  (last solve: %d reused, %d re-solved; cache %d hits / %d misses)\n",
+		res.Ratio, res.LastReused, res.LastResolved, res.CacheHits, res.CacheMisses)
+
+	if o.out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	return nil
+}
+
+// churnPass replays the stream through an unbatched engine (one commit
+// per mutation) and returns the median commit latency plus the final
+// scheduler stats.
+func churnPass(ch *workload.Churn, disableIncremental bool) (int64, scheduler.Stats, error) {
+	sc, err := scheduler.New(scheduler.Config{
+		SiteCapacity:       ch.Inst.SiteCapacity,
+		DisableIncremental: disableIncremental,
+	})
+	if err != nil {
+		return 0, scheduler.Stats{}, err
+	}
+	// Populate before the engine starts: adds stay lazy, and the engine's
+	// initial publish performs the single warm-up solve.
+	if err := ch.Populate(sc); err != nil {
+		return 0, scheduler.Stats{}, err
+	}
+	eng, err := serve.New(sc, serve.Config{MaxBatch: 1})
+	if err != nil {
+		return 0, scheduler.Stats{}, err
+	}
+	defer eng.Close()
+
+	times := make([]int64, 0, len(ch.Ops))
+	for _, op := range ch.Ops {
+		start := time.Now()
+		err := op.Apply(eng)
+		if err != nil && !errors.Is(err, scheduler.ErrUnknownJob) && !errors.Is(err, scheduler.ErrDuplicateJob) {
+			return 0, scheduler.Stats{}, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[len(times)/2], sc.Stats(), nil
+}

@@ -24,6 +24,13 @@
 //	amf-bench -decompose
 //	amf-bench -decompose -decompose-components 128 -decompose-out BENCH_solver.json
 //
+// A churn mode replays a component-local mutation stream through the
+// serving engine with and without incremental re-solving and compares
+// per-commit latency:
+//
+//	amf-bench -churn
+//	amf-bench -churn -churn-mutations 2048 -churn-out BENCH_incremental.json
+//
 // Output is the same Render() text the root-level benchmarks produce, so
 // `go test -bench` and this tool can never drift apart.
 package main
@@ -63,8 +70,30 @@ func main() {
 		decompSites  = flag.Int("decompose-sites", 4, "sites per component")
 		decompTrials = flag.Int("decompose-trials", 5, "timed solves per path (median reported)")
 		decompOut    = flag.String("decompose-out", "", "write machine-readable results to this JSON file (e.g. BENCH_solver.json)")
+
+		churnMode      = flag.Bool("churn", false, "run the incremental-churn benchmark (per-commit latency, incremental vs full re-solve)")
+		churnComps     = flag.Int("churn-components", 64, "independent components in the sparse instance")
+		churnJobs      = flag.Int("churn-jobs", 16, "jobs per component")
+		churnSites     = flag.Int("churn-sites", 4, "sites per component")
+		churnMutations = flag.Int("churn-mutations", 512, "single-component mutations replayed per configuration")
+		churnOut       = flag.String("churn-out", "", "write machine-readable results to this JSON file (e.g. BENCH_incremental.json)")
 	)
 	flag.Parse()
+
+	if *churnMode {
+		if err := runChurn(churnOptions{
+			components: *churnComps,
+			jobs:       *churnJobs,
+			sites:      *churnSites,
+			mutations:  *churnMutations,
+			seed:       *seed,
+			out:        *churnOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *decompMode {
 		if err := runDecompose(decomposeOptions{

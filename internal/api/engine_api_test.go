@@ -138,6 +138,23 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := m.Gauges["scheduler.last_speedup"]; got != float64(st.LastSpeedup) || got <= 0 {
 		t.Fatalf("metrics last_speedup gauge = %g, stats %g", got, st.LastSpeedup)
 	}
+	// Incremental-solve telemetry: the single add was a cache miss that
+	// re-solved its one component, mirrored by stats and metrics alike.
+	if st.LastResolved != 1 || st.CacheMisses == 0 {
+		t.Fatalf("stats incremental fields = %+v, want last_resolved 1 and cache misses recorded", st)
+	}
+	if got := m.Gauges["scheduler.last_resolved"]; got != float64(st.LastResolved) {
+		t.Fatalf("metrics last_resolved gauge = %g, stats = %d", got, st.LastResolved)
+	}
+	if got := m.Gauges["scheduler.last_reused"]; got != float64(st.LastReused) {
+		t.Fatalf("metrics last_reused gauge = %g, stats = %d", got, st.LastReused)
+	}
+	if got := m.Gauges["scheduler.cache_misses"]; got != float64(st.CacheMisses) {
+		t.Fatalf("metrics cache_misses gauge = %g, stats = %d", got, st.CacheMisses)
+	}
+	if _, ok := m.Gauges["scheduler.cache_hits"]; !ok {
+		t.Fatalf("metrics missing scheduler.cache_hits gauge: %v", m.Gauges)
+	}
 }
 
 // TestMetricsOnDirectServer: the non-engine server also serves /v1/metrics

@@ -120,6 +120,13 @@ type StatsResponse struct {
 	LastComponents    int     `json:"last_components"`
 	LargestComponent  int     `json:"largest_component"`
 	LastSpeedup       float64 `json:"last_speedup"`
+	// Incremental-solve telemetry: components reused vs. re-solved by the
+	// most recent solve, and lifetime fingerprint-cache accounting.
+	LastReused          int   `json:"last_reused"`
+	LastResolved        int   `json:"last_resolved"`
+	CacheHits           int64 `json:"cache_hits"`
+	CacheMisses         int64 `json:"cache_misses"`
+	GlobalInvalidations int64 `json:"global_invalidations"`
 }
 
 type errorResponse struct {
@@ -372,9 +379,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
 		LastSolveSeconds:  st.LastSolve.Seconds(),
 		TotalSolveSeconds: st.TotalSolveTime.Seconds(),
-		LastComponents:    st.LastComponents,
-		LargestComponent:  st.LastLargestComponent,
-		LastSpeedup:       st.LastSpeedup,
+		LastComponents:      st.LastComponents,
+		LargestComponent:    st.LastLargestComponent,
+		LastSpeedup:         st.LastSpeedup,
+		LastReused:          st.LastReused,
+		LastResolved:        st.LastResolved,
+		CacheHits:           st.CacheHits,
+		CacheMisses:         st.CacheMisses,
+		GlobalInvalidations: st.GlobalInvalidations,
 	})
 }
 
@@ -392,5 +404,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.Gauge("scheduler.last_components").Set(float64(st.LastComponents))
 	s.reg.Gauge("scheduler.largest_component").Set(float64(st.LastLargestComponent))
 	s.reg.Gauge("scheduler.last_speedup").Set(st.LastSpeedup)
+	s.reg.Gauge("scheduler.last_reused").Set(float64(st.LastReused))
+	s.reg.Gauge("scheduler.last_resolved").Set(float64(st.LastResolved))
+	s.reg.Gauge("scheduler.cache_hits").Set(float64(st.CacheHits))
+	s.reg.Gauge("scheduler.cache_misses").Set(float64(st.CacheMisses))
+	s.reg.Gauge("scheduler.global_invalidations").Set(float64(st.GlobalInvalidations))
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

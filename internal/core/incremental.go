@@ -1,0 +1,683 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Incremental solving: re-solve only the connected components a mutation
+// batch actually touched, splicing cached results for the rest.
+//
+// The component decomposition (partition.go) makes each connected component
+// of the job×site demand graph an independent sub-problem, but a plain
+// decomposed solve still re-partitions and re-solves every component from
+// scratch. In a serving deployment most mutation batches are local — the
+// paper's data-locality premise means a batch typically touches one job in
+// one component — so an IncrementalSolver carries three pieces of state
+// from solve to solve:
+//
+//   - The partition itself. Union-find runs only over the jobs of affected
+//     components (those that gained, lost or changed a member, or own a
+//     site a mutated job now touches); every other component keeps its
+//     membership untouched. Merges and re-splits therefore cost time
+//     proportional to the components involved, not the instance.
+//
+//   - Per-component results. An untouched component's share rows are
+//     spliced from its previous solve without any hashing. A touched
+//     component is fingerprinted (job names, weights, demand/work rows,
+//     site capacities, and Enhanced-AMF floors) and looked up in a result
+//     cache before solving, so content that round-trips — a weight toggled
+//     back, a component re-split into a previously seen shape — costs a
+//     hash instead of a solve. Hash hits are verified byte-for-byte
+//     against the stored key, so a collision can never splice wrong rows.
+//
+//   - The Enhanced-AMF invalidation rule. Floors (EqualShares) depend on
+//     the GLOBAL weight sum, so any job-set or weight change moves every
+//     job's floor and invalidates all components, even untouched ones.
+//     The solver recomputes floors against the full instance every solve
+//     and, when the weight sum changed, routes every component through the
+//     fingerprint path; components whose floors happen to be bit-identical
+//     (all clamped at demand) still hit the cache — the fingerprint, which
+//     embeds the floors, is the precise invalidation test.
+//
+// Share rows handed out by Solve are immutable and shared: the same row
+// backs the result cache, subsequent allocations, and anything the caller
+// published. Callers must treat Allocation.Share as read-only.
+
+// IncrementalStats describes how the most recent IncrementalSolver.Solve
+// executed, plus cumulative cache accounting across the solver's lifetime.
+type IncrementalStats struct {
+	// Components is the number of live connected components after the
+	// solve; LargestComponent is the job count of the biggest one.
+	Components       int
+	LargestComponent int
+	// Reused counts untouched components spliced from their previous
+	// result without hashing; CacheHits counts touched components whose
+	// fingerprint hit the result cache; Solved counts components actually
+	// re-solved. Reused + CacheHits + Solved == Components.
+	Reused    int
+	CacheHits int
+	Solved    int
+	// SequentialTime sums the per-component solve wall times; WallTime is
+	// the wall-clock time of the whole Solve call (partition maintenance,
+	// fingerprinting, cache splicing included). Speedup is their ratio
+	// (zero when nothing was solved).
+	SequentialTime time.Duration
+	WallTime       time.Duration
+	Speedup        float64
+	// TotalCacheHits/TotalCacheMisses accumulate fingerprint-cache lookups
+	// over the solver's lifetime; GlobalInvalidations counts Enhanced-AMF
+	// floor invalidations (weight-sum changes).
+	TotalCacheHits      int64
+	TotalCacheMisses    int64
+	GlobalInvalidations int64
+}
+
+// IncrementalSolver computes AMF (or Enhanced-AMF) allocations across a
+// stream of instance revisions, re-solving only the components invalidated
+// since the previous call. The zero value is ready to use. Unlike Solver,
+// an IncrementalSolver is NOT safe for concurrent use: callers (the
+// scheduler controller) serialize Solve/LastStats/Reset externally.
+type IncrementalSolver struct {
+	// Solver is the underlying component solver (default NewSolver()); its
+	// scratch pool keeps flow-network arenas warm across components.
+	Solver *Solver
+	// Enhanced applies the sharing-incentive floors (EnhancedAMF).
+	Enhanced bool
+	// CacheAge is how many solves an unused cache entry survives before
+	// eviction (default 8).
+	CacheAge uint64
+
+	m        int
+	gen      uint64
+	jobs     map[string]*incComp // job name -> component (nil: zero demand)
+	comps    map[int]*incComp
+	nextID   int
+	siteComp []int // site -> owning component id, -1 unowned
+	cache    map[uint64][]*compResult
+	capBits  uint64
+	prevWSum float64
+	haveWSum bool
+	stats    IncrementalStats
+	keyBuf   []byte
+}
+
+// incComp is one live connected component carried across solves.
+type incComp struct {
+	id    int
+	jobs  []string // member job names, sorted to instance order at use
+	sites []int    // sorted global site indices
+	dirty bool
+
+	result   *compResult
+	pendHash uint64
+	pendKey  []byte
+}
+
+// compResult is one cached component solution: the fingerprint it was
+// solved under and an immutable full-width share row per member job.
+type compResult struct {
+	hash     uint64
+	key      []byte
+	shares   map[string][]float64
+	lastUsed uint64
+}
+
+// Reset drops all carried state (partition, results, cache); the next
+// Solve runs from scratch. Cumulative counters are kept.
+func (x *IncrementalSolver) Reset() {
+	x.m = 0
+	x.jobs = nil
+	x.comps = nil
+	x.siteComp = nil
+	x.cache = nil
+	x.haveWSum = false
+}
+
+// LastStats reports the record of the most recent Solve.
+func (x *IncrementalSolver) LastStats() IncrementalStats { return x.stats }
+
+func (x *IncrementalSolver) cacheAge() uint64 {
+	if x.CacheAge > 0 {
+		return x.CacheAge
+	}
+	return 8
+}
+
+// Solve computes the allocation for in, reusing every component result the
+// mutations since the previous Solve cannot have invalidated.
+//
+// Contract: in.JobName must hold a unique non-empty name per job — names
+// are how jobs are identified across revisions. dirty must contain the
+// name of every job whose weight, demand or work changed since the
+// previous Solve (added jobs may appear but are detected regardless, as
+// are removals, via the job-set diff). Site count and capacities are
+// expected to be stable across calls; if they change, all carried state is
+// dropped and the solve runs from scratch.
+//
+// The returned allocation's share rows are immutable views shared with the
+// solver's cache and with previous/future results: callers must not
+// mutate them.
+func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocation, error) {
+	start := time.Now()
+	n, m := in.NumJobs(), in.NumSites()
+	if len(in.JobName) != n {
+		return nil, fmt.Errorf("core: incremental solve needs a name per job (%d names, %d jobs)", len(in.JobName), n)
+	}
+	sv := x.Solver
+	if sv == nil {
+		sv = NewSolver()
+		x.Solver = sv
+	}
+
+	capBits := hashFloats(in.SiteCapacity)
+	fresh := x.jobs == nil || x.m != m || x.capBits != capBits
+	// Validation is itself incremental: a full O(n·m) Instance.Validate
+	// only when carried state resets; afterwards, cheap shape checks here
+	// plus a float scan of just the dirty rows (validateJobData below) —
+	// clean rows were validated by the solve that last saw them change.
+	if fresh {
+		if err := in.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if in.Weight != nil && len(in.Weight) != n {
+			return nil, fmt.Errorf("core: %d weights for %d jobs", len(in.Weight), n)
+		}
+		if in.Work != nil && len(in.Work) != n {
+			return nil, fmt.Errorf("core: %d work rows for %d jobs", len(in.Work), n)
+		}
+		for j, row := range in.Demand {
+			if len(row) != m {
+				return nil, fmt.Errorf("core: job %d has %d demand entries, want %d", j, len(row), m)
+			}
+			if in.Work != nil && len(in.Work[j]) != m {
+				return nil, fmt.Errorf("core: job %d has %d work entries, want %d", j, len(in.Work[j]), m)
+			}
+		}
+	}
+	if fresh {
+		x.m, x.capBits = m, capBits
+		x.jobs = make(map[string]*incComp, n)
+		x.comps = map[int]*incComp{}
+		x.siteComp = make([]int, m)
+		for s := range x.siteComp {
+			x.siteComp[s] = -1
+		}
+		if x.cache == nil {
+			x.cache = map[uint64][]*compResult{}
+		}
+		x.haveWSum = false
+	}
+	x.gen++
+
+	idx := make(map[string]int, n)
+	for i, name := range in.JobName {
+		if name == "" {
+			return nil, fmt.Errorf("core: incremental solve needs non-empty job names (job %d)", i)
+		}
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("core: incremental solve needs unique job names (%q duplicated)", name)
+		}
+		idx[name] = i
+	}
+
+	// Enhanced-AMF floors are computed against the FULL instance
+	// (EqualShares depends on the global weight sum) and sliced per
+	// component. A weight-sum change moves every floor: all components
+	// must re-validate through the fingerprint path.
+	var floors []float64
+	globalInval := false
+	if x.Enhanced {
+		var wsum float64
+		for j := 0; j < n; j++ {
+			wsum += in.JobWeight(j)
+		}
+		floors = EqualShares(in)
+		if x.haveWSum && math.Float64bits(wsum) != math.Float64bits(x.prevWSum) {
+			globalInval = true
+			x.stats.GlobalInvalidations++
+		}
+		x.prevWSum, x.haveWSum = wsum, true
+	}
+
+	// Diff the job set against the previous revision and close over the
+	// affected components: any that lost a member, contain a mutated
+	// member, or own a site a mutated job now touches (merge).
+	affected := map[*incComp]bool{}
+	var dirtyIdx []int
+	for name, c := range x.jobs {
+		if _, ok := idx[name]; !ok {
+			if c != nil {
+				affected[c] = true
+			}
+			delete(x.jobs, name)
+		}
+	}
+	for i, name := range in.JobName {
+		c, known := x.jobs[name]
+		if known && !dirty[name] {
+			continue
+		}
+		if !fresh {
+			if err := validateJobData(in, i); err != nil {
+				return nil, err
+			}
+		}
+		dirtyIdx = append(dirtyIdx, i)
+		if known && c != nil {
+			affected[c] = true
+		}
+		for s, d := range in.Demand[i] {
+			if d > 0 {
+				if cid := x.siteComp[s]; cid >= 0 {
+					affected[x.comps[cid]] = true
+				}
+			}
+		}
+	}
+	if len(dirtyIdx) > 0 || len(affected) > 0 {
+		x.repartition(in, idx, affected, dirtyIdx)
+	}
+
+	// Classify components: carried results splice directly; touched (or
+	// globally invalidated) ones consult the fingerprint cache; misses are
+	// solved as independent sub-instances on the worker pool.
+	ids := make([]int, 0, len(x.comps))
+	for id := range x.comps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	st := IncrementalStats{Components: len(x.comps)}
+	var toSolve []*incComp
+	for _, id := range ids {
+		c := x.comps[id]
+		if nj := len(c.jobs); nj > st.LargestComponent {
+			st.LargestComponent = nj
+		}
+		if !c.dirty && !globalInval && c.result != nil {
+			c.result.lastUsed = x.gen
+			st.Reused++
+			continue
+		}
+		sort.Slice(c.jobs, func(a, b int) bool { return idx[c.jobs[a]] < idx[c.jobs[b]] })
+		key := x.fingerprint(in, idx, c, floors)
+		h := fnv64(key)
+		if r := x.cacheLookup(h, key); r != nil {
+			r.lastUsed = x.gen
+			c.result = r
+			c.dirty = false
+			st.CacheHits++
+			x.stats.TotalCacheHits++
+			continue
+		}
+		x.stats.TotalCacheMisses++
+		c.result = nil
+		c.dirty = true
+		c.pendHash = h
+		c.pendKey = append([]byte(nil), key...)
+		toSolve = append(toSolve, c)
+	}
+	st.Solved = len(toSolve)
+
+	var seqNS atomic.Int64
+	if len(toSolve) > 0 {
+		workers := sv.parallelism()
+		if workers > len(toSolve) {
+			workers = len(toSolve)
+		}
+		var (
+			wg       sync.WaitGroup
+			next     atomic.Int64
+			errMu    sync.Mutex
+			firstErr error
+		)
+		worker := func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(toSolve) {
+					return
+				}
+				c := toSolve[k]
+				t0 := time.Now()
+				res, err := x.solveComp(sv, in, idx, c, floors)
+				seqNS.Add(int64(time.Since(t0)))
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: incremental component (%d jobs): %w", len(c.jobs), err)
+					}
+					errMu.Unlock()
+					return
+				}
+				// c stays dirty until its result lands, so a failed solve
+				// leaves the state consistent for the next attempt.
+				c.result = res
+				c.dirty = false
+			}
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go worker()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		for _, c := range toSolve {
+			x.cache[c.result.hash] = append(x.cache[c.result.hash], c.result)
+			c.pendKey = nil
+		}
+	}
+
+	alloc := &Allocation{Inst: in, Share: make([][]float64, n)}
+	for i, name := range in.JobName {
+		c := x.jobs[name]
+		if c == nil {
+			alloc.Share[i] = make([]float64, m)
+			continue
+		}
+		row := c.result.shares[name]
+		if row == nil {
+			return nil, fmt.Errorf("core: incremental state lost shares for job %q", name)
+		}
+		alloc.Share[i] = row
+	}
+
+	x.evict()
+
+	st.SequentialTime = time.Duration(seqNS.Load())
+	st.WallTime = time.Since(start)
+	if st.WallTime > 0 && st.SequentialTime > 0 {
+		st.Speedup = float64(st.SequentialTime) / float64(st.WallTime)
+	}
+	st.TotalCacheHits = x.stats.TotalCacheHits
+	st.TotalCacheMisses = x.stats.TotalCacheMisses
+	st.GlobalInvalidations = x.stats.GlobalInvalidations
+	x.stats = st
+	// Mirror the decomposition record onto the underlying solver so
+	// LastStats consumers see this solve regardless of entry point.
+	sv.recordStats(SolveStats{
+		Components:       st.Components,
+		LargestComponent: st.LargestComponent,
+		SequentialTime:   st.SequentialTime,
+		WallTime:         st.WallTime,
+		Speedup:          st.Speedup,
+	})
+	return alloc, nil
+}
+
+// repartition re-runs union-find over just the affected components' jobs
+// plus the mutated/new jobs, dissolving the affected components and
+// forming their replacements. Untouched components keep their membership,
+// sites and results.
+func (x *IncrementalSolver) repartition(in *Instance, idx map[string]int, affected map[*incComp]bool, dirtyIdx []int) {
+	repart := map[int]bool{}
+	for _, i := range dirtyIdx {
+		repart[i] = true
+	}
+	for c := range affected {
+		for _, name := range c.jobs {
+			if i, ok := idx[name]; ok && x.jobs[name] == c {
+				repart[i] = true
+			}
+		}
+		for _, s := range c.sites {
+			if x.siteComp[s] == c.id {
+				x.siteComp[s] = -1
+			}
+		}
+		delete(x.comps, c.id)
+	}
+	order := make([]int, 0, len(repart))
+	for i := range repart {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+
+	// Union-find over the sites these jobs touch; every such site is
+	// unowned here (its owner, if any, was dissolved above).
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(s int) int {
+		p, ok := parent[s]
+		if !ok {
+			parent[s] = s
+			return s
+		}
+		if p != s {
+			p = find(p)
+			parent[s] = p
+		}
+		return p
+	}
+	for _, i := range order {
+		first := -1
+		for s, d := range in.Demand[i] {
+			if d <= 0 {
+				continue
+			}
+			if first < 0 {
+				first = s
+				find(s)
+				continue
+			}
+			if ra, rb := find(first), find(s); ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	byRoot := map[int]*incComp{}
+	for _, i := range order {
+		name := in.JobName[i]
+		first := -1
+		for s, d := range in.Demand[i] {
+			if d > 0 {
+				first = s
+				break
+			}
+		}
+		if first < 0 {
+			x.jobs[name] = nil // zero demand: no component, zero shares
+			continue
+		}
+		r := find(first)
+		c := byRoot[r]
+		if c == nil {
+			c = &incComp{id: x.nextID, dirty: true}
+			x.nextID++
+			byRoot[r] = c
+			x.comps[c.id] = c
+		}
+		c.jobs = append(c.jobs, name)
+		x.jobs[name] = c
+		for s, d := range in.Demand[i] {
+			if d > 0 && x.siteComp[s] != c.id {
+				x.siteComp[s] = c.id
+				c.sites = append(c.sites, s)
+			}
+		}
+	}
+	for _, c := range byRoot {
+		sort.Ints(c.sites)
+	}
+}
+
+// solveComp materializes one component as an independent sub-instance,
+// solves it with the component worker path, and scatters the local rows
+// into immutable full-width rows.
+func (x *IncrementalSolver) solveComp(sv *Solver, in *Instance, idx map[string]int, c *incComp, floors []float64) (*compResult, error) {
+	nj, ns := len(c.jobs), len(c.sites)
+	sub := &Instance{
+		SiteCapacity: make([]float64, ns),
+		Demand:       make([][]float64, nj),
+	}
+	for ls, s := range c.sites {
+		sub.SiteCapacity[ls] = in.SiteCapacity[s]
+	}
+	if in.Weight != nil {
+		sub.Weight = make([]float64, nj)
+	}
+	var subFloors []float64
+	if floors != nil {
+		subFloors = make([]float64, nj)
+	}
+	for lj, name := range c.jobs {
+		i := idx[name]
+		row := make([]float64, ns)
+		for ls, s := range c.sites {
+			row[ls] = in.Demand[i][s]
+		}
+		sub.Demand[lj] = row
+		if sub.Weight != nil {
+			sub.Weight[lj] = in.Weight[i]
+		}
+		if subFloors != nil {
+			subFloors[lj] = floors[i]
+		}
+	}
+	a, err := sv.fillMono(sub, subFloors, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &compResult{
+		hash:     c.pendHash,
+		key:      c.pendKey,
+		shares:   make(map[string][]float64, nj),
+		lastUsed: x.gen,
+	}
+	for lj, name := range c.jobs {
+		row := make([]float64, x.m)
+		for ls, s := range c.sites {
+			row[s] = a.Share[lj][ls]
+		}
+		res.shares[name] = row
+	}
+	return res, nil
+}
+
+// fingerprint serializes everything the component's solution depends on:
+// member names, weights, demand and work rows restricted to the
+// component's sites, site indices and capacities, and (Enhanced) floors.
+// The buffer is reused across calls; callers copy before retaining.
+func (x *IncrementalSolver) fingerprint(in *Instance, idx map[string]int, c *incComp, floors []float64) []byte {
+	buf := x.keyBuf[:0]
+	if floors != nil {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.sites)))
+	for _, s := range c.sites {
+		buf = binary.AppendUvarint(buf, uint64(s))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(in.SiteCapacity[s]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.jobs)))
+	for _, name := range c.jobs {
+		i := idx[name]
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(in.JobWeight(i)))
+		if floors != nil {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(floors[i]))
+		}
+		for _, s := range c.sites {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(in.Demand[i][s]))
+		}
+		if in.Work != nil {
+			buf = append(buf, 1)
+			for _, s := range c.sites {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(in.Work[i][s]))
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	x.keyBuf = buf
+	return buf
+}
+
+func (x *IncrementalSolver) cacheLookup(h uint64, key []byte) *compResult {
+	for _, r := range x.cache[h] {
+		if bytes.Equal(r.key, key) {
+			return r
+		}
+	}
+	return nil
+}
+
+// evict drops cache entries unused for CacheAge generations.
+func (x *IncrementalSolver) evict() {
+	age := x.cacheAge()
+	for h, bucket := range x.cache {
+		keep := bucket[:0]
+		for _, r := range bucket {
+			if x.gen-r.lastUsed <= age {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			delete(x.cache, h)
+		} else {
+			x.cache[h] = keep
+		}
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// validateJobData float-scans one job's weight, demand and work rows —
+// the per-dirty-job slice of Instance.Validate (lengths are checked
+// centrally in Solve).
+func validateJobData(in *Instance, j int) error {
+	if in.Weight != nil {
+		if w := in.Weight[j]; w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: job %d has invalid weight %g", j, w)
+		}
+	}
+	for s, d := range in.Demand[j] {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("core: job %d has invalid demand %g at site %d", j, d, s)
+		}
+	}
+	if in.Work != nil {
+		for s, w := range in.Work[j] {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("core: job %d has invalid work %g at site %d", j, w, s)
+			}
+		}
+	}
+	return nil
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashFloats(v []float64) uint64 {
+	h := uint64(fnvOffset)
+	for _, f := range v {
+		bits := math.Float64bits(f)
+		for k := 0; k < 64; k += 8 {
+			h ^= uint64(byte(bits >> k))
+			h *= fnvPrime
+		}
+	}
+	return h
+}

@@ -32,6 +32,11 @@ import (
 // how the instance decomposed into independent components and what
 // parallel execution bought.
 type SolveStats struct {
+	// Seq is a monotonically increasing solve counter: it advances by one
+	// every time the solver records a run, so a caller holding two
+	// LastStats reads can tell whether the solver executed in between
+	// (policies like PS-MMF never enter the core solver at all).
+	Seq uint64
 	// Components is the number of connected components of the job×site
 	// demand graph that were solved (1 for the monolithic path).
 	Components int
@@ -58,6 +63,7 @@ func (sv *Solver) LastStats() SolveStats {
 
 func (sv *Solver) recordStats(st SolveStats) {
 	sv.statsMu.Lock()
+	st.Seq = sv.stats.Seq + 1
 	sv.stats = st
 	sv.statsMu.Unlock()
 }

@@ -1,0 +1,444 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// streamHarness drives two controllers — one incremental, one forced
+// from-scratch — through an identical mutation stream and compares their
+// allocations after every step. Jobs demand within site blocks so the
+// instance keeps the sparse multi-component shape the incremental path
+// targets.
+type streamHarness struct {
+	t         *testing.T
+	inc, ref  *Scheduler
+	rng       *rand.Rand
+	blocks    int
+	spb       int
+	live      []string
+	next      int
+	queued    map[string]bool
+	numQueues int
+}
+
+func newStreamHarness(t *testing.T, rng *rand.Rand, policy sim.Policy, blocks, spb int) *streamHarness {
+	t.Helper()
+	caps := make([]float64, blocks*spb)
+	for s := range caps {
+		caps[s] = 0.5 + rng.Float64()*4.5
+	}
+	inc, err := New(Config{SiteCapacity: caps, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.inc == nil {
+		t.Fatalf("policy %v should enable the incremental path", policy)
+	}
+	ref, err := New(Config{SiteCapacity: append([]float64(nil), caps...), Policy: policy, DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.inc != nil {
+		t.Fatal("DisableIncremental must force the from-scratch path")
+	}
+	return &streamHarness{t: t, inc: inc, ref: ref, rng: rng, blocks: blocks, spb: spb, queued: map[string]bool{}}
+}
+
+func (h *streamHarness) blockDemand(b int) []float64 {
+	row := make([]float64, h.blocks*h.spb)
+	s0 := b * h.spb
+	row[s0] = 0.1 + h.rng.Float64()*2 // anchor keeps the block connected
+	for _, off := range h.rng.Perm(h.spb - 1)[:h.rng.Intn(h.spb)] {
+		row[s0+1+off] = 0.1 + h.rng.Float64()*2
+	}
+	return row
+}
+
+func (h *streamHarness) addJob() {
+	id := fmt.Sprintf("j%d", h.next)
+	h.next++
+	demand := h.blockDemand(h.rng.Intn(h.blocks))
+	w := 0.5 + h.rng.Float64()*3.5
+	for _, sc := range []*Scheduler{h.inc, h.ref} {
+		if err := sc.AddJob(id, w, demand, nil); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.live = append(h.live, id)
+}
+
+func (h *streamHarness) addQueuedJob() {
+	q := fmt.Sprintf("q%d", h.rng.Intn(2))
+	h.numQueues++
+	id := fmt.Sprintf("j%d", h.next)
+	h.next++
+	demand := h.blockDemand(h.rng.Intn(h.blocks))
+	w := 0.5 + h.rng.Float64()*3.5
+	for _, sc := range []*Scheduler{h.inc, h.ref} {
+		if err := sc.AddQueue(q, 2); err != nil {
+			h.t.Fatal(err)
+		}
+		if err := sc.AddJobInQueue(q, id, w, demand, nil); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.live = append(h.live, id)
+	h.queued[id] = true
+}
+
+func (h *streamHarness) removeJob() {
+	if len(h.live) == 0 {
+		return
+	}
+	i := h.rng.Intn(len(h.live))
+	id := h.live[i]
+	for _, sc := range []*Scheduler{h.inc, h.ref} {
+		if err := sc.RemoveJob(id); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.live = append(h.live[:i], h.live[i+1:]...)
+	delete(h.queued, id)
+}
+
+func (h *streamHarness) updateWeight() {
+	if len(h.live) == 0 {
+		return
+	}
+	id := h.live[h.rng.Intn(len(h.live))]
+	w := 0.5 + h.rng.Float64()*3.5
+	for _, sc := range []*Scheduler{h.inc, h.ref} {
+		if err := sc.UpdateWeight(id, w); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *streamHarness) reportProgress() {
+	if len(h.live) == 0 {
+		return
+	}
+	i := h.rng.Intn(len(h.live))
+	id := h.live[i]
+	done := make([]float64, h.blocks*h.spb)
+	for s := range done {
+		done[s] = h.rng.Float64() * 1.5
+	}
+	var completed bool
+	for k, sc := range []*Scheduler{h.inc, h.ref} {
+		c, err := sc.ReportProgress(id, done)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if k == 0 {
+			completed = c
+		} else if c != completed {
+			h.t.Fatalf("job %q: completion disagrees between incremental (%v) and reference (%v)", id, completed, c)
+		}
+	}
+	if completed {
+		h.live = append(h.live[:i], h.live[i+1:]...)
+		delete(h.queued, id)
+	}
+}
+
+// compare resolves both controllers and asserts equal aggregates at
+// 1e-9·Scale plus feasibility of the incremental allocation.
+func (h *streamHarness) compare(tag string) {
+	h.t.Helper()
+	inIn, shInc, err := h.inc.Resolve()
+	if err != nil {
+		h.t.Fatalf("%s: incremental resolve: %v", tag, err)
+	}
+	_, shRef, err := h.ref.Resolve()
+	if err != nil {
+		h.t.Fatalf("%s: reference resolve: %v", tag, err)
+	}
+	if len(shInc) != len(shRef) {
+		h.t.Fatalf("%s: %d share rows (incremental) vs %d (reference)", tag, len(shInc), len(shRef))
+	}
+	tol := 1e-9 * inIn.Scale()
+	for id, rowInc := range shInc {
+		rowRef, ok := shRef[id]
+		if !ok {
+			h.t.Fatalf("%s: job %q only in incremental allocation", tag, id)
+		}
+		var aInc, aRef float64
+		for s := range rowInc {
+			aInc += rowInc[s]
+			aRef += rowRef[s]
+		}
+		if d := math.Abs(aInc - aRef); d > tol {
+			h.t.Fatalf("%s: job %q aggregate %g (incremental) vs %g (scratch), |diff| %g > %g",
+				tag, id, aInc, aRef, d, tol)
+		}
+	}
+	alloc := &core.Allocation{Inst: inIn, Share: make([][]float64, len(inIn.JobName))}
+	for i, id := range inIn.JobName {
+		alloc.Share[i] = shInc[id]
+	}
+	if err := alloc.CheckFeasible(1e-6 * inIn.Scale()); err != nil {
+		h.t.Fatalf("%s: incremental allocation infeasible: %v", tag, err)
+	}
+}
+
+// TestIncrementalSchedulerEquivalenceStreams is the acceptance property
+// test: over 200 random mutation streams (AMF and Enhanced AMF), a
+// controller on the incremental path produces the same allocation as a
+// from-scratch controller after every mutation. Run under -race in CI this
+// also exercises the parallel component workers.
+func TestIncrementalSchedulerEquivalenceStreams(t *testing.T) {
+	const (
+		streams   = 200
+		mutations = 12
+	)
+	rng := rand.New(rand.NewSource(2026))
+	for stream := 0; stream < streams; stream++ {
+		policy := sim.PolicyAMF
+		if stream%2 == 1 {
+			policy = sim.PolicyEnhancedAMF
+		}
+		h := newStreamHarness(t, rng, policy, 2+rng.Intn(3), 3)
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			h.addJob()
+		}
+		h.compare(fmt.Sprintf("stream %d init", stream))
+		for mut := 0; mut < mutations; mut++ {
+			switch h.rng.Intn(5) {
+			case 0:
+				h.addJob()
+			case 1:
+				h.removeJob()
+			case 2:
+				h.updateWeight()
+			default:
+				h.reportProgress()
+			}
+			h.compare(fmt.Sprintf("stream %d (%v) mut %d", stream, policy, mut))
+		}
+	}
+}
+
+// TestIncrementalSchedulerLongStream runs one long stream of 500+
+// mutations including queue operations: enqueued jobs force the
+// hierarchical (non-incremental) solve path, and their completion drops
+// the controller back to the incremental path — the dirty set must
+// survive the round trip so the incremental solver revalidates everything
+// that changed while it was bypassed.
+func TestIncrementalSchedulerLongStream(t *testing.T) {
+	const mutations = 520
+	rng := rand.New(rand.NewSource(777))
+	h := newStreamHarness(t, rng, sim.PolicyAMF, 4, 3)
+	for i := 0; i < 6; i++ {
+		h.addJob()
+	}
+	h.compare("init")
+	for mut := 0; mut < mutations; mut++ {
+		switch h.rng.Intn(12) {
+		case 0:
+			h.addJob()
+		case 1:
+			h.removeJob()
+		case 2, 3:
+			h.updateWeight()
+		case 4:
+			h.addQueuedJob() // flips both controllers onto the hierarchical path
+		case 5:
+			// Drain the queues so the controllers drop back to flat solving.
+			for id := range h.queued {
+				for _, sc := range []*Scheduler{h.inc, h.ref} {
+					if err := sc.RemoveJob(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i, l := range h.live {
+					if l == id {
+						h.live = append(h.live[:i], h.live[i+1:]...)
+						break
+					}
+				}
+				delete(h.queued, id)
+			}
+		default:
+			h.reportProgress()
+		}
+		h.compare(fmt.Sprintf("mut %d", mut))
+	}
+	if st := h.inc.Stats(); st.CacheHits+int64(st.LastReused) == 0 {
+		t.Fatalf("long stream never reused anything: %+v", st)
+	}
+}
+
+// TestProgressToleranceLargeWork is the regression for the exhaustion
+// tolerance: with ~1e12 of work reported in inexact thirds, float residue
+// (~1e-4) dwarfs an absolute 1e-12 epsilon, and the site would never be
+// considered exhausted. The tolerance must scale with the work magnitude.
+func TestProgressToleranceLargeWork(t *testing.T) {
+	sc := newTestScheduler(t, 10)
+	const work = 1e12
+	if err := sc.AddJob("big", 1, []float64{100}, []float64{work}); err != nil {
+		t.Fatal(err)
+	}
+	third := work / 3 // not exactly representable: thirds leave residue
+	var completed bool
+	for i := 0; i < 3; i++ {
+		var err error
+		completed, err = sc.ReportProgress("big", []float64{third})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && completed {
+			t.Fatalf("job completed after %d/3 of its work", i+1)
+		}
+	}
+	if !completed {
+		t.Fatal("job not completed after all work reported in thirds: exhaustion tolerance must be scale-relative")
+	}
+	if st := sc.Stats(); st.Completed != 1 || st.Jobs != 0 {
+		t.Fatalf("completion not recorded: %+v", st)
+	}
+}
+
+// TestTelemetryResetWithoutCoreSolve is the stale-telemetry regression: a
+// hierarchical solve (queued jobs) runs the core solver and records
+// decomposition numbers; after the queues drain, a PS-MMF flat solve never
+// enters the core solver — the previous numbers are stale and must read
+// zero, not linger.
+func TestTelemetryResetWithoutCoreSolve(t *testing.T) {
+	sc, err := New(Config{SiteCapacity: []float64{1, 1}, Policy: sim.PolicyPSMMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddQueue("q", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddJobInQueue("q", "a", 1, []float64{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddJob("b", 1, []float64{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.LastComponents == 0 {
+		t.Fatalf("hierarchical solve should run the core solver: %+v", st)
+	}
+	if err := sc.RemoveJob("a"); err != nil { // queue drained
+		t.Fatal(err)
+	}
+	if _, err := sc.Allocation(); err != nil { // flat PS-MMF: no core solver
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.LastComponents != 0 || st.LastLargestComponent != 0 || st.LastSpeedup != 0 {
+		t.Fatalf("PS-MMF solve kept stale decomposition telemetry: %+v", st)
+	}
+	if st.LastReused != 0 || st.LastResolved != 0 {
+		t.Fatalf("PS-MMF solve kept stale incremental telemetry: %+v", st)
+	}
+}
+
+// TestIncrementalTelemetry pins the reuse counters surfaced in Stats: a
+// single-job mutation on a multi-component set re-solves one component
+// and reuses the rest.
+func TestIncrementalTelemetry(t *testing.T) {
+	caps := []float64{1, 1, 1, 1}
+	sc, err := New(Config{SiteCapacity: caps, Policy: sim.PolicyAMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		demand := make([]float64, 4)
+		demand[b] = 2
+		if err := sc.AddJob(fmt.Sprintf("j%d", b), 1, demand, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.LastComponents != 4 || st.LastResolved != 4 || st.LastReused != 0 {
+		t.Fatalf("initial solve: %+v", st)
+	}
+	if err := sc.UpdateWeight("j2", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	st = sc.Stats()
+	if st.LastResolved != 1 || st.LastReused != 3 {
+		t.Fatalf("single-job mutation: resolved %d reused %d, want 1/3 (%+v)", st.LastResolved, st.LastReused, st)
+	}
+	if st.CacheMisses == 0 {
+		t.Fatalf("cache accounting missing: %+v", st)
+	}
+}
+
+// TestRemovalTombstonesPreserveOrder checks the O(1)-amortized removal
+// path: heavy removal (past the compaction threshold) must preserve the
+// insertion order of the survivors and keep the controller fully
+// functional for later adds, snapshots and solves.
+func TestRemovalTombstonesPreserveOrder(t *testing.T) {
+	sc := newTestScheduler(t, 5, 5)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := sc.AddJob(fmt.Sprintf("j%03d", i), 1, []float64{1, 0.5}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove every job not divisible by 3, in a scattered order, driving
+	// holes past the compaction threshold.
+	for _, start := range []int{1, 2} {
+		for i := start; i < n; i += 3 {
+			if err := sc.RemoveJob(fmt.Sprintf("j%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	in := sc.Instance()
+	var want []string
+	for i := 0; i < n; i += 3 {
+		want = append(want, fmt.Sprintf("j%03d", i))
+	}
+	if len(in.JobName) != len(want) {
+		t.Fatalf("%d survivors, want %d", len(in.JobName), len(want))
+	}
+	for i, id := range want {
+		if in.JobName[i] != id {
+			t.Fatalf("survivor order broken at %d: got %q want %q (order must stay insertion order)", i, in.JobName[i], id)
+		}
+	}
+	if err := sc.AddJob("tail", 1, []float64{1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	in = sc.Instance()
+	if in.JobName[len(in.JobName)-1] != "tail" {
+		t.Fatalf("new job not at the end: %v", in.JobName)
+	}
+	if _, err := sc.Allocation(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sc.Snapshot()
+	if len(snap.Jobs) != len(want)+1 {
+		t.Fatalf("snapshot has %d jobs, want %d", len(snap.Jobs), len(want)+1)
+	}
+	sc2 := newTestScheduler(t, 5, 5)
+	if err := sc2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	in2 := sc2.Instance()
+	for i := range in.JobName {
+		if in2.JobName[i] != in.JobName[i] {
+			t.Fatalf("restore broke order at %d: %q vs %q", i, in2.JobName[i], in.JobName[i])
+		}
+	}
+}

@@ -32,7 +32,7 @@ func (sc *Scheduler) AddQueue(name string, weight float64) error {
 		sc.queueWeight = map[string]float64{}
 	}
 	sc.queueWeight[name] = weight
-	sc.dirty = true
+	sc.needSolve = true
 	return nil
 }
 
@@ -72,21 +72,24 @@ func (sc *Scheduler) QueueOf(id string) (string, error) {
 // queued reports whether hierarchical allocation is needed: at least one
 // live job sits in a named queue.
 func (sc *Scheduler) queuedLocked() bool {
-	for _, id := range sc.order {
-		if sc.jobQueue[id] != defaultQueue {
+	for id := range sc.jobQueue {
+		if _, live := sc.jobs[id]; live {
 			return true
 		}
 	}
 	return false
 }
 
-// solveHierarchicalLocked allocates with queue-level fairness.
+// solveHierarchicalLocked allocates with queue-level fairness. It clears
+// needSolve but NOT the per-job dirty set: the dirty set tracks what the
+// incremental solver has not yet seen, and this path bypasses it.
 func (sc *Scheduler) solveHierarchicalLocked(in *core.Instance) error {
 	// Build groups in a deterministic order: default queue first (if it
-	// has jobs), then named queues by first appearance.
+	// has jobs), then named queues by first appearance. Row indices refer
+	// to the view, whose JobName is the live insertion order.
 	groupIdx := map[string]int{}
 	var groups []hierarchy.Group
-	for i, id := range sc.order {
+	for i, id := range in.JobName {
 		q := sc.jobQueue[id]
 		gi, ok := groupIdx[q]
 		if !ok {
@@ -105,10 +108,7 @@ func (sc *Scheduler) solveHierarchicalLocked(in *core.Instance) error {
 		return fmt.Errorf("scheduler: %w", err)
 	}
 	sc.stats.Solves++
-	sc.shares = make(map[string][]float64, len(sc.order))
-	for i, id := range sc.order {
-		sc.shares[id] = append([]float64(nil), res.Alloc.Share[i]...)
-	}
-	sc.dirty = false
+	sc.installSharesLocked(in, res.Alloc.Share)
+	sc.needSolve = false
 	return nil
 }

@@ -6,8 +6,11 @@
 // churn, and exposes the current shares for actuation.
 //
 // The controller is deliberately synchronous and deterministic: mutations
-// mark the allocation dirty, and Allocation()/Shares() lazily re-solve.
-// All methods are safe for concurrent use.
+// record the touched job IDs in a dirty set, and Allocation()/Shares()
+// lazily re-solve. Under the AMF and Enhanced-AMF policies the re-solve is
+// incremental (core.IncrementalSolver): only the connected components the
+// dirty jobs belong to are re-solved, the rest are spliced from carried or
+// cached results. All methods are safe for concurrent use.
 package scheduler
 
 import (
@@ -39,6 +42,10 @@ type Config struct {
 	Policy sim.Policy
 	// Solver overrides the default core solver.
 	Solver *core.Solver
+	// DisableIncremental forces every solve to run from scratch, even under
+	// the AMF/Enhanced-AMF policies that support incremental re-solving.
+	// Used by benchmarks and as the reference in equivalence tests.
+	DisableIncremental bool
 	// OnSolve, when set, is invoked after every allocator run with its
 	// wall-clock duration — the instrumentation hook internal/serve uses to
 	// feed solve-latency histograms. It is called with the controller's
@@ -58,6 +65,14 @@ type Job struct {
 	// Remaining[s] is the outstanding work at site s; when it reaches zero
 	// the site is dropped from the job's demand.
 	Remaining []float64 `json:"remaining"`
+
+	// instDemand/instWork are the immutable rows installed into solver
+	// views (see viewLocked). They are snapshots of Demand/Remaining,
+	// rebuilt lazily after a mutation (nil = stale); once installed in a
+	// view they are never written again, so published snapshots stay
+	// intact while the mutable rows above keep changing.
+	instDemand []float64
+	instWork   []float64
 }
 
 // Stats reports controller activity counters. It is the single source of
@@ -79,7 +94,8 @@ type Stats struct {
 	TotalSolveTime time.Duration
 	// LastComponents is the number of connected components of the demand
 	// graph the most recent solve decomposed into (see core.SolveStats);
-	// zero when the policy never ran the core solver.
+	// zero when the most recent solve never ran the core solver (e.g.
+	// PS-MMF).
 	LastComponents int
 	// LastLargestComponent is the job count of the largest component of
 	// the most recent solve.
@@ -87,17 +103,51 @@ type Stats struct {
 	// LastSpeedup is the parallel speedup of the most recent solve
 	// (sequential component time / wall time; 1 for monolithic solves).
 	LastSpeedup float64
+	// LastReused is the number of components the most recent solve did NOT
+	// re-solve: spliced from the previous solve's results or resurrected
+	// from the fingerprint cache. Zero for from-scratch solves.
+	LastReused int
+	// LastResolved is the number of components the most recent solve
+	// actually re-solved.
+	LastResolved int
+	// CacheHits/CacheMisses accumulate component fingerprint-cache lookups
+	// across the controller's lifetime (incremental path only).
+	CacheHits   int64
+	CacheMisses int64
+	// GlobalInvalidations counts Enhanced-AMF floor invalidations: solves
+	// where a weight-sum change forced every component through
+	// revalidation.
+	GlobalInvalidations int64
 }
 
 // Scheduler is the live allocation controller.
 type Scheduler struct {
-	mu          sync.Mutex
-	cfg         Config
-	order       []string // insertion order, for deterministic instances
-	jobs        map[string]*Job
-	shares      map[string][]float64
-	dirty       bool
-	stats       Stats
+	mu  sync.Mutex
+	cfg Config
+	// order is insertion order with "" tombstones left by removals;
+	// orderIdx maps a live job ID to its slot and holes counts tombstones.
+	// compactLocked squeezes the holes out when they accumulate, keeping
+	// removal O(1) amortized instead of an O(n) scan per removal.
+	order    []string
+	orderIdx map[string]int
+	holes    int
+	jobs     map[string]*Job
+	// shares holds the current allocation as immutable rows: each row is
+	// replaced wholesale on re-solve, never written in place, so views
+	// handed to Resolve callers stay valid snapshots.
+	shares map[string][]float64
+	// dirty is the set of job IDs mutated since the incremental solver
+	// last ran; needSolve records whether any mutation happened since the
+	// last solve of any kind. Fallback (hierarchical, from-scratch) solves
+	// clear needSolve but deliberately keep dirty: it tracks what the
+	// incremental solver has not yet seen.
+	dirty     map[string]bool
+	needSolve bool
+	inc       *core.IncrementalSolver
+	capRow    []float64 // immutable capacity row shared by all views
+	stats     Stats
+	lastSeq   uint64 // core SolveStats.Seq already folded into stats
+
 	queueWeight map[string]float64 // declared queues (see queues.go)
 	jobQueue    map[string]string  // job -> queue ("" = default)
 }
@@ -115,15 +165,35 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Solver == nil {
 		cfg.Solver = &core.Solver{SkipJCTRefine: true}
 	}
-	return &Scheduler{
-		cfg:    cfg,
-		jobs:   make(map[string]*Job),
-		shares: make(map[string][]float64),
-	}, nil
+	sc := &Scheduler{
+		cfg:      cfg,
+		orderIdx: make(map[string]int),
+		jobs:     make(map[string]*Job),
+		shares:   make(map[string][]float64),
+		dirty:    make(map[string]bool),
+		capRow:   append([]float64(nil), cfg.SiteCapacity...),
+	}
+	// AMF and Enhanced AMF support incremental re-solving: their shares
+	// depend only on weights, demands and capacities, all captured by the
+	// component fingerprint. AMF+JCT (split depends on outstanding work)
+	// and PS-MMF take the from-scratch path.
+	if !cfg.DisableIncremental && (cfg.Policy == sim.PolicyAMF || cfg.Policy == sim.PolicyEnhancedAMF) {
+		sc.inc = &core.IncrementalSolver{
+			Solver:   cfg.Solver,
+			Enhanced: cfg.Policy == sim.PolicyEnhancedAMF,
+		}
+	}
+	return sc, nil
 }
 
 // NumSites reports the number of sites the controller manages.
 func (sc *Scheduler) NumSites() int { return len(sc.cfg.SiteCapacity) }
+
+// markDirtyLocked records that a job's solver-relevant state changed.
+func (sc *Scheduler) markDirtyLocked(id string) {
+	sc.dirty[id] = true
+	sc.needSolve = true
+}
 
 // AddJob registers a job. work may be nil, meaning work == demand.
 // Weight <= 0 defaults to 1.
@@ -132,6 +202,9 @@ func (sc *Scheduler) AddJob(id string, weight float64, demand, work []float64) e
 	defer sc.mu.Unlock()
 	if _, ok := sc.jobs[id]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateJob, id)
+	}
+	if id == "" {
+		return fmt.Errorf("scheduler: job ID must be non-empty")
 	}
 	if len(demand) != sc.NumSites() {
 		return fmt.Errorf("scheduler: job %q has %d demand entries for %d sites",
@@ -160,8 +233,9 @@ func (sc *Scheduler) AddJob(id string, weight float64, demand, work []float64) e
 		j.Remaining = append([]float64(nil), demand...)
 	}
 	sc.jobs[id] = j
+	sc.orderIdx[id] = len(sc.order)
 	sc.order = append(sc.order, id)
-	sc.dirty = true
+	sc.markDirtyLocked(id)
 	return nil
 }
 
@@ -173,7 +247,7 @@ func (sc *Scheduler) RemoveJob(id string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	sc.removeLocked(id)
-	sc.dirty = true
+	sc.needSolve = true
 	return nil
 }
 
@@ -181,12 +255,30 @@ func (sc *Scheduler) removeLocked(id string) {
 	delete(sc.jobs, id)
 	delete(sc.shares, id)
 	delete(sc.jobQueue, id)
-	for i, o := range sc.order {
-		if o == id {
-			sc.order = append(sc.order[:i], sc.order[i+1:]...)
-			break
-		}
+	delete(sc.dirty, id) // removal is visible to the job-set diff itself
+	if i, ok := sc.orderIdx[id]; ok {
+		sc.order[i] = ""
+		sc.holes++
+		delete(sc.orderIdx, id)
 	}
+	if sc.holes > 32 && sc.holes*2 > len(sc.order) {
+		sc.compactLocked()
+	}
+}
+
+// compactLocked squeezes tombstones out of the insertion order. Relative
+// order of live jobs is preserved, so instances stay deterministic.
+func (sc *Scheduler) compactLocked() {
+	live := sc.order[:0]
+	for _, id := range sc.order {
+		if id == "" {
+			continue
+		}
+		sc.orderIdx[id] = len(live)
+		live = append(live, id)
+	}
+	sc.order = live
+	sc.holes = 0
 }
 
 // ReportProgress subtracts completed work per site. The allocation is
@@ -204,7 +296,6 @@ func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, 
 		return false, fmt.Errorf("scheduler: progress has %d entries for %d sites",
 			len(done), sc.NumSites())
 	}
-	const tol = 1e-12
 	anyLeft := false
 	for s, d := range done {
 		if d < 0 {
@@ -214,10 +305,16 @@ func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, 
 			continue
 		}
 		j.Remaining[s] -= d
-		if j.Remaining[s] <= tol {
+		j.instWork = nil // published views must see fresh remaining work
+		// Exhaustion tolerance is relative to the work's own magnitude: a
+		// job with ~1e12 outstanding work accumulates float residue far
+		// above any absolute epsilon, and an absolute 1e-12 would leave
+		// such sites demanding forever.
+		if j.Remaining[s] <= 1e-12*math.Max(1, j.Remaining[s]+d) {
 			j.Remaining[s] = 0
 			j.Demand[s] = 0 // site exhausted: topology change
-			sc.dirty = true
+			j.instDemand = nil
+			sc.markDirtyLocked(id)
 		}
 		if j.Remaining[s] > 0 {
 			anyLeft = true
@@ -226,7 +323,7 @@ func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, 
 	if !anyLeft {
 		sc.removeLocked(id)
 		sc.stats.Completed++
-		sc.dirty = true
+		sc.needSolve = true
 		return true, nil
 	}
 	return false, nil
@@ -246,13 +343,14 @@ func (sc *Scheduler) UpdateWeight(id string, weight float64) error {
 	}
 	if j.Weight != weight {
 		j.Weight = weight
-		sc.dirty = true
+		sc.markDirtyLocked(id)
 	}
 	return nil
 }
 
 // Shares returns the current per-site share vector of one job, re-solving
-// if the job set changed since the last query.
+// if the job set changed since the last query. The caller owns the
+// returned slice.
 func (sc *Scheduler) Shares(id string) ([]float64, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -265,7 +363,8 @@ func (sc *Scheduler) Shares(id string) ([]float64, error) {
 	return append([]float64(nil), sc.shares[id]...), nil
 }
 
-// Allocation returns all current shares keyed by job ID.
+// Allocation returns all current shares keyed by job ID. The caller owns
+// the returned map and slices.
 func (sc *Scheduler) Allocation() (map[string][]float64, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -310,46 +409,68 @@ func (sc *Scheduler) Stats() Stats {
 }
 
 // Instance materializes the current job set as a core.Instance (insertion
-// order), for inspection or offline analysis.
+// order), for inspection or offline analysis. The caller owns the copy.
 func (sc *Scheduler) Instance() *core.Instance {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	return sc.instanceLocked()
+	return sc.viewLocked().Clone()
 }
 
-func (sc *Scheduler) instanceLocked() *core.Instance {
+// viewLocked assembles the current job set as a read-only instance view.
+// The instance shell (slices of rows, names, weights) is fresh per call,
+// but the capacity and per-job demand/work rows are shared immutable
+// snapshots: they are replaced — never written in place — when the
+// underlying job mutates. Solvers only read instances, so views are safe
+// to hand out and cheap to build (no per-row copying).
+func (sc *Scheduler) viewLocked() *core.Instance {
+	live := len(sc.order) - sc.holes
 	in := &core.Instance{
-		SiteCapacity: append([]float64(nil), sc.cfg.SiteCapacity...),
-		Demand:       make([][]float64, len(sc.order)),
-		Work:         make([][]float64, len(sc.order)),
-		Weight:       make([]float64, len(sc.order)),
-		JobName:      append([]string(nil), sc.order...),
+		SiteCapacity: sc.capRow,
+		Demand:       make([][]float64, 0, live),
+		Work:         make([][]float64, 0, live),
+		Weight:       make([]float64, 0, live),
+		JobName:      make([]string, 0, live),
 	}
-	for i, id := range sc.order {
+	for _, id := range sc.order {
+		if id == "" {
+			continue
+		}
 		j := sc.jobs[id]
-		in.Demand[i] = append([]float64(nil), j.Demand...)
-		in.Work[i] = append([]float64(nil), j.Remaining...)
-		in.Weight[i] = j.Weight
+		if j.instDemand == nil {
+			j.instDemand = append([]float64(nil), j.Demand...)
+		}
+		if j.instWork == nil {
+			j.instWork = append([]float64(nil), j.Remaining...)
+		}
+		in.Demand = append(in.Demand, j.instDemand)
+		in.Work = append(in.Work, j.instWork)
+		in.Weight = append(in.Weight, j.Weight)
+		in.JobName = append(in.JobName, id)
 	}
 	return in
 }
 
 func (sc *Scheduler) solveLocked() error {
-	if !sc.dirty {
+	if !sc.needSolve {
 		sc.stats.Skipped++
 		return nil
 	}
-	if len(sc.order) == 0 {
+	if len(sc.jobs) == 0 && sc.inc == nil {
 		sc.shares = map[string][]float64{}
-		sc.dirty = false
+		sc.needSolve = false
 		return nil
 	}
 	start := time.Now()
-	in := sc.instanceLocked()
+	in := sc.viewLocked()
+	incremental := false
 	var err error
-	if sc.queuedLocked() {
+	switch {
+	case sc.queuedLocked():
 		err = sc.solveHierarchicalLocked(in)
-	} else {
+	case sc.inc != nil:
+		incremental = true
+		err = sc.solveIncrementalLocked(in)
+	default:
 		err = sc.solveFlatLocked(in)
 	}
 	if err != nil {
@@ -358,14 +479,60 @@ func (sc *Scheduler) solveLocked() error {
 	d := time.Since(start)
 	sc.stats.LastSolve = d
 	sc.stats.TotalSolveTime += d
-	if ss := sc.cfg.Solver.LastStats(); ss.Components > 0 {
-		sc.stats.LastComponents = ss.Components
-		sc.stats.LastLargestComponent = ss.LargestComponent
-		sc.stats.LastSpeedup = ss.Speedup
-	}
+	sc.updateSolveTelemetryLocked(incremental)
 	if sc.cfg.OnSolve != nil {
 		sc.cfg.OnSolve(d)
 	}
+	return nil
+}
+
+// updateSolveTelemetryLocked folds the solver's decomposition record into
+// Stats. The core solver's Seq counter distinguishes "the solver ran and
+// recorded fresh numbers" from "this solve never entered the core solver"
+// (PS-MMF, empty job set): in the latter case the previous solve's
+// numbers are stale and must be reset, not carried.
+func (sc *Scheduler) updateSolveTelemetryLocked(incremental bool) {
+	ss := sc.cfg.Solver.LastStats()
+	ran := ss.Seq != sc.lastSeq
+	sc.lastSeq = ss.Seq
+	if !ran {
+		sc.stats.LastComponents = 0
+		sc.stats.LastLargestComponent = 0
+		sc.stats.LastSpeedup = 0
+		sc.stats.LastReused = 0
+		sc.stats.LastResolved = 0
+		return
+	}
+	sc.stats.LastComponents = ss.Components
+	sc.stats.LastLargestComponent = ss.LargestComponent
+	sc.stats.LastSpeedup = ss.Speedup
+	if incremental {
+		ist := sc.inc.LastStats()
+		sc.stats.LastReused = ist.Reused + ist.CacheHits
+		sc.stats.LastResolved = ist.Solved
+		sc.stats.CacheHits = ist.TotalCacheHits
+		sc.stats.CacheMisses = ist.TotalCacheMisses
+		sc.stats.GlobalInvalidations = ist.GlobalInvalidations
+	} else {
+		// From-scratch solve: every component it saw was re-solved.
+		sc.stats.LastReused = 0
+		sc.stats.LastResolved = ss.Components
+	}
+}
+
+// solveIncrementalLocked re-solves only the components touched by the
+// accumulated dirty set. It consumes the dirty set on success: fallback
+// solves (hierarchical) leave it intact so the incremental solver sees
+// every change that happened while another path was active.
+func (sc *Scheduler) solveIncrementalLocked(in *core.Instance) error {
+	alloc, err := sc.inc.Solve(in, sc.dirty)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	sc.stats.Solves++
+	sc.installSharesLocked(in, alloc.Share)
+	clear(sc.dirty)
+	sc.needSolve = false
 	return nil
 }
 
@@ -375,19 +542,32 @@ func (sc *Scheduler) solveFlatLocked(in *core.Instance) error {
 		return fmt.Errorf("scheduler: %w", err)
 	}
 	sc.stats.Solves++
-	sc.shares = make(map[string][]float64, len(sc.order))
-	for i, id := range sc.order {
-		sc.shares[id] = append([]float64(nil), alloc.Share[i]...)
-	}
-	sc.dirty = false
+	sc.installSharesLocked(in, alloc.Share)
+	sc.needSolve = false
 	return nil
+}
+
+// installSharesLocked replaces the share map with the solve's rows. Rows
+// are installed by reference and treated as immutable from here on: the
+// solver allocated them fresh (or, on the incremental path, they are the
+// solver's cached immutable rows), and nothing writes them in place.
+func (sc *Scheduler) installSharesLocked(in *core.Instance, share [][]float64) {
+	sc.shares = make(map[string][]float64, len(in.JobName))
+	for i, id := range in.JobName {
+		sc.shares[id] = share[i]
+	}
 }
 
 // Resolve re-solves if the job set changed and returns a self-consistent
 // view under one lock acquisition: the instance the shares were computed
 // against (job order = Instance.JobName) and the per-job share vectors.
-// Both are fresh copies the caller owns — the serving engine publishes
-// them as an immutable snapshot.
+//
+// Both are read-only views: the map and instance shell are fresh, but the
+// rows are immutable snapshots shared with the controller and with other
+// Resolve results. Callers (the serving engine publishes them as
+// immutable snapshots) must not mutate them; they remain valid after
+// later mutations because mutations replace rows instead of writing them
+// in place.
 func (sc *Scheduler) Resolve() (*core.Instance, map[string][]float64, error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -396,7 +576,7 @@ func (sc *Scheduler) Resolve() (*core.Instance, map[string][]float64, error) {
 	}
 	out := make(map[string][]float64, len(sc.shares))
 	for id, sh := range sc.shares {
-		out[id] = append([]float64(nil), sh...)
+		out[id] = sh
 	}
-	return sc.instanceLocked(), out, nil
+	return sc.viewLocked(), out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -376,6 +377,10 @@ func TestStatsSolveDurations(t *testing.T) {
 	}
 }
 
+// TestResolveConsistentView checks Resolve's read-only-view contract: the
+// instance and share rows it returns are immutable snapshots, so a view
+// taken before further mutations must be unchanged afterwards — mutations
+// replace rows, they never write published ones in place.
 func TestResolveConsistentView(t *testing.T) {
 	sc := newTestScheduler(t, 1, 1)
 	for _, id := range []string{"a", "b", "c"} {
@@ -395,14 +400,42 @@ func TestResolveConsistentView(t *testing.T) {
 			t.Fatalf("job %q has row %v", id, shares[id])
 		}
 	}
-	// Mutating the returned copies must not leak into the controller.
-	shares["a"][0] = 99
-	in.SiteCapacity[0] = 99
-	sh, err := sc.Shares("a")
-	if err != nil {
+	before := core.Instance{
+		SiteCapacity: append([]float64(nil), in.SiteCapacity...),
+		Demand:       [][]float64{append([]float64(nil), in.Demand[0]...)},
+	}
+	shareA := append([]float64(nil), shares["a"]...)
+
+	// Mutate the controller every way that touches job "a"'s state: the
+	// published view must not move.
+	if err := sc.UpdateWeight("a", 7); err != nil {
 		t.Fatal(err)
 	}
-	if sh[0] == 99 {
-		t.Fatal("Resolve returned aliased share storage")
+	if _, err := sc.ReportProgress("a", []float64{0.4, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RemoveJob("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for s := range before.SiteCapacity {
+		if in.SiteCapacity[s] != before.SiteCapacity[s] {
+			t.Fatalf("site %d capacity moved under a published view: %g -> %g",
+				s, before.SiteCapacity[s], in.SiteCapacity[s])
+		}
+	}
+	for s, d := range before.Demand[0] {
+		if in.Demand[0][s] != d {
+			t.Fatalf("demand row mutated in place under a published view: %v -> %v",
+				before.Demand[0], in.Demand[0])
+		}
+	}
+	for s, v := range shareA {
+		if shares["a"][s] != v {
+			t.Fatalf("share row mutated in place under a published view: %v -> %v",
+				shareA, shares["a"])
+		}
 	}
 }

@@ -27,6 +27,9 @@ func (sc *Scheduler) Snapshot() Snapshot {
 		}
 	}
 	for _, id := range sc.order {
+		if id == "" { // removal tombstone
+			continue
+		}
 		j := sc.jobs[id]
 		snap.Jobs = append(snap.Jobs, Job{
 			ID:        j.ID,
@@ -69,9 +72,12 @@ func (sc *Scheduler) Restore(snap Snapshot) error {
 	}
 	sc.jobs = make(map[string]*Job, len(snap.Jobs))
 	sc.order = sc.order[:0]
+	sc.orderIdx = make(map[string]int, len(snap.Jobs))
+	sc.holes = 0
 	sc.shares = map[string][]float64{}
 	sc.jobQueue = map[string]string{}
 	sc.queueWeight = map[string]float64{}
+	sc.dirty = make(map[string]bool, len(snap.Jobs))
 	for q, w := range snap.Queues {
 		if w <= 0 {
 			w = 1
@@ -92,9 +98,13 @@ func (sc *Scheduler) Restore(snap Snapshot) error {
 		if j.Queue != "" {
 			sc.jobQueue[j.ID] = j.Queue
 		}
+		sc.orderIdx[j.ID] = len(sc.order)
 		sc.order = append(sc.order, j.ID)
+		// A restored job may reuse the name of a pre-restore job with
+		// different content: the incremental solver must revalidate it.
+		sc.dirty[j.ID] = true
 	}
-	sc.dirty = true
+	sc.needSolve = true
 	return nil
 }
 

@@ -83,6 +83,13 @@ type AllocSnapshot struct {
 	BatchSize int
 	// SolveDuration is how long the commit's re-solve took.
 	SolveDuration time.Duration
+	// ComponentsReused and ComponentsResolved record how incrementally the
+	// commit's solve ran: reused components were spliced from carried or
+	// fingerprint-cached results, resolved ones were actually re-solved.
+	// Both are zero when the solve was skipped (nothing dirty) and
+	// Reused is zero on from-scratch paths.
+	ComponentsReused   int
+	ComponentsResolved int
 }
 
 // Allocation materializes the snapshot as a core.Allocation (rows in
@@ -134,6 +141,9 @@ type Engine struct {
 	gComps     *obs.Gauge
 	gLargest   *obs.Gauge
 	gSpeedup   *obs.Gauge
+	gReused    *obs.Gauge
+	gResolved  *obs.Gauge
+	gHitRatio  *obs.Gauge
 }
 
 // New wraps a scheduler in a serving engine, publishes the initial
@@ -169,6 +179,9 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.gComps = reg.Gauge("engine.solve_components")
 	e.gLargest = reg.Gauge("engine.solve_largest_component")
 	e.gSpeedup = reg.Gauge("engine.solve_speedup")
+	e.gReused = reg.Gauge("engine.components_reused")
+	e.gResolved = reg.Gauge("engine.components_resolved")
+	e.gHitRatio = reg.Gauge("engine.cache_hit_ratio")
 	sc.SetOnSolve(func(d time.Duration) { e.hSolve.Observe(d) })
 	if _, err := e.publish(0); err != nil {
 		return nil, fmt.Errorf("serve: initial solve: %w", err)
@@ -281,6 +294,11 @@ func (e *Engine) commit(batch []*op) {
 		e.gComps.Set(float64(st.LastComponents))
 		e.gLargest.Set(float64(st.LastLargestComponent))
 		e.gSpeedup.Set(st.LastSpeedup)
+		e.gReused.Set(float64(st.LastReused))
+		e.gResolved.Set(float64(st.LastResolved))
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			e.gHitRatio.Set(float64(st.CacheHits) / float64(lookups))
+		}
 	}
 	e.mMutations.Add(int64(len(batch)))
 	e.mCommits.Inc()
@@ -298,14 +316,17 @@ func (e *Engine) publish(batchSize int) (*AllocSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := e.sc.Stats()
 	prev := e.snap.Load()
 	next := &AllocSnapshot{
-		Version:       1,
-		Taken:         time.Now(),
-		Shares:        shares,
-		Inst:          inst,
-		BatchSize:     batchSize,
-		SolveDuration: time.Since(solveStart),
+		Version:            1,
+		Taken:              time.Now(),
+		Shares:             shares,
+		Inst:               inst,
+		BatchSize:          batchSize,
+		SolveDuration:      time.Since(solveStart),
+		ComponentsReused:   st.LastReused,
+		ComponentsResolved: st.LastResolved,
 	}
 	if prev != nil {
 		next.Version = prev.Version + 1

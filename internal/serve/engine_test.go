@@ -265,3 +265,66 @@ func TestEngineConcurrentReadersWriters(t *testing.T) {
 		t.Fatalf("final version = %d, want > 1", v)
 	}
 }
+
+// TestEngineIncrementalTelemetry checks that the incremental-solve
+// telemetry flows through the commit path into both the published
+// snapshot and the metrics gauges: a single-component mutation on a
+// multi-component job set reuses the untouched components, and a
+// round-tripped mutation hits the fingerprint cache.
+func TestEngineIncrementalTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{4, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc, Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+
+	// Three jobs on disjoint sites: three components.
+	if err := eng.AddJob("a", 1, []float64{4, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddJob("b", 1, []float64{0, 4, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddJob("c", 1, []float64{0, 0, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.UpdateWeight("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Current()
+	if snap.ComponentsResolved != 1 || snap.ComponentsReused != 2 {
+		t.Fatalf("snapshot after single-component mutation: resolved %d reused %d, want 1/2",
+			snap.ComponentsResolved, snap.ComponentsReused)
+	}
+	m := reg.Snapshot()
+	if got := m.Gauges["engine.components_reused"]; got != 2 {
+		t.Fatalf("components_reused gauge = %g, want 2", got)
+	}
+	if got := m.Gauges["engine.components_resolved"]; got != 1 {
+		t.Fatalf("components_resolved gauge = %g, want 1", got)
+	}
+
+	// Reverting the weight round-trips b's component fingerprint: a cache
+	// hit, no re-solve, and a positive hit ratio.
+	if err := eng.UpdateWeight("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	snap = eng.Current()
+	if snap.ComponentsResolved != 0 || snap.ComponentsReused != 3 {
+		t.Fatalf("snapshot after reverted mutation: resolved %d reused %d, want 0/3",
+			snap.ComponentsResolved, snap.ComponentsReused)
+	}
+	m = reg.Snapshot()
+	if got := m.Gauges["engine.cache_hit_ratio"]; got <= 0 {
+		t.Fatalf("cache_hit_ratio gauge = %g, want > 0 after a fingerprint round-trip", got)
+	}
+	st := eng.Stats()
+	if st.CacheHits == 0 || st.LastReused != 3 {
+		t.Fatalf("stats missing incremental accounting: %+v", st)
+	}
+}

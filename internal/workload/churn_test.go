@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenerateChurnDeterministic: identical configs yield identical
+// streams.
+func TestGenerateChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		Sparse:    SparseConfig{Components: 8, JobsPerComponent: 4, SitesPerComponent: 3, Seed: 5},
+		Mutations: 200,
+		Seed:      9,
+	}
+	a, b := GenerateChurn(cfg), GenerateChurn(cfg)
+	if !reflect.DeepEqual(a.Inst, b.Inst) || !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Fatal("GenerateChurn is not deterministic for a fixed seed")
+	}
+	if len(a.Ops) != cfg.Mutations {
+		t.Fatalf("got %d ops, want %d", len(a.Ops), cfg.Mutations)
+	}
+}
+
+// TestChurnOpsComponentLocal: every op's footprint (demand, progress, or
+// named job) stays inside its component's site block and job namespace.
+func TestChurnOpsComponentLocal(t *testing.T) {
+	sp := SparseConfig{Components: 6, JobsPerComponent: 5, SitesPerComponent: 4, Seed: 2}
+	ch := GenerateChurn(ChurnConfig{Sparse: sp, Mutations: 300, Seed: 3})
+	sp = sp.withDefaults()
+	m := sp.Components * sp.SitesPerComponent
+	for i, op := range ch.Ops {
+		prefix := "c" + itoa(op.Component) + "-"
+		if !strings.HasPrefix(op.Job, prefix) {
+			t.Fatalf("op %d: job %q not in component %d", i, op.Job, op.Component)
+		}
+		var row []float64
+		switch op.Kind {
+		case ChurnAdd:
+			row = op.Demand
+		case ChurnProgress:
+			row = op.Done
+		default:
+			continue
+		}
+		if len(row) != m {
+			t.Fatalf("op %d: row width %d, want %d", i, len(row), m)
+		}
+		s0 := op.Component * sp.SitesPerComponent
+		for s, v := range row {
+			if v != 0 && (s < s0 || s >= s0+sp.SitesPerComponent) {
+				t.Fatalf("op %d: nonzero entry at site %d outside block [%d,%d)", i, s, s0, s0+sp.SitesPerComponent)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
