@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -234,7 +235,7 @@ func benchServe(b *testing.B, maxBatch int, window time.Duration, demandFor func
 	}
 	defer eng.Close()
 	for j := 0; j < jobs; j++ {
-		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demandFor(j, sites), nil); err != nil {
+		if err := eng.AddJob(context.Background(), fmt.Sprintf("job-%d", j), 1, demandFor(j, sites), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -265,7 +266,7 @@ func benchServe(b *testing.B, maxBatch int, window time.Duration, demandFor func
 				id := fmt.Sprintf("job-%d", (w+i*mutators)%jobs)
 				// Cycle weights so every mutation dirties the allocation.
 				weight := 1 + float64((i*7+w*3)%13)/13
-				if err := eng.UpdateWeight(id, weight); err != nil {
+				if err := eng.UpdateWeight(context.Background(), id, weight); err != nil {
 					b.Error(err)
 					return
 				}
@@ -292,6 +293,26 @@ func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1, 0, ringDemand) }
 // workload, so each batch re-solve takes the decomposed-parallel path.
 func BenchmarkServeBatchedDecomposed(b *testing.B) {
 	benchServe(b, 8, time.Millisecond, pairedDemand)
+}
+
+// benchEngineTarget adapts the context-aware engine to the ctx-less churn
+// replay interface.
+type benchEngineTarget struct{ eng *serve.Engine }
+
+func (t benchEngineTarget) AddJob(id string, weight float64, demand, work []float64) error {
+	return t.eng.AddJob(context.Background(), id, weight, demand, work)
+}
+
+func (t benchEngineTarget) RemoveJob(id string) error {
+	return t.eng.RemoveJob(context.Background(), id)
+}
+
+func (t benchEngineTarget) UpdateWeight(id string, weight float64) error {
+	return t.eng.UpdateWeight(context.Background(), id, weight)
+}
+
+func (t benchEngineTarget) ReportProgress(id string, done []float64) (bool, error) {
+	return t.eng.ReportProgress(context.Background(), id, done)
 }
 
 // benchServeChurn drives a generated churn stream — component-local
@@ -327,7 +348,7 @@ func benchServeChurn(b *testing.B, disableIncremental bool) {
 	for i := 0; i < b.N; i++ {
 		// Cyclic replay can re-add a live transient or re-remove an
 		// evicted one; those rejections are expected and free.
-		if err := ch.Ops[i%len(ch.Ops)].Apply(eng); err != nil &&
+		if err := ch.Ops[i%len(ch.Ops)].Apply(benchEngineTarget{eng: eng}); err != nil &&
 			!errors.Is(err, scheduler.ErrUnknownJob) &&
 			!errors.Is(err, scheduler.ErrDuplicateJob) {
 			b.Fatal(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -112,6 +113,26 @@ func runChurn(o churnOptions) error {
 	return nil
 }
 
+// engineTarget adapts the context-aware engine to the ctx-less churn
+// replay interface; the bench has no cancellation story.
+type engineTarget struct{ eng *serve.Engine }
+
+func (t engineTarget) AddJob(id string, weight float64, demand, work []float64) error {
+	return t.eng.AddJob(context.Background(), id, weight, demand, work)
+}
+
+func (t engineTarget) RemoveJob(id string) error {
+	return t.eng.RemoveJob(context.Background(), id)
+}
+
+func (t engineTarget) UpdateWeight(id string, weight float64) error {
+	return t.eng.UpdateWeight(context.Background(), id, weight)
+}
+
+func (t engineTarget) ReportProgress(id string, done []float64) (bool, error) {
+	return t.eng.ReportProgress(context.Background(), id, done)
+}
+
 // churnPass replays the stream through an unbatched engine (one commit
 // per mutation) and returns the median commit latency plus the final
 // scheduler stats.
@@ -134,10 +155,11 @@ func churnPass(ch *workload.Churn, disableIncremental bool) (int64, scheduler.St
 	}
 	defer eng.Close()
 
+	target := engineTarget{eng: eng}
 	times := make([]int64, 0, len(ch.Ops))
 	for _, op := range ch.Ops {
 		start := time.Now()
-		err := op.Apply(eng)
+		err := op.Apply(target)
 		if err != nil && !errors.Is(err, scheduler.ErrUnknownJob) && !errors.Is(err, scheduler.ErrDuplicateJob) {
 			return 0, scheduler.Stats{}, err
 		}

@@ -31,6 +31,13 @@
 //	amf-bench -churn
 //	amf-bench -churn -churn-mutations 2048 -churn-out BENCH_incremental.json
 //
+// A durability mode measures the acknowledged mutation latency of the
+// write-ahead-logged engine against the in-memory engine under the same
+// concurrent workload (group commit shares one fsync per batch):
+//
+//	amf-bench -wal
+//	amf-bench -wal -wal-mutators 16 -wal-out BENCH_wal.json
+//
 // Output is the same Render() text the root-level benchmarks produce, so
 // `go test -bench` and this tool can never drift apart.
 package main
@@ -71,6 +78,16 @@ func main() {
 		decompTrials = flag.Int("decompose-trials", 5, "timed solves per path (median reported)")
 		decompOut    = flag.String("decompose-out", "", "write machine-readable results to this JSON file (e.g. BENCH_solver.json)")
 
+		walMode     = flag.Bool("wal", false, "run the durability-overhead benchmark (acknowledged mutation latency, WAL vs in-memory)")
+		walMutators = flag.Int("wal-mutators", 8, "concurrent mutator goroutines")
+		walJobs     = flag.Int("wal-jobs", 256, "preloaded job count")
+		walSites    = flag.Int("wal-sites", 16, "site count")
+		walOps      = flag.Int("wal-ops", 100, "mutations per mutator")
+		walBatch    = flag.Int("wal-batch", 0, "MaxBatch for both configurations (0 = mutator count)")
+		walWindow   = flag.Duration("wal-window", time.Millisecond, "BatchWindow for both configurations")
+		walDir      = flag.String("wal-dir", "", "WAL directory for the durable pass (default: fresh temp dir)")
+		walOut      = flag.String("wal-out", "", "write machine-readable results to this JSON file (e.g. BENCH_wal.json)")
+
 		churnMode      = flag.Bool("churn", false, "run the incremental-churn benchmark (per-commit latency, incremental vs full re-solve)")
 		churnComps     = flag.Int("churn-components", 64, "independent components in the sparse instance")
 		churnJobs      = flag.Int("churn-jobs", 16, "jobs per component")
@@ -79,6 +96,23 @@ func main() {
 		churnOut       = flag.String("churn-out", "", "write machine-readable results to this JSON file (e.g. BENCH_incremental.json)")
 	)
 	flag.Parse()
+
+	if *walMode {
+		if err := runWALBench(walbenchOptions{
+			mutators: *walMutators,
+			jobs:     *walJobs,
+			sites:    *walSites,
+			ops:      *walOps,
+			batchMax: *walBatch,
+			window:   *walWindow,
+			dir:      *walDir,
+			out:      *walOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *churnMode {
 		if err := runChurn(churnOptions{

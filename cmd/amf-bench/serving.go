@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -101,7 +102,7 @@ func runServingMode(mode string, batchMax int, o servingOptions) (servingResult,
 		demand := make([]float64, o.sites)
 		demand[j%o.sites] = 2
 		demand[(j+1)%o.sites] = 1
-		if err := eng.AddJob(fmt.Sprintf("job-%d", j), 1, demand, nil); err != nil {
+		if err := eng.AddJob(context.Background(), fmt.Sprintf("job-%d", j), 1, demand, nil); err != nil {
 			return servingResult{}, err
 		}
 	}
@@ -118,7 +119,7 @@ func runServingMode(mode string, batchMax int, o servingOptions) (servingResult,
 				id := fmt.Sprintf("job-%d", (w+i*o.mutators)%o.jobs)
 				// Cycle weights so every update dirties the allocation.
 				weight := 1 + float64((i*7+w*3)%13)/13
-				if err := eng.UpdateWeight(id, weight); err != nil {
+				if err := eng.UpdateWeight(context.Background(), id, weight); err != nil {
 					return
 				}
 				mutOps.Add(1)

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -28,10 +29,10 @@ func newTestServer(t *testing.T) (*Client, *scheduler.Scheduler) {
 
 func TestHealthzAndConfig(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.Healthz(); err != nil {
+	if err := c.Healthz(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	cfg, err := c.Config()
+	cfg, err := c.Config(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,24 +46,24 @@ func TestHealthzAndConfig(t *testing.T) {
 
 func TestJobLifecycle(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.AddJob(AddJobRequest{
+	if err := c.AddJob(context.Background(), AddJobRequest{
 		ID: "flexible", Demand: []float64{1, 1},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddJob(AddJobRequest{
+	if err := c.AddJob(context.Background(), AddJobRequest{
 		ID: "pinned", Demand: []float64{1, 0},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	sh, err := c.Shares("pinned")
+	sh, err := c.Shares(context.Background(), "pinned")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(sh.Aggregate-1) > 1e-6 {
 		t.Fatalf("pinned aggregate %g, want 1", sh.Aggregate)
 	}
-	alloc, err := c.Allocation()
+	alloc, err := c.Allocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,14 +75,14 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	// Progress to completion.
-	done, err := c.ReportProgress("pinned", []float64{1, 0})
+	done, err := c.ReportProgress(context.Background(), "pinned", []float64{1, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !done {
 		t.Fatal("pinned should have completed")
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +90,10 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 
-	if err := c.RemoveJob("flexible"); err != nil {
+	if err := c.RemoveJob(context.Background(), "flexible"); err != nil {
 		t.Fatal(err)
 	}
-	st, _ = c.Stats()
+	st, _ = c.Stats(context.Background())
 	if st.Jobs != 0 {
 		t.Fatalf("jobs %d after removal", st.Jobs)
 	}
@@ -101,31 +102,31 @@ func TestJobLifecycle(t *testing.T) {
 func TestErrorMapping(t *testing.T) {
 	c, _ := newTestServer(t)
 	// Unknown job -> 404.
-	_, err := c.Shares("ghost")
+	_, err := c.Shares(context.Background(), "ghost")
 	apiErr, ok := err.(*APIError)
 	if !ok || apiErr.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job error %v", err)
 	}
-	if err := c.RemoveJob("ghost"); err == nil {
+	if err := c.RemoveJob(context.Background(), "ghost"); err == nil {
 		t.Fatal("removing ghost succeeded")
 	}
 	// Duplicate -> 409.
-	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	err = c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}})
+	err = c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}})
 	apiErr, ok = err.(*APIError)
 	if !ok || apiErr.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate error %v", err)
 	}
 	// Validation -> 400.
-	err = c.AddJob(AddJobRequest{ID: "b", Demand: []float64{1}})
+	err = c.AddJob(context.Background(), AddJobRequest{ID: "b", Demand: []float64{1}})
 	apiErr, ok = err.(*APIError)
 	if !ok || apiErr.StatusCode != http.StatusBadRequest {
 		t.Fatalf("validation error %v", err)
 	}
 	// Missing id -> 400.
-	err = c.AddJob(AddJobRequest{Demand: []float64{1, 1}})
+	err = c.AddJob(context.Background(), AddJobRequest{Demand: []float64{1, 1}})
 	apiErr, ok = err.(*APIError)
 	if !ok || apiErr.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing id error %v", err)
@@ -167,17 +168,17 @@ func TestMethodRouting(t *testing.T) {
 
 func TestWeightedJobOverAPI(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.AddJob(AddJobRequest{ID: "light", Weight: 1, Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "light", Weight: 1, Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddJob(AddJobRequest{ID: "heavy", Weight: 3, Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "heavy", Weight: 3, Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	light, err := c.Shares("light")
+	light, err := c.Shares(context.Background(), "light")
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy, err := c.Shares("heavy")
+	heavy, err := c.Shares(context.Background(), "heavy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,16 +189,16 @@ func TestWeightedJobOverAPI(t *testing.T) {
 
 func TestProgressWithExplicitWork(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.AddJob(AddJobRequest{
+	if err := c.AddJob(context.Background(), AddJobRequest{
 		ID: "w", Demand: []float64{1, 1}, Work: []float64{5, 5},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	done, err := c.ReportProgress("w", []float64{5, 4})
+	done, err := c.ReportProgress(context.Background(), "w", []float64{5, 4})
 	if err != nil || done {
 		t.Fatalf("done=%v err=%v", done, err)
 	}
-	done, err = c.ReportProgress("w", []float64{0, 1})
+	done, err = c.ReportProgress(context.Background(), "w", []float64{0, 1})
 	if err != nil || !done {
 		t.Fatalf("done=%v err=%v", done, err)
 	}
@@ -205,10 +206,10 @@ func TestProgressWithExplicitWork(t *testing.T) {
 
 func TestSnapshotOverAPI(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}, Work: []float64{3, 3}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}, Work: []float64{3, 3}}); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := c.Snapshot()
+	snap, err := c.Snapshot(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,10 +218,10 @@ func TestSnapshotOverAPI(t *testing.T) {
 	}
 	// Restore into a second server.
 	c2, _ := newTestServer(t)
-	if err := c2.RestoreSnapshot(snap); err != nil {
+	if err := c2.RestoreSnapshot(context.Background(), snap); err != nil {
 		t.Fatal(err)
 	}
-	sh, err := c2.Shares("a")
+	sh, err := c2.Shares(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestSnapshotOverAPI(t *testing.T) {
 		t.Fatalf("restored job has no allocation: %+v", sh)
 	}
 	// Bad snapshot -> 400.
-	err = c2.RestoreSnapshot(scheduler.Snapshot{Jobs: []scheduler.Job{
+	err = c2.RestoreSnapshot(context.Background(), scheduler.Snapshot{Jobs: []scheduler.Job{
 		{ID: "x", Demand: []float64{1}, Remaining: []float64{1}},
 	}})
 	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusBadRequest {
@@ -238,24 +239,24 @@ func TestSnapshotOverAPI(t *testing.T) {
 
 func TestQueuesOverAPI(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.AddQueue("prod", 2); err != nil {
+	if err := c.AddQueue(context.Background(), "prod", 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddQueue("", 1); err == nil {
+	if err := c.AddQueue(context.Background(), "", 1); err == nil {
 		t.Fatal("empty queue name accepted")
 	}
-	if err := c.AddJob(AddJobRequest{ID: "p", Queue: "prod", Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "p", Queue: "prod", Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddJob(AddJobRequest{ID: "d", Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "d", Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
 	// prod (weight 2) vs default (weight 1) on capacity 2: 4/3 vs 2/3.
-	p, err := c.Shares("p")
+	p, err := c.Shares(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := c.Shares("d")
+	d, err := c.Shares(context.Background(), "d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestQueuesOverAPI(t *testing.T) {
 		t.Fatalf("queue weights over API: %g vs %g", p.Aggregate, d.Aggregate)
 	}
 	// Unknown queue -> 400.
-	err = c.AddJob(AddJobRequest{ID: "x", Queue: "ghost", Demand: []float64{1, 1}})
+	err = c.AddJob(context.Background(), AddJobRequest{ID: "x", Queue: "ghost", Demand: []float64{1, 1}})
 	if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown queue error %v", err)
 	}
@@ -271,17 +272,17 @@ func TestQueuesOverAPI(t *testing.T) {
 
 func TestUpdateWeightOverAPI(t *testing.T) {
 	c, _ := newTestServer(t)
-	_ = c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}})
-	_ = c.AddJob(AddJobRequest{ID: "b", Demand: []float64{1, 1}})
-	if err := c.UpdateWeight("a", 3); err != nil {
+	_ = c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}})
+	_ = c.AddJob(context.Background(), AddJobRequest{ID: "b", Demand: []float64{1, 1}})
+	if err := c.UpdateWeight(context.Background(), "a", 3); err != nil {
 		t.Fatal(err)
 	}
-	a, _ := c.Shares("a")
-	b, _ := c.Shares("b")
+	a, _ := c.Shares(context.Background(), "a")
+	b, _ := c.Shares(context.Background(), "b")
 	if math.Abs(a.Aggregate-3*b.Aggregate) > 1e-6 {
 		t.Fatalf("weight update not applied: %g vs %g", a.Aggregate, b.Aggregate)
 	}
-	if err := c.UpdateWeight("ghost", 2); err == nil {
+	if err := c.UpdateWeight(context.Background(), "ghost", 2); err == nil {
 		t.Fatal("unknown job accepted")
 	}
 }

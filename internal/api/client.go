@@ -2,8 +2,8 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -12,7 +12,10 @@ import (
 	"repro/internal/scheduler"
 )
 
-// Client is a typed client for the control-plane API.
+// Client is a typed client for the control-plane API. Every call takes a
+// context: cancellation aborts the HTTP request, which server-side
+// abandons a still-queued mutation instead of blocking on the engine's
+// batch window.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -27,17 +30,12 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// APIError is a non-2xx response from the server.
-type APIError struct {
-	StatusCode int
-	Message    string
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("api: %d %s", e.StatusCode, e.Message)
-}
-
-func (c *Client) do(method, path string, in, out interface{}) error {
+// do runs one request. On a non-2xx response it returns an *APIError
+// carrying the server's stable code; when out is non-nil it additionally
+// tries to decode the error body into out, so endpoints whose failures
+// carry structure (e.g. the batch registration's per-item report) still
+// deliver it.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -46,7 +44,7 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 		}
 		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
@@ -59,12 +57,16 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(resp.Body)
 		var er errorResponse
 		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if out != nil {
+			_ = json.Unmarshal(data, out)
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: er.Code, Message: msg}
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -73,82 +75,92 @@ func (c *Client) do(method, path string, in, out interface{}) error {
 }
 
 // Healthz checks liveness.
-func (c *Client) Healthz() error {
-	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }
 
 // Config fetches the controller configuration.
-func (c *Client) Config() (ConfigResponse, error) {
+func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
 	var out ConfigResponse
-	err := c.do(http.MethodGet, "/v1/config", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/config", nil, &out)
 	return out, err
 }
 
 // AddJob registers a job.
-func (c *Client) AddJob(req AddJobRequest) error {
-	return c.do(http.MethodPost, "/v1/jobs", req, nil)
+func (c *Client) AddJob(ctx context.Context, req AddJobRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs", req, nil)
+}
+
+// AddJobs registers a set of jobs atomically in one controller commit:
+// one solve for the whole batch, all-or-nothing. The response's Results
+// are index-aligned with jobs and, on rejection, pinpoint the invalid
+// items (err will match ErrAlreadyExists or ErrInvalidArgument).
+func (c *Client) AddJobs(ctx context.Context, jobs []AddJobRequest) (BatchAddResponse, error) {
+	var out BatchAddResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs:batch", BatchAddRequest{Jobs: jobs}, &out)
+	return out, err
 }
 
 // AddQueue declares a weighted queue.
-func (c *Client) AddQueue(name string, weight float64) error {
-	return c.do(http.MethodPost, "/v1/queues", AddQueueRequest{Name: name, Weight: weight}, nil)
+func (c *Client) AddQueue(ctx context.Context, name string, weight float64) error {
+	return c.do(ctx, http.MethodPost, "/v1/queues", AddQueueRequest{Name: name, Weight: weight}, nil)
 }
 
 // RemoveJob cancels a job.
-func (c *Client) RemoveJob(id string) error {
-	return c.do(http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+func (c *Client) RemoveJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 }
 
 // UpdateWeight changes a job's share weight at runtime.
-func (c *Client) UpdateWeight(id string, weight float64) error {
-	return c.do(http.MethodPut, "/v1/jobs/"+id+"/weight", WeightRequest{Weight: weight}, nil)
+func (c *Client) UpdateWeight(ctx context.Context, id string, weight float64) error {
+	return c.do(ctx, http.MethodPut, "/v1/jobs/"+id+"/weight", WeightRequest{Weight: weight}, nil)
 }
 
 // ReportProgress reports completed work; it returns whether the job
 // finished.
-func (c *Client) ReportProgress(id string, done []float64) (bool, error) {
+func (c *Client) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
 	var out ProgressResponse
-	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/progress",
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/progress",
 		ProgressRequest{Done: done}, &out)
 	return out.Completed, err
 }
 
 // Shares fetches one job's current allocation.
-func (c *Client) Shares(id string) (SharesResponse, error) {
+func (c *Client) Shares(ctx context.Context, id string) (SharesResponse, error) {
 	var out SharesResponse
-	err := c.do(http.MethodGet, "/v1/jobs/"+id+"/shares", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/shares", nil, &out)
 	return out, err
 }
 
 // Allocation fetches every job's allocation.
-func (c *Client) Allocation() (AllocationResponse, error) {
+func (c *Client) Allocation(ctx context.Context) (AllocationResponse, error) {
 	var out AllocationResponse
-	err := c.do(http.MethodGet, "/v1/allocation", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/allocation", nil, &out)
 	return out, err
 }
 
 // Stats fetches controller counters.
-func (c *Client) Stats() (StatsResponse, error) {
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
 }
 
 // Metrics fetches the server's metrics registry snapshot.
-func (c *Client) Metrics() (obs.Snapshot, error) {
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 	var out obs.Snapshot
-	err := c.do(http.MethodGet, "/v1/metrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
 }
 
 // Snapshot downloads the controller's job-set state.
-func (c *Client) Snapshot() (scheduler.Snapshot, error) {
+func (c *Client) Snapshot(ctx context.Context) (scheduler.Snapshot, error) {
 	var out scheduler.Snapshot
-	err := c.do(http.MethodGet, "/v1/snapshot", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
 	return out, err
 }
 
 // RestoreSnapshot replaces the controller's job set.
-func (c *Client) RestoreSnapshot(snap scheduler.Snapshot) error {
-	return c.do(http.MethodPut, "/v1/snapshot", snap, nil)
+func (c *Client) RestoreSnapshot(ctx context.Context, snap scheduler.Snapshot) error {
+	return c.do(ctx, http.MethodPut, "/v1/snapshot", snap, nil)
 }

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -36,38 +37,38 @@ func newEngineTestServer(t *testing.T) (*Client, *serve.Engine) {
 // engine backend: same wire behavior as the direct scheduler backend.
 func TestEngineBackedLifecycle(t *testing.T) {
 	c, eng := newEngineTestServer(t)
-	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddJob(AddJobRequest{ID: "b", Demand: []float64{1, 0}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "b", Demand: []float64{1, 0}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err == nil ||
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err == nil ||
 		!strings.Contains(err.Error(), "exists") {
 		t.Fatalf("duplicate add err = %v", err)
 	}
-	alloc, err := c.Allocation()
+	alloc, err := c.Allocation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(alloc.Jobs) != 2 {
 		t.Fatalf("allocation has %d jobs, want 2", len(alloc.Jobs))
 	}
-	if err := c.UpdateWeight("a", 3); err != nil {
+	if err := c.UpdateWeight(context.Background(), "a", 3); err != nil {
 		t.Fatal(err)
 	}
-	completed, err := c.ReportProgress("b", []float64{1, 0})
+	completed, err := c.ReportProgress(context.Background(), "b", []float64{1, 0})
 	if err != nil || !completed {
 		t.Fatalf("progress = %v, %v, want completed", completed, err)
 	}
-	if _, err := c.Shares("b"); err == nil {
+	if _, err := c.Shares(context.Background(), "b"); err == nil {
 		t.Fatal("Shares(b) should 404 after completion")
 	}
 	// Reads are served from the engine's published snapshot.
 	if snap := eng.Current(); len(snap.Shares) != 1 {
 		t.Fatalf("engine snapshot has %d jobs, want 1", len(snap.Shares))
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,20 +85,20 @@ func TestEngineBackedLifecycle(t *testing.T) {
 // /v1/stats.
 func TestMetricsEndpoint(t *testing.T) {
 	c, _ := newEngineTestServer(t)
-	if err := c.AddJob(AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+	if err := c.AddJob(context.Background(), AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Allocation(); err != nil {
+	if _, err := c.Allocation(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Shares("missing"); err == nil {
+	if _, err := c.Shares(context.Background(), "missing"); err == nil {
 		t.Fatal("expected 404")
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := c.Metrics()
+	m, err := c.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,10 +162,10 @@ func TestMetricsEndpoint(t *testing.T) {
 // with HTTP middleware telemetry.
 func TestMetricsOnDirectServer(t *testing.T) {
 	c, _ := newTestServer(t)
-	if err := c.Healthz(); err != nil {
+	if err := c.Healthz(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	m, err := c.Metrics()
+	m, err := c.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

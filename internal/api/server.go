@@ -8,6 +8,7 @@
 //	GET    /v1/config                  site capacities, policy
 //	POST   /v1/queues                  declare a weighted queue
 //	POST   /v1/jobs                    register a job (optionally in a queue)
+//	POST   /v1/jobs:batch              register many jobs atomically, one solve
 //	DELETE /v1/jobs/{id}               deregister (cancel) a job
 //	POST   /v1/jobs/{id}/progress     report completed work
 //	PUT    /v1/jobs/{id}/weight       change a job's weight
@@ -25,13 +26,20 @@
 // The server fronts either a bare scheduler.Scheduler (NewServer) or a
 // serve.Engine (NewEngineServer) — with the engine, mutations are batched
 // through its group commit and GET /v1/allocation is served lock-free from
-// the engine's published snapshot.
+// the engine's published snapshot. Handlers pass the request context to
+// the backend: a client that disconnects or times out while its mutation
+// is still queued abandons the commit instead of blocking on the batch
+// window.
 //
-// Errors are returned as {"error": "..."} with conventional status codes:
-// 400 for validation failures, 404 for unknown jobs, 409 for duplicates.
+// Errors are returned as {"error": "...", "code": "..."} where code is one
+// of the stable constants in this package (invalid_argument → 400,
+// not_found → 404, already_exists → 409, unavailable → 503). The Go
+// client surfaces them as *APIError values matching the Err* sentinels
+// under errors.Is.
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -43,27 +51,109 @@ import (
 	"repro/internal/sim"
 )
 
-// Backend is the controller surface the API serves: implemented by both
-// *scheduler.Scheduler (direct, lazy-solving) and *serve.Engine (batched
-// mutations, lock-free snapshot reads).
+// Backend is the controller surface the API serves. All mutations and
+// reads are context-aware; implementations must return promptly with
+// ctx.Err() (or an error wrapping it) once ctx is cancelled. Implemented
+// by *serve.Engine (batched mutations, lock-free snapshot reads) and, via
+// an internal adapter, by a bare *scheduler.Scheduler.
 type Backend interface {
-	AddJob(id string, weight float64, demand, work []float64) error
-	AddJobInQueue(queue, id string, weight float64, demand, work []float64) error
-	AddQueue(name string, weight float64) error
-	RemoveJob(id string) error
-	ReportProgress(id string, done []float64) (bool, error)
-	UpdateWeight(id string, weight float64) error
-	Shares(id string) ([]float64, error)
-	Allocation() (map[string][]float64, error)
+	AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error
+	AddJobInQueue(ctx context.Context, queue, id string, weight float64, demand, work []float64) error
+	AddJobs(ctx context.Context, specs []scheduler.JobSpec) error
+	AddQueue(ctx context.Context, name string, weight float64) error
+	RemoveJob(ctx context.Context, id string) error
+	ReportProgress(ctx context.Context, id string, done []float64) (bool, error)
+	UpdateWeight(ctx context.Context, id string, weight float64) error
+	Shares(ctx context.Context, id string) ([]float64, error)
+	Allocation(ctx context.Context) (map[string][]float64, error)
 	Stats() scheduler.Stats
 	Snapshot() scheduler.Snapshot
-	Restore(scheduler.Snapshot) error
+	Restore(ctx context.Context, snap scheduler.Snapshot) error
 }
 
-var (
-	_ Backend = (*scheduler.Scheduler)(nil)
-	_ Backend = (*serve.Engine)(nil)
-)
+var _ Backend = (*serve.Engine)(nil)
+var _ Backend = schedulerBackend{}
+
+// schedulerBackend adapts a bare controller to the context-aware Backend.
+// The scheduler's methods are fast and synchronous, so honoring the
+// context reduces to not starting after cancellation.
+type schedulerBackend struct {
+	sc *scheduler.Scheduler
+}
+
+func (b schedulerBackend) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.AddJob(id, weight, demand, work)
+}
+
+func (b schedulerBackend) AddJobInQueue(ctx context.Context, queue, id string, weight float64, demand, work []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.AddJobInQueue(queue, id, weight, demand, work)
+}
+
+func (b schedulerBackend) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.AddJobs(specs)
+}
+
+func (b schedulerBackend) AddQueue(ctx context.Context, name string, weight float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.AddQueue(name, weight)
+}
+
+func (b schedulerBackend) RemoveJob(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.RemoveJob(id)
+}
+
+func (b schedulerBackend) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return b.sc.ReportProgress(id, done)
+}
+
+func (b schedulerBackend) UpdateWeight(ctx context.Context, id string, weight float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.UpdateWeight(id, weight)
+}
+
+func (b schedulerBackend) Shares(ctx context.Context, id string) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.sc.Shares(id)
+}
+
+func (b schedulerBackend) Allocation(ctx context.Context) (map[string][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.sc.Allocation()
+}
+
+func (b schedulerBackend) Stats() scheduler.Stats { return b.sc.Stats() }
+
+func (b schedulerBackend) Snapshot() scheduler.Snapshot { return b.sc.Snapshot() }
+
+func (b schedulerBackend) Restore(ctx context.Context, snap scheduler.Snapshot) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.Restore(snap)
+}
 
 // AddJobRequest registers a job. Queue, when set, must name a queue
 // previously declared via POST /v1/queues.
@@ -73,6 +163,35 @@ type AddJobRequest struct {
 	Queue  string    `json:"queue,omitempty"`
 	Demand []float64 `json:"demand"`
 	Work   []float64 `json:"work,omitempty"`
+}
+
+// spec converts the wire form into the scheduler's job spec.
+func (r AddJobRequest) spec() scheduler.JobSpec {
+	return scheduler.JobSpec{
+		ID: r.ID, Weight: r.Weight, Queue: r.Queue,
+		Demand: r.Demand, Work: r.Work,
+	}
+}
+
+// BatchAddRequest registers a set of jobs atomically: either every job is
+// added — in one engine commit, with one solve — or none are.
+type BatchAddRequest struct {
+	Jobs []AddJobRequest `json:"jobs"`
+}
+
+// BatchItemResult is one job's outcome in a batch registration. Error and
+// Code are empty for jobs that were (or would have been) valid.
+type BatchItemResult struct {
+	ID    string `json:"id"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// BatchAddResponse reports a batch registration. On rejection Added is 0
+// and Results pinpoints the offending items.
+type BatchAddResponse struct {
+	Added   int               `json:"added"`
+	Results []BatchItemResult `json:"results"`
 }
 
 // AddQueueRequest declares a queue with a weight.
@@ -131,6 +250,7 @@ type StatsResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 // Server wraps a controller backend with the HTTP API.
@@ -146,7 +266,7 @@ type Server struct {
 // policy are echoed by /v1/config (the scheduler does not expose them).
 // The server creates its own metrics registry (see Metrics).
 func NewServer(sc *scheduler.Scheduler, capacity []float64, policy sim.Policy) *Server {
-	return newServer(sc, obs.NewRegistry(), capacity, policy)
+	return newServer(schedulerBackend{sc: sc}, obs.NewRegistry(), capacity, policy)
 }
 
 // NewEngineServer builds the API around a serving engine: mutations are
@@ -175,6 +295,7 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Pol
 	s.route("GET /v1/healthz", s.handleHealthz)
 	s.route("GET /v1/config", s.handleConfig)
 	s.route("POST /v1/jobs", s.handleAddJob)
+	s.route("POST /v1/jobs:batch", s.handleAddJobsBatch)
 	s.route("POST /v1/queues", s.handleAddQueue)
 	s.route("DELETE /v1/jobs/{id}", s.handleRemoveJob)
 	s.route("POST /v1/jobs/{id}/progress", s.handleProgress)
@@ -231,14 +352,8 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, scheduler.ErrUnknownJob):
-		status = http.StatusNotFound
-	case errors.Is(err, scheduler.ErrDuplicateJob):
-		status = http.StatusConflict
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	code := codeFor(err)
+	writeJSON(w, statusFor(code), errorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -256,14 +371,14 @@ func (s *Server) handleAddJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.ID == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "job id required"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "job id required", Code: CodeInvalidArgument})
 		return
 	}
 	var err error
 	if req.Queue != "" {
-		err = s.sc.AddJobInQueue(req.Queue, req.ID, req.Weight, req.Demand, req.Work)
+		err = s.sc.AddJobInQueue(r.Context(), req.Queue, req.ID, req.Weight, req.Demand, req.Work)
 	} else {
-		err = s.sc.AddJob(req.ID, req.Weight, req.Demand, req.Work)
+		err = s.sc.AddJob(r.Context(), req.ID, req.Weight, req.Demand, req.Work)
 	}
 	if err != nil {
 		writeError(w, err)
@@ -272,13 +387,63 @@ func (s *Server) handleAddJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"id": req.ID})
 }
 
+// handleAddJobsBatch registers the whole set atomically through one
+// backend commit — with the engine that means exactly one solve and one
+// WAL record for the entire batch. On rejection the response still
+// carries a per-item report so callers can pinpoint (and fix) the
+// offending entries without re-submitting blind.
+func (s *Server) handleAddJobsBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchAddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "jobs required", Code: CodeInvalidArgument})
+		return
+	}
+	specs := make([]scheduler.JobSpec, len(req.Jobs))
+	for i, j := range req.Jobs {
+		specs[i] = j.spec()
+	}
+	err := s.sc.AddJobs(r.Context(), specs)
+	resp := BatchAddResponse{Results: make([]BatchItemResult, len(req.Jobs))}
+	for i, j := range req.Jobs {
+		resp.Results[i] = BatchItemResult{ID: j.ID}
+	}
+	if err == nil {
+		resp.Added = len(req.Jobs)
+		writeJSON(w, http.StatusCreated, resp)
+		return
+	}
+	var be *scheduler.BatchError
+	if errors.As(err, &be) && len(be.Errs) == len(resp.Results) {
+		for i, ierr := range be.Errs {
+			if ierr != nil {
+				resp.Results[i].Error = ierr.Error()
+				resp.Results[i].Code = codeFor(ierr)
+			}
+		}
+		code := codeFor(err)
+		writeJSON(w, statusFor(code), struct {
+			errorResponse
+			BatchAddResponse
+		}{
+			errorResponse{Error: err.Error(), Code: code},
+			resp,
+		})
+		return
+	}
+	writeError(w, err)
+}
+
 func (s *Server) handleAddQueue(w http.ResponseWriter, r *http.Request) {
 	var req AddQueueRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, err)
 		return
 	}
-	if err := s.sc.AddQueue(req.Name, req.Weight); err != nil {
+	if err := s.sc.AddQueue(r.Context(), req.Name, req.Weight); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -286,7 +451,7 @@ func (s *Server) handleAddQueue(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveJob(w http.ResponseWriter, r *http.Request) {
-	if err := s.sc.RemoveJob(r.PathValue("id")); err != nil {
+	if err := s.sc.RemoveJob(r.Context(), r.PathValue("id")); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -299,7 +464,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	done, err := s.sc.ReportProgress(r.PathValue("id"), req.Done)
+	done, err := s.sc.ReportProgress(r.Context(), r.PathValue("id"), req.Done)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -318,7 +483,7 @@ func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.sc.UpdateWeight(r.PathValue("id"), req.Weight); err != nil {
+	if err := s.sc.UpdateWeight(r.Context(), r.PathValue("id"), req.Weight); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -327,7 +492,7 @@ func (s *Server) handleWeight(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleShares(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	shares, err := s.sc.Shares(id)
+	shares, err := s.sc.Shares(r.Context(), id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -343,8 +508,8 @@ func sharesResponse(id string, shares []float64) SharesResponse {
 	return SharesResponse{ID: id, Shares: shares, Aggregate: agg}
 }
 
-func (s *Server) handleAllocation(w http.ResponseWriter, _ *http.Request) {
-	alloc, err := s.sc.Allocation()
+func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	alloc, err := s.sc.Allocation(r.Context())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -366,7 +531,7 @@ func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.sc.Restore(snap); err != nil {
+	if err := s.sc.Restore(r.Context(), snap); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -377,8 +542,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sc.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
-		LastSolveSeconds:  st.LastSolve.Seconds(),
-		TotalSolveSeconds: st.TotalSolveTime.Seconds(),
+		LastSolveSeconds:    st.LastSolve.Seconds(),
+		TotalSolveSeconds:   st.TotalSolveTime.Seconds(),
 		LastComponents:      st.LastComponents,
 		LargestComponent:    st.LastLargestComponent,
 		LastSpeedup:         st.LastSpeedup,

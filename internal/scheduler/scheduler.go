@@ -195,47 +195,139 @@ func (sc *Scheduler) markDirtyLocked(id string) {
 	sc.needSolve = true
 }
 
+// JobSpec describes one job registration: the argument form shared by
+// AddJob, the atomic bulk AddJobs, and the WAL's logged mutations.
+type JobSpec struct {
+	ID     string  `json:"id"`
+	Weight float64 `json:"weight,omitempty"`
+	// Queue, when non-empty, must name a queue declared via AddQueue.
+	Queue  string    `json:"queue,omitempty"`
+	Demand []float64 `json:"demand"`
+	// Work may be nil, meaning work == demand.
+	Work []float64 `json:"work,omitempty"`
+}
+
+// validateSpecLocked checks one registration against the current state
+// without mutating anything.
+func (sc *Scheduler) validateSpecLocked(sp JobSpec) error {
+	if sp.ID == "" {
+		return fmt.Errorf("scheduler: job ID must be non-empty")
+	}
+	if _, ok := sc.jobs[sp.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateJob, sp.ID)
+	}
+	if len(sp.Demand) != sc.NumSites() {
+		return fmt.Errorf("scheduler: job %q has %d demand entries for %d sites",
+			sp.ID, len(sp.Demand), sc.NumSites())
+	}
+	if sp.Work != nil && len(sp.Work) != sc.NumSites() {
+		return fmt.Errorf("scheduler: job %q has %d work entries for %d sites",
+			sp.ID, len(sp.Work), sc.NumSites())
+	}
+	for s, d := range sp.Demand {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("scheduler: job %q invalid demand %g at site %d", sp.ID, d, s)
+		}
+	}
+	if sp.Queue != "" {
+		if _, declared := sc.queueWeight[sp.Queue]; !declared {
+			return fmt.Errorf("scheduler: unknown queue %q", sp.Queue)
+		}
+	}
+	return nil
+}
+
+// addSpecLocked registers a validated spec.
+func (sc *Scheduler) addSpecLocked(sp JobSpec) {
+	weight := sp.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	j := &Job{
+		ID:     sp.ID,
+		Weight: weight,
+		Demand: append([]float64(nil), sp.Demand...),
+	}
+	if sp.Work != nil {
+		j.Remaining = append([]float64(nil), sp.Work...)
+	} else {
+		j.Remaining = append([]float64(nil), sp.Demand...)
+	}
+	sc.jobs[sp.ID] = j
+	if sp.Queue != "" {
+		if sc.jobQueue == nil {
+			sc.jobQueue = map[string]string{}
+		}
+		sc.jobQueue[sp.ID] = sp.Queue
+	}
+	sc.orderIdx[sp.ID] = len(sc.order)
+	sc.order = append(sc.order, sp.ID)
+	sc.markDirtyLocked(sp.ID)
+}
+
 // AddJob registers a job. work may be nil, meaning work == demand.
 // Weight <= 0 defaults to 1.
 func (sc *Scheduler) AddJob(id string, weight float64, demand, work []float64) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if _, ok := sc.jobs[id]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateJob, id)
+	sp := JobSpec{ID: id, Weight: weight, Demand: demand, Work: work}
+	if err := sc.validateSpecLocked(sp); err != nil {
+		return err
 	}
-	if id == "" {
-		return fmt.Errorf("scheduler: job ID must be non-empty")
-	}
-	if len(demand) != sc.NumSites() {
-		return fmt.Errorf("scheduler: job %q has %d demand entries for %d sites",
-			id, len(demand), sc.NumSites())
-	}
-	if work != nil && len(work) != sc.NumSites() {
-		return fmt.Errorf("scheduler: job %q has %d work entries for %d sites",
-			id, len(work), sc.NumSites())
-	}
-	for s, d := range demand {
-		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-			return fmt.Errorf("scheduler: job %q invalid demand %g at site %d", id, d, s)
+	sc.addSpecLocked(sp)
+	return nil
+}
+
+// BatchError reports an atomic bulk registration that was rejected.
+// Errs is index-aligned with the submitted specs: nil entries were
+// individually valid but aborted because a sibling failed.
+type BatchError struct {
+	Errs []error
+}
+
+func (e *BatchError) Error() string {
+	failed := 0
+	var first error
+	for _, err := range e.Errs {
+		if err != nil {
+			failed++
+			if first == nil {
+				first = err
+			}
 		}
 	}
-	if weight <= 0 {
-		weight = 1
+	return fmt.Sprintf("scheduler: batch rejected, %d of %d jobs invalid (first: %v)",
+		failed, len(e.Errs), first)
+}
+
+// AddJobs atomically registers every spec or none: all specs are
+// validated against the current state (and against each other) before
+// anything is applied, so a rejected batch leaves the controller
+// untouched. On rejection the returned error is a *BatchError with
+// per-spec detail.
+func (sc *Scheduler) AddJobs(specs []JobSpec) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	errs := make([]error, len(specs))
+	failed := false
+	seen := make(map[string]bool, len(specs))
+	for i, sp := range specs {
+		err := sc.validateSpecLocked(sp)
+		if err == nil && seen[sp.ID] {
+			err = fmt.Errorf("%w: %q duplicated within the batch", ErrDuplicateJob, sp.ID)
+		}
+		seen[sp.ID] = true
+		if err != nil {
+			errs[i] = err
+			failed = true
+		}
 	}
-	j := &Job{
-		ID:     id,
-		Weight: weight,
-		Demand: append([]float64(nil), demand...),
+	if failed {
+		return &BatchError{Errs: errs}
 	}
-	if work != nil {
-		j.Remaining = append([]float64(nil), work...)
-	} else {
-		j.Remaining = append([]float64(nil), demand...)
+	for _, sp := range specs {
+		sc.addSpecLocked(sp)
 	}
-	sc.jobs[id] = j
-	sc.orderIdx[id] = len(sc.order)
-	sc.order = append(sc.order, id)
-	sc.markDirtyLocked(id)
 	return nil
 }
 

@@ -3,16 +3,19 @@
 // mutation and read traffic without the solver sitting on every request's
 // critical path.
 //
-// Two mechanisms do the work:
+// Three mechanisms do the work:
 //
 //   - Group-committed mutations. Mutations (add/remove/progress/weight,
-//     queue declarations, snapshot restores) are enqueued to a single
-//     committer goroutine, which drains whatever is pending — bounded by
-//     MaxBatch and optionally stretched by BatchWindow — applies the whole
-//     batch to the scheduler, and re-solves ONCE for the batch instead of
-//     once per mutation. Callers block until their batch commits, so a
-//     mutation's success/error is returned synchronously and a subsequent
-//     read observes the write (read-your-writes).
+//     queue declarations, bulk registrations, snapshot restores) are
+//     enqueued to a single committer goroutine, which drains whatever is
+//     pending — bounded by MaxBatch and optionally stretched by
+//     BatchWindow — applies the whole batch to the scheduler, and
+//     re-solves ONCE for the batch instead of once per mutation. Callers
+//     block until their batch commits, so a mutation's success/error is
+//     returned synchronously and a subsequent read observes the write
+//     (read-your-writes). Submission is context-aware: a caller whose
+//     context is cancelled while its mutation is still queued abandons
+//     the commit — the committer skips the op instead of applying it.
 //
 //   - RCU-style allocation snapshots. Every commit publishes an immutable,
 //     version-numbered AllocSnapshot through an atomic.Pointer. Reads
@@ -20,19 +23,31 @@
 //     data — no lock, no contention with writers, never blocked behind a
 //     solve.
 //
+//   - Write-ahead durability (optional, Config.Log). After a batch is
+//     applied, its successful mutations are appended to the WAL as ONE
+//     record and fsynced ONCE — the batch window that amortizes the solve
+//     amortizes the fsync too — before the snapshot is published and the
+//     callers are released. The committer folds the log into a state
+//     snapshot (wal.Log.Compact) when it grows past CompactBytes or every
+//     CompactInterval, whichever comes first. A WAL write or fsync
+//     failure is fail-stop for mutations: acknowledged state and durable
+//     state would otherwise diverge, so the engine rejects further
+//     mutations with ErrWALFailed while reads keep serving the last
+//     published snapshot.
+//
+// Snapshot restores (Restore) are exclusive: the committer quiesces the
+// batch pipeline and commits a restore as a batch of one, so a state swap
+// never interleaves with other mutations inside a commit.
+//
 // The engine optionally instruments itself into an obs.Registry: solver
 // latency, commit latency, batch sizes, mutation/read counters, the
-// published snapshot version, and the solver's decomposition telemetry
-// (component count, largest component, parallel speedup).
-//
-// The scheduler owns one core.Solver for the engine's lifetime, and that
-// solver pools its flow-network arena and checkpoint buffers across
-// solves (see core.Solver), so consecutive batch commits over a
-// similarly-shaped instance re-solve against warm state instead of
-// rebuilding the network from scratch.
+// published snapshot version, the solver's decomposition telemetry, and —
+// with a WAL attached — append/fsync latency histograms, log depth
+// gauges and compaction counters.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,10 +57,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/scheduler"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned for mutations submitted after Close.
 var ErrClosed = errors.New("serve: engine closed")
+
+// ErrWALFailed is returned for mutations after a write-ahead-log append,
+// fsync or compaction failure. The engine fail-stops mutations at that
+// point: anything acknowledged afterwards could not be recovered, so
+// nothing further is acknowledged. Reads keep serving the last published
+// snapshot, which matches the durable state.
+var ErrWALFailed = errors.New("serve: write-ahead log failed, engine is read-only")
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -63,6 +86,17 @@ type Config struct {
 	// Metrics, when set, receives engine instrumentation (see package
 	// comment). Nil disables it.
 	Metrics *obs.Registry
+	// Log, when set, makes every commit durable: the batch's successful
+	// mutations are appended and fsynced as one record before callers are
+	// released. The engine assumes ownership: Close seals the log after a
+	// final compaction.
+	Log *wal.Log
+	// CompactBytes triggers a log compaction once the record tail grows
+	// past this many bytes (default 4 MiB). Only meaningful with Log.
+	CompactBytes int64
+	// CompactInterval additionally triggers periodic compaction (zero
+	// disables the timer; size-based compaction still runs).
+	CompactInterval time.Duration
 }
 
 // AllocSnapshot is one immutable published allocation: everything a read
@@ -105,13 +139,30 @@ func (s *AllocSnapshot) Allocation() *core.Allocation {
 	return a
 }
 
+// op submission states: the CAS between the committer (taking the op to
+// apply it) and a cancelling submitter (abandoning it while queued) that
+// makes context cancellation race-free.
+const (
+	opQueued int32 = iota
+	opTaken
+	opCancelled
+)
+
 // op is one queued mutation. apply runs under the committer; done is
 // closed after the batch containing the op has committed and its snapshot
 // is published.
 type op struct {
 	apply func(*scheduler.Scheduler) error
-	err   error
-	done  chan struct{}
+	// rec is the mutation's WAL form, logged iff apply succeeds. Nil means
+	// the op is not logged.
+	rec *wal.Mutation
+	// exclusive ops (snapshot restores) never share a batch: the committer
+	// finishes the in-progress batch, commits the exclusive op alone, then
+	// resumes batching.
+	exclusive bool
+	state     atomic.Int32
+	err       error
+	done      chan struct{}
 }
 
 // Engine is the concurrent serving engine. Create with New, stop with
@@ -125,31 +176,53 @@ type Engine struct {
 	ops    chan *op
 	done   chan struct{} // closed when the committer exits
 
+	// pending holds an exclusive op the gatherer pulled mid-batch; the
+	// committer commits it alone on its next iteration. Committer-only.
+	pending *op
+
+	compactCh chan struct{} // periodic compaction ticks
+	crash     chan struct{} // test support: simulated process death
+	crashOnce sync.Once
+
+	walFailed atomic.Bool
+
 	snap atomic.Pointer[AllocSnapshot]
 
 	// Cached metric handles; when Config.Metrics is unset they point into
 	// a private throwaway registry so the hot path stays branch-free.
-	mMutations *obs.Counter
-	mCommits   *obs.Counter
-	mSolveErrs *obs.Counter
-	mReads     *obs.Counter
-	hSolve     *obs.Histogram
-	hCommit    *obs.Histogram
-	gBatch     *obs.Gauge
-	gVersion   *obs.Gauge
-	gJobs      *obs.Gauge
-	gComps     *obs.Gauge
-	gLargest   *obs.Gauge
-	gSpeedup   *obs.Gauge
-	gReused    *obs.Gauge
-	gResolved  *obs.Gauge
-	gHitRatio  *obs.Gauge
+	mMutations  *obs.Counter
+	mCommits    *obs.Counter
+	mExclusive  *obs.Counter
+	mCancels    *obs.Counter
+	mSolveErrs  *obs.Counter
+	mReads      *obs.Counter
+	mWALErrs    *obs.Counter
+	mCompacts   *obs.Counter
+	hSolve      *obs.Histogram
+	hCommit     *obs.Histogram
+	hWALAppend  *obs.Histogram
+	hWALFsync   *obs.Histogram
+	gBatch      *obs.Gauge
+	gVersion    *obs.Gauge
+	gJobs       *obs.Gauge
+	gComps      *obs.Gauge
+	gLargest    *obs.Gauge
+	gSpeedup    *obs.Gauge
+	gReused     *obs.Gauge
+	gResolved   *obs.Gauge
+	gHitRatio   *obs.Gauge
+	gWALRecords *obs.Gauge
+	gWALBytes   *obs.Gauge
+	gWALSegs    *obs.Gauge
 }
 
 // New wraps a scheduler in a serving engine, publishes the initial
 // snapshot (solving the scheduler's current state), and starts the
 // committer. The engine assumes ownership of mutations: apply writes only
-// through it, or snapshots will lag the controller.
+// through it, or snapshots (and the WAL, if attached) will lag the
+// controller. With Config.Log, the scheduler must already hold the
+// recovered state (wal.Recovery.Replay) — the engine logs only what it
+// commits.
 func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
@@ -157,11 +230,16 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
 	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 4 << 20
+	}
 	e := &Engine{
-		sc:   sc,
-		cfg:  cfg,
-		ops:  make(chan *op, cfg.QueueDepth),
-		done: make(chan struct{}),
+		sc:        sc,
+		cfg:       cfg,
+		ops:       make(chan *op, cfg.QueueDepth),
+		done:      make(chan struct{}),
+		compactCh: make(chan struct{}, 1),
+		crash:     make(chan struct{}),
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -169,10 +247,16 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	}
 	e.mMutations = reg.Counter("engine.mutations_total")
 	e.mCommits = reg.Counter("engine.commits_total")
+	e.mExclusive = reg.Counter("engine.exclusive_commits_total")
+	e.mCancels = reg.Counter("engine.cancelled_mutations_total")
 	e.mSolveErrs = reg.Counter("engine.solve_errors_total")
 	e.mReads = reg.Counter("engine.snapshot_reads_total")
+	e.mWALErrs = reg.Counter("wal.errors_total")
+	e.mCompacts = reg.Counter("wal.compactions_total")
 	e.hSolve = reg.Histogram("engine.solve_latency")
 	e.hCommit = reg.Histogram("engine.commit_latency")
+	e.hWALAppend = reg.Histogram("wal.append_latency")
+	e.hWALFsync = reg.Histogram("wal.fsync_latency")
 	e.gBatch = reg.Gauge("engine.last_batch_size")
 	e.gVersion = reg.Gauge("engine.snapshot_version")
 	e.gJobs = reg.Gauge("engine.jobs")
@@ -182,17 +266,26 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.gReused = reg.Gauge("engine.components_reused")
 	e.gResolved = reg.Gauge("engine.components_resolved")
 	e.gHitRatio = reg.Gauge("engine.cache_hit_ratio")
+	e.gWALRecords = reg.Gauge("wal.records_since_compact")
+	e.gWALBytes = reg.Gauge("wal.bytes_since_compact")
+	e.gWALSegs = reg.Gauge("wal.segments")
 	sc.SetOnSolve(func(d time.Duration) { e.hSolve.Observe(d) })
 	if _, err := e.publish(0); err != nil {
 		return nil, fmt.Errorf("serve: initial solve: %w", err)
 	}
+	e.updateWALGauges()
 	go e.commitLoop()
+	if cfg.Log != nil && cfg.CompactInterval > 0 {
+		go e.compactTicker()
+	}
 	return e, nil
 }
 
 // Close stops the committer after draining already-queued mutations
-// (they commit normally). Later mutations fail with ErrClosed; reads keep
-// serving the last published snapshot.
+// (they commit normally), then — with a WAL attached — folds the log into
+// a final snapshot and seals it, so a restart recovers from the snapshot
+// alone. Later mutations fail with ErrClosed; reads keep serving the last
+// published snapshot.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -207,32 +300,120 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// submit enqueues a mutation and blocks until its batch commits.
-func (e *Engine) submit(apply func(*scheduler.Scheduler) error) error {
-	o := &op{apply: apply, done: make(chan struct{})}
+// Crash is test support for durability: it simulates process death by
+// stopping the committer without draining the queue, sealing the WAL or
+// writing a final snapshot. Whatever the log's group commits acknowledged
+// is exactly what a subsequent wal.Open of the same directory recovers.
+// Queued and later mutations fail with ErrClosed.
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.crashOnce.Do(func() { close(e.crash) })
+	}
+	e.mu.Unlock()
+	<-e.done
+}
+
+// submit enqueues a mutation and blocks until its batch commits or ctx is
+// cancelled. Cancellation while the op is still queued abandons it — the
+// committer will skip it — instead of blocking on the batch window.
+func (e *Engine) submit(ctx context.Context, exclusive bool, rec *wal.Mutation, apply func(*scheduler.Scheduler) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e.walFailed.Load() {
+		return ErrWALFailed
+	}
+	o := &op{apply: apply, rec: rec, exclusive: exclusive, done: make(chan struct{})}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
 		return ErrClosed
 	}
-	e.ops <- o
-	e.mu.RUnlock()
-	<-o.done
-	return o.err
+	select {
+	case e.ops <- o:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		return ctx.Err()
+	}
+	select {
+	case <-o.done:
+		return o.err
+	case <-ctx.Done():
+		if o.state.CompareAndSwap(opQueued, opCancelled) {
+			// The committer had not reached the op; it will be skipped.
+			e.mCancels.Inc()
+			return ctx.Err()
+		}
+		// The committer already took it: the commit's outcome stands.
+		<-o.done
+		return o.err
+	}
 }
 
 // commitLoop is the single committer goroutine: gather a batch, apply it,
-// solve once, publish, release the batch's waiters.
+// solve once, make it durable, publish, release the batch's waiters.
 func (e *Engine) commitLoop() {
 	defer close(e.done)
-	for first := range e.ops {
-		batch := e.gather(first)
-		e.commit(batch)
+	for {
+		if o := e.pending; o != nil {
+			e.pending = nil
+			e.commit([]*op{o})
+			e.maybeCompact()
+			continue
+		}
+		select {
+		case o, ok := <-e.ops:
+			if !ok {
+				e.finalize()
+				return
+			}
+			if o.exclusive {
+				e.commit([]*op{o})
+			} else {
+				e.commit(e.gather(o))
+			}
+			e.maybeCompact()
+		case <-e.compactCh:
+			e.compactNow()
+		case <-e.crash:
+			e.releaseQueued()
+			return
+		}
+	}
+}
+
+// finalize is the graceful-shutdown tail: fold the WAL into a final
+// snapshot and seal it.
+func (e *Engine) finalize() {
+	if e.cfg.Log == nil {
+		return
+	}
+	e.compactNow()
+	if err := e.cfg.Log.Close(); err != nil {
+		e.mWALErrs.Inc()
+	}
+}
+
+// releaseQueued fails whatever the simulated crash stranded in the queue.
+func (e *Engine) releaseQueued() {
+	for {
+		select {
+		case o := <-e.ops:
+			o.err = ErrClosed
+			close(o.done)
+		default:
+			return
+		}
 	}
 }
 
 // gather collects up to MaxBatch ops: everything already queued, plus —
-// when BatchWindow > 0 — whatever else arrives within the window.
+// when BatchWindow > 0 — whatever else arrives within the window. An
+// exclusive op encountered mid-gather ends the batch; it is parked in
+// e.pending and committed alone next.
 func (e *Engine) gather(first *op) []*op {
 	batch := []*op{first}
 	if e.cfg.MaxBatch <= 1 {
@@ -250,6 +431,10 @@ func (e *Engine) gather(first *op) []*op {
 			if !ok {
 				return batch // closing: commit what we have
 			}
+			if o.exclusive {
+				e.pending = o
+				return batch
+			}
 			batch = append(batch, o)
 		default:
 			if window == nil {
@@ -258,6 +443,10 @@ func (e *Engine) gather(first *op) []*op {
 			select {
 			case o, ok := <-e.ops:
 				if !ok {
+					return batch
+				}
+				if o.exclusive {
+					e.pending = o
 					return batch
 				}
 				batch = append(batch, o)
@@ -269,14 +458,35 @@ func (e *Engine) gather(first *op) []*op {
 	return batch
 }
 
-// commit applies a batch, re-solves once, publishes the new snapshot, and
-// wakes the batch's submitters.
+// commit applies a batch, logs it, re-solves once, publishes the new
+// snapshot, and wakes the batch's submitters. Ops whose submitter
+// cancelled while queued are skipped, not applied.
 func (e *Engine) commit(batch []*op) {
 	start := time.Now()
+	var recs []wal.Mutation
+	applied := 0
 	for _, o := range batch {
+		if !o.state.CompareAndSwap(opQueued, opTaken) {
+			o.err = context.Canceled
+			continue
+		}
+		applied++
 		o.err = o.apply(e.sc)
+		if o.err == nil && o.rec != nil && e.cfg.Log != nil {
+			recs = append(recs, *o.rec)
+		}
 	}
-	snap, err := e.publish(len(batch))
+	// Durability barrier: one record, one fsync for the whole batch. On
+	// failure nothing is acknowledged and nothing further will be — the
+	// published snapshot keeps matching what recovery would rebuild.
+	if len(recs) > 0 {
+		if err := e.logBatch(recs); err != nil {
+			e.failWAL(batch, err)
+			e.finishCommit(batch, start)
+			return
+		}
+	}
+	snap, err := e.publish(applied)
 	if err != nil {
 		// The mutations were applied but the allocation could not be
 		// recomputed; surface the solve failure to every op that had
@@ -300,12 +510,114 @@ func (e *Engine) commit(batch []*op) {
 			e.gHitRatio.Set(float64(st.CacheHits) / float64(lookups))
 		}
 	}
+	if len(batch) == 1 && batch[0].exclusive {
+		e.mExclusive.Inc()
+	}
+	e.finishCommit(batch, start)
+}
+
+func (e *Engine) finishCommit(batch []*op, start time.Time) {
 	e.mMutations.Add(int64(len(batch)))
 	e.mCommits.Inc()
 	e.gBatch.Set(float64(len(batch)))
 	e.hCommit.Observe(time.Since(start))
+	e.updateWALGauges()
 	for _, o := range batch {
 		close(o.done)
+	}
+}
+
+// logBatch appends the batch's successful mutations as one WAL record and
+// group-fsyncs it.
+func (e *Engine) logBatch(recs []wal.Mutation) error {
+	payload, err := wal.EncodeBatch(recs)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := e.cfg.Log.Append(payload); err != nil {
+		return err
+	}
+	e.hWALAppend.Observe(time.Since(t0))
+	t1 := time.Now()
+	if err := e.cfg.Log.Sync(); err != nil {
+		return err
+	}
+	e.hWALFsync.Observe(time.Since(t1))
+	return nil
+}
+
+// failWAL fail-stops mutations after a durability failure: every op in
+// the batch — including ones whose in-memory apply succeeded — reports
+// the failure, and the snapshot is NOT republished, so reads keep serving
+// the last acknowledged (and recoverable) state.
+func (e *Engine) failWAL(batch []*op, err error) {
+	e.mWALErrs.Inc()
+	e.walFailed.Store(true)
+	werr := fmt.Errorf("%w: %v", ErrWALFailed, err)
+	for _, o := range batch {
+		if o.err == nil {
+			o.err = werr
+		}
+	}
+}
+
+// maybeCompact folds the log once the record tail outgrows CompactBytes.
+func (e *Engine) maybeCompact() {
+	if e.cfg.Log == nil || e.walFailed.Load() {
+		return
+	}
+	if e.cfg.Log.Stats().BytesSinceCompact >= e.cfg.CompactBytes {
+		e.compactNow()
+	}
+}
+
+// compactNow snapshots the controller and folds the log. It runs on the
+// committer goroutine between batches, so the state it captures is
+// exactly the state the log's records produced — no mutation can
+// interleave.
+func (e *Engine) compactNow() {
+	if e.cfg.Log == nil || e.walFailed.Load() {
+		return
+	}
+	state, err := wal.EncodeState(e.sc.Snapshot())
+	if err != nil {
+		e.mWALErrs.Inc()
+		return
+	}
+	if err := e.cfg.Log.Compact(state); err != nil {
+		e.mWALErrs.Inc()
+		e.walFailed.Store(true)
+		return
+	}
+	e.mCompacts.Inc()
+	e.updateWALGauges()
+}
+
+func (e *Engine) updateWALGauges() {
+	if e.cfg.Log == nil {
+		return
+	}
+	ws := e.cfg.Log.Stats()
+	e.gWALRecords.Set(float64(ws.RecordsSinceCompact))
+	e.gWALBytes.Set(float64(ws.BytesSinceCompact))
+	e.gWALSegs.Set(float64(ws.Segments))
+}
+
+// compactTicker feeds periodic compaction requests to the committer.
+func (e *Engine) compactTicker() {
+	t := time.NewTicker(e.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			select {
+			case e.compactCh <- struct{}{}:
+			default:
+			}
+		case <-e.done:
+			return
+		}
 	}
 }
 
@@ -342,71 +654,105 @@ func (e *Engine) Current() *AllocSnapshot {
 	return e.snap.Load()
 }
 
-// --- Mutations (all group-committed) ------------------------------------
+// --- Mutations (all group-committed, context-aware) ----------------------
 
 // AddJob registers a job; see scheduler.AddJob.
-func (e *Engine) AddJob(id string, weight float64, demand, work []float64) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.AddJob(id, weight, demand, work)
-	})
+func (e *Engine) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpAddJob, ID: id, Weight: weight, Demand: demand, Work: work},
+		func(sc *scheduler.Scheduler) error {
+			return sc.AddJob(id, weight, demand, work)
+		})
 }
 
 // AddJobInQueue registers a job under a declared queue.
-func (e *Engine) AddJobInQueue(queue, id string, weight float64, demand, work []float64) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.AddJobInQueue(queue, id, weight, demand, work)
-	})
+func (e *Engine) AddJobInQueue(ctx context.Context, queue, id string, weight float64, demand, work []float64) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpAddJob, ID: id, Queue: queue, Weight: weight, Demand: demand, Work: work},
+		func(sc *scheduler.Scheduler) error {
+			return sc.AddJobInQueue(queue, id, weight, demand, work)
+		})
+}
+
+// AddJobs atomically registers a whole set of jobs in ONE commit: one
+// queue slot, one solve, one WAL record, all-or-nothing semantics (see
+// scheduler.AddJobs).
+func (e *Engine) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpAddJobs, Jobs: specs},
+		func(sc *scheduler.Scheduler) error {
+			return sc.AddJobs(specs)
+		})
 }
 
 // AddQueue declares a weighted queue.
-func (e *Engine) AddQueue(name string, weight float64) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.AddQueue(name, weight)
-	})
+func (e *Engine) AddQueue(ctx context.Context, name string, weight float64) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpAddQueue, ID: name, Weight: weight},
+		func(sc *scheduler.Scheduler) error {
+			return sc.AddQueue(name, weight)
+		})
 }
 
 // RemoveJob deregisters a job.
-func (e *Engine) RemoveJob(id string) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.RemoveJob(id)
-	})
+func (e *Engine) RemoveJob(ctx context.Context, id string) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpRemoveJob, ID: id},
+		func(sc *scheduler.Scheduler) error {
+			return sc.RemoveJob(id)
+		})
 }
 
 // ReportProgress subtracts completed work; it reports whether the job
 // finished.
-func (e *Engine) ReportProgress(id string, done []float64) (bool, error) {
+func (e *Engine) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
 	var completed bool
-	err := e.submit(func(sc *scheduler.Scheduler) error {
-		var err error
-		completed, err = sc.ReportProgress(id, done)
-		return err
-	})
+	err := e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpProgress, ID: id, Done: done},
+		func(sc *scheduler.Scheduler) error {
+			var err error
+			completed, err = sc.ReportProgress(id, done)
+			return err
+		})
 	return completed, err
 }
 
 // UpdateWeight changes a job's share weight.
-func (e *Engine) UpdateWeight(id string, weight float64) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.UpdateWeight(id, weight)
-	})
+func (e *Engine) UpdateWeight(ctx context.Context, id string, weight float64) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpWeight, ID: id, Weight: weight},
+		func(sc *scheduler.Scheduler) error {
+			return sc.UpdateWeight(id, weight)
+		})
 }
 
-// Restore replaces the controller's job set from a state snapshot.
-func (e *Engine) Restore(snap scheduler.Snapshot) error {
-	return e.submit(func(sc *scheduler.Scheduler) error {
-		return sc.Restore(snap)
-	})
+// Restore replaces the controller's job set from a state snapshot. The
+// swap is exclusive: the committer quiesces the batch pipeline and
+// commits the restore alone, so no concurrent mutation lands in the same
+// commit as the state replacement.
+func (e *Engine) Restore(ctx context.Context, snap scheduler.Snapshot) error {
+	return e.submit(ctx, true,
+		&wal.Mutation{Op: wal.OpRestore, State: &snap},
+		func(sc *scheduler.Scheduler) error {
+			return sc.Restore(snap)
+		})
 }
 
 // --- Reads (lock-free, from the published snapshot) ---------------------
 
 // Allocation returns every job's shares from the current snapshot.
-func (e *Engine) Allocation() (map[string][]float64, error) {
+func (e *Engine) Allocation(ctx context.Context) (map[string][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.Current().Shares, nil
 }
 
 // Shares returns one job's share vector from the current snapshot.
-func (e *Engine) Shares(id string) ([]float64, error) {
+func (e *Engine) Shares(ctx context.Context, id string) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sh, ok := e.Current().Shares[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)

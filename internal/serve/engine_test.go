@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,7 +33,7 @@ func TestEngineBasic(t *testing.T) {
 	if snap := eng.Current(); snap == nil || snap.Version != 1 || len(snap.Shares) != 0 {
 		t.Fatalf("initial snapshot = %+v, want empty version 1", snap)
 	}
-	if err := eng.AddJob("a", 1, []float64{4, 0, 0}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{4, 0, 0}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Read-your-writes: the snapshot published with a's batch is current.
@@ -40,53 +41,53 @@ func TestEngineBasic(t *testing.T) {
 	if snap.Version < 2 {
 		t.Fatalf("version = %d, want >= 2 after a commit", snap.Version)
 	}
-	sh, err := eng.Shares("a")
+	sh, err := eng.Shares(context.Background(), "a")
 	if err != nil || len(sh) != 3 {
 		t.Fatalf("Shares(a) = %v, %v", sh, err)
 	}
 	if sh[0] != 4 {
 		t.Fatalf("job a share = %v, want 4 at site 0", sh)
 	}
-	if err := eng.AddJob("a", 1, []float64{1, 1, 1}, nil); !errors.Is(err, scheduler.ErrDuplicateJob) {
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{1, 1, 1}, nil); !errors.Is(err, scheduler.ErrDuplicateJob) {
 		t.Fatalf("duplicate add err = %v", err)
 	}
-	if err := eng.UpdateWeight("a", 2); err != nil {
+	if err := eng.UpdateWeight(context.Background(), "a", 2); err != nil {
 		t.Fatal(err)
 	}
-	done, err := eng.ReportProgress("a", []float64{4, 0, 0})
+	done, err := eng.ReportProgress(context.Background(), "a", []float64{4, 0, 0})
 	if err != nil || !done {
 		t.Fatalf("progress = %v, %v, want completed", done, err)
 	}
-	if _, err := eng.Shares("a"); !errors.Is(err, scheduler.ErrUnknownJob) {
+	if _, err := eng.Shares(context.Background(), "a"); !errors.Is(err, scheduler.ErrUnknownJob) {
 		t.Fatalf("Shares after completion err = %v", err)
 	}
-	if err := eng.RemoveJob("nope"); !errors.Is(err, scheduler.ErrUnknownJob) {
+	if err := eng.RemoveJob(context.Background(), "nope"); !errors.Is(err, scheduler.ErrUnknownJob) {
 		t.Fatalf("remove unknown err = %v", err)
 	}
 }
 
 func TestEngineQueuesAndRestore(t *testing.T) {
 	eng, _ := newEngine(t, Config{})
-	if err := eng.AddQueue("batch", 2); err != nil {
+	if err := eng.AddQueue(context.Background(), "batch", 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.AddJobInQueue("batch", "q1", 1, []float64{2, 2, 0}, nil); err != nil {
+	if err := eng.AddJobInQueue(context.Background(), "batch", "q1", 1, []float64{2, 2, 0}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.AddJob("solo", 1, []float64{0, 2, 2}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "solo", 1, []float64{0, 2, 2}, nil); err != nil {
 		t.Fatal(err)
 	}
 	state := eng.Snapshot()
 	if len(state.Jobs) != 2 {
 		t.Fatalf("state has %d jobs, want 2", len(state.Jobs))
 	}
-	if err := eng.Restore(scheduler.Snapshot{}); err != nil {
+	if err := eng.Restore(context.Background(), scheduler.Snapshot{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.Current().Shares; len(got) != 0 {
 		t.Fatalf("shares after empty restore = %v", got)
 	}
-	if err := eng.Restore(state); err != nil {
+	if err := eng.Restore(context.Background(), state); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.Current().Shares; len(got) != 2 {
@@ -96,7 +97,7 @@ func TestEngineQueuesAndRestore(t *testing.T) {
 
 func TestEngineClose(t *testing.T) {
 	eng, _ := newEngine(t, Config{})
-	if err := eng.AddJob("a", 1, []float64{1, 1, 1}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{1, 1, 1}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Close(); err != nil {
@@ -105,11 +106,11 @@ func TestEngineClose(t *testing.T) {
 	if err := eng.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	if err := eng.AddJob("b", 1, []float64{1, 1, 1}, nil); !errors.Is(err, ErrClosed) {
+	if err := eng.AddJob(context.Background(), "b", 1, []float64{1, 1, 1}, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("mutation after close err = %v, want ErrClosed", err)
 	}
 	// Reads still serve the last snapshot.
-	if sh, err := eng.Shares("a"); err != nil || len(sh) != 3 {
+	if sh, err := eng.Shares(context.Background(), "a"); err != nil || len(sh) != 3 {
 		t.Fatalf("read after close = %v, %v", sh, err)
 	}
 }
@@ -130,7 +131,7 @@ func TestEngineBatchingAmortizesSolves(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				id := fmt.Sprintf("j%d-%d", w, i)
-				if err := eng.AddJob(id, 1, []float64{1, 1, 0}, nil); err != nil {
+				if err := eng.AddJob(context.Background(), id, 1, []float64{1, 1, 0}, nil); err != nil {
 					t.Error(err)
 					return
 				}
@@ -164,7 +165,7 @@ func TestEngineBatchingAmortizesSolves(t *testing.T) {
 func TestEngineUnbatched(t *testing.T) {
 	eng, sc := newEngine(t, Config{MaxBatch: 1})
 	for i := 0; i < 10; i++ {
-		if err := eng.AddJob(fmt.Sprintf("j%d", i), 1, []float64{1, 0, 1}, nil); err != nil {
+		if err := eng.AddJob(context.Background(), fmt.Sprintf("j%d", i), 1, []float64{1, 0, 1}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -197,21 +198,21 @@ func TestEngineConcurrentReadersWriters(t *testing.T) {
 			defer writerWG.Done()
 			for i := 0; i < writerIter; i++ {
 				id := fmt.Sprintf("w%d-%d", w, i)
-				if err := eng.AddJob(id, 1, []float64{2, 1, 1}, []float64{8, 4, 4}); err != nil {
+				if err := eng.AddJob(context.Background(), id, 1, []float64{2, 1, 1}, []float64{8, 4, 4}); err != nil {
 					t.Error(err)
 					return
 				}
 				switch i % 4 {
 				case 0:
-					if err := eng.UpdateWeight(id, float64(1+i%3)); err != nil {
+					if err := eng.UpdateWeight(context.Background(), id, float64(1+i%3)); err != nil {
 						t.Error(err)
 					}
 				case 1:
-					if _, err := eng.ReportProgress(id, []float64{1, 0, 0}); err != nil {
+					if _, err := eng.ReportProgress(context.Background(), id, []float64{1, 0, 0}); err != nil {
 						t.Error(err)
 					}
 				case 2:
-					if err := eng.RemoveJob(id); err != nil {
+					if err := eng.RemoveJob(context.Background(), id); err != nil {
 						t.Error(err)
 					}
 				}
@@ -284,16 +285,16 @@ func TestEngineIncrementalTelemetry(t *testing.T) {
 	t.Cleanup(func() { _ = eng.Close() })
 
 	// Three jobs on disjoint sites: three components.
-	if err := eng.AddJob("a", 1, []float64{4, 0, 0}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{4, 0, 0}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.AddJob("b", 1, []float64{0, 4, 0}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "b", 1, []float64{0, 4, 0}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.AddJob("c", 1, []float64{0, 0, 8}, nil); err != nil {
+	if err := eng.AddJob(context.Background(), "c", 1, []float64{0, 0, 8}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.UpdateWeight("b", 5); err != nil {
+	if err := eng.UpdateWeight(context.Background(), "b", 5); err != nil {
 		t.Fatal(err)
 	}
 	snap := eng.Current()
@@ -311,7 +312,7 @@ func TestEngineIncrementalTelemetry(t *testing.T) {
 
 	// Reverting the weight round-trips b's component fingerprint: a cache
 	// hit, no re-solve, and a positive hit ratio.
-	if err := eng.UpdateWeight("b", 1); err != nil {
+	if err := eng.UpdateWeight(context.Background(), "b", 1); err != nil {
 		t.Fatal(err)
 	}
 	snap = eng.Current()

@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned for operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options parameterizes a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this many
+	// bytes (default 8 MiB). Rotation happens between records; a record is
+	// never split across segments.
+	SegmentBytes int64
+	// Sync overrides the fsync of the active segment — the failpoint used
+	// by crash tests to fail a group commit. Nil means (*os.File).Sync.
+	Sync func(*os.File) error
+	// Write overrides writes to the active segment — the failpoint used by
+	// fault tests to simulate torn writes and full disks. Nil means
+	// (*os.File).Write.
+	Write func(f *os.File, p []byte) (int, error)
+}
+
+// Stats is a point-in-time view of the log's depth, the engine's
+// compaction trigger and /v1/metrics feed.
+type Stats struct {
+	// Segments counts live segment files, including the active one.
+	Segments int
+	// ActiveSegmentBytes is the size of the segment being appended to.
+	ActiveSegmentBytes int64
+	// RecordsSinceCompact / BytesSinceCompact measure the replay debt a
+	// crash would incur right now.
+	RecordsSinceCompact int64
+	BytesSinceCompact   int64
+	// Compactions counts Compact calls over this Log's lifetime.
+	Compactions int64
+}
+
+// Recovery is what Open found on disk: the latest valid snapshot (if any)
+// and every acknowledged record appended after it, in order.
+type Recovery struct {
+	// State is the payload of the newest valid snapshot file, nil when the
+	// directory holds none.
+	State []byte
+	// Records are the payloads of the records after the snapshot, oldest
+	// first.
+	Records [][]byte
+	// SkippedRecords counts torn or corrupt records dropped during replay
+	// (at most one per segment: scanning stops a segment at the first).
+	SkippedRecords int
+	// SkippedStates counts snapshot files that failed validation.
+	SkippedStates int
+	// Segments counts segment files scanned.
+	Segments int
+}
+
+// Log is an append-only, segmented record log. All methods are safe for
+// concurrent use, though the serving engine drives it from a single
+// committer goroutine.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	f           *os.File
+	seq         uint64 // active segment sequence number
+	activeBytes int64
+	segments    int // live segment files, including active
+	records     int64
+	bytes       int64
+	compactions int64
+	closed      bool
+}
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	snapshotPrefix = "state-"
+	snapshotSuffix = ".snap"
+)
+
+func segmentName(seq uint64) string  { return fmt.Sprintf("%s%016d%s", segmentPrefix, seq, segmentSuffix) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("%s%016d%s", snapshotPrefix, seq, snapshotSuffix) }
+
+// parseSeq extracts the sequence number from a segment or snapshot file
+// name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return n, err == nil
+}
+
+// Open recovers whatever the directory holds and starts a fresh segment
+// for new appends. The returned Recovery carries the latest valid
+// snapshot plus the acknowledged record tail; the caller replays it into
+// its state machine before appending.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok {
+			segs = append(segs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a] < snaps[b] })
+
+	rec := &Recovery{}
+	// Newest valid snapshot wins; corrupt ones fall back to older.
+	snapSeq := uint64(0)
+	haveSnap := false
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName(snaps[i])))
+		if err != nil {
+			rec.SkippedStates++
+			continue
+		}
+		payloads, skipped := scanRecords(data)
+		if skipped || len(payloads) != 1 {
+			rec.SkippedStates++
+			continue
+		}
+		rec.State = payloads[0]
+		snapSeq, haveSnap = snaps[i], true
+		break
+	}
+	// Replay segments newer than the snapshot, oldest first. A torn or
+	// corrupt record ends its own segment only: later segments were opened
+	// after a recovery that already skipped that tail, so their records
+	// are consistent continuations.
+	maxSeq := snapSeq
+	for _, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if haveSnap && seq <= snapSeq {
+			continue // folded into the snapshot
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segmentName(seq)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reading segment %d: %w", seq, err)
+		}
+		rec.Segments++
+		payloads, skipped := scanRecords(data)
+		rec.Records = append(rec.Records, payloads...)
+		if skipped {
+			rec.SkippedRecords++
+		}
+	}
+
+	l := &Log{dir: dir, opts: opts, seq: maxSeq + 1, segments: len(segs)}
+	if err := l.createSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// createSegmentLocked opens the active segment file l.seq and fsyncs the
+// directory so the new name survives a crash.
+func (l *Log) createSegmentLocked() error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.activeBytes = 0
+	l.segments++
+	return l.syncDir()
+}
+
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) write(p []byte) (int, error) {
+	if l.opts.Write != nil {
+		return l.opts.Write(l.f, p)
+	}
+	return l.f.Write(p)
+}
+
+func (l *Log) sync() error {
+	if l.opts.Sync != nil {
+		return l.opts.Sync(l.f)
+	}
+	return l.f.Sync()
+}
+
+// Append frames payload as one record onto the active segment, rotating
+// first if the segment is full. It does NOT fsync — callers group-commit
+// by following a batch of appends with one Sync.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	need := int64(recordHeader + len(payload))
+	if l.activeBytes > 0 && l.activeBytes+need > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	buf := appendRecord(make([]byte, 0, need), payload)
+	n, err := l.write(buf)
+	l.activeBytes += int64(n)
+	l.bytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.records++
+	return nil
+}
+
+// Sync fsyncs the active segment: the group-commit barrier. A batch is
+// durable — and may be acknowledged — only after Sync returns nil.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one.
+func (l *Log) rotateLocked() error {
+	if err := l.sync(); err != nil {
+		return fmt.Errorf("wal: sealing segment %d: %w", l.seq, err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment %d: %w", l.seq, err)
+	}
+	l.seq++
+	return l.createSegmentLocked()
+}
+
+// Compact folds the log into a snapshot: it seals the active segment,
+// durably writes state as a snapshot file covering everything up to that
+// segment, deletes the now-redundant segments and older snapshots, and
+// opens a fresh segment. If the crash interleaves anywhere, recovery
+// still sees either the old snapshot plus all segments or the new
+// snapshot plus none — never a gap.
+func (l *Log) Compact(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	sealed := l.seq
+	if err := l.sync(); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	// Snapshot before deleting anything: tmp + rename + dir fsync.
+	tmp := filepath.Join(l.dir, snapshotName(sealed)+".tmp")
+	if err := os.WriteFile(tmp, appendRecord(nil, state), 0o644); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName(sealed))); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	// Everything at or before the sealed segment is now redundant.
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok && seq <= sealed {
+			if os.Remove(filepath.Join(l.dir, e.Name())) == nil {
+				l.segments--
+			}
+		}
+		if seq, ok := parseSeq(e.Name(), snapshotPrefix, snapshotSuffix); ok && seq < sealed {
+			_ = os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+	}
+	l.seq = sealed + 1
+	l.records, l.bytes = 0, 0
+	l.compactions++
+	return l.createSegmentLocked()
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the log's current depth.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:            l.segments,
+		ActiveSegmentBytes:  l.activeBytes,
+		RecordsSinceCompact: l.records,
+		BytesSinceCompact:   l.bytes,
+		Compactions:         l.compactions,
+	}
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close fsyncs and closes the active segment. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return l.f.Close()
+}

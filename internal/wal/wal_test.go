@@ -1,0 +1,386 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, rec
+}
+
+func appendSync(t *testing.T, l *Log, payload string) {
+	t.Helper()
+	if err := l.Append([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func payloadStrings(rec *Recovery) []string {
+	out := make([]string, len(rec.Records))
+	for i, p := range rec.Records {
+		out[i] = string(p)
+	}
+	return out
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("alpha"), {}, []byte("gamma with a longer payload"),
+		bytes.Repeat([]byte{0xAB}, 1024),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendRecord(buf, p)
+	}
+	got, skipped := scanRecords(buf)
+	if skipped {
+		t.Fatal("clean buffer reported skipped records")
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestScanStopsAtTornRecord(t *testing.T) {
+	full := appendRecord(appendRecord(nil, []byte("one")), []byte("two"))
+	// Cut the tail mid-way through record two at every possible point.
+	firstLen := recordHeader + len("one")
+	for cut := firstLen + 1; cut < len(full); cut++ {
+		got, skipped := scanRecords(full[:cut])
+		if !skipped {
+			t.Fatalf("cut at %d: torn tail not reported", cut)
+		}
+		if len(got) != 1 || string(got[0]) != "one" {
+			t.Fatalf("cut at %d: recovered %q, want just \"one\"", cut, got)
+		}
+	}
+}
+
+func TestScanStopsAtBitFlip(t *testing.T) {
+	full := appendRecord(appendRecord(nil, []byte("one")), []byte("two"))
+	firstLen := recordHeader + len("one")
+	// Flip one bit in every byte of record two (header and payload alike):
+	// record one must survive, record two must be dropped.
+	for i := firstLen; i < len(full); i++ {
+		corrupted := append([]byte(nil), full...)
+		corrupted[i] ^= 0x40
+		got, skipped := scanRecords(corrupted)
+		if !skipped {
+			t.Fatalf("flip at %d: corruption not reported", i)
+		}
+		if len(got) != 1 || string(got[0]) != "one" {
+			t.Fatalf("flip at %d: recovered %q, want just \"one\"", i, got)
+		}
+	}
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	l, rec := openT(t, t.TempDir(), Options{})
+	if rec.State != nil || len(rec.Records) != 0 || rec.SkippedRecords != 0 {
+		t.Fatalf("recovery from empty dir = %+v", rec)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("fresh log has %d segments, want 1", st.Segments)
+	}
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		appendSync(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	want := []string{"rec-0", "rec-1", "rec-2", "rec-3", "rec-4"}
+	if got := payloadStrings(rec); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	if rec.SkippedRecords != 0 || rec.State != nil {
+		t.Fatalf("recovery = %+v, want clean tail and no snapshot", rec)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates.
+	l, _ := openT(t, dir, Options{SegmentBytes: 16})
+	for i := 0; i < 6; i++ {
+		appendSync(t, l, fmt.Sprintf("record-%d", i))
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{SegmentBytes: 16})
+	if len(rec.Records) != 6 {
+		t.Fatalf("replayed %d records across segments, want 6", len(rec.Records))
+	}
+}
+
+func TestTornTailOnlyDropsLastRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendSync(t, l, "good-1")
+	appendSync(t, l, "good-2")
+	appendSync(t, l, "doomed")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the active segment mid-record, as a crash mid-write would.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if got := payloadStrings(rec); len(got) != 2 || got[0] != "good-1" || got[1] != "good-2" {
+		t.Fatalf("recovered %v, want the two intact records", got)
+	}
+	if rec.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", rec.SkippedRecords)
+	}
+}
+
+func TestBitFlippedRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendSync(t, l, "intact")
+	appendSync(t, l, "flipped")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01 // corrupt the final record's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if got := payloadStrings(rec); len(got) != 1 || got[0] != "intact" {
+		t.Fatalf("recovered %v, want just the intact record", got)
+	}
+	if rec.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", rec.SkippedRecords)
+	}
+}
+
+func TestCompactFoldsAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendSync(t, l, "pre-1")
+	appendSync(t, l, "pre-2")
+	if err := l.Compact([]byte("state-at-2")); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.RecordsSinceCompact != 0 || st.BytesSinceCompact != 0 || st.Compactions != 1 {
+		t.Fatalf("stats after compact = %+v", st)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments after compact = %d, want just the fresh one", st.Segments)
+	}
+	appendSync(t, l, "post-1")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if string(rec.State) != "state-at-2" {
+		t.Fatalf("recovered state %q", rec.State)
+	}
+	if got := payloadStrings(rec); len(got) != 1 || got[0] != "post-1" {
+		t.Fatalf("recovered tail %v, want just post-1", got)
+	}
+}
+
+func TestCompactTwiceKeepsNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendSync(t, l, "a")
+	if err := l.Compact([]byte("state-1")); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, l, "b")
+	if err := l.Compact([]byte("state-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if string(rec.State) != "state-2" || len(rec.Records) != 0 {
+		t.Fatalf("recovery = state %q + %v, want state-2 and empty tail", rec.State, payloadStrings(rec))
+	}
+	// Exactly one snapshot file remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("%d snapshot files on disk, want 1", snaps)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendSync(t, l, "a")
+	if err := l.Compact([]byte("state-old")); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, l, "tail-after-old")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a compaction that crashed mid-snapshot-write: a newer
+	// snapshot file exists but its record is corrupt (and the segments it
+	// would have covered are still on disk).
+	bad := appendRecord(nil, []byte("state-new"))
+	bad[len(bad)-1] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(2)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if string(rec.State) != "state-old" {
+		t.Fatalf("fallback state = %q, want state-old", rec.State)
+	}
+	if rec.SkippedStates != 1 {
+		t.Fatalf("SkippedStates = %d, want 1", rec.SkippedStates)
+	}
+	// The segments after the old snapshot are replayed on top of it.
+	if got := payloadStrings(rec); len(got) != 1 || got[0] != "tail-after-old" {
+		t.Fatalf("fallback tail = %v, want [tail-after-old]", got)
+	}
+}
+
+func TestSyncFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("simulated fsync failure")
+	fail := false
+	l, _ := openT(t, dir, Options{
+		Sync: func(f *os.File) error {
+			if fail {
+				return boom
+			}
+			return f.Sync()
+		},
+	})
+	appendSync(t, l, "ok")
+	fail = true
+	if err := l.Append([]byte("doomed")); err != nil {
+		t.Fatal(err) // append itself does not sync
+	}
+	if err := l.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync error = %v, want failpoint error", err)
+	}
+}
+
+func TestWriteFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("simulated disk full")
+	calls := 0
+	l, _ := openT(t, dir, Options{
+		Write: func(f *os.File, p []byte) (int, error) {
+			calls++
+			if calls == 2 {
+				// Torn write: half the frame lands, then the device dies.
+				n, _ := f.Write(p[:len(p)/2])
+				return n, boom
+			}
+			return f.Write(p)
+		},
+	})
+	appendSync(t, l, "ok")
+	if err := l.Append([]byte("torn")); !errors.Is(err, boom) {
+		t.Fatalf("Append error = %v, want failpoint error", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery keeps the acknowledged record and drops the torn frame.
+	_, rec := openT(t, dir, Options{})
+	if got := payloadStrings(rec); len(got) != 1 || got[0] != "ok" {
+		t.Fatalf("recovered %v, want [ok]", got)
+	}
+	if rec.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", rec.SkippedRecords)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close = %v, want ErrClosed", err)
+	}
+	if err := l.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after close = %v, want ErrClosed", err)
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the segment scanner: it must
+// never panic, must only return records that re-frame to a prefix of the
+// input, and must report skipped whenever it did not consume everything.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, []byte("seed")))
+	f.Add(appendRecord(appendRecord(nil, []byte("a")), []byte("bb")))
+	torn := appendRecord(nil, []byte("torn-record"))
+	f.Add(torn[:len(torn)-4])
+	flip := appendRecord(nil, []byte("flip"))
+	flip[recordHeader] ^= 0x80
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, skipped := scanRecords(data)
+		var reframed []byte
+		for _, p := range payloads {
+			reframed = appendRecord(reframed, p)
+		}
+		if !bytes.HasPrefix(data, reframed) {
+			t.Fatalf("decoded records do not re-frame to an input prefix")
+		}
+		if !skipped && len(reframed) != len(data) {
+			t.Fatalf("scan consumed %d of %d bytes without reporting a skip", len(reframed), len(data))
+		}
+	})
+}
