@@ -31,6 +31,13 @@
 //	amf-bench -churn
 //	amf-bench -churn -churn-mutations 2048 -churn-out BENCH_incremental.json
 //
+// An observability mode replays the same mutation stream with the
+// metrics/tracing stack off and fully on and reports the per-commit
+// overhead plus the recorded traces' span coverage:
+//
+//	amf-bench -obs
+//	amf-bench -obs -obs-out BENCH_obs.json -obs-cpuprofile obs.pprof
+//
 // A durability mode measures the acknowledged mutation latency of the
 // write-ahead-logged engine against the in-memory engine under the same
 // concurrent workload (group commit shares one fsync per batch):
@@ -94,8 +101,34 @@ func main() {
 		churnSites     = flag.Int("churn-sites", 4, "sites per component")
 		churnMutations = flag.Int("churn-mutations", 512, "single-component mutations replayed per configuration")
 		churnOut       = flag.String("churn-out", "", "write machine-readable results to this JSON file (e.g. BENCH_incremental.json)")
+
+		obsMode      = flag.Bool("obs", false, "run the observability-overhead benchmark (per-commit latency, metrics+tracing vs plain)")
+		obsComps     = flag.Int("obs-components", 64, "independent components in the sparse instance")
+		obsJobs      = flag.Int("obs-jobs", 16, "jobs per component")
+		obsSites     = flag.Int("obs-sites", 4, "sites per component")
+		obsMutations = flag.Int("obs-mutations", 512, "mutations replayed per configuration")
+		obsReps      = flag.Int("obs-reps", 3, "alternating repetitions per configuration (best median kept)")
+		obsOut       = flag.String("obs-out", "", "write machine-readable results to this JSON file (e.g. BENCH_obs.json)")
+		obsProfile   = flag.String("obs-cpuprofile", "", "write a CPU profile of the instrumented pass to this file")
 	)
 	flag.Parse()
+
+	if *obsMode {
+		if err := runObsBench(obsOptions{
+			components: *obsComps,
+			jobs:       *obsJobs,
+			sites:      *obsSites,
+			mutations:  *obsMutations,
+			reps:       *obsReps,
+			seed:       *seed,
+			out:        *obsOut,
+			cpuprofile: *obsProfile,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *walMode {
 		if err := runWALBench(walbenchOptions{

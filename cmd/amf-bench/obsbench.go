@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// obsOptions parameterizes the observability-overhead benchmark (-obs):
+// replay the same mutation stream through the serving engine with
+// observability off (no metrics registry, no tracing) and fully on
+// (shared registry + commit tracing), and report the per-commit latency
+// overhead plus the recorded traces' span coverage.
+type obsOptions struct {
+	components int
+	jobs       int // per component
+	sites      int // per component
+	mutations  int
+	reps       int
+	seed       uint64
+	out        string // JSON results path ("" = skip)
+	cpuprofile string // CPU profile of the instrumented pass ("" = skip)
+}
+
+// obsResult is the machine-readable record written to the -obs-out JSON
+// file (BENCH_obs.json in CI).
+type obsResult struct {
+	Benchmark         string  `json:"benchmark"`
+	Components        int     `json:"components"`
+	JobsPerComponent  int     `json:"jobs_per_component"`
+	SitesPerComponent int     `json:"sites_per_component"`
+	Mutations         int     `json:"mutations"`
+	Reps              int     `json:"reps"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	// Median acknowledged commit latency per configuration (best median
+	// across reps, to shed scheduler noise).
+	PlainMedianNS int64 `json:"plain_median_ns"`
+	ObsMedianNS   int64 `json:"obs_median_ns"`
+	// OverheadPct is (obs - plain) / plain × 100: the full observability
+	// stack's per-commit cost. The acceptance bound is < 3%.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Span coverage of the recorded traces: mean and minimum ratio of
+	// summed non-detail span time to whole-commit wall time. The
+	// acceptance bound is within 10% of 1.
+	SpanSumRatioMean float64 `json:"span_sum_ratio_mean"`
+	SpanSumRatioMin  float64 `json:"span_sum_ratio_min"`
+	TracesRecorded   int     `json:"traces_recorded"`
+}
+
+// runObsBench measures the observability overhead and optionally writes
+// the JSON record and a CPU profile of the instrumented pass.
+func runObsBench(o obsOptions) error {
+	if o.reps <= 0 {
+		o.reps = 3
+	}
+	ch := workload.GenerateChurn(workload.ChurnConfig{
+		Sparse: workload.SparseConfig{
+			Components:        o.components,
+			JobsPerComponent:  o.jobs,
+			SitesPerComponent: o.sites,
+			Seed:              o.seed,
+		},
+		Mutations: o.mutations,
+		Seed:      o.seed + 1,
+	})
+
+	var plainBest, obsBest int64
+	var lastTraces []*span.Trace
+	// Run the two configurations in alternating order across reps (heap
+	// and GC state drift over a process's life, so a fixed order would
+	// systematically bias whichever pass runs later) and keep each
+	// configuration's best median.
+	for rep := 0; rep < o.reps; rep++ {
+		profile := ""
+		if rep == o.reps-1 {
+			profile = o.cpuprofile
+		}
+		runOne := func(instrumented bool) error {
+			prof := ""
+			if instrumented {
+				prof = profile
+			}
+			ns, traces, err := obsPass(ch, instrumented, prof)
+			if err != nil {
+				return err
+			}
+			if instrumented {
+				if obsBest == 0 || ns < obsBest {
+					obsBest = ns
+				}
+				lastTraces = traces
+			} else if plainBest == 0 || ns < plainBest {
+				plainBest = ns
+			}
+			return nil
+		}
+		first, second := false, true
+		if rep%2 == 1 {
+			first, second = true, false
+		}
+		if err := runOne(first); err != nil {
+			return err
+		}
+		if err := runOne(second); err != nil {
+			return err
+		}
+	}
+
+	res := obsResult{
+		Benchmark:         "observability_overhead",
+		Components:        o.components,
+		JobsPerComponent:  o.jobs,
+		SitesPerComponent: o.sites,
+		Mutations:         o.mutations,
+		Reps:              o.reps,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		PlainMedianNS:     plainBest,
+		ObsMedianNS:       obsBest,
+		OverheadPct:       100 * (float64(obsBest) - float64(plainBest)) / float64(plainBest),
+		TracesRecorded:    len(lastTraces),
+	}
+	res.SpanSumRatioMean, res.SpanSumRatioMin = spanCoverage(lastTraces)
+
+	fmt.Printf("Observability benchmark: %d components x %d jobs x %d sites, %d mutations, %d reps, GOMAXPROCS=%d\n\n",
+		o.components, o.jobs, o.sites, o.mutations, o.reps, res.GOMAXPROCS)
+	fmt.Printf("%-24s %20s\n", "configuration", "median commit")
+	fmt.Printf("%-24s %20v\n", "plain", time.Duration(plainBest).Round(time.Microsecond))
+	fmt.Printf("%-24s %20v\n", "metrics+tracing", time.Duration(obsBest).Round(time.Microsecond))
+	fmt.Printf("\noverhead: %+.2f%%  (bound < 3%%)\n", res.OverheadPct)
+	fmt.Printf("span coverage: mean %.3f, min %.3f over %d traces  (bound: within 10%% of 1)\n",
+		res.SpanSumRatioMean, res.SpanSumRatioMin, res.TracesRecorded)
+
+	if o.out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	return nil
+}
+
+// obsPass replays the stream through an unbatched engine (one commit per
+// mutation) with observability off or fully on, returning the median
+// acknowledged mutation latency and (when instrumented) the recorded
+// traces. A non-empty cpuprofile captures the instrumented replay.
+func obsPass(ch *workload.Churn, instrumented bool, cpuprofile string) (int64, []*span.Trace, error) {
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: ch.Inst.SiteCapacity})
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := ch.Populate(sc); err != nil {
+		return 0, nil, err
+	}
+	cfg := serve.Config{MaxBatch: 1}
+	var rec *span.Recorder
+	if instrumented {
+		rec = span.NewRecorder(4096)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Traces = rec
+	}
+	eng, err := serve.New(sc, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer eng.Close()
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return 0, nil, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	target := engineTarget{eng: eng}
+	times := make([]int64, 0, len(ch.Ops))
+	for _, op := range ch.Ops {
+		start := time.Now()
+		err := op.Apply(target)
+		if err != nil && !errors.Is(err, scheduler.ErrUnknownJob) && !errors.Is(err, scheduler.ErrDuplicateJob) {
+			return 0, nil, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	var traces []*span.Trace
+	if rec != nil {
+		traces = rec.Recent(0)
+	}
+	return times[len(times)/2], traces, nil
+}
+
+// spanCoverage reports the mean and minimum SpanSum/Total ratio across
+// traces (1, 1 for an empty set).
+func spanCoverage(traces []*span.Trace) (mean, minR float64) {
+	if len(traces) == 0 {
+		return 1, 1
+	}
+	minR = 2
+	var sum float64
+	for _, t := range traces {
+		r := 1.0
+		if t.Total > 0 {
+			r = t.SpanSum() / t.Total
+		}
+		sum += r
+		if r < minR {
+			minR = r
+		}
+	}
+	return sum / float64(len(traces)), minR
+}

@@ -15,10 +15,18 @@
 // alternative (snapshot on SIGTERM only; mutations between snapshot and
 // crash are lost).
 //
+// Observability: logs are structured JSON on stderr (log/slog); every
+// commit is traced into a ring served at GET /v1/traces (-trace-buffer
+// sizes it, 0 disables tracing); Prometheus metrics are scraped from
+// GET /metrics; -slow-commit logs a warning with per-stage timings for
+// commits over the threshold; -debug-addr serves net/http/pprof on a
+// separate opt-in listener.
+//
 // Usage:
 //
 //	amf-server -listen :8080 -capacity 4,4,8 -policy amf
 //	amf-server -data-dir /var/lib/amf -batch-max 256 -batch-window 2ms
+//	amf-server -debug-addr localhost:6060 -slow-commit 50ms
 //
 // Example session:
 //
@@ -27,15 +35,17 @@
 //	curl localhost:8080/v1/allocation
 //	curl -X POST localhost:8080/v1/jobs/etl/progress -d '{"done":[2,2,0]}'
 //	curl localhost:8080/v1/stats
-//	curl localhost:8080/v1/metrics
+//	curl localhost:8080/metrics
+//	curl localhost:8080/v1/traces?limit=5
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +55,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -62,25 +73,35 @@ func main() {
 		batchWindow = flag.Duration("batch-window", 0, "extra time to gather a batch after its first mutation (0 = only drain what is queued)")
 		compactMB   = flag.Int64("wal-compact-mb", 4, "fold the WAL into a snapshot once its record tail exceeds this many MiB")
 		compactIval = flag.Duration("wal-compact-interval", time.Minute, "additionally compact the WAL this often (0 disables the timer)")
-		dumpMetrics = flag.Bool("metrics-on-exit", true, "log a metrics snapshot on shutdown")
+		dumpMetrics = flag.Bool("metrics-on-exit", true, "log a final metrics snapshot as one JSON document on shutdown")
+		traceBuf    = flag.Int("trace-buffer", 256, "commit traces kept for GET /v1/traces (0 disables tracing)")
+		slowCommit  = flag.Duration("slow-commit", 0, "log a warning with per-stage timings for commits slower than this (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(slog.Default(), "amf-server: invalid -log-level", err)
+	}
+	slog.SetDefault(logger)
+
 	caps, err := parseCapacities(*capacity)
 	if err != nil {
-		log.Fatalf("amf-server: %v", err)
+		fatal(logger, "amf-server: bad -capacity", err)
 	}
 	p, err := sim.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatalf("amf-server: %v", err)
+		fatal(logger, "amf-server: bad -policy", err)
 	}
 	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: p})
 	if err != nil {
-		log.Fatalf("amf-server: %v", err)
+		fatal(logger, "amf-server: scheduler", err)
 	}
 	if *state != "" {
-		if err := loadState(sc, *state); err != nil {
-			log.Fatalf("amf-server: %v", err)
+		if err := loadState(logger, sc, *state); err != nil {
+			fatal(logger, "amf-server: loading state", err)
 		}
 	}
 	reg := obs.NewRegistry()
@@ -89,22 +110,31 @@ func main() {
 	if *dataDir != "" {
 		l, recovery, err := wal.Open(*dataDir, wal.Options{})
 		if err != nil {
-			log.Fatalf("amf-server: opening %s: %v", *dataDir, err)
+			fatal(logger, "amf-server: opening data dir", err, "dir", *dataDir)
 		}
 		st, err := recovery.Replay(sc)
 		if err != nil {
-			log.Fatalf("amf-server: recovering from %s: %v", *dataDir, err)
+			fatal(logger, "amf-server: recovering", err, "dir", *dataDir)
 		}
 		reg.Gauge("wal.replayed_batches").Set(float64(st.Batches))
 		reg.Gauge("wal.replayed_mutations").Set(float64(st.Mutations))
 		reg.Gauge("wal.replay_failures").Set(float64(st.Failed))
 		reg.Gauge("wal.skipped_records").Set(float64(recovery.SkippedRecords))
 		reg.Gauge("wal.skipped_states").Set(float64(recovery.SkippedStates))
-		log.Printf("amf-server: recovered %d jobs from %s (snapshot=%v, %d batches / %d mutations replayed, %d torn records skipped)",
-			sc.Stats().Jobs, *dataDir, st.Restored, st.Batches, st.Mutations, recovery.SkippedRecords)
+		logger.Info("recovered from write-ahead log",
+			"dir", *dataDir,
+			"jobs", sc.Stats().Jobs,
+			"snapshot", st.Restored,
+			"batches", st.Batches,
+			"mutations", st.Mutations,
+			"torn_records_skipped", recovery.SkippedRecords)
 		logHandle = l
 	}
 
+	var traces *span.Recorder
+	if *traceBuf > 0 {
+		traces = span.NewRecorder(*traceBuf)
+	}
 	eng, err := serve.New(sc, serve.Config{
 		MaxBatch:        *batchMax,
 		BatchWindow:     *batchWindow,
@@ -112,11 +142,18 @@ func main() {
 		Log:             logHandle,
 		CompactBytes:    *compactMB << 20,
 		CompactInterval: *compactIval,
+		Traces:          traces,
+		Logger:          logger,
+		SlowCommit:      *slowCommit,
 	})
 	if err != nil {
-		log.Fatalf("amf-server: %v", err)
+		fatal(logger, "amf-server: engine", err)
 	}
-	srv := api.NewEngineServer(eng, reg, caps, p)
+	srv := api.NewEngineServer(eng, reg, caps, p).SetTraces(traces)
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
+	}
 
 	hs := &http.Server{
 		Addr:              *listen,
@@ -133,14 +170,18 @@ func main() {
 		if *state != "" {
 			// Persist the job set so a restart resumes where it left off.
 			if err := saveState(sc, *state); err != nil {
-				log.Printf("amf-server: saving state: %v", err)
+				logger.Error("saving state failed", "path", *state, "err", err.Error())
 			} else {
-				log.Printf("amf-server: state saved to %s", *state)
+				logger.Info("state saved", "path", *state)
 			}
 		}
 		if *dumpMetrics {
-			if buf, err := json.MarshalIndent(reg.Snapshot(), "", "  "); err == nil {
-				log.Printf("amf-server: final metrics:\n%s", buf)
+			// One structured record wrapping the whole snapshot: the
+			// document lands on stderr as a single JSON line instead of
+			// interleaving with stdout, so `amf-server 2>log` followed by
+			// `jq .metrics log` recovers it mechanically.
+			if buf, err := json.Marshal(reg.Snapshot()); err == nil {
+				logger.Info("final metrics", "metrics", json.RawMessage(buf))
 			}
 		}
 		os.Exit(0)
@@ -151,14 +192,49 @@ func main() {
 	} else if *state != "" {
 		durability = "snapshot-on-exit @ " + *state
 	}
-	log.Printf("amf-server: %d sites, policy %s, batch-max %d, durability %s, listening on %s",
-		len(caps), p, *batchMax, durability, *listen)
+	logger.Info("serving",
+		"listen", *listen,
+		"sites", len(caps),
+		"policy", p.String(),
+		"batch_max", *batchMax,
+		"durability", durability,
+		"tracing", traces != nil)
 	if err := hs.ListenAndServe(); err != nil {
-		log.Fatalf("amf-server: %v", err)
+		fatal(logger, "amf-server: listen", err)
 	}
 }
 
-func loadState(sc *scheduler.Scheduler, path string) error {
+// newLogger builds the process logger: structured JSON to stderr.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+func fatal(logger *slog.Logger, msg string, err error, args ...any) {
+	logger.Error(msg, append([]any{"err", err.Error()}, args...)...)
+	os.Exit(1)
+}
+
+// serveDebug exposes net/http/pprof on its own opt-in listener, on an
+// explicit mux so the profiling surface never leaks onto the API port.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	ds := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := ds.ListenAndServe(); err != nil {
+		logger.Error("pprof listener failed", "addr", addr, "err", err.Error())
+	}
+}
+
+func loadState(logger *slog.Logger, sc *scheduler.Scheduler, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -170,7 +246,7 @@ func loadState(sc *scheduler.Scheduler, path string) error {
 	if err := sc.ReadSnapshot(f); err != nil {
 		return err
 	}
-	log.Printf("amf-server: restored %d jobs from %s", sc.Stats().Jobs, path)
+	logger.Info("state restored", "path", path, "jobs", sc.Stats().Jobs)
 	return nil
 }
 

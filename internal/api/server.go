@@ -16,12 +16,21 @@
 //	GET    /v1/allocation              all current shares
 //	GET    /v1/stats                   controller counters
 //	GET    /v1/metrics                 metrics registry snapshot
+//	GET    /v1/traces                  recent commit traces (see SetTraces)
 //	GET    /v1/snapshot                download controller state
 //	PUT    /v1/snapshot                restore controller state
+//	GET    /metrics                    Prometheus text exposition
 //
 // Every endpoint is wrapped in metrics middleware recording per-endpoint
 // request counts, error counts and latency histograms into an obs.Registry,
-// served at GET /v1/metrics alongside the solver's counters.
+// served at GET /v1/metrics alongside the solver's counters — and, in
+// Prometheus text-exposition form, at GET /metrics.
+//
+// The middleware also assigns every request a trace ID (honoring an
+// inbound X-AMF-Trace-Id header, else minting one), returns it in the
+// X-AMF-Trace-Id response header, and propagates it through the request
+// context into the engine's group commits, where it correlates the
+// request with the commit trace recorded at GET /v1/traces.
 //
 // The server fronts either a bare scheduler.Scheduler (NewServer) or a
 // serve.Engine (NewEngineServer) — with the engine, mutations are batched
@@ -43,13 +52,19 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
+
+// TraceHeader is the response (and optional request) header carrying the
+// request's trace ID.
+const TraceHeader = "X-AMF-Trace-Id"
 
 // Backend is the controller surface the API serves. All mutations and
 // reads are context-aware; implementations must return promptly with
@@ -260,6 +275,7 @@ type Server struct {
 	mux    *http.ServeMux
 	policy sim.Policy
 	reg    *obs.Registry
+	traces *span.Recorder
 }
 
 // NewServer builds the API around a bare controller. capacity and
@@ -304,8 +320,10 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Pol
 	s.route("GET /v1/allocation", s.handleAllocation)
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /v1/metrics", s.handleMetrics)
+	s.route("GET /v1/traces", s.handleTraces)
 	s.route("GET /v1/snapshot", s.handleGetSnapshot)
 	s.route("PUT /v1/snapshot", s.handlePutSnapshot)
+	s.route("GET /metrics", s.handlePromMetrics)
 	return s
 }
 
@@ -315,15 +333,30 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the registry the server instruments into.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// route registers a handler wrapped in per-endpoint metrics middleware:
-// request and error counters plus a latency histogram, keyed by the route
-// pattern.
+// SetTraces attaches the commit-trace ring served at GET /v1/traces —
+// normally the same span.Recorder passed to the engine via
+// serve.Config.Traces. Call before serving requests; it returns s for
+// chaining. Without it /v1/traces serves an empty list.
+func (s *Server) SetTraces(rec *span.Recorder) *Server {
+	s.traces = rec
+	return s
+}
+
+// route registers a handler wrapped in per-endpoint middleware: request
+// and error counters plus a latency histogram keyed by the route pattern,
+// and trace-ID assignment — the request's trace ID (inbound header or
+// freshly minted) is echoed in the X-AMF-Trace-Id response header and
+// propagated through the request context into the backend, where the
+// engine stamps it on the commit trace the mutation rides in.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	reqs := s.reg.Counter("http.requests." + pattern)
 	errs := s.reg.Counter("http.errors." + pattern)
 	lat := s.reg.Histogram("http.latency." + pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := requestTraceID(r)
+		w.Header().Set(TraceHeader, string(id))
+		r = r.WithContext(span.NewContext(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		reqs.Inc()
@@ -332,6 +365,16 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		}
 		lat.Observe(time.Since(start))
 	})
+}
+
+// requestTraceID returns the request's trace ID: a sane inbound
+// X-AMF-Trace-Id value when the client sent one (so callers can stitch
+// their own request IDs through), else freshly minted.
+func requestTraceID(r *http.Request) span.ID {
+	if v := r.Header.Get(TraceHeader); v != "" && len(v) <= 64 {
+		return span.ID(v)
+	}
+	return span.MintID()
 }
 
 // statusWriter captures the response status for the metrics middleware.
@@ -555,10 +598,55 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// TracesResponse carries the most recent commit traces, newest first.
+type TracesResponse struct {
+	// Capacity is the trace ring's size (0 when tracing is disabled).
+	Capacity int `json:"capacity"`
+	// Traces are the recorded commit traces, newest first.
+	Traces []*span.Trace `json:"traces"`
+}
+
+// handleTraces serves the recent commit traces: GET /v1/traces?limit=N
+// returns up to N newest-first (the whole ring when limit is absent).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	resp := TracesResponse{Traces: []*span.Trace{}}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "limit must be a non-negative integer", Code: CodeInvalidArgument})
+			return
+		}
+		limit = n
+	}
+	if s.traces != nil {
+		resp.Capacity = s.traces.Cap()
+		resp.Traces = s.traces.Recent(limit)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePromMetrics serves the registry in Prometheus text exposition
+// format — the scrape target. The JSON twin stays at /v1/metrics.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mirrorSchedulerGauges()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.reg.WritePrometheus(w)
+}
+
 // handleMetrics serves the registry snapshot. Scheduler counters are
 // mirrored into gauges right before snapshotting, so /v1/metrics and
 // /v1/stats always report the same solver numbers.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mirrorSchedulerGauges()
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// mirrorSchedulerGauges copies the controller's counters into gauges so
+// both metrics surfaces (/v1/metrics JSON and /metrics Prometheus) report
+// the same solver numbers as /v1/stats.
+func (s *Server) mirrorSchedulerGauges() {
 	st := s.sc.Stats()
 	s.reg.Gauge("scheduler.solves").Set(float64(st.Solves))
 	s.reg.Gauge("scheduler.skipped").Set(float64(st.Skipped))
@@ -574,5 +662,4 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.Gauge("scheduler.cache_hits").Set(float64(st.CacheHits))
 	s.reg.Gauge("scheduler.cache_misses").Set(float64(st.CacheMisses))
 	s.reg.Gauge("scheduler.global_invalidations").Set(float64(st.GlobalInvalidations))
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

@@ -58,6 +58,13 @@ type Solver struct {
 	// Monolithic disables connected-component decomposition: the instance
 	// is always solved as one flow network, the pre-decomposition behavior.
 	Monolithic bool
+	// OnStage, when set, receives a StageEvent after each solve stage
+	// completes (see StageEvent for the contract). Non-detail events are
+	// delivered from the goroutine driving the solve, in execution order;
+	// detail events are delivered from the same goroutine after the worker
+	// pool drains. The hook must be cheap and must not call back into the
+	// solver.
+	OnStage func(StageEvent)
 
 	// scratch pools per-solve working state across solves and across
 	// parallel component workers; see solveScratch.

@@ -182,6 +182,9 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 	// only when carried state resets; afterwards, cheap shape checks here
 	// plus a float scan of just the dirty rows (validateJobData below) —
 	// clean rows were validated by the solve that last saw them change.
+	// (The dirty-row scans run inside the diff loop and are accounted to
+	// the partition stage.)
+	tValidate := time.Now()
 	if fresh {
 		if err := in.Validate(); err != nil {
 			return nil, err
@@ -202,6 +205,7 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 			}
 		}
 	}
+	sv.stage(StageValidate, time.Since(tValidate), false)
 	if fresh {
 		x.m, x.capBits = m, capBits
 		x.jobs = make(map[string]*incComp, n)
@@ -216,6 +220,7 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 		x.haveWSum = false
 	}
 	x.gen++
+	tPartition := time.Now()
 
 	idx := make(map[string]int, n)
 	for i, name := range in.JobName {
@@ -326,8 +331,16 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 		toSolve = append(toSolve, c)
 	}
 	st.Solved = len(toSolve)
+	sv.stage(StagePartition, time.Since(tPartition), false)
+	tSolve := time.Now()
 
 	var seqNS atomic.Int64
+	// perComp collects per-component solve wall times for detail stage
+	// events; workers write disjoint indices, so no lock is needed.
+	var perComp []time.Duration
+	if sv.OnStage != nil {
+		perComp = make([]time.Duration, len(toSolve))
+	}
 	if len(toSolve) > 0 {
 		workers := sv.parallelism()
 		if workers > len(toSolve) {
@@ -349,7 +362,11 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 				c := toSolve[k]
 				t0 := time.Now()
 				res, err := x.solveComp(sv, in, idx, c, floors)
-				seqNS.Add(int64(time.Since(t0)))
+				d := time.Since(t0)
+				seqNS.Add(int64(d))
+				if perComp != nil {
+					perComp[k] = d
+				}
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -377,6 +394,11 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 			c.pendKey = nil
 		}
 	}
+	for _, d := range perComp {
+		sv.stage(StageSolveComponent, d, true)
+	}
+	sv.stage(StageSolve, time.Since(tSolve), false)
+	tMerge := time.Now()
 
 	alloc := &Allocation{Inst: in, Share: make([][]float64, n)}
 	for i, name := range in.JobName {
@@ -393,6 +415,7 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 	}
 
 	x.evict()
+	sv.stage(StageMerge, time.Since(tMerge), false)
 
 	st.SequentialTime = time.Duration(seqNS.Load())
 	st.WallTime = time.Since(start)

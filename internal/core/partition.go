@@ -202,6 +202,7 @@ func buildSubInstances(in *Instance, floors []float64, jobComp []int, ncomp int)
 // has at most one component: the caller then takes the monolithic path on
 // the full instance, unchanged from the pre-decomposition behavior.
 func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, bool, error) {
+	tPart := time.Now()
 	jobComp, ncomp := components(in)
 	if ncomp <= 1 {
 		return nil, false, nil
@@ -209,10 +210,18 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 	start := time.Now()
 	subs := buildSubInstances(in, floors, jobComp, ncomp)
 	alloc := NewAllocation(in)
+	sv.stage(StagePartition, time.Since(tPart), false)
+	tSolve := time.Now()
 
 	workers := sv.parallelism()
 	if workers > ncomp {
 		workers = ncomp
+	}
+	// perComp collects per-component solve wall times for detail stage
+	// events; workers write disjoint indices, so no lock is needed.
+	var perComp []time.Duration
+	if sv.OnStage != nil {
+		perComp = make([]time.Duration, ncomp)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -231,7 +240,11 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 			sub := &subs[c]
 			t0 := time.Now()
 			a, err := sv.fillMono(sub.in, sub.floors, nil)
-			seqNS.Add(int64(time.Since(t0)))
+			d := time.Since(t0)
+			seqNS.Add(int64(d))
+			if perComp != nil {
+				perComp[c] = d
+			}
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -258,6 +271,12 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 	if firstErr != nil {
 		return nil, true, firstErr
 	}
+	for _, d := range perComp {
+		sv.stage(StageSolveComponent, d, true)
+	}
+	// The merge is folded into the workers (share rows are disjoint across
+	// components), so the decomposed path emits no separate merge stage.
+	sv.stage(StageSolve, time.Since(tSolve), false)
 
 	st := SolveStats{
 		Components:     ncomp,

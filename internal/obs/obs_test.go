@@ -73,6 +73,114 @@ func TestHistogramEmpty(t *testing.T) {
 	if s.Count != 0 || s.P50 != 0 || s.Max != 0 || len(s.Buckets) != 0 {
 		t.Fatalf("empty summary = %+v", s)
 	}
+	// Every quantile of an empty histogram is 0, including out-of-range q.
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Summary()
+	if s.Count != 1 || s.Min != 0.003 || s.Max != 0.003 || s.Mean != 0.003 {
+		t.Fatalf("single-observation summary = %+v", s)
+	}
+	// With one sample, every quantile must collapse to that sample: the
+	// in-bucket interpolation is clamped to the observed [min, max] range.
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0.003 {
+			t.Fatalf("single-observation Quantile(%g) = %g, want 0.003", q, got)
+		}
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("buckets = %+v, want exactly one with count 1", s.Buckets)
+	}
+}
+
+func TestHistogramQuantileOutOfRange(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	lo, hi := h.Quantile(-0.5), h.Quantile(1.5)
+	if want := h.Quantile(0); lo != want {
+		t.Fatalf("Quantile(-0.5) = %g, want clamp to Quantile(0) = %g", lo, want)
+	}
+	if want := h.Quantile(1); hi != want {
+		t.Fatalf("Quantile(1.5) = %g, want clamp to Quantile(1) = %g", hi, want)
+	}
+	if lo > hi {
+		t.Fatalf("clamped quantiles inverted: q0=%g > q1=%g", lo, hi)
+	}
+}
+
+func TestHistogramOverflowQuantileAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second) // clamped to 0
+	h.Observe(40 * time.Second) // beyond the ~33.5s last bounded bucket
+	h.Observe(100 * time.Second)
+	s := h.Summary()
+	if s.Count != 3 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// The overflow bucket interpolates against the observed max, never past
+	// it, and q=1 lands exactly on it.
+	if p := h.Quantile(1); p != 100 {
+		t.Fatalf("Quantile(1) = %g, want 100", p)
+	}
+	if p := h.Quantile(0.99); p > 100 || p < 0 {
+		t.Fatalf("Quantile(0.99) = %g, outside observed range", p)
+	}
+}
+
+// TestHistogramConcurrentObserveQuantile races writers against quantile
+// and snapshot readers; under -race this is the histogram's concurrency
+// proof for the read path (TestConcurrent covers the registry).
+func TestHistogramConcurrentObserveQuantile(t *testing.T) {
+	var h Histogram
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 20000; i++ {
+				h.Observe(time.Duration(i%5000) * time.Microsecond)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+					if v := h.Quantile(q); v < 0 {
+						t.Errorf("Quantile(%g) = %g < 0", q, v)
+						return
+					}
+				}
+				if s := h.Summary(); s.Count < 0 || s.Sum < 0 {
+					t.Errorf("summary went negative: %+v", s)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Summary().Count; got != 4*20000 {
+		t.Fatalf("count = %d, want %d", got, 4*20000)
+	}
 }
 
 func TestSnapshotJSON(t *testing.T) {

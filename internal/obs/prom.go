@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a Registry, served by the
+// API server at GET /metrics. The JSON snapshot at /v1/metrics is
+// unchanged; this renderer maps the same registry onto scrape-friendly
+// families:
+//
+//   - Counters and gauges render directly; names are prefixed amf_ and
+//     sanitized ('.' and anything outside [a-zA-Z0-9_:] become '_').
+//   - Histograms render with the full fixed bucket layout (cumulative
+//     counts, le in seconds, +Inf), _sum and _count, and get a _seconds
+//     unit suffix when the name lacks one.
+//   - Per-route HTTP metrics and per-stage engine histograms fold into one
+//     family each with a route="..." / stage="..." label, instead of
+//     minting a metric name per route pattern.
+
+// promPrefixRule folds a dotted-name prefix into one labeled family.
+type promPrefixRule struct {
+	prefix string
+	family string
+	label  string
+}
+
+var promCounterRules = []promPrefixRule{
+	{"http.requests.", "amf_http_requests_total", "route"},
+	{"http.errors.", "amf_http_errors_total", "route"},
+}
+
+var promHistogramRules = []promPrefixRule{
+	{"http.latency.", "amf_http_request_latency_seconds", "route"},
+	{"engine.stage.", "amf_engine_stage_latency_seconds", "stage"},
+}
+
+// PromContentType is the Content-Type of the exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a dotted metric name into a legal Prometheus metric
+// name with the amf_ namespace prefix.
+func promName(raw string) string {
+	var b strings.Builder
+	b.Grow(len(raw) + 4)
+	b.WriteString("amf_")
+	for _, r := range raw {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders one label pair with value escaping per the exposition
+// format (backslash, double quote, newline).
+func promLabel(name, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return name + `="` + esc + `"`
+}
+
+// mapFamily resolves a raw metric name to its family and label under the
+// given rules, falling back to the sanitized name.
+func mapFamily(raw string, rules []promPrefixRule) (family, label string) {
+	for _, r := range rules {
+		if strings.HasPrefix(raw, r.prefix) {
+			return r.family, promLabel(r.label, raw[len(r.prefix):])
+		}
+	}
+	return promName(raw), ""
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promSeries is one rendered series within a family.
+type promSeries struct {
+	label   string // "" or one rendered label pair
+	counter int64
+	gauge   float64
+	hist    *histState
+}
+
+type promFamily struct {
+	name   string
+	typ    string // "counter", "gauge" or "histogram"
+	series []promSeries
+}
+
+// WritePrometheus renders every metric in the registry. Output is
+// deterministic: families sorted by name, series sorted by label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams := map[string]*promFamily{}
+	add := func(name, typ string, s promSeries) {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		f.series = append(f.series, s)
+	}
+
+	r.mu.RLock()
+	for name, c := range r.counters {
+		fam, label := mapFamily(name, promCounterRules)
+		add(fam, "counter", promSeries{label: label, counter: c.Value()})
+	}
+	for name, g := range r.gauges {
+		add(promName(name), "gauge", promSeries{gauge: g.Value()})
+	}
+	for name, h := range r.histograms {
+		fam, label := mapFamily(name, promHistogramRules)
+		if !strings.HasSuffix(fam, "_seconds") {
+			fam += "_seconds"
+		}
+		s := h.snapshot()
+		add(fam, "histogram", promSeries{label: label, hist: &s})
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].label < f.series[j].label })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.typ {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.label), s.counter)
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.label), promFloat(s.gauge))
+			case "histogram":
+				err = writePromHistogram(w, f.name, s.label, s.hist)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// braced wraps a rendered label pair in braces, or returns "" for none.
+func braced(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+// writePromHistogram emits the cumulative bucket series, _sum and _count
+// for one histogram. The +Inf bucket and _count both report the bucket
+// total, so the series stays self-consistent even while writers race the
+// snapshot.
+func writePromHistogram(w io.Writer, family, label string, s *histState) error {
+	join := func(extra string) string {
+		if label == "" {
+			return "{" + extra + "}"
+		}
+		return "{" + label + "," + extra + "}"
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += s.buckets[i]
+		le := promFloat(float64(bucketUpperNS(i)) / 1e9)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, join(`le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.buckets[numBuckets] // overflow bucket
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, join(`le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, braced(label), promFloat(float64(s.sumNS)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, braced(label), cum)
+	return err
+}

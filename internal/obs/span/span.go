@@ -1,0 +1,227 @@
+// Package span is a lightweight commit-tracing subsystem for the serving
+// path: trace IDs minted per HTTP request, propagated through
+// context.Context into the engine's group commits, and per-stage spans
+// (queue wait, apply, WAL encode/append/fsync, solver stages, publish)
+// recorded into a lock-free ring buffer served at GET /v1/traces.
+//
+// It is deliberately not a distributed tracer: there is one process, one
+// committer, and the interesting question is "where inside this commit did
+// the time go", so a Trace is a flat sequence of stage spans plus a few
+// correlation fields (commit sequence, batch size, the request trace IDs
+// that rode in the batch). The name span avoids colliding with
+// internal/trace, which is the workload-I/O package.
+//
+// Recording is allocation-light and lock-free: a Recorder is a fixed ring
+// of atomic pointers, so tracing can stay enabled in production without
+// perturbing the latencies it measures.
+package span
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a trace identifier: 16 lowercase hex characters. The zero value
+// ("") means "no trace".
+type ID string
+
+// idCounter and idSeed make minted IDs unique within a process and
+// unlikely to collide across processes: the high bits carry a random
+// per-process seed, the low bits a counter.
+var (
+	idCounter atomic.Uint64
+	idSeed    = rand.Uint64()
+)
+
+// MintID returns a fresh trace ID. Safe for concurrent use; costs one
+// atomic add and one small formatting call.
+func MintID() ID {
+	n := idCounter.Add(1)
+	return ID(fmt.Sprintf("%016x", idSeed+n*0x9e3779b97f4a7c15))
+}
+
+// ctxKey is the private context key for trace IDs.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the trace ID.
+func NewContext(ctx context.Context, id ID) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext extracts the trace ID, or "" when the context carries none.
+func FromContext(ctx context.Context) ID {
+	id, _ := ctx.Value(ctxKey{}).(ID)
+	return id
+}
+
+// Span is one named stage of a trace. Stage spans are laid out on a single
+// sequential timeline (Start is the offset from the trace start, and
+// non-detail spans never overlap), so summing their durations reproduces
+// the trace total.
+type Span struct {
+	// Name is the stage ("queue_wait", "apply", "wal_fsync", "solve", ...).
+	Name string `json:"name"`
+	// Start is the span's offset from the trace start, in seconds.
+	Start float64 `json:"start_seconds"`
+	// Duration is the stage's wall time in seconds.
+	Duration float64 `json:"duration_seconds"`
+	// Detail marks informational spans that ran concurrently with others
+	// (per-component solves on the worker pool). Detail spans overlap the
+	// "solve" stage span and are excluded from timeline accounting.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// Trace is one recorded commit: a flat stage timeline plus correlation
+// metadata. Traces are immutable once recorded.
+type Trace struct {
+	// ID is the trace ID: the first request trace ID in the batch, or a
+	// freshly minted one for commits with no traced request (the initial
+	// publish, compactions).
+	ID ID `json:"trace_id"`
+	// Seq is the engine's commit sequence number.
+	Seq uint64 `json:"seq"`
+	// Start is the trace's wall-clock start (the enqueue time of the
+	// earliest mutation in the batch).
+	Start time.Time `json:"start"`
+	// Total is the trace's end-to-end wall time in seconds; the non-detail
+	// spans partition it (up to uninstrumented slack).
+	Total float64 `json:"total_seconds"`
+	// BatchSize is the number of mutations in the commit.
+	BatchSize int `json:"batch_size"`
+	// Requests lists the trace IDs of the requests whose mutations rode in
+	// this commit, in batch order — the request↔trace correlation for the
+	// X-AMF-Trace-Id response header.
+	Requests []ID `json:"requests,omitempty"`
+	// Error is the commit's error, if any ("" for success).
+	Error string `json:"error,omitempty"`
+	// Spans is the stage timeline.
+	Spans []Span `json:"spans"`
+}
+
+// SpanSum returns the summed duration of the non-detail stage spans in
+// seconds — the instrumented fraction of Total.
+func (t *Trace) SpanSum() float64 {
+	var s float64
+	for _, sp := range t.Spans {
+		if !sp.Detail {
+			s += sp.Duration
+		}
+	}
+	return s
+}
+
+// Builder accumulates one trace's spans on a sequential cursor. It is not
+// safe for concurrent use: the engine's single committer goroutine owns
+// it for the duration of one commit.
+type Builder struct {
+	t      Trace
+	cursor time.Duration
+}
+
+// Begin starts a trace at the given wall-clock start.
+func Begin(id ID, start time.Time) *Builder {
+	return &Builder{t: Trace{ID: id, Start: start}}
+}
+
+// SetSeq records the commit sequence number.
+func (b *Builder) SetSeq(seq uint64) { b.t.Seq = seq }
+
+// SetBatch records the batch size and the member request trace IDs.
+func (b *Builder) SetBatch(size int, requests []ID) {
+	b.t.BatchSize = size
+	b.t.Requests = requests
+}
+
+// SetError records the commit error.
+func (b *Builder) SetError(err error) {
+	if err != nil {
+		b.t.Error = err.Error()
+	}
+}
+
+// Stage appends a stage span at the cursor and advances the cursor by d:
+// consecutive Stage calls build a contiguous timeline.
+func (b *Builder) Stage(name string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.t.Spans = append(b.t.Spans, Span{
+		Name:     name,
+		Start:    b.cursor.Seconds(),
+		Duration: d.Seconds(),
+	})
+	b.cursor += d
+}
+
+// Detail appends an informational span at the current cursor WITHOUT
+// advancing it — used for work that ran concurrently inside the enclosing
+// stage (per-component solves).
+func (b *Builder) Detail(name string, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b.t.Spans = append(b.t.Spans, Span{
+		Name:     name,
+		Start:    b.cursor.Seconds(),
+		Duration: d.Seconds(),
+		Detail:   true,
+	})
+}
+
+// Finish stamps the total (wall time since Start) and returns the
+// completed immutable trace.
+func (b *Builder) Finish() *Trace {
+	b.t.Total = time.Since(b.t.Start).Seconds()
+	return &b.t
+}
+
+// Recorder is a fixed-size lock-free ring of recorded traces. Record is a
+// single atomic pointer store plus an atomic add; readers walk the ring
+// without blocking writers.
+type Recorder struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// NewRecorder returns a ring holding the most recent size traces
+// (minimum 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// Cap reports the ring capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Record stores a completed trace, overwriting the oldest when full. The
+// trace must not be mutated afterwards.
+func (r *Recorder) Record(t *Trace) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Recent returns up to limit traces, newest first. limit <= 0 means the
+// whole ring. The result is never nil.
+func (r *Recorder) Recent(limit int) []*Trace {
+	n := r.next.Load()
+	have := int(min(n, uint64(len(r.slots))))
+	if limit <= 0 || limit > have {
+		limit = have
+	}
+	out := make([]*Trace, 0, limit)
+	for k := 0; k < have && len(out) < limit; k++ {
+		// Walk backwards from the most recently written slot. A concurrent
+		// writer may overwrite the oldest slots mid-walk; the pointer loads
+		// stay safe and the result stays a set of recent traces.
+		t := r.slots[(n-1-uint64(k))%uint64(len(r.slots))].Load()
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

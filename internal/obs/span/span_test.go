@@ -1,0 +1,154 @@
+package span
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMintIDUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := MintID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != "" {
+		t.Fatalf("empty context carries id %q", got)
+	}
+	id := MintID()
+	ctx := NewContext(context.Background(), id)
+	if got := FromContext(ctx); got != id {
+		t.Fatalf("round trip = %q, want %q", got, id)
+	}
+}
+
+func TestBuilderTimeline(t *testing.T) {
+	start := time.Now().Add(-time.Second)
+	b := Begin("abc", start)
+	b.SetSeq(7)
+	b.SetBatch(3, []ID{"r1", "r2"})
+	b.Stage("queue_wait", 10*time.Millisecond)
+	b.Stage("apply", 5*time.Millisecond)
+	b.Detail("solve.component", 2*time.Millisecond)
+	b.Stage("solve", 4*time.Millisecond)
+	b.SetError(errors.New("boom"))
+	tr := b.Finish()
+
+	if tr.ID != "abc" || tr.Seq != 7 || tr.BatchSize != 3 || len(tr.Requests) != 2 {
+		t.Fatalf("metadata lost: %+v", tr)
+	}
+	if tr.Error != "boom" {
+		t.Fatalf("error = %q", tr.Error)
+	}
+	if tr.Total < 1.0 {
+		t.Fatalf("total = %g, want >= 1s (trace started 1s ago)", tr.Total)
+	}
+	// Non-detail spans are contiguous: each starts where the previous ended.
+	cursor := 0.0
+	for _, sp := range tr.Spans {
+		if sp.Detail {
+			continue
+		}
+		if sp.Start != cursor {
+			t.Fatalf("span %q starts at %g, want %g", sp.Name, sp.Start, cursor)
+		}
+		cursor += sp.Duration
+	}
+	if want := 0.019; tr.SpanSum() < want-1e-9 || tr.SpanSum() > want+1e-9 {
+		t.Fatalf("span sum = %g, want %g (detail spans excluded)", tr.SpanSum(), want)
+	}
+	// The detail span sits inside the timeline, parked at its cursor.
+	if tr.Spans[2].Name != "solve.component" || !tr.Spans[2].Detail || tr.Spans[2].Start != 0.015 {
+		t.Fatalf("detail span misplaced: %+v", tr.Spans[2])
+	}
+}
+
+func TestBuilderNegativeDurationClamped(t *testing.T) {
+	b := Begin("x", time.Now())
+	b.Stage("s", -time.Second)
+	b.Detail("d", -time.Second)
+	tr := b.Finish()
+	if tr.Spans[0].Duration != 0 || tr.Spans[1].Duration != 0 {
+		t.Fatalf("negative durations not clamped: %+v", tr.Spans)
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(&Trace{Seq: uint64(i)})
+	}
+	got := r.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("recent = %d traces, want 4", len(got))
+	}
+	// Newest first: 9, 8, 7, 6.
+	for i, tr := range got {
+		if want := uint64(9 - i); tr.Seq != want {
+			t.Fatalf("recent[%d].Seq = %d, want %d", i, tr.Seq, want)
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 8 {
+		t.Fatalf("limit 2 = %+v", got)
+	}
+}
+
+func TestRecorderEmptyAndTiny(t *testing.T) {
+	if got := NewRecorder(8).Recent(5); len(got) != 0 {
+		t.Fatalf("empty recorder returned %d traces", len(got))
+	}
+	r := NewRecorder(0) // clamped to 1
+	r.Record(&Trace{Seq: 1})
+	r.Record(&Trace{Seq: 2})
+	if got := r.Recent(10); len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("size-1 ring = %+v", got)
+	}
+}
+
+// TestRecorderConcurrent hammers Record and Recent together; under -race
+// this is the ring's lock-freedom proof.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Record(&Trace{Seq: uint64(w*5000 + i)})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				for _, tr := range r.Recent(8) {
+					if tr == nil {
+						t.Error("nil trace from Recent")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Recent(0); len(got) != 16 {
+		t.Fatalf("full ring holds %d traces, want 16", len(got))
+	}
+}

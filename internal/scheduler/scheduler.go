@@ -491,6 +491,19 @@ func (sc *Scheduler) SetOnSolve(fn func(time.Duration)) {
 	sc.cfg.OnSolve = fn
 }
 
+// SetOnStage installs (or replaces) the per-stage solver instrumentation
+// hook on the underlying core solver: it receives one core.StageEvent per
+// solve stage (validate, partition, solve, merge, plus per-component
+// detail events; see core.StageEvent for the contract). The hook fires on
+// whichever goroutine triggered the solve and may run with the
+// controller's mutex held, so it must be cheap and must not call back into
+// the Scheduler. nil uninstalls it.
+func (sc *Scheduler) SetOnStage(fn func(core.StageEvent)) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.cfg.Solver.OnStage = fn
+}
+
 // Stats returns activity counters.
 func (sc *Scheduler) Stats() Stats {
 	sc.mu.Lock()

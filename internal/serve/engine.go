@@ -50,12 +50,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fairness"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/wal"
 )
@@ -97,6 +100,18 @@ type Config struct {
 	// CompactInterval additionally triggers periodic compaction (zero
 	// disables the timer; size-based compaction still runs).
 	CompactInterval time.Duration
+	// Traces, when set, enables commit tracing: every commit builds a
+	// span.Trace (queue wait, apply, WAL encode/append/fsync, solver
+	// stages, publish) and records it into this ring. Nil disables tracing;
+	// the per-stage histograms in Metrics are fed either way.
+	Traces *span.Recorder
+	// Logger, when set, receives structured engine logs (currently slow
+	// commits; see SlowCommit). Nil disables logging.
+	Logger *slog.Logger
+	// SlowCommit is the whole-commit latency threshold above which the
+	// engine logs a warning with the commit's trace ID, sequence number and
+	// per-stage timings. Zero disables slow-commit logging.
+	SlowCommit time.Duration
 }
 
 // AllocSnapshot is one immutable published allocation: everything a read
@@ -139,6 +154,19 @@ func (s *AllocSnapshot) Allocation() *core.Allocation {
 	return a
 }
 
+// Engine-side stage names (the solver's live in core: validate,
+// partition, solve, merge, solve.component). Together they name the
+// commit's sequential span timeline and the engine.stage.<name> latency
+// histograms.
+const (
+	stageQueueWait = "queue_wait"
+	stageApply     = "apply"
+	stageWALEncode = "wal_encode"
+	stageWALAppend = "wal_append"
+	stageWALFsync  = "wal_fsync"
+	stagePublish   = "publish"
+)
+
 // op submission states: the CAS between the committer (taking the op to
 // apply it) and a cancelling submitter (abandoning it while queued) that
 // makes context cancellation race-free.
@@ -160,9 +188,13 @@ type op struct {
 	// finishes the in-progress batch, commits the exclusive op alone, then
 	// resumes batching.
 	exclusive bool
-	state     atomic.Int32
-	err       error
-	done      chan struct{}
+	// traceID is the submitting request's trace ID ("" when the context
+	// carried none); enqueuedAt anchors the commit's queue-wait span.
+	traceID    span.ID
+	enqueuedAt time.Time
+	state      atomic.Int32
+	err        error
+	done       chan struct{}
 }
 
 // Engine is the concurrent serving engine. Create with New, stop with
@@ -188,8 +220,19 @@ type Engine struct {
 
 	snap atomic.Pointer[AllocSnapshot]
 
+	// Commit-trace state, owned by the committer goroutine. tb is the
+	// in-flight commit's trace builder (nil outside a traced commit); the
+	// solver stage hook and WAL observer append into it from the
+	// committer's own call stack. solveSpanSum accumulates the non-detail
+	// solver stage durations of the current publish, so the "publish" span
+	// can report only the snapshot-building overhead beyond them.
+	commitSeq    uint64
+	tb           *span.Builder
+	solveSpanSum time.Duration
+
 	// Cached metric handles; when Config.Metrics is unset they point into
 	// a private throwaway registry so the hot path stays branch-free.
+	reg         *obs.Registry
 	mMutations  *obs.Counter
 	mCommits    *obs.Counter
 	mExclusive  *obs.Counter
@@ -202,6 +245,7 @@ type Engine struct {
 	hCommit     *obs.Histogram
 	hWALAppend  *obs.Histogram
 	hWALFsync   *obs.Histogram
+	hWALCompact *obs.Histogram
 	gBatch      *obs.Gauge
 	gVersion    *obs.Gauge
 	gJobs       *obs.Gauge
@@ -214,6 +258,13 @@ type Engine struct {
 	gWALRecords *obs.Gauge
 	gWALBytes   *obs.Gauge
 	gWALSegs    *obs.Gauge
+	gJain       *obs.Gauge
+	gMinShare   *obs.Gauge
+	gMaxShare   *obs.Gauge
+	// stageHists caches the engine.stage.<name> histograms for the known
+	// stage names; unknown names fall back to a (thread-safe) registry
+	// lookup.
+	stageHists map[string]*obs.Histogram
 }
 
 // New wraps a scheduler in a serving engine, publishes the initial
@@ -245,6 +296,7 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	e.reg = reg
 	e.mMutations = reg.Counter("engine.mutations_total")
 	e.mCommits = reg.Counter("engine.commits_total")
 	e.mExclusive = reg.Counter("engine.exclusive_commits_total")
@@ -257,6 +309,7 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.hCommit = reg.Histogram("engine.commit_latency")
 	e.hWALAppend = reg.Histogram("wal.append_latency")
 	e.hWALFsync = reg.Histogram("wal.fsync_latency")
+	e.hWALCompact = reg.Histogram("wal.compact_latency")
 	e.gBatch = reg.Gauge("engine.last_batch_size")
 	e.gVersion = reg.Gauge("engine.snapshot_version")
 	e.gJobs = reg.Gauge("engine.jobs")
@@ -269,7 +322,56 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.gWALRecords = reg.Gauge("wal.records_since_compact")
 	e.gWALBytes = reg.Gauge("wal.bytes_since_compact")
 	e.gWALSegs = reg.Gauge("wal.segments")
+	e.gJain = reg.Gauge("fairness.jain_index")
+	e.gMinShare = reg.Gauge("fairness.min_normalized_share")
+	e.gMaxShare = reg.Gauge("fairness.max_normalized_share")
+	e.stageHists = make(map[string]*obs.Histogram)
+	for _, s := range []string{
+		stageQueueWait, stageApply, stageWALEncode, stagePublish,
+		core.StageValidate, core.StagePartition, core.StageSolve,
+		core.StageMerge, core.StageSolveComponent,
+	} {
+		e.stageHists[s] = reg.Histogram("engine.stage." + s)
+	}
 	sc.SetOnSolve(func(d time.Duration) { e.hSolve.Observe(d) })
+	// The stage hook fires on whichever goroutine drives the solve — always
+	// the committer (or New's goroutine, for the initial publish below), so
+	// touching e.tb and e.solveSpanSum needs no lock.
+	sc.SetOnStage(func(ev core.StageEvent) {
+		e.stageObserve(ev.Name, ev.Duration)
+		tb := e.tb
+		if tb == nil {
+			return
+		}
+		if ev.Detail {
+			tb.Detail(ev.Name, ev.Duration)
+		} else {
+			tb.Stage(ev.Name, ev.Duration)
+			e.solveSpanSum += ev.Duration
+		}
+	})
+	if cfg.Log != nil {
+		// The engine drives the WAL from the committer goroutine only, so
+		// the observer may touch e.tb for the same reason as the stage hook.
+		cfg.Log.SetObserver(func(op string, d time.Duration) {
+			switch op {
+			case "append":
+				e.hWALAppend.Observe(d)
+			case "sync":
+				e.hWALFsync.Observe(d)
+			case "compact":
+				e.hWALCompact.Observe(d)
+			}
+			if tb := e.tb; tb != nil {
+				switch op {
+				case "append":
+					tb.Stage(stageWALAppend, d)
+				case "sync":
+					tb.Stage(stageWALFsync, d)
+				}
+			}
+		})
+	}
 	if _, err := e.publish(0); err != nil {
 		return nil, fmt.Errorf("serve: initial solve: %w", err)
 	}
@@ -325,7 +427,14 @@ func (e *Engine) submit(ctx context.Context, exclusive bool, rec *wal.Mutation, 
 	if e.walFailed.Load() {
 		return ErrWALFailed
 	}
-	o := &op{apply: apply, rec: rec, exclusive: exclusive, done: make(chan struct{})}
+	o := &op{
+		apply:      apply,
+		rec:        rec,
+		exclusive:  exclusive,
+		traceID:    span.FromContext(ctx),
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -463,18 +572,31 @@ func (e *Engine) gather(first *op) []*op {
 // cancelled while queued are skipped, not applied.
 func (e *Engine) commit(batch []*op) {
 	start := time.Now()
+	e.commitSeq++
+	e.beginTrace(batch, start)
+	tApply := time.Now()
 	var recs []wal.Mutation
 	applied := 0
+	var requests []span.ID
 	for _, o := range batch {
 		if !o.state.CompareAndSwap(opQueued, opTaken) {
 			o.err = context.Canceled
 			continue
 		}
 		applied++
+		if o.traceID != "" {
+			requests = append(requests, o.traceID)
+		}
 		o.err = o.apply(e.sc)
 		if o.err == nil && o.rec != nil && e.cfg.Log != nil {
 			recs = append(recs, *o.rec)
 		}
+	}
+	applyD := time.Since(tApply)
+	e.stageObserve(stageApply, applyD)
+	if tb := e.tb; tb != nil {
+		tb.SetBatch(applied, requests)
+		tb.Stage(stageApply, applyD)
 	}
 	// Durability barrier: one record, one fsync for the whole batch. On
 	// failure nothing is acknowledged and nothing further will be — the
@@ -486,6 +608,8 @@ func (e *Engine) commit(batch []*op) {
 			return
 		}
 	}
+	e.solveSpanSum = 0
+	pubStart := time.Now()
 	snap, err := e.publish(applied)
 	if err != nil {
 		// The mutations were applied but the allocation could not be
@@ -509,6 +633,16 @@ func (e *Engine) commit(batch []*op) {
 		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 			e.gHitRatio.Set(float64(st.CacheHits) / float64(lookups))
 		}
+		e.updateFairnessGauges(snap)
+	}
+	// The solver's stage events streamed into the trace during publish; the
+	// "publish" span covers the remainder — snapshot building and the
+	// post-publish gauge refresh (which walks every job's shares and is a
+	// real cost on large job sets) — keeping the timeline contiguous.
+	pubOver := time.Since(pubStart) - e.solveSpanSum
+	e.stageObserve(stagePublish, pubOver)
+	if tb := e.tb; tb != nil {
+		tb.Stage(stagePublish, pubOver)
 	}
 	if len(batch) == 1 && batch[0].exclusive {
 		e.mExclusive.Inc()
@@ -520,31 +654,144 @@ func (e *Engine) finishCommit(batch []*op, start time.Time) {
 	e.mMutations.Add(int64(len(batch)))
 	e.mCommits.Inc()
 	e.gBatch.Set(float64(len(batch)))
-	e.hCommit.Observe(time.Since(start))
+	total := time.Since(start)
+	e.hCommit.Observe(total)
 	e.updateWALGauges()
+	t := e.finishTrace(batch)
+	if e.cfg.Logger != nil && e.cfg.SlowCommit > 0 && total >= e.cfg.SlowCommit {
+		attrs := []any{
+			slog.Uint64("batch_seq", e.commitSeq),
+			slog.Int("batch_size", len(batch)),
+			slog.Duration("total", total),
+		}
+		if t != nil {
+			attrs = append(attrs, slog.String("trace_id", string(t.ID)))
+			for _, sp := range t.Spans {
+				if !sp.Detail {
+					attrs = append(attrs, slog.Float64("stage."+sp.Name+"_seconds", sp.Duration))
+				}
+			}
+		}
+		e.cfg.Logger.Warn("slow commit", attrs...)
+	}
 	for _, o := range batch {
 		close(o.done)
 	}
 }
 
+// beginTrace opens the commit's trace when a Recorder is configured. The
+// trace starts at the enqueue time of the earliest mutation in the batch
+// (so the first span is the batch's queue wait) and takes its ID from the
+// first request-minted trace ID riding in the batch, falling back to a
+// fresh one. The queue-wait histogram is fed whether or not tracing is on.
+func (e *Engine) beginTrace(batch []*op, start time.Time) {
+	earliest := start
+	var id span.ID
+	for _, o := range batch {
+		if !o.enqueuedAt.IsZero() && o.enqueuedAt.Before(earliest) {
+			earliest = o.enqueuedAt
+		}
+		if id == "" {
+			id = o.traceID
+		}
+	}
+	wait := start.Sub(earliest)
+	e.stageObserve(stageQueueWait, wait)
+	if e.cfg.Traces == nil {
+		return
+	}
+	if id == "" {
+		id = span.MintID()
+	}
+	tb := span.Begin(id, earliest)
+	tb.SetSeq(e.commitSeq)
+	tb.Stage(stageQueueWait, wait)
+	e.tb = tb
+}
+
+// finishTrace seals and records the commit's trace, returning it for the
+// slow-commit log (nil when tracing is off).
+func (e *Engine) finishTrace(batch []*op) *span.Trace {
+	tb := e.tb
+	if tb == nil {
+		return nil
+	}
+	e.tb = nil
+	for _, o := range batch {
+		if o.err != nil && !errors.Is(o.err, context.Canceled) {
+			tb.SetError(o.err)
+			break
+		}
+	}
+	t := tb.Finish()
+	e.cfg.Traces.Record(t)
+	return t
+}
+
+// stageObserve feeds one engine.stage.<name> latency histogram, falling
+// back to a registry lookup for stage names outside the precreated set.
+func (e *Engine) stageObserve(name string, d time.Duration) {
+	h, ok := e.stageHists[name]
+	if !ok {
+		h = e.reg.Histogram("engine.stage." + name)
+	}
+	h.Observe(d)
+}
+
+// updateFairnessGauges recomputes the published allocation's fairness
+// gauges: Jain's index over the jobs' aggregate (cross-site) allocations,
+// and the minimum and maximum weight-normalized aggregate share. O(jobs ×
+// sites touched), once per commit.
+func (e *Engine) updateFairnessGauges(snap *AllocSnapshot) {
+	names := snap.Inst.JobName
+	if len(names) == 0 {
+		e.gJain.Set(1)
+		e.gMinShare.Set(0)
+		e.gMaxShare.Set(0)
+		return
+	}
+	agg := make([]float64, len(names))
+	for i, id := range names {
+		for _, v := range snap.Shares[id] {
+			agg[i] += v
+		}
+	}
+	norm := agg
+	if snap.Inst.Weight != nil {
+		norm = fairness.NormalizedShares(agg, snap.Inst.Weight)
+	}
+	mn, mx := norm[0], norm[0]
+	for _, v := range norm[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	e.gJain.Set(fairness.JainIndex(agg))
+	e.gMinShare.Set(mn)
+	e.gMaxShare.Set(mx)
+}
+
 // logBatch appends the batch's successful mutations as one WAL record and
-// group-fsyncs it.
+// group-fsyncs it. Append/fsync latencies are observed by the wal.Log
+// observer installed in New, which also feeds the in-flight trace.
 func (e *Engine) logBatch(recs []wal.Mutation) error {
+	tEnc := time.Now()
 	payload, err := wal.EncodeBatch(recs)
+	encD := time.Since(tEnc)
+	e.stageObserve(stageWALEncode, encD)
+	if tb := e.tb; tb != nil {
+		tb.Stage(stageWALEncode, encD)
+	}
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
 	if err := e.cfg.Log.Append(payload); err != nil {
 		return err
 	}
-	e.hWALAppend.Observe(time.Since(t0))
-	t1 := time.Now()
-	if err := e.cfg.Log.Sync(); err != nil {
-		return err
-	}
-	e.hWALFsync.Observe(time.Since(t1))
-	return nil
+	return e.cfg.Log.Sync()
 }
 
 // failWAL fail-stops mutations after a durability failure: every op in

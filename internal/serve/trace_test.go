@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+// TestEngineCommitTracing drives traced mutations through a batching
+// engine and checks the recorded traces: the request trace IDs ride in
+// the commit's Requests list, the first one names the trace, the span
+// timeline is contiguous, and the non-detail spans account for the
+// whole-commit wall time (the acceptance bound is 10%; the batch window
+// makes queue_wait dominate, so the uninstrumented slack stays tiny).
+func TestEngineCommitTracing(t *testing.T) {
+	rec := span.NewRecorder(64)
+	eng, _ := newEngine(t, Config{
+		Traces:      rec,
+		BatchWindow: 20 * time.Millisecond,
+		Metrics:     obs.NewRegistry(),
+	})
+
+	ids := make([]span.ID, 0, 4)
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		id := span.MintID()
+		ids = append(ids, id)
+		go func(i int, id span.ID) {
+			ctx := span.NewContext(context.Background(), id)
+			errs <- eng.AddJob(ctx, fmt.Sprintf("j%d", i), 1, []float64{1, 1, 0}, nil)
+		}(i, id)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	traces := rec.Recent(0)
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	// Collect every request ID that rode in a recorded trace.
+	seen := make(map[span.ID]bool)
+	for _, tr := range traces {
+		for _, r := range tr.Requests {
+			seen[r] = true
+		}
+		if tr.BatchSize < 1 {
+			t.Fatalf("trace %s batch size = %d", tr.ID, tr.BatchSize)
+		}
+		if len(tr.Requests) > 0 && tr.ID != tr.Requests[0] {
+			t.Fatalf("trace ID %s != first request ID %s", tr.ID, tr.Requests[0])
+		}
+		if tr.Error != "" {
+			t.Fatalf("trace %s error = %q", tr.ID, tr.Error)
+		}
+		// Timeline contiguity: each non-detail span starts where the
+		// previous ended (within float slop).
+		cursor := 0.0
+		names := make(map[string]bool)
+		for _, sp := range tr.Spans {
+			if sp.Detail {
+				continue
+			}
+			if math.Abs(sp.Start-cursor) > 1e-9 {
+				t.Fatalf("span %s starts at %g, cursor %g", sp.Name, sp.Start, cursor)
+			}
+			cursor += sp.Duration
+			names[sp.Name] = true
+		}
+		for _, want := range []string{"queue_wait", "apply", "publish"} {
+			if !names[want] {
+				t.Fatalf("trace %s missing span %q (spans: %+v)", tr.ID, want, tr.Spans)
+			}
+		}
+		if tr.Total <= 0 {
+			t.Fatalf("trace %s total = %g", tr.ID, tr.Total)
+		}
+		if ratio := tr.SpanSum() / tr.Total; ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("trace %s span sum %.6fs vs total %.6fs (ratio %.3f), want within 10%%",
+				tr.ID, tr.SpanSum(), tr.Total, ratio)
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("request trace ID %s not found in any recorded trace", id)
+		}
+	}
+}
+
+// TestEngineTraceWithoutRequestID checks that commits whose batch carries
+// no request trace ID still get a minted one, and that untraced engines
+// record nothing.
+func TestEngineTraceWithoutRequestID(t *testing.T) {
+	rec := span.NewRecorder(8)
+	eng, _ := newEngine(t, Config{Traces: rec})
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{1, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	traces := rec.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	if traces[0].ID == "" || len(traces[0].Requests) != 0 {
+		t.Fatalf("trace = %+v, want minted ID and no requests", traces[0])
+	}
+}
+
+// TestEngineFairnessGauges checks that every successful publish refreshes
+// the fairness gauges from the published allocation.
+func TestEngineFairnessGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, _ := newEngine(t, Config{Metrics: reg, MaxBatch: 1})
+
+	// Two jobs with equal weight contending for site 0 (capacity 4): AMF
+	// splits it 2/2, so aggregate allocations are equal.
+	for _, id := range []string{"a", "b"} {
+		if err := eng.AddJob(context.Background(), id, 1, []float64{4, 0, 0}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Gauge("fairness.jain_index").Value(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("jain_index = %g, want 1", got)
+	}
+	mn := reg.Gauge("fairness.min_normalized_share").Value()
+	mx := reg.Gauge("fairness.max_normalized_share").Value()
+	if math.Abs(mn-2) > 1e-9 || math.Abs(mx-2) > 1e-9 {
+		t.Fatalf("normalized shares = [%g, %g], want [2, 2]", mn, mx)
+	}
+
+	// Doubling a's weight skews the split 8/3–4/3 on the contended site;
+	// normalized shares stay equal (weighted max-min equalizes them) but
+	// Jain over raw aggregates drops below 1.
+	if err := eng.UpdateWeight(context.Background(), "a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("fairness.jain_index").Value(); got >= 1 {
+		t.Fatalf("jain_index = %g after skewing weights, want < 1", got)
+	}
+	mn = reg.Gauge("fairness.min_normalized_share").Value()
+	mx = reg.Gauge("fairness.max_normalized_share").Value()
+	if math.Abs(mn-mx) > 1e-9 {
+		t.Fatalf("normalized shares = [%g, %g], want equal under weighted max-min", mn, mx)
+	}
+}
+
+// TestEngineSlowCommitLog checks the slow-commit structured log: with a
+// threshold of 1ns every commit is "slow", and the JSON record carries
+// the trace ID, batch sequence and per-stage timings.
+func TestEngineSlowCommitLog(t *testing.T) {
+	var buf bytes.Buffer
+	rec := span.NewRecorder(8)
+	eng, _ := newEngine(t, Config{
+		Traces:     rec,
+		Logger:     slog.New(slog.NewJSONHandler(&buf, nil)),
+		SlowCommit: time.Nanosecond,
+	})
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{1, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The committer writes the log line before releasing the submitter, so
+	// the buffer is safe to read here.
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-commit log emitted")
+	}
+	var recJSON map[string]any
+	if err := json.Unmarshal([]byte(strings.Split(line, "\n")[0]), &recJSON); err != nil {
+		t.Fatalf("slow-commit log is not JSON: %v\n%s", err, line)
+	}
+	if recJSON["msg"] != "slow commit" {
+		t.Fatalf("msg = %v", recJSON["msg"])
+	}
+	for _, key := range []string{"trace_id", "batch_seq", "batch_size", "total", "stage.queue_wait_seconds", "stage.apply_seconds", "stage.publish_seconds"} {
+		if _, ok := recJSON[key]; !ok {
+			t.Fatalf("slow-commit log missing %q: %s", key, line)
+		}
+	}
+	if recJSON["trace_id"] != string(rec.Recent(1)[0].ID) {
+		t.Fatalf("trace_id %v does not match recorded trace %s", recJSON["trace_id"], rec.Recent(1)[0].ID)
+	}
+}
+
+// TestEngineStageHistograms checks that the per-stage latency histograms
+// are fed on every commit, tracing on or off.
+func TestEngineStageHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, _ := newEngine(t, Config{Metrics: reg})
+	if err := eng.AddJob(context.Background(), "a", 1, []float64{1, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"engine.stage.queue_wait", "engine.stage.apply", "engine.stage.publish",
+		"engine.stage.validate", "engine.stage.partition", "engine.stage.solve",
+	} {
+		if s := reg.Histogram(name).Summary(); s.Count == 0 {
+			t.Fatalf("%s has no observations", name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned for operations on a closed log.
@@ -78,6 +79,26 @@ type Log struct {
 	bytes       int64
 	compactions int64
 	closed      bool
+	observer    func(op string, d time.Duration)
+}
+
+// SetObserver installs (or, with nil, removes) a latency observer invoked
+// after every Append ("append"), Sync ("sync"), and Compact ("compact")
+// with the operation's wall time, including failed attempts. The observer
+// runs with the log's mutex held, so it must be cheap and must not call
+// back into the Log.
+func (l *Log) SetObserver(fn func(op string, d time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observer = fn
+}
+
+// observe reports one operation's latency to the observer, if installed.
+// Callers hold l.mu.
+func (l *Log) observe(op string, start time.Time) {
+	if l.observer != nil {
+		l.observer(op, time.Since(start))
+	}
 }
 
 const (
@@ -225,6 +246,7 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	defer l.observe("append", time.Now())
 	need := int64(recordHeader + len(payload))
 	if l.activeBytes > 0 && l.activeBytes+need > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -250,6 +272,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	defer l.observe("sync", time.Now())
 	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
@@ -281,6 +304,7 @@ func (l *Log) Compact(state []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	defer l.observe("compact", time.Now())
 	sealed := l.seq
 	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
