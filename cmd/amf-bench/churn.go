@@ -24,6 +24,7 @@ type churnOptions struct {
 	jobs       int // per component
 	sites      int // per component
 	mutations  int
+	zipf       float64 // component-selection skew (0 = uniform)
 	seed       uint64
 	out        string // JSON results path ("" = skip)
 }
@@ -36,6 +37,7 @@ type churnResult struct {
 	JobsPerComponent    int     `json:"jobs_per_component"`
 	SitesPerComponent   int     `json:"sites_per_component"`
 	Mutations           int     `json:"mutations"`
+	ZipfSkew            float64 `json:"zipf_skew"`
 	GOMAXPROCS          int     `json:"gomaxprocs"`
 	IncrementalMedianNS int64   `json:"incremental_median_ns"`
 	FullMedianNS        int64   `json:"full_median_ns"`
@@ -61,6 +63,7 @@ func runChurn(o churnOptions) error {
 		},
 		Mutations: o.mutations,
 		Seed:      o.seed + 1,
+		ZipfSkew:  o.zipf,
 	})
 
 	incNS, incStats, err := churnPass(ch, false)
@@ -78,6 +81,7 @@ func runChurn(o churnOptions) error {
 		JobsPerComponent:    o.jobs,
 		SitesPerComponent:   o.sites,
 		Mutations:           o.mutations,
+		ZipfSkew:            o.zipf,
 		GOMAXPROCS:          runtime.GOMAXPROCS(0),
 		IncrementalMedianNS: incNS,
 		FullMedianNS:        fullNS,
@@ -92,8 +96,8 @@ func runChurn(o churnOptions) error {
 		res.CacheHitRatio = float64(incStats.CacheHits) / float64(total)
 	}
 
-	fmt.Printf("Churn benchmark: %d components x %d jobs x %d sites, %d single-component mutations, GOMAXPROCS=%d\n\n",
-		o.components, o.jobs, o.sites, o.mutations, res.GOMAXPROCS)
+	fmt.Printf("Churn benchmark: %d components x %d jobs x %d sites, %d single-component mutations (zipf %.2f), GOMAXPROCS=%d\n\n",
+		o.components, o.jobs, o.sites, o.mutations, o.zipf, res.GOMAXPROCS)
 	fmt.Printf("%-14s %20s\n", "path", "median commit")
 	fmt.Printf("%-14s %20v\n", "full resolve", time.Duration(fullNS).Round(time.Microsecond))
 	fmt.Printf("%-14s %20v\n", "incremental", time.Duration(incNS).Round(time.Microsecond))

@@ -30,6 +30,15 @@
 //
 //	amf-bench -churn
 //	amf-bench -churn -churn-mutations 2048 -churn-out BENCH_incremental.json
+//	amf-bench -churn -zipf 1.2        # skew churn onto a few hot components
+//
+// A cluster mode measures read-throughput scaling with WAL-shipped read
+// replicas: a durable primary under sustained churn ships its log to N
+// replicas and each endpoint's saturated HTTP read rate is measured in
+// isolation, along with the replicas' worst observed lag:
+//
+//	amf-bench -cluster
+//	amf-bench -cluster -cluster-replicas 2 -cluster-out BENCH_cluster.json
 //
 // An observability mode replays the same mutation stream with the
 // metrics/tracing stack off and fully on and reports the per-commit
@@ -102,6 +111,18 @@ func main() {
 		churnMutations = flag.Int("churn-mutations", 512, "single-component mutations replayed per configuration")
 		churnOut       = flag.String("churn-out", "", "write machine-readable results to this JSON file (e.g. BENCH_incremental.json)")
 
+		zipf = flag.Float64("zipf", 0, "Zipf skew for churn component selection: hit probability ∝ rank^(-s), 0 = uniform (used by -churn and -cluster)")
+
+		clusterMode      = flag.Bool("cluster", false, "run the cluster read-scaling benchmark (primary + WAL-shipped read replicas)")
+		clusterReplicas  = flag.Int("cluster-replicas", 2, "read replicas in the scaled configuration")
+		clusterReaders   = flag.Int("cluster-readers", 4, "concurrent HTTP readers per endpoint")
+		clusterComps     = flag.Int("cluster-components", 16, "independent components in the churned instance")
+		clusterJobs      = flag.Int("cluster-jobs", 4, "jobs per component")
+		clusterSites     = flag.Int("cluster-sites", 3, "sites per component")
+		clusterDur       = flag.Duration("cluster-dur", 1500*time.Millisecond, "read measurement duration per endpoint")
+		clusterWriteIval = flag.Duration("cluster-write-interval", 2*time.Millisecond, "pause between sustained writer mutations")
+		clusterOut       = flag.String("cluster-out", "", "write machine-readable results to this JSON file (e.g. BENCH_cluster.json)")
+
 		obsMode      = flag.Bool("obs", false, "run the observability-overhead benchmark (per-commit latency, metrics+tracing vs plain)")
 		obsComps     = flag.Int("obs-components", 64, "independent components in the sparse instance")
 		obsJobs      = flag.Int("obs-jobs", 16, "jobs per component")
@@ -112,6 +133,25 @@ func main() {
 		obsProfile   = flag.String("obs-cpuprofile", "", "write a CPU profile of the instrumented pass to this file")
 	)
 	flag.Parse()
+
+	if *clusterMode {
+		if err := runClusterBench(clusterOptions{
+			replicas:   *clusterReplicas,
+			readers:    *clusterReaders,
+			components: *clusterComps,
+			jobs:       *clusterJobs,
+			sites:      *clusterSites,
+			dur:        *clusterDur,
+			writeIval:  *clusterWriteIval,
+			zipf:       *zipf,
+			seed:       *seed,
+			out:        *clusterOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *obsMode {
 		if err := runObsBench(obsOptions{
@@ -153,6 +193,7 @@ func main() {
 			jobs:       *churnJobs,
 			sites:      *churnSites,
 			mutations:  *churnMutations,
+			zipf:       *zipf,
 			seed:       *seed,
 			out:        *churnOut,
 		}); err != nil {

@@ -1,0 +1,169 @@
+// Command amf-router fronts a set of amf-server shards with the cluster
+// shard router (internal/cluster): mutations are routed to the shard
+// owning the job's site footprint, reads are fanned out and merged into
+// one coherent response with a cluster-wide version vector, and under
+// amf-enhanced the router broadcasts the global weight sum so each
+// shard's local solve equals the single-engine solve exactly.
+//
+// Capacity and policy are discovered from the shards' /v1/config and
+// must agree across all of them. At boot the router rebuilds its routing
+// ledger from the shards' live snapshots (SyncFromShards), so it can be
+// restarted — or pointed at already-populated shards — without losing
+// placement or the Enhanced weight floors.
+//
+// Usage:
+//
+//	amf-router -listen :8080 -shards http://s0:8081,http://s1:8082
+//
+// Example session (through the router):
+//
+//	curl -X POST localhost:8080/v1/jobs \
+//	     -d '{"id":"etl","demand":[4,4,0],"work":[20,20,0]}'
+//	curl localhost:8080/v1/allocation          # merged across shards
+//	curl localhost:8080/v1/cluster/versions    # per-shard version vector
+//	curl localhost:8080/v1/cluster/stats       # routing ledger + broadcasts
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "listen address")
+		shardCSV = flag.String("shards", "", "comma-separated shard base URLs (required, e.g. http://s0:8081,http://s1:8082)")
+		timeout  = flag.Duration("boot-timeout", 30*time.Second, "deadline for discovering shard config and syncing the routing ledger")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "amf-router: invalid -log-level:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(logger)
+	fail := func(msg string, err error) {
+		logger.Error(msg, "err", err.Error())
+		os.Exit(1)
+	}
+
+	urls := splitURLs(*shardCSV)
+	if len(urls) == 0 {
+		fail("amf-router: flags", fmt.Errorf("-shards is required"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Discover capacity/policy from the shards; the cluster is only
+	// well-formed when every shard solves over the same site set.
+	shards := make([]cluster.Shard, len(urls))
+	var caps []float64
+	var policy sim.Policy
+	for i, u := range urls {
+		cl := api.NewClient(u, nil)
+		cfg, err := waitConfig(ctx, cl)
+		if err != nil {
+			fail("amf-router: shard config", fmt.Errorf("%s: %w", u, err))
+		}
+		p, err := sim.ParsePolicy(cfg.Policy)
+		if err != nil {
+			fail("amf-router: shard policy", fmt.Errorf("%s: %w", u, err))
+		}
+		if i == 0 {
+			caps, policy = cfg.SiteCapacity, p
+		} else if p != policy || !sameCaps(caps, cfg.SiteCapacity) {
+			fail("amf-router: shard config", fmt.Errorf(
+				"%s disagrees with %s (capacity %v policy %s vs %v %s)",
+				u, urls[0], cfg.SiteCapacity, p, caps, policy))
+		}
+		shards[i] = cluster.HTTPShard{Client: cl}
+	}
+
+	router, err := cluster.NewRouter(shards, policy)
+	if err != nil {
+		fail("amf-router: router", err)
+	}
+	if err := router.SyncFromShards(ctx); err != nil {
+		fail("amf-router: syncing ledger", err)
+	}
+	st := router.RouterStats()
+	logger.Info("router ready",
+		"listen", *listen,
+		"shards", len(shards),
+		"sites", len(caps),
+		"policy", policy.String(),
+		"jobs", st.Jobs,
+		"owned_sites", st.OwnedSites,
+		"weight_sum", st.WeightSum)
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           cluster.NewHandler(router, obs.NewRegistry(), caps, policy),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		logger.Info("shutting down")
+		os.Exit(0)
+	}()
+	if err := hs.ListenAndServe(); err != nil {
+		fail("amf-router: listen", err)
+	}
+}
+
+// waitConfig polls a shard's /v1/config until it answers or ctx expires,
+// so the router can be started alongside its shards without ordering.
+func waitConfig(ctx context.Context, cl *api.Client) (api.ConfigResponse, error) {
+	for {
+		cfg, err := cl.Config(ctx)
+		if err == nil {
+			return cfg, nil
+		}
+		select {
+		case <-ctx.Done():
+			return api.ConfigResponse{}, err
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func splitURLs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimRight(part, "/"))
+		}
+	}
+	return out
+}
+
+func sameCaps(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -13,7 +13,27 @@
 // a restart — graceful or after a crash — replays the directory back to
 // exactly the acknowledged state. -state remains as a lighter-weight
 // alternative (snapshot on SIGTERM only; mutations between snapshot and
-// crash are lost).
+// crash are lost). The listener comes up before replay starts: until
+// recovery completes, GET /v1/healthz answers 200 and everything else —
+// including GET /v1/readyz — answers 503 with the stable "unavailable"
+// code, so orchestrators can distinguish live from ready.
+//
+// Cluster modes (internal/cluster):
+//
+//   - -cluster-shards N hosts N engine shards in one process behind a
+//     shard router; each shard keeps its own WAL under
+//     <data-dir>/shard-<i> and the router's merged API is served on
+//     -listen. Jobs are routed by their site footprint; under
+//     amf-enhanced the router broadcasts the global weight sum so
+//     per-shard solves equal the single-engine solve exactly.
+//   - -ship-addr serves the write-ahead log(s) for replication on a
+//     second listener: GET <ship-addr>/wal for a single engine,
+//     GET <ship-addr>/wal/shard-<i> per cluster shard.
+//   - -replica-of URL runs a read replica: it tails the WAL stream at
+//     URL (a -ship-addr endpoint), replays batches through its own
+//     scheduler, and serves the read-only API on -listen. /v1/readyz is
+//     503 until the replica first catches up to the primary's durable
+//     head; mutations are rejected with invalid_argument.
 //
 // Observability: logs are structured JSON on stderr (log/slog); every
 // commit is traced into a ring served at GET /v1/traces (-trace-buffer
@@ -26,6 +46,9 @@
 //
 //	amf-server -listen :8080 -capacity 4,4,8 -policy amf
 //	amf-server -data-dir /var/lib/amf -batch-max 256 -batch-window 2ms
+//	amf-server -data-dir /var/lib/amf -ship-addr :9090            # primary
+//	amf-server -replica-of http://primary:9090/wal -listen :8081  # follower
+//	amf-server -cluster-shards 2 -data-dir /var/lib/amf -ship-addr :9090
 //	amf-server -debug-addr localhost:6060 -slow-commit 50ms
 //
 // Example session:
@@ -34,6 +57,7 @@
 //	     -d '{"id":"etl","demand":[4,4,0],"work":[20,20,0]}'
 //	curl localhost:8080/v1/allocation
 //	curl -X POST localhost:8080/v1/jobs/etl/progress -d '{"done":[2,2,0]}'
+//	curl localhost:8080/v1/readyz
 //	curl localhost:8080/v1/stats
 //	curl localhost:8080/metrics
 //	curl localhost:8080/v1/traces?limit=5
@@ -64,20 +88,24 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":8080", "listen address")
-		capacity    = flag.String("capacity", "4,4", "comma-separated per-site capacities")
-		policy      = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
-		state       = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
-		dataDir     = flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots, replayed on boot")
-		batchMax    = flag.Int("batch-max", 256, "max mutations committed per solve (1 = solve per mutation)")
-		batchWindow = flag.Duration("batch-window", 0, "extra time to gather a batch after its first mutation (0 = only drain what is queued)")
-		compactMB   = flag.Int64("wal-compact-mb", 4, "fold the WAL into a snapshot once its record tail exceeds this many MiB")
-		compactIval = flag.Duration("wal-compact-interval", time.Minute, "additionally compact the WAL this often (0 disables the timer)")
-		dumpMetrics = flag.Bool("metrics-on-exit", true, "log a final metrics snapshot as one JSON document on shutdown")
-		traceBuf    = flag.Int("trace-buffer", 256, "commit traces kept for GET /v1/traces (0 disables tracing)")
-		slowCommit  = flag.Duration("slow-commit", 0, "log a warning with per-stage timings for commits slower than this (0 disables)")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
-		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		listen        = flag.String("listen", ":8080", "listen address")
+		capacity      = flag.String("capacity", "4,4", "comma-separated per-site capacities")
+		policy        = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
+		state         = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
+		dataDir       = flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots, replayed on boot")
+		clusterShards = flag.Int("cluster-shards", 0, "host this many engine shards behind an in-process router (0/1 = single engine)")
+		replicaOf     = flag.String("replica-of", "", "run as a read replica tailing this WAL ship URL (e.g. http://primary:9090/wal)")
+		shipAddr      = flag.String("ship-addr", "", "serve WAL replication streams on this address (requires -data-dir)")
+		replicaIval   = flag.Duration("replica-interval", 50*time.Millisecond, "replica poll interval against the primary's WAL stream")
+		batchMax      = flag.Int("batch-max", 256, "max mutations committed per solve (1 = solve per mutation)")
+		batchWindow   = flag.Duration("batch-window", 0, "extra time to gather a batch after its first mutation (0 = only drain what is queued)")
+		compactMB     = flag.Int64("wal-compact-mb", 4, "fold the WAL into a snapshot once its record tail exceeds this many MiB")
+		compactIval   = flag.Duration("wal-compact-interval", time.Minute, "additionally compact the WAL this often (0 disables the timer)")
+		dumpMetrics   = flag.Bool("metrics-on-exit", true, "log a final metrics snapshot as one JSON document on shutdown")
+		traceBuf      = flag.Int("trace-buffer", 256, "commit traces kept for GET /v1/traces (0 disables tracing)")
+		slowCommit    = flag.Duration("slow-commit", 0, "log a warning with per-stage timings for commits slower than this (0 disables)")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -95,26 +123,106 @@ func main() {
 	if err != nil {
 		fatal(logger, "amf-server: bad -policy", err)
 	}
+	cfg := serverConfig{
+		listen:      *listen,
+		shipAddr:    *shipAddr,
+		dataDir:     *dataDir,
+		batchMax:    *batchMax,
+		batchWindow: *batchWindow,
+		compactMB:   *compactMB,
+		compactIval: *compactIval,
+		traceBuf:    *traceBuf,
+		slowCommit:  *slowCommit,
+		interval:    *replicaIval,
+	}
+
+	// The listener comes up before any WAL replay or replica sync: until
+	// the mode handler is swapped in, healthz answers 200 and everything
+	// else 503/unavailable, so probes see live-but-unready during boot.
+	swap := newSwapHandler()
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           swap,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- hs.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
+	}
+
+	var (
+		handler http.Handler
+		stop    func()
+		mode    string
+	)
+	switch {
+	case *replicaOf != "":
+		mode = "replica"
+		if *clusterShards > 1 {
+			fatal(logger, "amf-server: flags", fmt.Errorf("-replica-of and -cluster-shards are mutually exclusive"))
+		}
+		if *dataDir != "" || *state != "" {
+			fatal(logger, "amf-server: flags", fmt.Errorf("a replica rebuilds its state from the primary's WAL; drop -data-dir/-state"))
+		}
+		handler, stop, err = runReplica(logger, caps, p, *replicaOf, cfg)
+	case *clusterShards > 1:
+		mode = fmt.Sprintf("cluster(%d shards)", *clusterShards)
+		if *state != "" {
+			fatal(logger, "amf-server: flags", fmt.Errorf("-state is single-engine only; use -data-dir for per-shard WALs"))
+		}
+		handler, stop, err = runCluster(logger, caps, p, *clusterShards, cfg)
+	default:
+		mode = "single"
+		handler, stop, err = runSingle(logger, caps, p, *state, *dumpMetrics, cfg)
+	}
+	if err != nil {
+		fatal(logger, "amf-server: "+mode, err)
+	}
+	swap.Swap(handler)
+	logger.Info("serving",
+		"listen", *listen,
+		"mode", mode,
+		"sites", len(caps),
+		"policy", p.String(),
+		"tracing", *traceBuf > 0)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-listenErr:
+		fatal(logger, "amf-server: listen", err)
+	case <-sigs:
+		stop()
+		os.Exit(0)
+	}
+}
+
+// runSingle assembles the classic one-engine server: scheduler, optional
+// WAL replay, serve.Engine, API handler. The returned stop func drains
+// the engine and performs the -state / -metrics-on-exit shutdown work.
+func runSingle(logger *slog.Logger, caps []float64, p sim.Policy, state string, dumpMetrics bool, cfg serverConfig) (http.Handler, func(), error) {
 	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: p})
 	if err != nil {
-		fatal(logger, "amf-server: scheduler", err)
+		return nil, nil, err
 	}
-	if *state != "" {
-		if err := loadState(logger, sc, *state); err != nil {
-			fatal(logger, "amf-server: loading state", err)
+	if state != "" {
+		if err := loadState(logger, sc, state); err != nil {
+			return nil, nil, fmt.Errorf("loading state: %w", err)
 		}
 	}
 	reg := obs.NewRegistry()
 
 	var logHandle *wal.Log
-	if *dataDir != "" {
-		l, recovery, err := wal.Open(*dataDir, wal.Options{})
+	if cfg.dataDir != "" {
+		l, recovery, err := wal.Open(cfg.dataDir, wal.Options{})
 		if err != nil {
-			fatal(logger, "amf-server: opening data dir", err, "dir", *dataDir)
+			return nil, nil, fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
 		}
 		st, err := recovery.Replay(sc)
 		if err != nil {
-			fatal(logger, "amf-server: recovering", err, "dir", *dataDir)
+			return nil, nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
 		}
 		reg.Gauge("wal.replayed_batches").Set(float64(st.Batches))
 		reg.Gauge("wal.replayed_mutations").Set(float64(st.Mutations))
@@ -122,7 +230,7 @@ func main() {
 		reg.Gauge("wal.skipped_records").Set(float64(recovery.SkippedRecords))
 		reg.Gauge("wal.skipped_states").Set(float64(recovery.SkippedStates))
 		logger.Info("recovered from write-ahead log",
-			"dir", *dataDir,
+			"dir", cfg.dataDir,
 			"jobs", sc.Stats().Jobs,
 			"snapshot", st.Restored,
 			"batches", st.Batches,
@@ -130,52 +238,54 @@ func main() {
 			"torn_records_skipped", recovery.SkippedRecords)
 		logHandle = l
 	}
+	if cfg.shipAddr != "" {
+		if logHandle == nil {
+			return nil, nil, fmt.Errorf("-ship-addr requires -data-dir (there is no log to ship)")
+		}
+		go serveShip(logger, cfg.shipAddr, map[string]*wal.Log{"/wal": logHandle})
+	}
 
 	var traces *span.Recorder
-	if *traceBuf > 0 {
-		traces = span.NewRecorder(*traceBuf)
+	if cfg.traceBuf > 0 {
+		traces = span.NewRecorder(cfg.traceBuf)
 	}
 	eng, err := serve.New(sc, serve.Config{
-		MaxBatch:        *batchMax,
-		BatchWindow:     *batchWindow,
+		MaxBatch:        cfg.batchMax,
+		BatchWindow:     cfg.batchWindow,
 		Metrics:         reg,
 		Log:             logHandle,
-		CompactBytes:    *compactMB << 20,
-		CompactInterval: *compactIval,
+		CompactBytes:    cfg.compactMB << 20,
+		CompactInterval: cfg.compactIval,
 		Traces:          traces,
 		Logger:          logger,
-		SlowCommit:      *slowCommit,
+		SlowCommit:      cfg.slowCommit,
 	})
 	if err != nil {
-		fatal(logger, "amf-server: engine", err)
+		return nil, nil, err
 	}
 	srv := api.NewEngineServer(eng, reg, caps, p).SetTraces(traces)
 
-	if *debugAddr != "" {
-		go serveDebug(logger, *debugAddr)
+	durability := "none (in-memory)"
+	if cfg.dataDir != "" {
+		durability = "wal @ " + cfg.dataDir
+	} else if state != "" {
+		durability = "snapshot-on-exit @ " + state
 	}
+	logger.Info("engine ready", "batch_max", cfg.batchMax, "durability", durability)
 
-	hs := &http.Server{
-		Addr:              *listen,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sigs
+	stop := func() {
 		// Drain queued mutations; with -data-dir this also folds the WAL
 		// into a final snapshot and seals the log.
 		_ = eng.Close()
-		if *state != "" {
+		if state != "" {
 			// Persist the job set so a restart resumes where it left off.
-			if err := saveState(sc, *state); err != nil {
-				logger.Error("saving state failed", "path", *state, "err", err.Error())
+			if err := saveState(sc, state); err != nil {
+				logger.Error("saving state failed", "path", state, "err", err.Error())
 			} else {
-				logger.Info("state saved", "path", *state)
+				logger.Info("state saved", "path", state)
 			}
 		}
-		if *dumpMetrics {
+		if dumpMetrics {
 			// One structured record wrapping the whole snapshot: the
 			// document lands on stderr as a single JSON line instead of
 			// interleaving with stdout, so `amf-server 2>log` followed by
@@ -184,24 +294,8 @@ func main() {
 				logger.Info("final metrics", "metrics", json.RawMessage(buf))
 			}
 		}
-		os.Exit(0)
-	}()
-	durability := "none (in-memory)"
-	if *dataDir != "" {
-		durability = "wal @ " + *dataDir
-	} else if *state != "" {
-		durability = "snapshot-on-exit @ " + *state
 	}
-	logger.Info("serving",
-		"listen", *listen,
-		"sites", len(caps),
-		"policy", p.String(),
-		"batch_max", *batchMax,
-		"durability", durability,
-		"tracing", traces != nil)
-	if err := hs.ListenAndServe(); err != nil {
-		fatal(logger, "amf-server: listen", err)
-	}
+	return srv.Handler(), stop, nil
 }
 
 // newLogger builds the process logger: structured JSON to stderr.

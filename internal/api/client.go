@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/obs"
@@ -77,6 +78,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Readyz checks readiness. A nil error means the backend can take
+// mutations; an *APIError with CodeUnavailable means WAL recovery or
+// replica replay is still running, or the WAL fail-stopped.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil)
+}
+
+// SetExternalWeight reconciles the backend's external share-weight sum —
+// the cluster router's weight broadcast.
+func (c *Client) SetExternalWeight(ctx context.Context, weight float64) error {
+	return c.do(ctx, http.MethodPut, "/v1/cluster/external-weight",
+		ExternalWeightRequest{Weight: weight}, nil)
+}
+
+// Traces fetches up to limit recent commit traces (0 = the whole ring).
+func (c *Client) Traces(ctx context.Context, limit int) (TracesResponse, error) {
+	var out TracesResponse
+	path := "/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
 }
 
 // Config fetches the controller configuration.

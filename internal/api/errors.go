@@ -64,8 +64,22 @@ func (e *APIError) Is(target error) bool {
 		(t.StatusCode == 0 || t.StatusCode == e.StatusCode)
 }
 
-// codeFor classifies a backend error into its stable code.
-func codeFor(err error) string {
+// Coder lets backend errors defined outside this package carry their own
+// stable code — CodeFor honors it before falling back to its sentinel
+// classification. The cluster package uses it (e.g. a syncing replica's
+// reads are "unavailable", not "invalid_argument").
+type Coder interface {
+	APICode() string
+}
+
+// CodeFor classifies a backend error into its stable code. Exported for
+// HTTP surfaces outside this package (the cluster router) that must speak
+// the same error vocabulary.
+func CodeFor(err error) string {
+	var c Coder
+	if errors.As(err, &c) {
+		return c.APICode()
+	}
 	switch {
 	case errors.Is(err, scheduler.ErrUnknownJob):
 		return CodeNotFound
@@ -81,8 +95,8 @@ func codeFor(err error) string {
 	}
 }
 
-// statusFor maps a stable code onto its HTTP status.
-func statusFor(code string) int {
+// StatusFor maps a stable code onto its HTTP status.
+func StatusFor(code string) int {
 	switch code {
 	case CodeNotFound:
 		return http.StatusNotFound

@@ -4,7 +4,17 @@
 //
 // Endpoints (all JSON):
 //
-//	GET    /v1/healthz                 liveness
+//	GET    /v1/healthz                 liveness: 200 as long as the process
+//	                                   can serve HTTP at all — reads keep
+//	                                   working even after a WAL fail-stop
+//	GET    /v1/readyz                  readiness: 200 only when the backend
+//	                                   can take mutations and is caught up;
+//	                                   503 {"code":"unavailable"} while WAL
+//	                                   recovery/replica replay is in
+//	                                   progress or after fail-stop
+//	                                   (serve.ErrWALFailed). Routers and
+//	                                   load balancers health-check THIS,
+//	                                   not /v1/healthz.
 //	GET    /v1/config                  site capacities, policy
 //	POST   /v1/queues                  declare a weighted queue
 //	POST   /v1/jobs                    register a job (optionally in a queue)
@@ -19,6 +29,8 @@
 //	GET    /v1/traces                  recent commit traces (see SetTraces)
 //	GET    /v1/snapshot                download controller state
 //	PUT    /v1/snapshot                restore controller state
+//	PUT    /v1/cluster/external-weight reconcile the external share-weight
+//	                                   sum (cluster router broadcast)
 //	GET    /metrics                    Prometheus text exposition
 //
 // Every endpoint is wrapped in metrics middleware recording per-endpoint
@@ -86,8 +98,35 @@ type Backend interface {
 	Restore(ctx context.Context, snap scheduler.Snapshot) error
 }
 
+// ReadyChecker is the optional readiness surface behind GET /v1/readyz.
+// Backends that can be temporarily unable to take mutations (WAL recovery,
+// replica replay, fail-stop) return the reason from ReadyErr; backends
+// without the method are always ready. *serve.Engine implements it.
+type ReadyChecker interface {
+	ReadyErr() error
+}
+
+// Versioned is the optional snapshot-version surface. Backends that
+// publish versioned allocation snapshots (the engine's RCU snapshot, a
+// replica's replayed view) expose the version so cluster reads can be
+// stitched into a coherent version vector.
+type Versioned interface {
+	SnapshotVersion() uint64
+}
+
+// ExternalWeighter is the optional cluster-reconciliation surface behind
+// PUT /v1/cluster/external-weight: the share-weight sum held by jobs
+// outside this backend, folded into Enhanced-AMF equal-share floors.
+type ExternalWeighter interface {
+	SetExternalWeight(ctx context.Context, w float64) error
+}
+
 var _ Backend = (*serve.Engine)(nil)
 var _ Backend = schedulerBackend{}
+var _ ReadyChecker = (*serve.Engine)(nil)
+var _ Versioned = (*serve.Engine)(nil)
+var _ ExternalWeighter = (*serve.Engine)(nil)
+var _ ExternalWeighter = schedulerBackend{}
 
 // schedulerBackend adapts a bare controller to the context-aware Backend.
 // The scheduler's methods are fast and synchronous, so honoring the
@@ -170,6 +209,13 @@ func (b schedulerBackend) Restore(ctx context.Context, snap scheduler.Snapshot) 
 	return b.sc.Restore(snap)
 }
 
+func (b schedulerBackend) SetExternalWeight(ctx context.Context, w float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.SetExternalWeight(w)
+}
+
 // AddJobRequest registers a job. Queue, when set, must name a queue
 // previously declared via POST /v1/queues.
 type AddJobRequest struct {
@@ -232,9 +278,13 @@ type SharesResponse struct {
 	Aggregate float64   `json:"aggregate"`
 }
 
-// AllocationResponse carries every job's allocation.
+// AllocationResponse carries every job's allocation. Version is the
+// backend's snapshot version when it publishes one (see Versioned) — a
+// monotonic per-backend sequence the cluster router assembles into its
+// snapshot version vector; 0 when the backend is unversioned.
 type AllocationResponse struct {
-	Jobs map[string]SharesResponse `json:"jobs"`
+	Jobs    map[string]SharesResponse `json:"jobs"`
+	Version uint64                    `json:"version,omitempty"`
 }
 
 // ConfigResponse describes the controller's static configuration.
@@ -297,6 +347,18 @@ func NewEngineServer(eng *serve.Engine, reg *obs.Registry, capacity []float64, p
 	return newServer(eng, reg, capacity, policy)
 }
 
+// NewBackendServer builds the API around any Backend implementation —
+// the extension point for backends beyond the bare scheduler and the
+// engine, such as a cluster read replica or the shard router's merged
+// view. Optional capabilities (ReadyChecker, Versioned, ExternalWeighter)
+// are discovered by interface assertion. nil reg creates a fresh registry.
+func NewBackendServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return newServer(be, reg, capacity, policy)
+}
+
 func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
 	s := &Server{
 		sc: be,
@@ -309,6 +371,7 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Pol
 		reg:    reg,
 	}
 	s.route("GET /v1/healthz", s.handleHealthz)
+	s.route("GET /v1/readyz", s.handleReadyz)
 	s.route("GET /v1/config", s.handleConfig)
 	s.route("POST /v1/jobs", s.handleAddJob)
 	s.route("POST /v1/jobs:batch", s.handleAddJobsBatch)
@@ -323,6 +386,7 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Pol
 	s.route("GET /v1/traces", s.handleTraces)
 	s.route("GET /v1/snapshot", s.handleGetSnapshot)
 	s.route("PUT /v1/snapshot", s.handlePutSnapshot)
+	s.route("PUT /v1/cluster/external-weight", s.handleExternalWeight)
 	s.route("GET /metrics", s.handlePromMetrics)
 	return s
 }
@@ -395,12 +459,63 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	code := codeFor(err)
-	writeJSON(w, statusFor(code), errorResponse{Error: err.Error(), Code: code})
+	code := CodeFor(err)
+	writeJSON(w, StatusFor(code), errorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyResponse reports the backend's readiness. When Status is "unready"
+// Error and Code explain why (code is always "unavailable": the condition
+// is retryable against a caught-up or restarted backend).
+type ReadyResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Code   string `json:"code,omitempty"`
+}
+
+// handleReadyz is readiness, distinct from handleHealthz's liveness: 503
+// with the stable "unavailable" code while the backend cannot take
+// mutations — WAL recovery or replica replay still in progress, or a WAL
+// fail-stop (serve.ErrWALFailed) — and 200 once caught up. Backends
+// without a ReadyErr method are unconditionally ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if rc, ok := s.sc.(ReadyChecker); ok {
+		if err := rc.ReadyErr(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{
+				Status: "unready", Error: err.Error(), Code: CodeUnavailable,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}
+
+// ExternalWeightRequest carries the cluster router's weight-sum broadcast:
+// the total share weight of jobs living on other shards.
+type ExternalWeightRequest struct {
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleExternalWeight(w http.ResponseWriter, r *http.Request) {
+	ew, ok := s.sc.(ExternalWeighter)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support external weight", Code: CodeInvalidArgument})
+		return
+	}
+	var req ExternalWeightRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := ew.SetExternalWeight(r.Context(), req.Weight); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
@@ -464,11 +579,11 @@ func (s *Server) handleAddJobsBatch(w http.ResponseWriter, r *http.Request) {
 		for i, ierr := range be.Errs {
 			if ierr != nil {
 				resp.Results[i].Error = ierr.Error()
-				resp.Results[i].Code = codeFor(ierr)
+				resp.Results[i].Code = CodeFor(ierr)
 			}
 		}
-		code := codeFor(err)
-		writeJSON(w, statusFor(code), struct {
+		code := CodeFor(err)
+		writeJSON(w, StatusFor(code), struct {
 			errorResponse
 			BatchAddResponse
 		}{
@@ -560,6 +675,11 @@ func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
 	resp := AllocationResponse{Jobs: make(map[string]SharesResponse, len(alloc))}
 	for id, shares := range alloc {
 		resp.Jobs[id] = sharesResponse(id, shares)
+	}
+	if v, ok := s.sc.(Versioned); ok {
+		// Read after the allocation: the version is at or after the map,
+		// so a reader polling for "version >= X" never sees stale data.
+		resp.Version = v.SnapshotVersion()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

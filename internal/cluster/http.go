@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+	"repro/internal/sim"
+)
+
+// VersionsResponse is the cluster-wide snapshot version vector — one
+// monotonic snapshot version per shard, as observed by the most recent
+// merged allocation read — plus its scalar sum (the value /v1/allocation
+// reports as "version").
+type VersionsResponse struct {
+	Shards   int      `json:"shards"`
+	Versions []uint64 `json:"versions"`
+	Sum      uint64   `json:"sum"`
+}
+
+// RouterStatsResponse is the wire form of RouterStats.
+type RouterStatsResponse struct {
+	Jobs              int     `json:"jobs"`
+	OwnedSites        int     `json:"owned_sites"`
+	WeightSum         float64 `json:"weight_sum"`
+	BroadcastVersion  uint64  `json:"broadcast_version"`
+	Broadcasts        int64   `json:"broadcasts"`
+	FastPathSkips     int64   `json:"fast_path_skips"`
+	CrossShardRejects int64   `json:"cross_shard_rejects"`
+}
+
+// NewHandler mounts the full cluster control plane for a router: the
+// standard /v1 API (api.NewBackendServer over the router — merged
+// allocations with the cluster version, merged stats, readiness across
+// every shard) plus the cluster-specific routes:
+//
+//	GET /v1/traces            commit traces merged across shards,
+//	                          newest first (?limit=N)
+//	GET /v1/cluster/versions  the snapshot version vector
+//	GET /v1/cluster/stats     routing and weight-broadcast counters
+func NewHandler(r *Router, reg *obs.Registry, capacity []float64, policy sim.Policy) http.Handler {
+	srv := api.NewBackendServer(r, reg, capacity, policy)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, req *http.Request) {
+		limit := 0
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{
+					"error": "limit must be a non-negative integer", "code": api.CodeInvalidArgument})
+				return
+			}
+			limit = n
+		}
+		traces, err := r.Traces(req.Context(), limit)
+		if err != nil {
+			code := api.CodeFor(err)
+			writeJSON(w, api.StatusFor(code), map[string]string{"error": err.Error(), "code": code})
+			return
+		}
+		if traces == nil {
+			traces = []*span.Trace{}
+		}
+		writeJSON(w, http.StatusOK, api.TracesResponse{Traces: traces})
+	})
+	mux.HandleFunc("GET /v1/cluster/versions", func(w http.ResponseWriter, req *http.Request) {
+		vec := r.VersionVector()
+		var sum uint64
+		for _, v := range vec {
+			sum += v
+		}
+		writeJSON(w, http.StatusOK, VersionsResponse{Shards: r.NumShards(), Versions: vec, Sum: sum})
+	})
+	mux.HandleFunc("GET /v1/cluster/stats", func(w http.ResponseWriter, req *http.Request) {
+		st := r.RouterStats()
+		writeJSON(w, http.StatusOK, RouterStatsResponse{
+			Jobs:              st.Jobs,
+			OwnedSites:        st.OwnedSites,
+			WeightSum:         st.WeightSum,
+			BroadcastVersion:  st.BroadcastVersion,
+			Broadcasts:        st.Broadcasts,
+			FastPathSkips:     st.FastPathSkips,
+			CrossShardRejects: st.CrossShardRejects,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// codedError is an error carrying its own stable API code (api.Coder).
+type codedError struct{ msg, code string }
+
+func (e *codedError) Error() string   { return e.msg }
+func (e *codedError) APICode() string { return e.code }
+
+// ErrReadOnly rejects mutations on a read replica: writes go to the
+// primary; the replica only tails its WAL. Served as 400
+// invalid_argument — the client addressed a write to a read endpoint.
+var ErrReadOnly error = &codedError{
+	msg: "cluster: replica is read-only, mutate the primary", code: api.CodeInvalidArgument}
+
+// ErrSyncing is returned by a replica's reads and ReadyErr until it has
+// caught up with the primary's durable head for the first time. Served
+// as 503 unavailable: retryable once replay finishes.
+var ErrSyncing error = &codedError{
+	msg: "cluster: replica replaying WAL, not caught up yet", code: api.CodeUnavailable}
+
+// ReplicaConfig configures a WAL-tailing read replica.
+type ReplicaConfig struct {
+	// Source streams the primary's WAL (the primary's ship endpoint).
+	Source *wal.ShipClient
+	// SiteCapacity and Policy must match the primary's deployment: the
+	// WAL carries mutations, not configuration.
+	SiteCapacity []float64
+	Policy       sim.Policy
+	// Interval is the poll cadence once caught up (default 50ms). While
+	// behind, the replica polls continuously.
+	Interval time.Duration
+	// Metrics receives replication gauges and counters; nil creates a
+	// private registry.
+	Metrics *obs.Registry
+}
+
+// ReplicaView is one published replica snapshot: an immutable allocation
+// the read path serves lock-free (RCU — the poll loop publishes a fresh
+// view per applied poll, readers load the pointer and never block it).
+type ReplicaView struct {
+	// Shares maps job ID to its per-site share vector. Read-only.
+	Shares map[string][]float64
+	// Version counts published views — the replica's monotonic sequence.
+	Version uint64
+	// Cursor is the WAL position this view reflects; Head is the
+	// primary's durable head at fetch time. Head − Cursor is the lag.
+	Cursor, Head wal.Cursor
+	// AppliedAt is when this view was published (staleness anchor).
+	AppliedAt time.Time
+}
+
+// Replica tails a primary's WAL over HTTP and serves read-only,
+// stale-bounded state: every acknowledged batch is replayed through a
+// local scheduler (deterministically — see wal.Mutation.Apply and
+// TestReplayDeterminism) and published as a lock-free RCU snapshot.
+// It implements api.Backend (mutations return ErrReadOnly), so
+// api.NewBackendServer turns it into a read endpoint with /v1/readyz
+// reporting catch-up.
+type Replica struct {
+	cfg ReplicaConfig
+	sc  *scheduler.Scheduler
+	reg *obs.Registry
+
+	view     atomic.Pointer[ReplicaView]
+	caughtUp atomic.Bool
+	lastErr  atomic.Pointer[string]
+
+	gLagSegments *obs.Gauge
+	gLagBytes    *obs.Gauge
+	gCaughtUp    *obs.Gauge
+	gStaleness   *obs.Gauge
+	cBatches     *obs.Counter
+	cMutations   *obs.Counter
+	cResets      *obs.Counter
+	cPollErrors  *obs.Counter
+	cApplyFailed *obs.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReplica builds and starts a replica; Close stops it.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("cluster: replica needs a WAL source")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: cfg.SiteCapacity, Policy: cfg.Policy})
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg: cfg,
+		sc:  sc,
+		reg: reg,
+
+		gLagSegments: reg.Gauge("replica.lag_segments"),
+		gLagBytes:    reg.Gauge("replica.lag_bytes"),
+		gCaughtUp:    reg.Gauge("replica.caught_up"),
+		gStaleness:   reg.Gauge("replica.staleness_seconds"),
+		cBatches:     reg.Counter("replica.batches_applied"),
+		cMutations:   reg.Counter("replica.mutations_applied"),
+		cResets:      reg.Counter("replica.resets"),
+		cPollErrors:  reg.Counter("replica.poll_errors"),
+		cApplyFailed: reg.Counter("replica.apply_failed"),
+
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go r.run()
+	return r, nil
+}
+
+// Close stops the poll loop. The last published view keeps serving.
+func (r *Replica) Close() error {
+	select {
+	case <-r.stop:
+		return nil
+	default:
+	}
+	close(r.stop)
+	<-r.done
+	return nil
+}
+
+func (r *Replica) run() {
+	defer close(r.done)
+	cur := wal.Cursor{}
+	version := uint64(0)
+	for {
+		next, v, err := r.syncOnce(cur, version)
+		cur, version = next, v
+		if err != nil {
+			r.cPollErrors.Inc()
+			msg := err.Error()
+			r.lastErr.Store(&msg)
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(r.cfg.Interval):
+		}
+	}
+}
+
+// syncOnce polls until caught up with the primary's durable head (or an
+// error), publishing a fresh view whenever state changed.
+func (r *Replica) syncOnce(cur wal.Cursor, version uint64) (wal.Cursor, uint64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	for {
+		resp, err := r.cfg.Source.Fetch(ctx, cur)
+		if err != nil {
+			return cur, version, err
+		}
+		changed := false
+		if resp.Reset {
+			r.cResets.Inc()
+			snap, err := wal.DecodeState(resp.State)
+			if err != nil {
+				return cur, version, err
+			}
+			if err := r.sc.Restore(snap); err != nil {
+				return cur, version, err
+			}
+			changed = true
+		}
+		for _, payload := range resp.Records {
+			ms, err := wal.DecodeBatch(payload)
+			if err != nil {
+				r.cApplyFailed.Inc()
+				continue
+			}
+			r.cBatches.Inc()
+			for _, m := range ms {
+				if err := m.Apply(r.sc); err != nil {
+					r.cApplyFailed.Inc()
+				} else {
+					r.cMutations.Inc()
+				}
+			}
+			changed = true
+		}
+		cur = resp.Next
+		caught := !cur.Before(resp.Head)
+		if changed || r.view.Load() == nil {
+			version++
+			if err := r.publish(version, cur, resp.Head); err != nil {
+				return cur, version, err
+			}
+		}
+		r.updateLag(cur, resp.Head, caught)
+		if caught {
+			r.caughtUp.Store(true)
+			return cur, version, nil
+		}
+		select {
+		case <-r.stop:
+			return cur, version, nil
+		default:
+		}
+	}
+}
+
+func (r *Replica) publish(version uint64, cur, head wal.Cursor) error {
+	alloc, err := r.sc.Allocation()
+	if err != nil {
+		return fmt.Errorf("cluster: replica solve: %w", err)
+	}
+	r.view.Store(&ReplicaView{
+		Shares:    alloc,
+		Version:   version,
+		Cursor:    cur,
+		Head:      head,
+		AppliedAt: time.Now(),
+	})
+	return nil
+}
+
+func (r *Replica) updateLag(cur, head wal.Cursor, caught bool) {
+	r.gLagSegments.Set(float64(head.Segment) - float64(cur.Segment))
+	if head.Segment == cur.Segment {
+		r.gLagBytes.Set(float64(head.Offset - cur.Offset))
+	} else {
+		r.gLagBytes.Set(float64(head.Offset))
+	}
+	if caught {
+		r.gCaughtUp.Set(1)
+		r.gStaleness.Set(0)
+	} else {
+		r.gCaughtUp.Set(0)
+		if v := r.view.Load(); v != nil {
+			r.gStaleness.Set(time.Since(v.AppliedAt).Seconds())
+		}
+	}
+}
+
+// View returns the current published snapshot (nil before the first
+// successful poll).
+func (r *Replica) View() *ReplicaView { return r.view.Load() }
+
+// Metrics returns the registry carrying the replication gauges.
+func (r *Replica) Metrics() *obs.Registry { return r.reg }
+
+// LastError reports the most recent poll error ("" when none).
+func (r *Replica) LastError() string {
+	if p := r.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// ReadyErr implements api.ReadyChecker: unready (503 through the API)
+// until the replica has caught up with the primary's durable head once.
+func (r *Replica) ReadyErr() error {
+	if !r.caughtUp.Load() {
+		if msg := r.LastError(); msg != "" {
+			return fmt.Errorf("%w (last poll error: %s)", ErrSyncing, msg)
+		}
+		return ErrSyncing
+	}
+	return nil
+}
+
+// SnapshotVersion implements api.Versioned.
+func (r *Replica) SnapshotVersion() uint64 {
+	if v := r.view.Load(); v != nil {
+		return v.Version
+	}
+	return 0
+}
+
+// --- api.Backend: reads served from the RCU view, mutations rejected ---
+
+func (r *Replica) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
+	return ErrReadOnly
+}
+
+func (r *Replica) AddJobInQueue(ctx context.Context, queue, id string, weight float64, demand, work []float64) error {
+	return ErrReadOnly
+}
+
+func (r *Replica) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error { return ErrReadOnly }
+
+func (r *Replica) AddQueue(ctx context.Context, name string, weight float64) error {
+	return ErrReadOnly
+}
+
+func (r *Replica) RemoveJob(ctx context.Context, id string) error { return ErrReadOnly }
+
+func (r *Replica) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
+	return false, ErrReadOnly
+}
+
+func (r *Replica) UpdateWeight(ctx context.Context, id string, weight float64) error {
+	return ErrReadOnly
+}
+
+func (r *Replica) Shares(ctx context.Context, id string) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := r.view.Load()
+	if v == nil {
+		return nil, ErrSyncing
+	}
+	shares, ok := v.Shares[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	return shares, nil
+}
+
+func (r *Replica) Allocation(ctx context.Context) (map[string][]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := r.view.Load()
+	if v == nil {
+		return nil, ErrSyncing
+	}
+	return v.Shares, nil
+}
+
+func (r *Replica) Stats() scheduler.Stats { return r.sc.Stats() }
+
+func (r *Replica) Snapshot() scheduler.Snapshot { return r.sc.Snapshot() }
+
+func (r *Replica) Restore(ctx context.Context, snap scheduler.Snapshot) error { return ErrReadOnly }

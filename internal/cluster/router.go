@@ -1,0 +1,600 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs/span"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+// Stable cluster errors. The API layer maps them through api.CodeFor's
+// default (invalid_argument → 400) except ErrUnknownJob/ErrDuplicateJob
+// pass-throughs, which keep their 404/409 codes.
+var (
+	// ErrCrossShard rejects a job whose demand sites are already owned by
+	// more than one shard: admitting it would couple two shards' max-flow
+	// feasibility problems, which the decomposition cannot express.
+	ErrCrossShard = errors.New("cluster: job demand spans sites owned by different shards")
+	// ErrQueuesUnsupported rejects queue operations in cluster mode:
+	// hierarchical fairness needs a global queue view the shards don't have.
+	ErrQueuesUnsupported = errors.New("cluster: queues are not supported in sharded mode")
+	// ErrRestoreUnsupported rejects restore-through-the-router; restore
+	// shards individually instead.
+	ErrRestoreUnsupported = errors.New("cluster: restore through the router is unsupported; restore shards directly")
+)
+
+// readTimeout bounds the context-less api.Backend read surfaces (Stats,
+// Snapshot, ReadyErr) when fanning out to remote shards.
+const readTimeout = 5 * time.Second
+
+// RouterStats counts the router's cluster-coordination activity.
+type RouterStats struct {
+	// Jobs is the number of jobs currently routed.
+	Jobs int
+	// OwnedSites is the number of sites currently pinned to a shard.
+	OwnedSites int
+	// WeightSum is the router's global share-weight sum W.
+	WeightSum float64
+	// BroadcastVersion increments once per weight-sum change that needed
+	// reconciling; Broadcasts counts the per-shard SetExternalWeight calls
+	// it fanned out, and FastPathSkips the mutations that needed none
+	// (single shard, AMF policy, or ΔW = 0).
+	BroadcastVersion uint64
+	Broadcasts       int64
+	FastPathSkips    int64
+	// CrossShardRejects counts jobs refused under ErrCrossShard.
+	CrossShardRejects int64
+}
+
+// Router fans a cluster of shards into one api.Backend: it places each
+// job on a shard by hashing its demand component (core.ShardKey), pins
+// the job's sites to that shard so later overlapping jobs follow, merges
+// reads across every shard, and — under Enhanced-AMF — reconciles the
+// global weight sum by broadcasting W − W_shard to each shard's
+// ExternalWeight whenever a mutation changes W.
+//
+// Mutations are serialized through the router's mutex: the router is the
+// single sequencer that keeps site ownership and the weight ledger
+// consistent with what the shards have durably applied.
+type Router struct {
+	shards   []Shard
+	enhanced bool
+
+	mu        sync.Mutex
+	siteOwner map[int]int    // site → shard holding jobs that demand it
+	siteRef   map[int]int    // site → count of routed jobs demanding it
+	jobShard  map[string]int // job → shard
+	jobSites  map[string][]int
+	jobWeight map[string]float64 // effective (normalized) weight
+	shardWt   []float64          // per-shard live weight sum W_k
+	weightSum float64            // global W = Σ W_k
+
+	broadcastVersion  atomic.Uint64
+	broadcasts        atomic.Int64
+	fastPathSkips     atomic.Int64
+	crossShardRejects atomic.Int64
+
+	// versions caches the vector observed by the most recent merged
+	// Allocation — the cluster-wide snapshot version vector.
+	versions atomic.Pointer[[]uint64]
+}
+
+// NewRouter builds a router over shards. policy decides whether weight
+// broadcasts are needed: only Enhanced-AMF couples components through
+// the global weight sum.
+func NewRouter(shards []Shard, policy sim.Policy) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard")
+	}
+	return &Router{
+		shards:    shards,
+		enhanced:  policy == sim.PolicyEnhancedAMF,
+		siteOwner: map[int]int{},
+		siteRef:   map[int]int{},
+		jobShard:  map[string]int{},
+		jobSites:  map[string][]int{},
+		jobWeight: map[string]float64{},
+		shardWt:   make([]float64, len(shards)),
+	}, nil
+}
+
+// NumShards reports the cluster size.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// effWeight mirrors the scheduler's normalization: weight <= 0 means 1.
+func effWeight(w float64) float64 {
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// routeLocked picks the shard for a job with the given demand sites:
+// the owner of any already-pinned site, else the component hash. extra
+// overlays tentative ownership from earlier specs of the same batch.
+func (r *Router) routeLocked(sites []int, extra map[int]int) (int, error) {
+	owner := -1
+	for _, s := range sites {
+		o, ok := r.siteOwner[s]
+		if !ok {
+			if extra != nil {
+				o, ok = extra[s]
+			}
+			if !ok {
+				continue
+			}
+		}
+		if owner == -1 {
+			owner = o
+		} else if o != owner {
+			r.crossShardRejects.Add(1)
+			return 0, fmt.Errorf("%w (shards %d and %d)", ErrCrossShard, owner, o)
+		}
+	}
+	if owner >= 0 {
+		return owner, nil
+	}
+	key, ok := core.ShardKey(sites)
+	if !ok {
+		return 0, fmt.Errorf("cluster: job demands no site")
+	}
+	return core.ShardOf(key, len(r.shards)), nil
+}
+
+// recordJobLocked pins a routed job into the ownership maps and the
+// weight ledger, returning the weight delta to reconcile.
+func (r *Router) recordJobLocked(id string, shard int, sites []int, weight float64) float64 {
+	w := effWeight(weight)
+	r.jobShard[id] = shard
+	r.jobSites[id] = sites
+	r.jobWeight[id] = w
+	for _, s := range sites {
+		r.siteOwner[s] = shard
+		r.siteRef[s]++
+	}
+	r.shardWt[shard] += w
+	r.weightSum += w
+	return w
+}
+
+// forgetJobLocked unpins a removed (or completed) job, returning the
+// negative weight delta to reconcile.
+func (r *Router) forgetJobLocked(id string) float64 {
+	shard := r.jobShard[id]
+	w := r.jobWeight[id]
+	for _, s := range r.jobSites[id] {
+		if r.siteRef[s]--; r.siteRef[s] == 0 {
+			delete(r.siteRef, s)
+			delete(r.siteOwner, s)
+		}
+	}
+	delete(r.jobShard, id)
+	delete(r.jobSites, id)
+	delete(r.jobWeight, id)
+	r.shardWt[shard] -= w
+	r.weightSum -= w
+	return -w
+}
+
+// reconcileLocked broadcasts the new global weight sum after a mutation
+// on shard `dirty` changed W by delta. The dirty shard itself never
+// needs the broadcast: its local weight and W moved together, so its
+// external weight W − W_dirty is unchanged — only the other shards'
+// floors shifted. Fast path: nothing to do for AMF (no weight-sum
+// coupling), a single-shard cluster, or ΔW = 0.
+func (r *Router) reconcileLocked(ctx context.Context, dirty int, delta float64) error {
+	if !r.enhanced || len(r.shards) == 1 || delta == 0 {
+		r.fastPathSkips.Add(1)
+		return nil
+	}
+	r.broadcastVersion.Add(1)
+	var firstErr error
+	for i, sh := range r.shards {
+		if i == dirty {
+			continue
+		}
+		ext := r.weightSum - r.shardWt[i]
+		if ext < 0 {
+			// Float cancellation can leave a tiny negative residue the
+			// scheduler would reject.
+			ext = 0
+		}
+		if err := sh.SetExternalWeight(ctx, ext); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: weight broadcast to shard %d: %w", i, err)
+		}
+		r.broadcasts.Add(1)
+	}
+	// A failed broadcast leaves that shard's floors stale until the next
+	// reconcile; the mutation itself already committed on the dirty shard.
+	return firstErr
+}
+
+// AddJob routes and registers one job.
+func (r *Router) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.jobShard[id]; ok {
+		return fmt.Errorf("%w: %q", scheduler.ErrDuplicateJob, id)
+	}
+	sites := core.DemandSites(demand)
+	shard, err := r.routeLocked(sites, nil)
+	if err != nil {
+		return err
+	}
+	if err := r.shards[shard].AddJob(ctx, id, weight, demand, work); err != nil {
+		return err
+	}
+	delta := r.recordJobLocked(id, shard, sites, weight)
+	return r.reconcileLocked(ctx, shard, delta)
+}
+
+// AddJobInQueue is unsupported in cluster mode.
+func (r *Router) AddJobInQueue(ctx context.Context, queue, id string, weight float64, demand, work []float64) error {
+	return ErrQueuesUnsupported
+}
+
+// AddQueue is unsupported in cluster mode.
+func (r *Router) AddQueue(ctx context.Context, name string, weight float64) error {
+	return ErrQueuesUnsupported
+}
+
+// AddJobs routes a batch. Specs are grouped by target shard and each
+// group is registered atomically on its shard; when the batch spans
+// shards and a later group fails, already-registered groups are rolled
+// back best-effort, so the batch is all-or-nothing as long as the
+// compensating removals succeed.
+func (r *Router) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	tentative := map[int]int{}
+	groups := map[int][]scheduler.JobSpec{}
+	siteSets := map[string][]int{}
+	for _, sp := range specs {
+		if sp.Queue != "" {
+			return ErrQueuesUnsupported
+		}
+		if _, ok := r.jobShard[sp.ID]; ok || seen[sp.ID] {
+			return fmt.Errorf("%w: %q", scheduler.ErrDuplicateJob, sp.ID)
+		}
+		seen[sp.ID] = true
+		sites := core.DemandSites(sp.Demand)
+		shard, err := r.routeLocked(sites, tentative)
+		if err != nil {
+			return err
+		}
+		for _, s := range sites {
+			tentative[s] = shard
+		}
+		siteSets[sp.ID] = sites
+		groups[shard] = append(groups[shard], sp)
+	}
+	order := make([]int, 0, len(groups))
+	for shard := range groups {
+		order = append(order, shard)
+	}
+	sort.Ints(order)
+	applied := make([]int, 0, len(order))
+	for _, shard := range order {
+		if err := r.shards[shard].AddJobs(ctx, groups[shard]); err != nil {
+			for _, k := range applied {
+				for _, sp := range groups[k] {
+					_ = r.shards[k].RemoveJob(ctx, sp.ID)
+				}
+			}
+			return err
+		}
+		applied = append(applied, shard)
+	}
+	var total float64
+	last := 0
+	for _, shard := range order {
+		for _, sp := range groups[shard] {
+			total += r.recordJobLocked(sp.ID, shard, siteSets[sp.ID], sp.Weight)
+		}
+		last = shard
+	}
+	if len(order) > 1 {
+		// More than one shard got new weight: no single dirty shard, so
+		// reconcile against a sentinel that broadcasts to everyone.
+		last = -1
+	}
+	return r.reconcileLocked(ctx, last, total)
+}
+
+// RemoveJob routes a removal.
+func (r *Router) RemoveJob(ctx context.Context, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	shard, ok := r.jobShard[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	if err := r.shards[shard].RemoveJob(ctx, id); err != nil {
+		return err
+	}
+	delta := r.forgetJobLocked(id)
+	return r.reconcileLocked(ctx, shard, delta)
+}
+
+// ReportProgress routes a progress report; a completed job leaves the
+// ledger exactly like a removal.
+func (r *Router) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	shard, ok := r.jobShard[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	completed, err := r.shards[shard].ReportProgress(ctx, id, done)
+	if err != nil {
+		return false, err
+	}
+	if completed {
+		delta := r.forgetJobLocked(id)
+		return true, r.reconcileLocked(ctx, shard, delta)
+	}
+	return false, nil
+}
+
+// UpdateWeight routes a weight change.
+func (r *Router) UpdateWeight(ctx context.Context, id string, weight float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	shard, ok := r.jobShard[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	if err := r.shards[shard].UpdateWeight(ctx, id, weight); err != nil {
+		return err
+	}
+	old := r.jobWeight[id]
+	w := effWeight(weight)
+	r.jobWeight[id] = w
+	r.shardWt[shard] += w - old
+	r.weightSum += w - old
+	return r.reconcileLocked(ctx, shard, w-old)
+}
+
+// Shares routes a single-job read to its shard.
+func (r *Router) Shares(ctx context.Context, id string) ([]float64, error) {
+	r.mu.Lock()
+	shard, ok := r.jobShard[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
+	}
+	return r.shards[shard].Shares(ctx, id)
+}
+
+// Allocation fans the read out to every shard in parallel and merges the
+// maps into one response, caching the per-shard snapshot versions as the
+// cluster's version vector (VersionVector, SnapshotVersion).
+func (r *Router) Allocation(ctx context.Context) (map[string][]float64, error) {
+	type result struct {
+		alloc   map[string][]float64
+		version uint64
+		err     error
+	}
+	results := make([]result, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			results[i].alloc, results[i].version, results[i].err = sh.Allocation(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	merged := map[string][]float64{}
+	versions := make([]uint64, len(r.shards))
+	for i, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("cluster: allocation from shard %d: %w", i, res.err)
+		}
+		versions[i] = res.version
+		for id, shares := range res.alloc {
+			merged[id] = shares
+		}
+	}
+	r.versions.Store(&versions)
+	return merged, nil
+}
+
+// VersionVector returns the per-shard snapshot versions observed by the
+// most recent merged Allocation (nil before the first).
+func (r *Router) VersionVector() []uint64 {
+	p := r.versions.Load()
+	if p == nil {
+		return nil
+	}
+	return append([]uint64(nil), (*p)...)
+}
+
+// SnapshotVersion flattens the version vector into one scalar (the sum):
+// each component is non-decreasing, so the sum is a monotonic cluster
+// version suitable for api.Versioned.
+func (r *Router) SnapshotVersion() uint64 {
+	var sum uint64
+	for _, v := range r.VersionVector() {
+		sum += v
+	}
+	return sum
+}
+
+// Stats merges controller counters across shards: totals are summed,
+// last-solve telemetry takes the slowest/largest shard.
+func (r *Router) Stats() scheduler.Stats {
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	var out scheduler.Stats
+	for _, sh := range r.shards {
+		st, err := sh.Stats(ctx)
+		if err != nil {
+			continue // best effort: a dead shard drops out of the merge
+		}
+		out.Solves += st.Solves
+		out.Skipped += st.Skipped
+		out.Jobs += st.Jobs
+		out.Completed += st.Completed
+		if st.LastSolve > out.LastSolve {
+			out.LastSolve = st.LastSolve
+		}
+		out.TotalSolveTime += st.TotalSolveTime
+		out.LastComponents += st.LastComponents
+		if st.LastLargestComponent > out.LastLargestComponent {
+			out.LastLargestComponent = st.LastLargestComponent
+		}
+		if st.LastSpeedup > out.LastSpeedup {
+			out.LastSpeedup = st.LastSpeedup
+		}
+		out.LastReused += st.LastReused
+		out.LastResolved += st.LastResolved
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+		out.GlobalInvalidations += st.GlobalInvalidations
+	}
+	return out
+}
+
+// Snapshot merges the shards' job sets into one diagnostic snapshot.
+// It cannot be restored through the router (see Restore); external
+// weights are shard-local and omitted.
+func (r *Router) Snapshot() scheduler.Snapshot {
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	var out scheduler.Snapshot
+	for _, sh := range r.shards {
+		snap, err := sh.Snapshot(ctx)
+		if err != nil {
+			continue
+		}
+		out.Jobs = append(out.Jobs, snap.Jobs...)
+	}
+	return out
+}
+
+// Restore is unsupported through the router.
+func (r *Router) Restore(ctx context.Context, snap scheduler.Snapshot) error {
+	return ErrRestoreUnsupported
+}
+
+// Traces merges the shards' commit-trace rings, newest first, capped at
+// limit (0 = everything the shards returned).
+func (r *Router) Traces(ctx context.Context, limit int) ([]*span.Trace, error) {
+	var merged []*span.Trace
+	for i, sh := range r.shards {
+		traces, err := sh.Traces(ctx, limit)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: traces from shard %d: %w", i, err)
+		}
+		merged = append(merged, traces...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool {
+		return merged[a].Start.After(merged[b].Start)
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// ReadyErr reports the first unready shard (api.ReadyChecker): the
+// cluster can take mutations only when every shard can.
+func (r *Router) ReadyErr() error {
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	for i, sh := range r.shards {
+		if err := sh.ReadyErr(ctx); err != nil {
+			return fmt.Errorf("cluster: shard %d unready: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RouterStats reports the router's coordination counters.
+func (r *Router) RouterStats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RouterStats{
+		Jobs:              len(r.jobShard),
+		OwnedSites:        len(r.siteOwner),
+		WeightSum:         r.weightSum,
+		BroadcastVersion:  r.broadcastVersion.Load(),
+		Broadcasts:        r.broadcasts.Load(),
+		FastPathSkips:     r.fastPathSkips.Load(),
+		CrossShardRejects: r.crossShardRejects.Load(),
+	}
+}
+
+// SyncFromShards rebuilds the routing tables from the shards' live job
+// sets — router restart against a running cluster. It fails if two
+// shards claim the same site (an operator mis-assembly the router must
+// not paper over) and finishes by reconciling every shard's external
+// weight against the rebuilt ledger.
+func (r *Router) SyncFromShards(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	siteOwner := map[int]int{}
+	siteRef := map[int]int{}
+	jobShard := map[string]int{}
+	jobSites := map[string][]int{}
+	jobWeight := map[string]float64{}
+	shardWt := make([]float64, len(r.shards))
+	var weightSum float64
+	for i, sh := range r.shards {
+		snap, err := sh.Snapshot(ctx)
+		if err != nil {
+			return fmt.Errorf("cluster: sync from shard %d: %w", i, err)
+		}
+		for _, j := range snap.Jobs {
+			if prev, ok := jobShard[j.ID]; ok {
+				return fmt.Errorf("cluster: job %q on shards %d and %d", j.ID, prev, i)
+			}
+			sites := core.DemandSites(j.Demand)
+			for _, s := range sites {
+				if o, ok := siteOwner[s]; ok && o != i {
+					return fmt.Errorf("cluster: site %d owned by shards %d and %d", s, o, i)
+				}
+				siteOwner[s] = i
+				siteRef[s]++
+			}
+			w := effWeight(j.Weight)
+			jobShard[j.ID] = i
+			jobSites[j.ID] = sites
+			jobWeight[j.ID] = w
+			shardWt[i] += w
+			weightSum += w
+		}
+	}
+	r.siteOwner, r.siteRef = siteOwner, siteRef
+	r.jobShard, r.jobSites, r.jobWeight = jobShard, jobSites, jobWeight
+	r.shardWt, r.weightSum = shardWt, weightSum
+	if !r.enhanced {
+		return nil
+	}
+	// Force a full broadcast even when W is unchanged (or zero): a
+	// restarted shard may hold a stale external weight the ΔW fast path
+	// would never repair.
+	r.broadcastVersion.Add(1)
+	var firstErr error
+	for i, sh := range r.shards {
+		ext := weightSum - shardWt[i]
+		if ext < 0 {
+			ext = 0
+		}
+		if err := sh.SetExternalWeight(ctx, ext); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: weight broadcast to shard %d: %w", i, err)
+		}
+		r.broadcasts.Add(1)
+	}
+	return firstErr
+}

@@ -240,7 +240,7 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 	var floors []float64
 	globalInval := false
 	if x.Enhanced {
-		var wsum float64
+		wsum := in.ExternalWeight
 		for j := 0; j < n; j++ {
 			wsum += in.JobWeight(j)
 		}

@@ -44,6 +44,13 @@ type Instance struct {
 	// JobName and SiteName are optional labels for traces and reports.
 	JobName  []string
 	SiteName []string
+	// ExternalWeight is share weight held by jobs outside this instance.
+	// In a sharded deployment each shard solves its local jobs against the
+	// full site-capacity vector, but Enhanced-AMF floors (EqualShares)
+	// depend on the GLOBAL weight sum; the cluster router reconciles it by
+	// broadcasting W_global - W_local, which lands here. Zero for a
+	// standalone instance.
+	ExternalWeight float64
 }
 
 // NumJobs reports the number of jobs.
@@ -146,6 +153,9 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
+	if w := in.ExternalWeight; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("core: invalid external weight %g", w)
+	}
 	if in.Work != nil {
 		if len(in.Work) != in.NumJobs() {
 			return fmt.Errorf("core: %d work rows for %d jobs", len(in.Work), in.NumJobs())
@@ -167,8 +177,9 @@ func (in *Instance) Validate() error {
 // Clone returns a deep copy of the instance.
 func (in *Instance) Clone() *Instance {
 	out := &Instance{
-		SiteCapacity: append([]float64(nil), in.SiteCapacity...),
-		Demand:       cloneMatrix(in.Demand),
+		SiteCapacity:   append([]float64(nil), in.SiteCapacity...),
+		Demand:         cloneMatrix(in.Demand),
+		ExternalWeight: in.ExternalWeight,
 	}
 	if in.Weight != nil {
 		out.Weight = append([]float64(nil), in.Weight...)
@@ -197,11 +208,12 @@ func cloneMatrix(m [][]float64) [][]float64 {
 // would receive if every site's capacity were divided among jobs in
 // proportion to their weights, es_j = sum_s min(d[j][s], c_s*w_j/W).
 // This is the sharing-incentive benchmark: an allocation gives job j its
-// sharing incentive if A_j >= es_j.
+// sharing incentive if A_j >= es_j. W includes in.ExternalWeight, so a
+// cluster shard floors its local jobs against the global weight sum.
 func EqualShares(in *Instance) []float64 {
 	n := in.NumJobs()
 	out := make([]float64, n)
-	var wsum float64
+	wsum := in.ExternalWeight
 	for j := 0; j < n; j++ {
 		wsum += in.JobWeight(j)
 	}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDemandSites(t *testing.T) {
+	got := DemandSites([]float64{0, 1.5, 0, 2, 0.25})
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("DemandSites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DemandSites = %v, want %v", got, want)
+		}
+	}
+	if s := DemandSites([]float64{0, 0}); s != nil {
+		t.Fatalf("zero demand: got %v, want nil", s)
+	}
+}
+
+func TestShardKeyStable(t *testing.T) {
+	if _, ok := ShardKey(nil); ok {
+		t.Fatal("empty footprint should have no key")
+	}
+	k1, ok := ShardKey([]int{7, 3, 9})
+	if !ok {
+		t.Fatal("footprint should have a key")
+	}
+	// The key depends only on the smallest site, so overlapping footprints
+	// anchored at the same site agree.
+	k2, _ := ShardKey([]int{3, 12})
+	if k1 != k2 {
+		t.Fatalf("keys for footprints sharing min site differ: %d vs %d", k1, k2)
+	}
+	k3, _ := ShardKey([]int{4, 12})
+	if k1 == k3 {
+		t.Fatal("keys for different anchor sites should differ")
+	}
+}
+
+func TestShardOfSpread(t *testing.T) {
+	if ShardOf(123, 1) != 0 || ShardOf(123, 0) != 0 {
+		t.Fatal("degenerate shard counts must map to 0")
+	}
+	seen := map[int]bool{}
+	for s := 0; s < 64; s++ {
+		k, _ := ShardKey([]int{s})
+		sh := ShardOf(k, 4)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("ShardOf out of range: %d", sh)
+		}
+		seen[sh] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("64 anchor sites hit only %d of 4 shards", len(seen))
+	}
+}
+
+// TestEqualSharesExternalWeight is the sharding correctness kernel: slicing
+// an instance's jobs across shards that each carry the full capacity vector
+// and the complementary weight as ExternalWeight must reproduce the global
+// equal-share floors exactly.
+func TestEqualSharesExternalWeight(t *testing.T) {
+	in := &Instance{
+		SiteCapacity: []float64{4, 2, 3},
+		Demand: [][]float64{
+			{2, 0, 0},
+			{1, 1, 0},
+			{0, 0, 5},
+			{0, 3, 1},
+		},
+		Weight: []float64{1, 2, 0.5, 3},
+	}
+	global := EqualShares(in)
+
+	for lo := 1; lo < in.NumJobs(); lo++ {
+		shard := &Instance{
+			SiteCapacity: in.SiteCapacity,
+			Demand:       in.Demand[lo:],
+			Weight:       in.Weight[lo:],
+		}
+		for j := 0; j < lo; j++ {
+			shard.ExternalWeight += in.Weight[j]
+		}
+		got := EqualShares(shard)
+		for j := range got {
+			if math.Abs(got[j]-global[lo+j]) > 1e-12 {
+				t.Fatalf("shard split at %d: job %d floor %g, global %g", lo, lo+j, got[j], global[lo+j])
+			}
+		}
+	}
+}
+
+func TestValidateExternalWeight(t *testing.T) {
+	in := &Instance{SiteCapacity: []float64{1}, Demand: [][]float64{{1}}}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		in.ExternalWeight = bad
+		if err := in.Validate(); err == nil {
+			t.Fatalf("external weight %g should fail validation", bad)
+		}
+	}
+	in.ExternalWeight = 2.5
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid external weight rejected: %v", err)
+	}
+	if got := in.Clone().ExternalWeight; got != 2.5 {
+		t.Fatalf("Clone dropped ExternalWeight: %g", got)
+	}
+}

@@ -145,8 +145,11 @@ type Scheduler struct {
 	needSolve bool
 	inc       *core.IncrementalSolver
 	capRow    []float64 // immutable capacity row shared by all views
-	stats     Stats
-	lastSeq   uint64 // core SolveStats.Seq already folded into stats
+	// externalWeight is the share weight held by jobs on other cluster
+	// shards (core.Instance.ExternalWeight); zero standalone.
+	externalWeight float64
+	stats          Stats
+	lastSeq        uint64 // core SolveStats.Seq already folded into stats
 
 	queueWeight map[string]float64 // declared queues (see queues.go)
 	jobQueue    map[string]string  // job -> queue ("" = default)
@@ -440,6 +443,42 @@ func (sc *Scheduler) UpdateWeight(id string, weight float64) error {
 	return nil
 }
 
+// SetExternalWeight installs the share weight held by jobs outside this
+// controller — the cluster router's Enhanced-AMF weight-sum broadcast
+// (core.Instance.ExternalWeight). A change re-floors every job, so it
+// forces a re-solve; setting the current value bit-exactly is a no-op.
+func (sc *Scheduler) SetExternalWeight(w float64) error {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("scheduler: invalid external weight %g", w)
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if math.Float64bits(sc.externalWeight) != math.Float64bits(w) {
+		sc.externalWeight = w
+		sc.needSolve = true
+	}
+	return nil
+}
+
+// ExternalWeight reports the currently installed external share weight.
+func (sc *Scheduler) ExternalWeight() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.externalWeight
+}
+
+// WeightSum reports the total share weight of the live job set (without
+// the external weight) — what the router reconciles across shards.
+func (sc *Scheduler) WeightSum() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var sum float64
+	for _, j := range sc.jobs {
+		sum += j.Weight
+	}
+	return sum
+}
+
 // Shares returns the current per-site share vector of one job, re-solving
 // if the job set changed since the last query. The caller owns the
 // returned slice.
@@ -530,11 +569,12 @@ func (sc *Scheduler) Instance() *core.Instance {
 func (sc *Scheduler) viewLocked() *core.Instance {
 	live := len(sc.order) - sc.holes
 	in := &core.Instance{
-		SiteCapacity: sc.capRow,
-		Demand:       make([][]float64, 0, live),
-		Work:         make([][]float64, 0, live),
-		Weight:       make([]float64, 0, live),
-		JobName:      make([]string, 0, live),
+		SiteCapacity:   sc.capRow,
+		Demand:         make([][]float64, 0, live),
+		Work:           make([][]float64, 0, live),
+		Weight:         make([]float64, 0, live),
+		JobName:        make([]string, 0, live),
+		ExternalWeight: sc.externalWeight,
 	}
 	for _, id := range sc.order {
 		if id == "" {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Snapshot is the serializable state of a controller: the live job set
@@ -13,13 +14,20 @@ type Snapshot struct {
 	Jobs []Job `json:"jobs"`
 	// Queues maps declared queue names to their weights.
 	Queues map[string]float64 `json:"queues,omitempty"`
+	// ExternalWeight is the cluster router's weight-sum broadcast value in
+	// effect when the snapshot was taken (zero standalone); restoring it
+	// keeps replica replay and compacted-WAL recovery deterministic.
+	ExternalWeight float64 `json:"external_weight,omitempty"`
 }
 
 // Snapshot captures the current job set for persistence.
 func (sc *Scheduler) Snapshot() Snapshot {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	snap := Snapshot{Jobs: make([]Job, 0, len(sc.order))}
+	snap := Snapshot{
+		Jobs:           make([]Job, 0, len(sc.order)),
+		ExternalWeight: sc.externalWeight,
+	}
 	if len(sc.queueWeight) > 0 {
 		snap.Queues = make(map[string]float64, len(sc.queueWeight))
 		for q, w := range sc.queueWeight {
@@ -48,6 +56,9 @@ func (sc *Scheduler) Snapshot() Snapshot {
 func (sc *Scheduler) Restore(snap Snapshot) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if w := snap.ExternalWeight; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("scheduler: snapshot has invalid external weight %g", w)
+	}
 	for _, j := range snap.Jobs {
 		if len(j.Demand) != sc.NumSites() || len(j.Remaining) != sc.NumSites() {
 			return fmt.Errorf("scheduler: snapshot job %q has %d sites, controller has %d",
@@ -78,6 +89,7 @@ func (sc *Scheduler) Restore(snap Snapshot) error {
 	sc.jobQueue = map[string]string{}
 	sc.queueWeight = map[string]float64{}
 	sc.dirty = make(map[string]bool, len(snap.Jobs))
+	sc.externalWeight = snap.ExternalWeight
 	for q, w := range snap.Queues {
 		if w <= 0 {
 			w = 1

@@ -901,6 +901,27 @@ func (e *Engine) Current() *AllocSnapshot {
 	return e.snap.Load()
 }
 
+// SnapshotVersion reports the published snapshot's version without
+// counting as a snapshot read — the cluster router's version-vector probe.
+func (e *Engine) SnapshotVersion() uint64 { return e.snap.Load().Version }
+
+// ReadyErr reports whether the engine can accept mutations: nil when
+// healthy, ErrWALFailed after a durability fail-stop, ErrClosed after
+// Close/Crash. Reads keep serving either way; /v1/readyz distinguishes
+// "serving but degraded" from healthy exactly on this.
+func (e *Engine) ReadyErr() error {
+	if e.walFailed.Load() {
+		return ErrWALFailed
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 // --- Mutations (all group-committed, context-aware) ----------------------
 
 // AddJob registers a job; see scheduler.AddJob.
@@ -970,6 +991,18 @@ func (e *Engine) UpdateWeight(ctx context.Context, id string, weight float64) er
 		&wal.Mutation{Op: wal.OpWeight, ID: id, Weight: weight},
 		func(sc *scheduler.Scheduler) error {
 			return sc.UpdateWeight(id, weight)
+		})
+}
+
+// SetExternalWeight installs the cluster router's Enhanced-AMF weight-sum
+// broadcast (scheduler.SetExternalWeight). It is group-committed and WAL
+// logged like any other mutation, so a replica replaying this shard's log
+// reconstructs the same floors the shard solved under.
+func (e *Engine) SetExternalWeight(ctx context.Context, w float64) error {
+	return e.submit(ctx, false,
+		&wal.Mutation{Op: wal.OpExternalWeight, Weight: w},
+		func(sc *scheduler.Scheduler) error {
+			return sc.SetExternalWeight(w)
 		})
 }
 

@@ -18,6 +18,11 @@ const (
 	OpProgress  = "progress"
 	OpWeight    = "weight"
 	OpRestore   = "restore"
+	// OpExternalWeight installs the cluster router's Enhanced-AMF
+	// weight-sum broadcast (scheduler.SetExternalWeight). Logging it keeps
+	// replica replay deterministic: a follower reconstructs the same floors
+	// the shard solved under without talking to the router.
+	OpExternalWeight = "external_weight"
 )
 
 // Mutation is one logged controller mutation. Exactly the fields the op
@@ -57,6 +62,8 @@ func (m Mutation) Apply(sc *scheduler.Scheduler) error {
 		return err
 	case OpWeight:
 		return sc.UpdateWeight(m.ID, m.Weight)
+	case OpExternalWeight:
+		return sc.SetExternalWeight(m.Weight)
 	case OpRestore:
 		if m.State == nil {
 			return fmt.Errorf("wal: restore mutation without state")

@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// WAL shipping: the primary→replica replication transport.
+//
+// A ShipHandler serves a Log's directory over HTTP: followers poll with a
+// (segment, offset) cursor and receive the acknowledged record payloads
+// appended since, plus the cursor to resume from and the primary's durable
+// head (for lag gauges). Only group-commit-acknowledged bytes are served —
+// the handler caps the active segment at Log.Durable() — so a follower can
+// never apply a batch the primary might lose in a crash.
+//
+// Segments are immutable once sealed and records are framed + checksummed,
+// so the handler reads segment files directly and concurrently with the
+// appender: a scan stops cleanly at a torn tail. When the follower's
+// cursor has been compacted away, the handler answers with a reset — the
+// newest snapshot payload and a cursor just past it — and the follower
+// restores instead of replaying.
+
+// Cursor is a resumable replication position: a segment sequence number
+// and a byte offset into it. Cursors are totally ordered (segments are
+// allocated monotonically; offsets only grow within a segment), giving
+// followers their monotonic per-shard sequence.
+type Cursor struct {
+	Segment uint64 `json:"segment"`
+	Offset  int64  `json:"offset"`
+}
+
+// Before reports whether c precedes o in the replication order.
+func (c Cursor) Before(o Cursor) bool {
+	if c.Segment != o.Segment {
+		return c.Segment < o.Segment
+	}
+	return c.Offset < o.Offset
+}
+
+func (c Cursor) String() string { return fmt.Sprintf("%d:%d", c.Segment, c.Offset) }
+
+// ShipResponse is one poll's worth of replication stream.
+type ShipResponse struct {
+	// Reset indicates the follower's cursor was compacted away: State
+	// holds the newest snapshot payload, the follower must restore it and
+	// resume from Next instead of replaying records.
+	Reset bool   `json:"reset,omitempty"`
+	State []byte `json:"state,omitempty"`
+	// Records are acknowledged batch payloads in append order (empty when
+	// the follower is caught up).
+	Records [][]byte `json:"records,omitempty"`
+	// Next is the cursor to poll with next.
+	Next Cursor `json:"next"`
+	// Head is the primary's durable watermark; Head minus Next is the
+	// follower's replication lag.
+	Head Cursor `json:"head"`
+}
+
+// ShipStats counts a ShipHandler's activity.
+type ShipStats struct {
+	Requests       int64
+	Resets         int64
+	RecordsShipped int64
+	BytesShipped   int64
+	Errors         int64
+}
+
+// ShipHandler serves a Log's replication stream; see NewShipHandler.
+type ShipHandler struct {
+	log *Log
+
+	requests atomic.Int64
+	resets   atomic.Int64
+	records  atomic.Int64
+	bytes    atomic.Int64
+	errors   atomic.Int64
+}
+
+// NewShipHandler returns the HTTP handler for l's replication stream.
+// GET ?segment=N&offset=M answers with a ShipResponse JSON body.
+func NewShipHandler(l *Log) *ShipHandler { return &ShipHandler{log: l} }
+
+// Stats reports cumulative shipping counters.
+func (h *ShipHandler) Stats() ShipStats {
+	return ShipStats{
+		Requests:       h.requests.Load(),
+		Resets:         h.resets.Load(),
+		RecordsShipped: h.records.Load(),
+		BytesShipped:   h.bytes.Load(),
+		Errors:         h.errors.Load(),
+	}
+}
+
+func (h *ShipHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "wal ship: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	h.requests.Add(1)
+	var cur Cursor
+	var err error
+	if v := r.URL.Query().Get("segment"); v != "" {
+		if cur.Segment, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, "wal ship: bad segment", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if cur.Offset, err = strconv.ParseInt(v, 10, 64); err != nil || cur.Offset < 0 {
+			http.Error(w, "wal ship: bad offset", http.StatusBadRequest)
+			return
+		}
+	}
+	resp, err := h.fetch(cur)
+	if err != nil {
+		h.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if resp.Reset {
+		h.resets.Add(1)
+	}
+	h.records.Add(int64(len(resp.Records)))
+	for _, p := range resp.Records {
+		h.bytes.Add(int64(len(p)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// fetch assembles one poll's response for the follower cursor cur.
+func (h *ShipHandler) fetch(cur Cursor) (*ShipResponse, error) {
+	head := h.log.Durable()
+	dir := h.log.Dir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal ship: %w", err)
+	}
+	segSet := map[uint64]bool{}
+	var snaps []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), segmentPrefix, segmentSuffix); ok {
+			segSet[seq] = true
+		}
+		if seq, ok := parseSeq(e.Name(), snapshotPrefix, snapshotSuffix); ok {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Slice(snaps, func(a, b int) bool { return snaps[a] < snaps[b] })
+
+	// A consumed sealed segment hands over to its successor. Compaction can
+	// leave the successor missing; the snapshot path below covers that.
+	for cur.Segment < head.Segment && segSet[cur.Segment] {
+		size, err := segmentSize(dir, cur.Segment)
+		if err != nil {
+			return nil, err
+		}
+		if cur.Offset < size {
+			break
+		}
+		cur = Cursor{Segment: cur.Segment + 1}
+	}
+
+	if !segSet[cur.Segment] || cur.Segment > head.Segment {
+		// The cursor points at history that no longer exists as segments
+		// (fresh follower, or compaction folded it away). Reset from the
+		// newest snapshot that covers the cursor.
+		for i := len(snaps) - 1; i >= 0; i-- {
+			if snaps[i]+1 < cur.Segment {
+				break
+			}
+			state, err := readSnapshotPayload(dir, snaps[i])
+			if err != nil {
+				continue
+			}
+			return &ShipResponse{
+				Reset: true,
+				State: state,
+				Next:  Cursor{Segment: snaps[i] + 1},
+				Head:  head,
+			}, nil
+		}
+		if cur.Segment == 0 {
+			// Fresh follower of a log with no snapshot yet: replay from the
+			// oldest segment on disk (the log's full history).
+			min := head.Segment
+			for seq := range segSet {
+				if seq < min {
+					min = seq
+				}
+			}
+			cur = Cursor{Segment: min}
+		} else {
+			return nil, fmt.Errorf("wal ship: cursor %s unservable (no segment, no covering snapshot)", cur)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, segmentName(cur.Segment)))
+	if err != nil {
+		return nil, fmt.Errorf("wal ship: %w", err)
+	}
+	sealed := cur.Segment < head.Segment
+	if !sealed && int64(len(data)) > head.Offset {
+		// Cap the active segment at the durable watermark: bytes past it
+		// may be un-fsynced appends racing with this read.
+		data = data[:head.Offset]
+	}
+	if cur.Offset > int64(len(data)) {
+		return nil, fmt.Errorf("wal ship: cursor %s past end of segment (%d bytes)", cur, len(data))
+	}
+	payloads, skipped := scanRecords(data[cur.Offset:])
+	next := cur
+	for _, p := range payloads {
+		next.Offset += int64(recordHeader + len(p))
+	}
+	if sealed && (skipped || next.Offset >= int64(len(data))) {
+		// A sealed segment is fully consumed once its valid prefix is
+		// scanned; a torn tail ends the segment (recovery semantics), so
+		// hand over to the successor either way.
+		next = Cursor{Segment: cur.Segment + 1}
+	}
+	// Copy payloads out: they alias the read buffer, which is fine here,
+	// but keep the response self-contained.
+	recs := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		recs[i] = append([]byte(nil), p...)
+	}
+	return &ShipResponse{Records: recs, Next: next, Head: head}, nil
+}
+
+func segmentSize(dir string, seq uint64) (int64, error) {
+	fi, err := os.Stat(filepath.Join(dir, segmentName(seq)))
+	if err != nil {
+		return 0, fmt.Errorf("wal ship: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// readSnapshotPayload reads and validates one snapshot file, returning its
+// single record payload.
+func readSnapshotPayload(dir string, seq uint64) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName(seq)))
+	if err != nil {
+		return nil, err
+	}
+	payloads, skipped := scanRecords(data)
+	if skipped || len(payloads) != 1 {
+		return nil, fmt.Errorf("wal ship: snapshot %d invalid", seq)
+	}
+	return payloads[0], nil
+}
+
+// ShipClient is the follower side of the replication stream: a thin typed
+// poller over a ShipHandler's endpoint.
+type ShipClient struct {
+	// Base is the ship endpoint URL (the handler's mount point).
+	Base string
+	// HTTP overrides the default client.
+	HTTP *http.Client
+}
+
+// Fetch polls the primary once from cur.
+func (c *ShipClient) Fetch(ctx context.Context, cur Cursor) (*ShipResponse, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	u := fmt.Sprintf("%s?segment=%s&offset=%s", c.Base,
+		url.QueryEscape(strconv.FormatUint(cur.Segment, 10)),
+		url.QueryEscape(strconv.FormatInt(cur.Offset, 10)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("wal ship: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wal ship: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("wal ship: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wal ship: primary returned %d: %s", resp.StatusCode, body)
+	}
+	var sr ShipResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("wal ship: decoding response: %w", err)
+	}
+	return &sr, nil
+}

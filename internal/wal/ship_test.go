@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shipFollow drains the stream from cur until caught up with the primary's
+// head, returning every payload received and the final cursor.
+func shipFollow(t *testing.T, c *ShipClient, cur Cursor) (payloads [][]byte, state []byte, end Cursor) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		resp, err := c.Fetch(context.Background(), cur)
+		if err != nil {
+			t.Fatalf("fetch from %v: %v", cur, err)
+		}
+		if resp.Reset {
+			state = resp.State
+			payloads = nil // state replaces everything replayed so far
+		}
+		payloads = append(payloads, resp.Records...)
+		cur = resp.Next
+		if !cur.Before(resp.Head) {
+			return payloads, state, cur
+		}
+	}
+	t.Fatal("follower never caught up")
+	return nil, nil, cur
+}
+
+func TestShipStreamsAcknowledgedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var want []string
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("batch-%02d-%s", i, "padding-to-force-rotation")
+		want = append(want, p)
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(NewShipHandler(l))
+	defer srv.Close()
+	c := &ShipClient{Base: srv.URL}
+
+	got, state, end := shipFollow(t, c, Cursor{})
+	if state != nil {
+		t.Fatal("unexpected reset on un-compacted log")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shipped %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Resume from the end cursor: new appends only.
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = shipFollow(t, c, end)
+	if len(got) != 1 || string(got[0]) != "tail" {
+		t.Fatalf("resume shipped %q, want [tail]", got)
+	}
+}
+
+func TestShipWithholdsUnsyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Appended but NOT synced: must not be shipped.
+	if err := l.Append([]byte("unacked")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewShipHandler(l))
+	defer srv.Close()
+	got, _, end := shipFollow(t, &ShipClient{Base: srv.URL}, Cursor{})
+	if len(got) != 1 || string(got[0]) != "acked" {
+		t.Fatalf("shipped %q, want only the acked record", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = shipFollow(t, &ShipClient{Base: srv.URL}, end)
+	if len(got) != 1 || string(got[0]) != "unacked" {
+		t.Fatalf("after sync shipped %q, want the second record", got)
+	}
+}
+
+func TestShipResetAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewShipHandler(l))
+	defer srv.Close()
+	h := &ShipClient{Base: srv.URL}
+
+	// A cursor from before the compaction must be answered with a reset.
+	got, state, _ := shipFollow(t, h, Cursor{Segment: 1, Offset: 0})
+	if string(state) != "STATE" {
+		t.Fatalf("reset state = %q, want STATE", state)
+	}
+	if len(got) != 1 || string(got[0]) != "new" {
+		t.Fatalf("post-reset records = %q, want [new]", got)
+	}
+}
+
+func TestShipSkipsTornSealedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the active segment, then reopen: the torn segment is
+	// sealed history for the new Log.
+	seg := filepath.Join(dir, segmentName(1))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.SkippedRecords != 1 {
+		t.Fatalf("recovery skipped %d, want 1", rec.SkippedRecords)
+	}
+	if err := l2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewShipHandler(l2))
+	defer srv.Close()
+	got, _, _ := shipFollow(t, &ShipClient{Base: srv.URL}, Cursor{})
+	if len(got) != 2 || string(got[0]) != "good" || string(got[1]) != "after" {
+		t.Fatalf("shipped %q, want [good after] (torn tail dropped)", got)
+	}
+}
+
+func TestDurableWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	d0 := l.Durable()
+	if d0.Offset != 0 {
+		t.Fatalf("fresh log durable offset = %d", d0.Offset)
+	}
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.Durable(); d != d0 {
+		t.Fatalf("append moved durable watermark: %v -> %v", d0, d)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.Durable(); !d0.Before(d) {
+		t.Fatalf("sync did not advance durable watermark: %v", d)
+	}
+}

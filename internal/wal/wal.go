@@ -74,7 +74,8 @@ type Log struct {
 	f           *os.File
 	seq         uint64 // active segment sequence number
 	activeBytes int64
-	segments    int // live segment files, including active
+	synced      int64 // bytes of the active segment covered by an fsync
+	segments    int   // live segment files, including active
 	records     int64
 	bytes       int64
 	compactions int64
@@ -108,8 +109,12 @@ const (
 	snapshotSuffix = ".snap"
 )
 
-func segmentName(seq uint64) string  { return fmt.Sprintf("%s%016d%s", segmentPrefix, seq, segmentSuffix) }
-func snapshotName(seq uint64) string { return fmt.Sprintf("%s%016d%s", snapshotPrefix, seq, snapshotSuffix) }
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", segmentPrefix, seq, segmentSuffix)
+}
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", snapshotPrefix, seq, snapshotSuffix)
+}
 
 // parseSeq extracts the sequence number from a segment or snapshot file
 // name.
@@ -207,6 +212,7 @@ func (l *Log) createSegmentLocked() error {
 	}
 	l.f = f
 	l.activeBytes = 0
+	l.synced = 0
 	l.segments++
 	return l.syncDir()
 }
@@ -276,7 +282,18 @@ func (l *Log) Sync() error {
 	if err := l.sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	l.synced = l.activeBytes
 	return nil
+}
+
+// Durable reports the group-commit watermark: the active segment and the
+// number of its bytes covered by a successful fsync. Everything at or
+// before this cursor was acknowledged; the WAL shipper never streams past
+// it, so a follower can never apply a batch the primary might lose.
+func (l *Log) Durable() Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Cursor{Segment: l.seq, Offset: l.synced}
 }
 
 // rotateLocked seals the active segment (fsync + close) and opens the

@@ -59,6 +59,13 @@ type ChurnConfig struct {
 	WorkScale float64
 	// Seed drives the op stream (the base uses Sparse.Seed).
 	Seed uint64
+	// ZipfSkew skews which component each mutation targets: components
+	// are ranked by index and hit with probability ∝ rank^(-ZipfSkew)
+	// (ZipfWeights). 0 (the default) is uniform; larger values
+	// concentrate churn on a few hot components — the contention shape
+	// the paper's evaluation sweeps, and the worst case for the
+	// incremental solver's dirty-component tracking.
+	ZipfSkew float64
 }
 
 func (c ChurnConfig) withDefaults() ChurnConfig {
@@ -104,13 +111,24 @@ func GenerateChurn(cfg ChurnConfig) *Churn {
 
 	rng := randx.Stream(cfg.Seed, "workload/churn")
 	m := len(in.SiteCapacity)
+	// Component popularity: uniform by default, Zipf-skewed when asked.
+	var popularity []float64
+	if cfg.ZipfSkew > 0 {
+		popularity = ZipfWeights(sp.Components, cfg.ZipfSkew)
+	}
+	pick := func() int {
+		if popularity == nil {
+			return rng.Intn(sp.Components)
+		}
+		return SampleIndex(rng, popularity)
+	}
 	// Per-component pool of live transient jobs (names only; transient
 	// demand rows are regenerated per add).
 	transient := make([][]string, sp.Components)
 	next := make([]int, sp.Components)
 	ops := make([]ChurnOp, 0, cfg.Mutations)
 	for len(ops) < cfg.Mutations {
-		c := rng.Intn(sp.Components)
+		c := pick()
 		op := ChurnOp{Component: c}
 		switch p := rng.Float64(); {
 		case p < 0.50: // reweight a base job
@@ -153,7 +171,7 @@ func blockDemandRow(sp SparseConfig, c int, rng *rand.Rand) []float64 {
 	s0 := c * sp.SitesPerComponent
 	row := make([]float64, m)
 	k := 1 + rng.Intn(sp.SitesPerComponent)
-	sites := append([]int{0}, rng.Perm(sp.SitesPerComponent-1)[:k-1]...)
+	sites := append([]int{0}, rng.Perm(sp.SitesPerComponent - 1)[:k-1]...)
 	total := sp.MeanDemand * (0.5 + rng.Float64())
 	split := make([]float64, k)
 	var sum float64

@@ -69,3 +69,40 @@ func itoa(n int) string {
 	}
 	return string(b[i:])
 }
+
+// TestChurnZipfSkew: skewed streams concentrate mutations on low-index
+// components — the head component must be hit far more than the tail —
+// while skew 0 reproduces the uniform stream exactly.
+func TestChurnZipfSkew(t *testing.T) {
+	cfg := ChurnConfig{
+		Sparse:    SparseConfig{Components: 10, JobsPerComponent: 3, SitesPerComponent: 2, Seed: 4},
+		Mutations: 2000,
+		Seed:      11,
+	}
+	uniform := GenerateChurn(cfg)
+	zero := cfg
+	zero.ZipfSkew = 0
+	if !reflect.DeepEqual(uniform.Ops, GenerateChurn(zero).Ops) {
+		t.Fatal("ZipfSkew 0 changed the stream")
+	}
+
+	skewed := cfg
+	skewed.ZipfSkew = 1.5
+	counts := make([]int, cfg.Sparse.Components)
+	for _, op := range GenerateChurn(skewed).Ops {
+		counts[op.Component]++
+	}
+	head, tail := counts[0], counts[len(counts)-1]
+	if head < 4*tail+1 {
+		t.Fatalf("skew 1.5: head component hit %d times, tail %d — not skewed", head, tail)
+	}
+	// And the skewed stream is still deterministic.
+	again := GenerateChurn(skewed)
+	c2 := make([]int, cfg.Sparse.Components)
+	for _, op := range again.Ops {
+		c2[op.Component]++
+	}
+	if !reflect.DeepEqual(counts, c2) {
+		t.Fatal("skewed stream not deterministic")
+	}
+}
