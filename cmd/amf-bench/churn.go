@@ -32,22 +32,23 @@ type churnOptions struct {
 // churnResult is the machine-readable record written to the -churn-out
 // JSON file (BENCH_incremental.json in CI).
 type churnResult struct {
-	Benchmark           string  `json:"benchmark"`
-	Components          int     `json:"components"`
-	JobsPerComponent    int     `json:"jobs_per_component"`
-	SitesPerComponent   int     `json:"sites_per_component"`
-	Mutations           int     `json:"mutations"`
-	ZipfSkew            float64 `json:"zipf_skew"`
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	IncrementalMedianNS int64   `json:"incremental_median_ns"`
-	FullMedianNS        int64   `json:"full_median_ns"`
-	Ratio               float64 `json:"full_over_incremental"`
-	LastReused          int     `json:"last_reused"`
-	LastResolved        int     `json:"last_resolved"`
-	CacheHits           int64   `json:"cache_hits"`
-	CacheMisses         int64   `json:"cache_misses"`
-	CacheHitRatio       float64 `json:"cache_hit_ratio"`
-	GlobalInvalidations int64   `json:"global_invalidations"`
+	Benchmark           string   `json:"benchmark"`
+	Env                 benchEnv `json:"env"`
+	Components          int      `json:"components"`
+	JobsPerComponent    int      `json:"jobs_per_component"`
+	SitesPerComponent   int      `json:"sites_per_component"`
+	Mutations           int      `json:"mutations"`
+	ZipfSkew            float64  `json:"zipf_skew"`
+	GOMAXPROCS          int      `json:"gomaxprocs"`
+	IncrementalMedianNS int64    `json:"incremental_median_ns"`
+	FullMedianNS        int64    `json:"full_median_ns"`
+	Ratio               float64  `json:"full_over_incremental"`
+	LastReused          int      `json:"last_reused"`
+	LastResolved        int      `json:"last_resolved"`
+	CacheHits           int64    `json:"cache_hits"`
+	CacheMisses         int64    `json:"cache_misses"`
+	CacheHitRatio       float64  `json:"cache_hit_ratio"`
+	GlobalInvalidations int64    `json:"global_invalidations"`
 }
 
 // runChurn replays one generated churn stream through both scheduler
@@ -77,6 +78,7 @@ func runChurn(o churnOptions) error {
 
 	res := churnResult{
 		Benchmark:           "incremental_churn",
+		Env:                 captureEnv(),
 		Components:          o.components,
 		JobsPerComponent:    o.jobs,
 		SitesPerComponent:   o.sites,

@@ -52,6 +52,7 @@ type clusterEndpoint struct {
 // (BENCH_cluster.json in CI).
 type clusterResult struct {
 	Benchmark          string            `json:"benchmark"`
+	Env                benchEnv          `json:"env"`
 	Note               string            `json:"note"`
 	GOMAXPROCS         int               `json:"gomaxprocs"`
 	Components         int               `json:"components"`
@@ -249,6 +250,7 @@ func runClusterBench(o clusterOptions) error {
 
 	res := clusterResult{
 		Benchmark: "cluster_read_scaling",
+		Env:       captureEnv(),
 		Note: "per-endpoint read capacity measured in isolation on a shared box; " +
 			"aggregate assumes one endpoint per machine (how replicas deploy)",
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),

@@ -28,18 +28,19 @@ type decomposeOptions struct {
 // decomposeResult is the machine-readable benchmark record written to
 // the -decompose-out JSON file (BENCH_solver.json in CI).
 type decomposeResult struct {
-	Benchmark         string  `json:"benchmark"`
-	Components        int     `json:"components"`
-	JobsPerComponent  int     `json:"jobs_per_component"`
-	SitesPerComponent int     `json:"sites_per_component"`
-	Trials            int     `json:"trials"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
-	MonoMedianNS      int64   `json:"mono_median_ns"`
-	DecompMedianNS    int64   `json:"decomposed_median_ns"`
-	Ratio             float64 `json:"mono_over_decomposed"`
-	SolvedComponents  int     `json:"solved_components"`
-	LargestComponent  int     `json:"largest_component"`
-	ParallelSpeedup   float64 `json:"parallel_speedup"`
+	Benchmark         string   `json:"benchmark"`
+	Env               benchEnv `json:"env"`
+	Components        int      `json:"components"`
+	JobsPerComponent  int      `json:"jobs_per_component"`
+	SitesPerComponent int      `json:"sites_per_component"`
+	Trials            int      `json:"trials"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	MonoMedianNS      int64    `json:"mono_median_ns"`
+	DecompMedianNS    int64    `json:"decomposed_median_ns"`
+	Ratio             float64  `json:"mono_over_decomposed"`
+	SolvedComponents  int      `json:"solved_components"`
+	LargestComponent  int      `json:"largest_component"`
+	ParallelSpeedup   float64  `json:"parallel_speedup"`
 }
 
 // runDecompose times both solver paths over the same warm solver per
@@ -66,6 +67,7 @@ func runDecompose(o decomposeOptions) error {
 
 	res := decomposeResult{
 		Benchmark:         "decompose",
+		Env:               captureEnv(),
 		Components:        o.components,
 		JobsPerComponent:  o.jobs,
 		SitesPerComponent: o.sites,

@@ -1,0 +1,26 @@
+package main
+
+import "runtime"
+
+// benchEnv is the host fingerprint embedded in every machine-readable
+// BENCH_*.json so committed results can be compared across machines and
+// toolchain upgrades without guessing at the recording environment.
+type benchEnv struct {
+	// GOMAXPROCS is the scheduler's parallelism limit at bench time —
+	// what the solver's worker pools actually got to use.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count, which can exceed
+	// GOMAXPROCS under cgroup or taskset confinement.
+	NumCPU int `json:"num_cpu"`
+	// GoVersion is the toolchain that built the benchmark binary.
+	GoVersion string `json:"go_version"`
+}
+
+// captureEnv snapshots the environment header for a benchmark result.
+func captureEnv() benchEnv {
+	return benchEnv{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -47,6 +47,16 @@
 //	amf-bench -obs
 //	amf-bench -obs -obs-out BENCH_obs.json -obs-cpuprofile obs.pprof
 //
+// A large-graph mode sweeps a ladder of single-component bipartite
+// graphs growing to ~10^6 demand edges and compares the exact
+// water-filling solve against the approximate fast path (ApproxEpsilon/
+// ApproxThreshold), reporting per-tier speedup and the measured max
+// per-job deviation against the epsilon budget:
+//
+//	amf-bench -largegraph
+//	amf-bench -largegraph -largegraph-epsilon 0.01 -largegraph-out BENCH_largegraph.json
+//	amf-bench -largegraph -largegraph-tiers 200:16:4,400:32:8   # smoke sizes
+//
 // A durability mode measures the acknowledged mutation latency of the
 // write-ahead-logged engine against the in-memory engine under the same
 // concurrent workload (group commit shares one fsync per batch):
@@ -123,6 +133,12 @@ func main() {
 		clusterWriteIval = flag.Duration("cluster-write-interval", 2*time.Millisecond, "pause between sustained writer mutations")
 		clusterOut       = flag.String("cluster-out", "", "write machine-readable results to this JSON file (e.g. BENCH_cluster.json)")
 
+		largeMode   = flag.Bool("largegraph", false, "run the large-graph approximation sweep (exact vs approximate water-filling)")
+		largeTiers  = flag.String("largegraph-tiers", "", "jobs:sites:degree triples, comma separated (default: a ladder growing to ~10^6 edges)")
+		largeEps    = flag.Float64("largegraph-epsilon", 0.01, "approximation deviation budget as a fraction of instance scale")
+		largeTrials = flag.Int("largegraph-trials", 3, "timed approximate solves per tier (median reported; exact runs once)")
+		largeOut    = flag.String("largegraph-out", "", "write machine-readable results to this JSON file (e.g. BENCH_largegraph.json)")
+
 		obsMode      = flag.Bool("obs", false, "run the observability-overhead benchmark (per-commit latency, metrics+tracing vs plain)")
 		obsComps     = flag.Int("obs-components", 64, "independent components in the sparse instance")
 		obsJobs      = flag.Int("obs-jobs", 16, "jobs per component")
@@ -133,6 +149,20 @@ func main() {
 		obsProfile   = flag.String("obs-cpuprofile", "", "write a CPU profile of the instrumented pass to this file")
 	)
 	flag.Parse()
+
+	if *largeMode {
+		if err := runLargegraph(largegraphOptions{
+			tiers:   *largeTiers,
+			epsilon: *largeEps,
+			trials:  *largeTrials,
+			seed:    *seed,
+			out:     *largeOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clusterMode {
 		if err := runClusterBench(clusterOptions{

@@ -36,13 +36,14 @@ type obsOptions struct {
 // obsResult is the machine-readable record written to the -obs-out JSON
 // file (BENCH_obs.json in CI).
 type obsResult struct {
-	Benchmark         string  `json:"benchmark"`
-	Components        int     `json:"components"`
-	JobsPerComponent  int     `json:"jobs_per_component"`
-	SitesPerComponent int     `json:"sites_per_component"`
-	Mutations         int     `json:"mutations"`
-	Reps              int     `json:"reps"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Benchmark         string   `json:"benchmark"`
+	Env               benchEnv `json:"env"`
+	Components        int      `json:"components"`
+	JobsPerComponent  int      `json:"jobs_per_component"`
+	SitesPerComponent int      `json:"sites_per_component"`
+	Mutations         int      `json:"mutations"`
+	Reps              int      `json:"reps"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
 	// Median acknowledged commit latency per configuration (best median
 	// across reps, to shed scheduler noise).
 	PlainMedianNS int64 `json:"plain_median_ns"`
@@ -119,6 +120,7 @@ func runObsBench(o obsOptions) error {
 
 	res := obsResult{
 		Benchmark:         "observability_overhead",
+		Env:               captureEnv(),
 		Components:        o.components,
 		JobsPerComponent:  o.jobs,
 		SitesPerComponent: o.sites,

@@ -36,22 +36,23 @@ type walbenchOptions struct {
 // walbenchResult is the machine-readable record written to the -wal-out
 // JSON file (BENCH_wal.json in CI).
 type walbenchResult struct {
-	Benchmark      string  `json:"benchmark"`
-	Mutators       int     `json:"mutators"`
-	Jobs           int     `json:"jobs"`
-	Sites          int     `json:"sites"`
-	OpsPerMutator  int     `json:"ops_per_mutator"`
-	BatchMax       int     `json:"batch_max"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	MemoryMedianNS int64   `json:"memory_median_ns"`
-	MemoryP95NS    int64   `json:"memory_p95_ns"`
-	WALMedianNS    int64   `json:"wal_median_ns"`
-	WALP95NS       int64   `json:"wal_p95_ns"`
-	Ratio          float64 `json:"wal_over_memory"`
-	FsyncP95NS     int64   `json:"fsync_p95_ns"`
-	AppendP95NS    int64   `json:"append_p95_ns"`
-	Commits        int64   `json:"commits"`
-	Compactions    int64   `json:"compactions"`
+	Benchmark      string   `json:"benchmark"`
+	Env            benchEnv `json:"env"`
+	Mutators       int      `json:"mutators"`
+	Jobs           int      `json:"jobs"`
+	Sites          int      `json:"sites"`
+	OpsPerMutator  int      `json:"ops_per_mutator"`
+	BatchMax       int      `json:"batch_max"`
+	GOMAXPROCS     int      `json:"gomaxprocs"`
+	MemoryMedianNS int64    `json:"memory_median_ns"`
+	MemoryP95NS    int64    `json:"memory_p95_ns"`
+	WALMedianNS    int64    `json:"wal_median_ns"`
+	WALP95NS       int64    `json:"wal_p95_ns"`
+	Ratio          float64  `json:"wal_over_memory"`
+	FsyncP95NS     int64    `json:"fsync_p95_ns"`
+	AppendP95NS    int64    `json:"append_p95_ns"`
+	Commits        int64    `json:"commits"`
+	Compactions    int64    `json:"compactions"`
 }
 
 // runWALBench runs both configurations and prints the comparison.
@@ -79,6 +80,7 @@ func runWALBench(o walbenchOptions) error {
 
 	res := walbenchResult{
 		Benchmark:      "wal_overhead",
+		Env:            captureEnv(),
 		Mutators:       o.mutators,
 		Jobs:           o.jobs,
 		Sites:          o.sites,

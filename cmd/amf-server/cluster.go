@@ -64,12 +64,22 @@ type serverConfig struct {
 	traceBuf    int
 	slowCommit  time.Duration
 	interval    time.Duration
+	// Approximate water-filling knobs, passed to every shard's solver.
+	// Replicas ignore them: a replica replays the primary's WAL and serves
+	// reads, so its allocation must track the primary byte-for-byte.
+	approxEps    float64
+	approxThresh int
 }
 
 // buildShardEngine assembles one durable engine: scheduler, WAL replay,
 // tracing — the same stack the single-engine path runs, minus the flags.
 func buildShardEngine(logger *slog.Logger, caps []float64, p sim.Policy, dir string, cfg serverConfig) (*serve.Engine, *wal.Log, *span.Recorder, error) {
-	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: p})
+	sc, err := scheduler.New(scheduler.Config{
+		SiteCapacity:    caps,
+		Policy:          p,
+		ApproxEpsilon:   cfg.approxEps,
+		ApproxThreshold: cfg.approxThresh,
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -68,6 +68,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -106,6 +107,8 @@ func main() {
 		slowCommit    = flag.Duration("slow-commit", 0, "log a warning with per-stage timings for commits slower than this (0 disables)")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		approxEps     = flag.Float64("approx-epsilon", 0, "approximate water-filling deviation budget as a fraction of instance scale (0 = always exact)")
+		approxThresh  = flag.Int("approx-threshold", 0, "component size (jobs + demand edges) above which the approximate solver engages (0 = never)")
 	)
 	flag.Parse()
 
@@ -123,17 +126,30 @@ func main() {
 	if err != nil {
 		fatal(logger, "amf-server: bad -policy", err)
 	}
+	// Reject bad approximation knobs at parse time with the same
+	// invalid-argument semantics the API enforces, instead of failing the
+	// first solve.
+	if *approxEps < 0 || math.IsNaN(*approxEps) || math.IsInf(*approxEps, 0) {
+		fatal(logger, "amf-server: bad -approx-epsilon",
+			fmt.Errorf("must be a finite non-negative fraction, got %g", *approxEps))
+	}
+	if *approxThresh < 0 {
+		fatal(logger, "amf-server: bad -approx-threshold",
+			fmt.Errorf("must be non-negative, got %d", *approxThresh))
+	}
 	cfg := serverConfig{
-		listen:      *listen,
-		shipAddr:    *shipAddr,
-		dataDir:     *dataDir,
-		batchMax:    *batchMax,
-		batchWindow: *batchWindow,
-		compactMB:   *compactMB,
-		compactIval: *compactIval,
-		traceBuf:    *traceBuf,
-		slowCommit:  *slowCommit,
-		interval:    *replicaIval,
+		listen:       *listen,
+		shipAddr:     *shipAddr,
+		dataDir:      *dataDir,
+		batchMax:     *batchMax,
+		batchWindow:  *batchWindow,
+		compactMB:    *compactMB,
+		compactIval:  *compactIval,
+		traceBuf:     *traceBuf,
+		slowCommit:   *slowCommit,
+		interval:     *replicaIval,
+		approxEps:    *approxEps,
+		approxThresh: *approxThresh,
 	}
 
 	// The listener comes up before any WAL replay or replica sync: until
@@ -203,7 +219,12 @@ func main() {
 // WAL replay, serve.Engine, API handler. The returned stop func drains
 // the engine and performs the -state / -metrics-on-exit shutdown work.
 func runSingle(logger *slog.Logger, caps []float64, p sim.Policy, state string, dumpMetrics bool, cfg serverConfig) (http.Handler, func(), error) {
-	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: p})
+	sc, err := scheduler.New(scheduler.Config{
+		SiteCapacity:    caps,
+		Policy:          p,
+		ApproxEpsilon:   cfg.approxEps,
+		ApproxThreshold: cfg.approxThresh,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

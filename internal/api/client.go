@@ -94,6 +94,22 @@ func (c *Client) SetExternalWeight(ctx context.Context, weight float64) error {
 		ExternalWeightRequest{Weight: weight}, nil)
 }
 
+// SetApproxConfig retunes the solver's approximate water-filling knobs:
+// epsilon is the per-job deviation budget as a fraction of instance scale
+// (0 disables the fast path), threshold the component size above which it
+// engages.
+func (c *Client) SetApproxConfig(ctx context.Context, epsilon float64, threshold int) error {
+	return c.do(ctx, http.MethodPut, "/v1/solver/approx",
+		ApproxConfigRequest{Epsilon: epsilon, Threshold: threshold}, nil)
+}
+
+// ApproxConfig fetches the solver's current approximation knobs.
+func (c *Client) ApproxConfig(ctx context.Context) (ApproxConfigResponse, error) {
+	var out ApproxConfigResponse
+	err := c.do(ctx, http.MethodGet, "/v1/solver/approx", nil, &out)
+	return out, err
+}
+
 // Traces fetches up to limit recent commit traces (0 = the whole ring).
 func (c *Client) Traces(ctx context.Context, limit int) (TracesResponse, error) {
 	var out TracesResponse

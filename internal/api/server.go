@@ -31,6 +31,9 @@
 //	PUT    /v1/snapshot                restore controller state
 //	PUT    /v1/cluster/external-weight reconcile the external share-weight
 //	                                   sum (cluster router broadcast)
+//	PUT    /v1/solver/approx           retune the approximate water-filling
+//	                                   knobs (epsilon, threshold)
+//	GET    /v1/solver/approx           current approximation knobs
 //	GET    /metrics                    Prometheus text exposition
 //
 // Every endpoint is wrapped in metrics middleware recording per-endpoint
@@ -63,6 +66,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -121,12 +125,23 @@ type ExternalWeighter interface {
 	SetExternalWeight(ctx context.Context, w float64) error
 }
 
+// ApproxConfigurer is the optional solver-tuning surface behind
+// PUT/GET /v1/solver/approx: the approximate water-filling knobs
+// (core.Solver.ApproxEpsilon / ApproxThreshold). Backends without the
+// methods reject the routes with invalid_argument.
+type ApproxConfigurer interface {
+	SetApproxConfig(ctx context.Context, epsilon float64, threshold int) error
+	ApproxConfig() (epsilon float64, threshold int)
+}
+
 var _ Backend = (*serve.Engine)(nil)
 var _ Backend = schedulerBackend{}
 var _ ReadyChecker = (*serve.Engine)(nil)
 var _ Versioned = (*serve.Engine)(nil)
 var _ ExternalWeighter = (*serve.Engine)(nil)
 var _ ExternalWeighter = schedulerBackend{}
+var _ ApproxConfigurer = (*serve.Engine)(nil)
+var _ ApproxConfigurer = schedulerBackend{}
 
 // schedulerBackend adapts a bare controller to the context-aware Backend.
 // The scheduler's methods are fast and synchronous, so honoring the
@@ -214,6 +229,17 @@ func (b schedulerBackend) SetExternalWeight(ctx context.Context, w float64) erro
 		return err
 	}
 	return b.sc.SetExternalWeight(w)
+}
+
+func (b schedulerBackend) SetApproxConfig(ctx context.Context, epsilon float64, threshold int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.SetApproxConfig(epsilon, threshold)
+}
+
+func (b schedulerBackend) ApproxConfig() (epsilon float64, threshold int) {
+	return b.sc.ApproxConfig()
 }
 
 // AddJobRequest registers a job. Queue, when set, must name a queue
@@ -311,6 +337,11 @@ type StatsResponse struct {
 	CacheHits           int64 `json:"cache_hits"`
 	CacheMisses         int64 `json:"cache_misses"`
 	GlobalInvalidations int64 `json:"global_invalidations"`
+	// Approximate water-filling telemetry from the most recent solve:
+	// components routed through the approximate path, and the solver's
+	// certified per-job deviation bound (0 when every component was exact).
+	ApproxComponents int     `json:"approx_components"`
+	ApproxErrorBound float64 `json:"approx_error_bound"`
 }
 
 type errorResponse struct {
@@ -387,6 +418,8 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Pol
 	s.route("GET /v1/snapshot", s.handleGetSnapshot)
 	s.route("PUT /v1/snapshot", s.handlePutSnapshot)
 	s.route("PUT /v1/cluster/external-weight", s.handleExternalWeight)
+	s.route("PUT /v1/solver/approx", s.handlePutApproxConfig)
+	s.route("GET /v1/solver/approx", s.handleGetApproxConfig)
 	s.route("GET /metrics", s.handlePromMetrics)
 	return s
 }
@@ -516,6 +549,63 @@ func (s *Server) handleExternalWeight(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
+}
+
+// ApproxConfigRequest retunes the solver's approximate water-filling
+// knobs. Epsilon is the per-job deviation budget as a fraction of the
+// instance scale (0 disables the fast path); Threshold is the component
+// size (jobs + demand edges) above which the approximation engages.
+type ApproxConfigRequest struct {
+	Epsilon   float64 `json:"epsilon"`
+	Threshold int     `json:"threshold"`
+}
+
+// ApproxConfigResponse reports the solver's current approximation knobs.
+type ApproxConfigResponse struct {
+	Epsilon   float64 `json:"epsilon"`
+	Threshold int     `json:"threshold"`
+}
+
+func (s *Server) handlePutApproxConfig(w http.ResponseWriter, r *http.Request) {
+	ac, ok := s.sc.(ApproxConfigurer)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support approximation tuning", Code: CodeInvalidArgument})
+		return
+	}
+	var req ApproxConfigRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// NaN cannot ride JSON, so a NaN epsilon surfaces here as a
+		// decode failure — already an invalid_argument via writeError.
+		writeError(w, err)
+		return
+	}
+	if req.Epsilon < 0 || math.IsInf(req.Epsilon, 0) || math.IsNaN(req.Epsilon) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "epsilon must be a finite non-negative fraction", Code: CodeInvalidArgument})
+		return
+	}
+	if req.Threshold < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "threshold must be non-negative", Code: CodeInvalidArgument})
+		return
+	}
+	if err := ac.SetApproxConfig(r.Context(), req.Epsilon, req.Threshold); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
+}
+
+func (s *Server) handleGetApproxConfig(w http.ResponseWriter, r *http.Request) {
+	ac, ok := s.sc.(ApproxConfigurer)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support approximation tuning", Code: CodeInvalidArgument})
+		return
+	}
+	eps, threshold := ac.ApproxConfig()
+	writeJSON(w, http.StatusOK, ApproxConfigResponse{Epsilon: eps, Threshold: threshold})
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
@@ -715,6 +805,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheHits:           st.CacheHits,
 		CacheMisses:         st.CacheMisses,
 		GlobalInvalidations: st.GlobalInvalidations,
+		ApproxComponents:    st.LastApproxComponents,
+		ApproxErrorBound:    st.LastApproxErrorBound,
 	})
 }
 
@@ -782,4 +874,6 @@ func (s *Server) mirrorSchedulerGauges() {
 	s.reg.Gauge("scheduler.cache_hits").Set(float64(st.CacheHits))
 	s.reg.Gauge("scheduler.cache_misses").Set(float64(st.CacheMisses))
 	s.reg.Gauge("scheduler.global_invalidations").Set(float64(st.GlobalInvalidations))
+	s.reg.Gauge("scheduler.approx_components").Set(float64(st.LastApproxComponents))
+	s.reg.Gauge("scheduler.approx_error_bound").Set(st.LastApproxErrorBound)
 }

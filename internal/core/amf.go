@@ -58,6 +58,17 @@ type Solver struct {
 	// Monolithic disables connected-component decomposition: the instance
 	// is always solved as one flow network, the pre-decomposition behavior.
 	Monolithic bool
+	// ApproxEpsilon, when positive, arms the approximate water-filling fast
+	// path (approx.go): components routed to it are guaranteed per-job
+	// aggregates within ApproxEpsilon*Instance.Scale() of the exact max-min
+	// allocation. Zero (the default) disables the path entirely — every
+	// solve is exact, bit-for-bit the pre-approximation behavior.
+	ApproxEpsilon float64
+	// ApproxThreshold is the component size — jobs plus positive-demand
+	// edges — above which the approximate path triggers. Zero (the default)
+	// disables it; components at or below the threshold always solve
+	// exactly. Both knobs must be positive for the fast path to engage.
+	ApproxThreshold int
 	// OnStage, when set, receives a StageEvent after each solve stage
 	// completes (see StageEvent for the contract). Non-detail events are
 	// delivered from the goroutine driving the solve, in execution order;
@@ -141,18 +152,35 @@ func (sv *Solver) fillDiag(in *Instance, floors []float64, diag *Diagnostics) (*
 		}
 	}
 	start := time.Now()
-	alloc, err := sv.fillMono(in, floors, diag)
+	var alloc *Allocation
+	var rep approxReport
+	var err error
+	if diag != nil {
+		// Diagnostics report freeze rounds against exact bottleneck levels;
+		// the approximate path has no such rounds, so it never applies here.
+		alloc, err = sv.fillMono(in, floors, diag)
+	} else {
+		alloc, rep, err = sv.fillComponent(in, floors)
+	}
 	if err != nil {
 		return nil, err
 	}
 	wall := time.Since(start)
-	sv.recordStats(SolveStats{
+	if rep.used {
+		sv.stage(StageSolveApprox, rep.d, true)
+	}
+	st := SolveStats{
 		Components:       1,
 		LargestComponent: in.NumJobs(),
 		SequentialTime:   wall,
 		WallTime:         wall,
 		Speedup:          1,
-	})
+	}
+	if rep.used {
+		st.ApproxComponents = 1
+		st.ApproxErrorBound = rep.errBound
+	}
+	sv.recordStats(st)
 	return alloc, nil
 }
 

@@ -77,6 +77,12 @@ type IncrementalStats struct {
 	TotalCacheHits      int64
 	TotalCacheMisses    int64
 	GlobalInvalidations int64
+	// ApproxComponents counts components of the most recent solve that
+	// routed through the approximate water-filling fast path;
+	// ApproxErrorBound is their largest certified per-job aggregate
+	// deviation from the exact allocation (see SolveStats).
+	ApproxComponents int
+	ApproxErrorBound float64
 }
 
 // IncrementalSolver computes AMF (or Enhanced-AMF) allocations across a
@@ -341,6 +347,9 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 	if sv.OnStage != nil {
 		perComp = make([]time.Duration, len(toSolve))
 	}
+	// reps collects per-component approximate-path reports; same disjoint
+	// indexing as perComp.
+	reps := make([]approxReport, len(toSolve))
 	if len(toSolve) > 0 {
 		workers := sv.parallelism()
 		if workers > len(toSolve) {
@@ -361,8 +370,9 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 				}
 				c := toSolve[k]
 				t0 := time.Now()
-				res, err := x.solveComp(sv, in, idx, c, floors)
+				res, rep, err := x.solveComp(sv, in, idx, c, floors)
 				d := time.Since(t0)
+				reps[k] = rep
 				seqNS.Add(int64(d))
 				if perComp != nil {
 					perComp[k] = d
@@ -396,6 +406,17 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 	}
 	for _, d := range perComp {
 		sv.stage(StageSolveComponent, d, true)
+	}
+	for _, rep := range reps {
+		if rep.used {
+			st.ApproxComponents++
+			if rep.errBound > st.ApproxErrorBound {
+				st.ApproxErrorBound = rep.errBound
+			}
+			if sv.OnStage != nil {
+				sv.stage(StageSolveApprox, rep.d, true)
+			}
+		}
 	}
 	sv.stage(StageSolve, time.Since(tSolve), false)
 	tMerge := time.Now()
@@ -434,6 +455,8 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 		SequentialTime:   st.SequentialTime,
 		WallTime:         st.WallTime,
 		Speedup:          st.Speedup,
+		ApproxComponents: st.ApproxComponents,
+		ApproxErrorBound: st.ApproxErrorBound,
 	})
 	return alloc, nil
 }
@@ -535,9 +558,10 @@ func (x *IncrementalSolver) repartition(in *Instance, idx map[string]int, affect
 }
 
 // solveComp materializes one component as an independent sub-instance,
-// solves it with the component worker path, and scatters the local rows
-// into immutable full-width rows.
-func (x *IncrementalSolver) solveComp(sv *Solver, in *Instance, idx map[string]int, c *incComp, floors []float64) (*compResult, error) {
+// solves it with the component worker path (exact or approximate, per the
+// solver's routing), and scatters the local rows into immutable full-width
+// rows.
+func (x *IncrementalSolver) solveComp(sv *Solver, in *Instance, idx map[string]int, c *incComp, floors []float64) (*compResult, approxReport, error) {
 	nj, ns := len(c.jobs), len(c.sites)
 	sub := &Instance{
 		SiteCapacity: make([]float64, ns),
@@ -567,9 +591,9 @@ func (x *IncrementalSolver) solveComp(sv *Solver, in *Instance, idx map[string]i
 			subFloors[lj] = floors[i]
 		}
 	}
-	a, err := sv.fillMono(sub, subFloors, nil)
+	a, rep, err := sv.fillComponent(sub, subFloors)
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	res := &compResult{
 		hash:     c.pendHash,
@@ -584,15 +608,19 @@ func (x *IncrementalSolver) solveComp(sv *Solver, in *Instance, idx map[string]i
 		}
 		res.shares[name] = row
 	}
-	return res, nil
+	return res, rep, nil
 }
 
 // fingerprint serializes everything the component's solution depends on:
 // member names, weights, demand and work rows restricted to the
-// component's sites, site indices and capacities, and (Enhanced) floors.
-// The buffer is reused across calls; callers copy before retaining.
+// component's sites, site indices and capacities, (Enhanced) floors, and
+// the approximate-path routing decision — a component solved approximately
+// under one epsilon must not be spliced for a solve under another, or for
+// an exact solve. The buffer is reused across calls; callers copy before
+// retaining.
 func (x *IncrementalSolver) fingerprint(in *Instance, idx map[string]int, c *incComp, floors []float64) []byte {
 	buf := x.keyBuf[:0]
+	edges := 0
 	if floors != nil {
 		buf = append(buf, 1)
 	} else {
@@ -614,6 +642,9 @@ func (x *IncrementalSolver) fingerprint(in *Instance, idx map[string]int, c *inc
 		}
 		for _, s := range c.sites {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(in.Demand[i][s]))
+			if in.Demand[i][s] > 0 {
+				edges++
+			}
 		}
 		if in.Work != nil {
 			buf = append(buf, 1)
@@ -623,6 +654,14 @@ func (x *IncrementalSolver) fingerprint(in *Instance, idx map[string]int, c *inc
 		} else {
 			buf = append(buf, 0)
 		}
+	}
+	// The routing decision mirrors Solver.approxRoute on the materialized
+	// sub-instance: jobs + positive-demand edges against the threshold.
+	if sv := x.Solver; sv != nil && sv.approxEnabled() && len(c.jobs)+edges > sv.ApproxThreshold {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sv.ApproxEpsilon))
+	} else {
+		buf = append(buf, 0)
 	}
 	x.keyBuf = buf
 	return buf

@@ -51,6 +51,15 @@ type SolveStats struct {
 	// Speedup is SequentialTime/WallTime: the parallel speedup of the
 	// decomposed solve (1 on the monolithic path).
 	Speedup float64
+	// ApproxComponents is how many components routed through the
+	// approximate water-filling fast path (approx.go); zero means the
+	// whole solve was exact.
+	ApproxComponents int
+	// ApproxErrorBound is the largest certified per-job aggregate
+	// deviation from the exact max-min allocation across all approximately
+	// solved components (absolute, in resource units; zero when every
+	// component solved exactly).
+	ApproxErrorBound float64
 }
 
 // LastStats reports the decomposition record of the solver's most recent
@@ -223,6 +232,9 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 	if sv.OnStage != nil {
 		perComp = make([]time.Duration, ncomp)
 	}
+	// reps collects per-component approximate-path reports; same disjoint
+	// indexing as perComp.
+	reps := make([]approxReport, ncomp)
 	var (
 		wg       sync.WaitGroup
 		next     atomic.Int64
@@ -239,8 +251,9 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 			}
 			sub := &subs[c]
 			t0 := time.Now()
-			a, err := sv.fillMono(sub.in, sub.floors, nil)
+			a, rep, err := sv.fillComponent(sub.in, sub.floors)
 			d := time.Since(t0)
+			reps[c] = rep
 			seqNS.Add(int64(d))
 			if perComp != nil {
 				perComp[c] = d
@@ -274,6 +287,13 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 	for _, d := range perComp {
 		sv.stage(StageSolveComponent, d, true)
 	}
+	if sv.OnStage != nil {
+		for _, rep := range reps {
+			if rep.used {
+				sv.stage(StageSolveApprox, rep.d, true)
+			}
+		}
+	}
 	// The merge is folded into the workers (share rows are disjoint across
 	// components), so the decomposed path emits no separate merge stage.
 	sv.stage(StageSolve, time.Since(tSolve), false)
@@ -286,6 +306,12 @@ func (sv *Solver) fillDecomposed(in *Instance, floors []float64) (*Allocation, b
 	for c := range subs {
 		if nj := len(subs[c].jobs); nj > st.LargestComponent {
 			st.LargestComponent = nj
+		}
+		if reps[c].used {
+			st.ApproxComponents++
+			if reps[c].errBound > st.ApproxErrorBound {
+				st.ApproxErrorBound = reps[c].errBound
+			}
 		}
 	}
 	if st.WallTime > 0 {

@@ -30,6 +30,7 @@ const (
 	StageSolve          = "solve"
 	StageMerge          = "merge"
 	StageSolveComponent = "solve.component"
+	StageSolveApprox    = "solve.approx"
 )
 
 // stage delivers one event to the OnStage hook, if installed.

@@ -46,6 +46,14 @@ type Config struct {
 	// the AMF/Enhanced-AMF policies that support incremental re-solving.
 	// Used by benchmarks and as the reference in equivalence tests.
 	DisableIncremental bool
+	// ApproxEpsilon and ApproxThreshold arm the approximate water-filling
+	// fast path on the underlying solver (see core.Solver): components
+	// larger than ApproxThreshold jobs+edges solve approximately with
+	// per-job aggregates within ApproxEpsilon of the instance scale. Both
+	// zero (the default) keeps every solve exact. Ignored when Solver is
+	// supplied with its own knobs set.
+	ApproxEpsilon   float64
+	ApproxThreshold int
 	// OnSolve, when set, is invoked after every allocator run with its
 	// wall-clock duration — the instrumentation hook internal/serve uses to
 	// feed solve-latency histograms. It is called with the controller's
@@ -118,6 +126,13 @@ type Stats struct {
 	// where a weight-sum change forced every component through
 	// revalidation.
 	GlobalInvalidations int64
+	// LastApproxComponents is how many components of the most recent solve
+	// routed through the approximate water-filling fast path;
+	// LastApproxErrorBound is their largest certified per-job deviation
+	// from the exact allocation (absolute resource units). Both zero when
+	// the most recent solve was fully exact.
+	LastApproxComponents int
+	LastApproxErrorBound float64
 }
 
 // Scheduler is the live allocation controller.
@@ -165,8 +180,18 @@ func New(cfg Config) (*Scheduler, error) {
 			return nil, fmt.Errorf("scheduler: invalid capacity %g at site %d", c, s)
 		}
 	}
+	if err := validateApproxConfig(cfg.ApproxEpsilon, cfg.ApproxThreshold); err != nil {
+		return nil, err
+	}
 	if cfg.Solver == nil {
 		cfg.Solver = &core.Solver{SkipJCTRefine: true}
+	}
+	if cfg.ApproxEpsilon != 0 || cfg.ApproxThreshold != 0 {
+		cfg.Solver.ApproxEpsilon = cfg.ApproxEpsilon
+		cfg.Solver.ApproxThreshold = cfg.ApproxThreshold
+	} else {
+		cfg.ApproxEpsilon = cfg.Solver.ApproxEpsilon
+		cfg.ApproxThreshold = cfg.Solver.ApproxThreshold
 	}
 	sc := &Scheduler{
 		cfg:      cfg,
@@ -460,6 +485,56 @@ func (sc *Scheduler) SetExternalWeight(w float64) error {
 	return nil
 }
 
+// validateApproxConfig rejects epsilon/threshold values the solver would
+// silently misbehave on: negative, NaN or infinite epsilon, negative
+// threshold.
+func validateApproxConfig(eps float64, threshold int) error {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("scheduler: invalid approx epsilon %g", eps)
+	}
+	if threshold < 0 {
+		return fmt.Errorf("scheduler: invalid approx threshold %d", threshold)
+	}
+	return nil
+}
+
+// SetApproxConfig installs the approximate-path knobs at runtime. Epsilon
+// is the per-job error budget as a fraction of the instance scale;
+// threshold is the component size (jobs+edges) above which the fast path
+// engages; both must be positive for it to trigger, and (0, 0) restores
+// fully exact solving. A change drops all carried incremental state — a
+// component solved under one epsilon must not be spliced under another —
+// and forces a re-solve; setting the current values is a no-op.
+func (sc *Scheduler) SetApproxConfig(eps float64, threshold int) error {
+	if err := validateApproxConfig(eps, threshold); err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	cur := sc.cfg.Solver
+	if math.Float64bits(cur.ApproxEpsilon) == math.Float64bits(eps) && cur.ApproxThreshold == threshold {
+		return nil
+	}
+	cur.ApproxEpsilon = eps
+	cur.ApproxThreshold = threshold
+	sc.cfg.ApproxEpsilon = eps
+	sc.cfg.ApproxThreshold = threshold
+	if sc.inc != nil {
+		// Carried component results splice without re-fingerprinting, so a
+		// routing-knob change must drop them wholesale.
+		sc.inc.Reset()
+	}
+	sc.needSolve = true
+	return nil
+}
+
+// ApproxConfig reports the currently installed approximate-path knobs.
+func (sc *Scheduler) ApproxConfig() (eps float64, threshold int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cfg.Solver.ApproxEpsilon, sc.cfg.Solver.ApproxThreshold
+}
+
 // ExternalWeight reports the currently installed external share weight.
 func (sc *Scheduler) ExternalWeight() float64 {
 	sc.mu.Lock()
@@ -646,11 +721,15 @@ func (sc *Scheduler) updateSolveTelemetryLocked(incremental bool) {
 		sc.stats.LastSpeedup = 0
 		sc.stats.LastReused = 0
 		sc.stats.LastResolved = 0
+		sc.stats.LastApproxComponents = 0
+		sc.stats.LastApproxErrorBound = 0
 		return
 	}
 	sc.stats.LastComponents = ss.Components
 	sc.stats.LastLargestComponent = ss.LargestComponent
 	sc.stats.LastSpeedup = ss.Speedup
+	sc.stats.LastApproxComponents = ss.ApproxComponents
+	sc.stats.LastApproxErrorBound = ss.ApproxErrorBound
 	if incremental {
 		ist := sc.inc.LastStats()
 		sc.stats.LastReused = ist.Reused + ist.CacheHits

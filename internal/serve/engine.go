@@ -261,6 +261,8 @@ type Engine struct {
 	gJain       *obs.Gauge
 	gMinShare   *obs.Gauge
 	gMaxShare   *obs.Gauge
+	gApproxComp *obs.Gauge
+	gApproxErr  *obs.Gauge
 	// stageHists caches the engine.stage.<name> histograms for the known
 	// stage names; unknown names fall back to a (thread-safe) registry
 	// lookup.
@@ -325,11 +327,13 @@ func New(sc *scheduler.Scheduler, cfg Config) (*Engine, error) {
 	e.gJain = reg.Gauge("fairness.jain_index")
 	e.gMinShare = reg.Gauge("fairness.min_normalized_share")
 	e.gMaxShare = reg.Gauge("fairness.max_normalized_share")
+	e.gApproxComp = reg.Gauge("engine.approx_components")
+	e.gApproxErr = reg.Gauge("engine.approx_error_bound")
 	e.stageHists = make(map[string]*obs.Histogram)
 	for _, s := range []string{
 		stageQueueWait, stageApply, stageWALEncode, stagePublish,
 		core.StageValidate, core.StagePartition, core.StageSolve,
-		core.StageMerge, core.StageSolveComponent,
+		core.StageMerge, core.StageSolveComponent, core.StageSolveApprox,
 	} {
 		e.stageHists[s] = reg.Histogram("engine.stage." + s)
 	}
@@ -633,6 +637,8 @@ func (e *Engine) commit(batch []*op) {
 		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 			e.gHitRatio.Set(float64(st.CacheHits) / float64(lookups))
 		}
+		e.gApproxComp.Set(float64(st.LastApproxComponents))
+		e.gApproxErr.Set(st.LastApproxErrorBound)
 		e.updateFairnessGauges(snap)
 	}
 	// The solver's stage events streamed into the trace during publish; the
@@ -1004,6 +1010,24 @@ func (e *Engine) SetExternalWeight(ctx context.Context, w float64) error {
 		func(sc *scheduler.Scheduler) error {
 			return sc.SetExternalWeight(w)
 		})
+}
+
+// SetApproxConfig retunes the solver's approximate water-filling knobs
+// (scheduler.SetApproxConfig). The change is group-committed like any
+// mutation — the re-solve it forces lands in an ordinary batch — but it
+// is not WAL logged: the knobs are process-local performance settings
+// that flags re-establish on restart, and every allocation they produce
+// stays within the configured epsilon of the exact solution.
+func (e *Engine) SetApproxConfig(ctx context.Context, epsilon float64, threshold int) error {
+	return e.submit(ctx, false, nil,
+		func(sc *scheduler.Scheduler) error {
+			return sc.SetApproxConfig(epsilon, threshold)
+		})
+}
+
+// ApproxConfig reports the solver's current approximation knobs.
+func (e *Engine) ApproxConfig() (epsilon float64, threshold int) {
+	return e.sc.ApproxConfig()
 }
 
 // Restore replaces the controller's job set from a state snapshot. The

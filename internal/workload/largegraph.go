@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// LargeGraphConfig parameterizes a single huge connected component: the
+// dense-traffic regime the approximate water-filling fast path targets,
+// where component decomposition buys nothing because the whole job×site
+// demand graph is one piece. Shared by the -largegraph bench sweep and the
+// approx-equivalence property test so both exercise the same graph shapes.
+type LargeGraphConfig struct {
+	// Jobs and Sites size the bipartite graph (defaults 256 and 32).
+	Jobs  int
+	Sites int
+	// Degree is the number of sites each job demands at (default 4,
+	// clamped to Sites). Edges ≈ Jobs×Degree.
+	Degree int
+	// CapacityTiers is the number of discrete site-capacity classes
+	// (default 4). Tiered capacities cluster the exact solve's bottleneck
+	// levels, the structure the equi-depth approximation lumps.
+	CapacityTiers int
+	// CapacityJitter spreads each site's capacity uniformly within
+	// ±CapacityJitter of its tier value (relative; default 0.05), so every
+	// site still saturates at a distinct level.
+	CapacityJitter float64
+	// SiteSkew is the Zipf exponent of site popularity for the non-anchor
+	// edges (default 0.8): hot sites attract many jobs, the contention
+	// that produces bottlenecks.
+	SiteSkew float64
+	// WeightClasses is the number of discrete job-weight classes
+	// (default 3; weights 1..WeightClasses).
+	WeightClasses int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c LargeGraphConfig) withDefaults() LargeGraphConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 256
+	}
+	if c.Sites <= 0 {
+		c.Sites = 32
+	}
+	if c.Degree <= 0 {
+		c.Degree = 4
+	}
+	if c.Degree > c.Sites {
+		c.Degree = c.Sites
+	}
+	if c.CapacityTiers <= 0 {
+		c.CapacityTiers = 4
+	}
+	if c.CapacityJitter < 0 {
+		c.CapacityJitter = 0
+	} else if c.CapacityJitter == 0 {
+		c.CapacityJitter = 0.05
+	}
+	if c.SiteSkew < 0 {
+		c.SiteSkew = 0
+	} else if c.SiteSkew == 0 {
+		c.SiteSkew = 0.8
+	}
+	if c.WeightClasses <= 0 {
+		c.WeightClasses = 3
+	}
+	return c
+}
+
+// GenerateLargeGraph builds one connected component of Jobs×Degree demand
+// edges over Sites sites. Job j is anchored at sites j mod Sites and
+// (j+1) mod Sites — a ring through every site that guarantees a single
+// component and spreads base load — with its remaining Degree-2 edges
+// drawn Zipf-skewed over site popularity. Site capacities come in
+// CapacityTiers discrete classes with ±CapacityJitter relative spread;
+// job weights in WeightClasses discrete classes; total demand is sized
+// for ~2x contention so the solve mixes demand-capped and bottlenecked
+// jobs.
+func GenerateLargeGraph(cfg LargeGraphConfig) *core.Instance {
+	cfg = cfg.withDefaults()
+	rng := randx.Stream(cfg.Seed, "workload/largegraph")
+	n, m := cfg.Jobs, cfg.Sites
+	in := &core.Instance{
+		SiteCapacity: make([]float64, m),
+		Weight:       make([]float64, n),
+		Demand:       make([][]float64, n),
+	}
+	for s := 0; s < m; s++ {
+		tier := s % cfg.CapacityTiers
+		base := float64(int(1) << uint(tier)) // 1, 2, 4, ... per tier
+		in.SiteCapacity[s] = base * (1 + cfg.CapacityJitter*(2*rng.Float64()-1))
+	}
+	var capSum float64
+	for _, c := range in.SiteCapacity {
+		capSum += c
+	}
+	pop := ZipfWeights(m, cfg.SiteSkew)
+	// ~2x contention: total demand across jobs is twice total capacity.
+	meanDemand := 2 * capSum / float64(n)
+	for j := 0; j < n; j++ {
+		in.Weight[j] = float64(1 + rng.Intn(cfg.WeightClasses))
+		row := make([]float64, m)
+		sites := []int{j % m}
+		if m > 1 {
+			sites = append(sites, (j+1)%m)
+		}
+		if extra := cfg.Degree - len(sites); extra > 0 {
+			w := append([]float64(nil), pop...)
+			for _, s := range sites {
+				w[s] = 0
+			}
+			sites = append(sites, SampleDistinct(rng, w, extra)...)
+		}
+		total := meanDemand * (0.25 + 1.5*rng.Float64())
+		split := make([]float64, len(sites))
+		var sum float64
+		for x := range split {
+			split[x] = 0.1 + rng.Float64()
+			sum += split[x]
+		}
+		for x, s := range sites {
+			row[s] = total * split[x] / sum
+		}
+		in.Demand[j] = row
+	}
+	return in
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGenerateLargeGraphShape(t *testing.T) {
+	cfg := LargeGraphConfig{Jobs: 500, Sites: 40, Degree: 5, Seed: 11}
+	in := GenerateLargeGraph(cfg)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	if in.NumJobs() != 500 || in.NumSites() != 40 {
+		t.Fatalf("got %d jobs x %d sites", in.NumJobs(), in.NumSites())
+	}
+	edges := 0
+	for j, row := range in.Demand {
+		deg := 0
+		for _, d := range row {
+			if d > 0 {
+				deg++
+			}
+		}
+		if deg != cfg.Degree {
+			t.Fatalf("job %d has degree %d, want %d", j, deg, cfg.Degree)
+		}
+		edges += deg
+	}
+	if edges != cfg.Jobs*cfg.Degree {
+		t.Fatalf("got %d edges, want %d", edges, cfg.Jobs*cfg.Degree)
+	}
+}
+
+func TestGenerateLargeGraphConnected(t *testing.T) {
+	in := GenerateLargeGraph(LargeGraphConfig{Jobs: 300, Sites: 24, Seed: 5})
+	// Union-find over sites through job rows: one root means one
+	// component, the regime the approximate path targets.
+	m := in.NumSites()
+	parent := make([]int, m)
+	for s := range parent {
+		parent[s] = s
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, row := range in.Demand {
+		first := -1
+		for s, d := range row {
+			if d <= 0 {
+				continue
+			}
+			if first < 0 {
+				first = s
+			} else if ra, rb := find(first), find(s); ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for s := 0; s < m; s++ {
+		roots[find(s)] = true
+	}
+	if len(roots) != 1 {
+		t.Fatalf("graph has %d components, want 1", len(roots))
+	}
+}
+
+func TestGenerateLargeGraphDeterministic(t *testing.T) {
+	a := GenerateLargeGraph(LargeGraphConfig{Jobs: 100, Sites: 16, Seed: 9})
+	b := GenerateLargeGraph(LargeGraphConfig{Jobs: 100, Sites: 16, Seed: 9})
+	for j := range a.Demand {
+		if a.Weight[j] != b.Weight[j] {
+			t.Fatalf("job %d weight differs across identical seeds", j)
+		}
+		for s := range a.Demand[j] {
+			if a.Demand[j][s] != b.Demand[j][s] {
+				t.Fatalf("job %d site %d demand differs across identical seeds", j, s)
+			}
+		}
+	}
+	c := GenerateLargeGraph(LargeGraphConfig{Jobs: 100, Sites: 16, Seed: 10})
+	same := true
+	for j := range a.Demand {
+		for s := range a.Demand[j] {
+			if a.Demand[j][s] != c.Demand[j][s] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfWeightsEdgeCases(t *testing.T) {
+	if w := ZipfWeights(0, 1); w != nil {
+		t.Fatalf("ZipfWeights(0) = %v, want nil", w)
+	}
+	if w := ZipfWeights(-3, 1); w != nil {
+		t.Fatalf("ZipfWeights(-3) = %v, want nil", w)
+	}
+	// n=1: the single weight must normalize to exactly 1 for any skew.
+	for _, alpha := range []float64{0, 1, 50} {
+		w := ZipfWeights(1, alpha)
+		if len(w) != 1 || w[0] != 1 {
+			t.Fatalf("ZipfWeights(1, %g) = %v, want [1]", alpha, w)
+		}
+	}
+	// skew ≈ 1: the classical harmonic regime; weights must be finite,
+	// positive, decreasing, and sum to 1.
+	checkDist := func(alpha float64, m int) {
+		t.Helper()
+		w := ZipfWeights(m, alpha)
+		var sum float64
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("ZipfWeights(%d, %g)[%d] = %g", m, alpha, i, v)
+			}
+			if i > 0 && alpha > 0 && v > w[i-1] {
+				t.Fatalf("ZipfWeights(%d, %g) not decreasing at %d: %g > %g", m, alpha, i, v, w[i-1])
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("ZipfWeights(%d, %g) sums to %g", m, alpha, sum)
+		}
+	}
+	checkDist(1, 64)
+	checkDist(0.999, 64)
+	// Very large skew: rank^(-50) underflows to 0 beyond the first few
+	// ranks; the distribution must still normalize without NaN (0/sum is
+	// fine, sum/sum==1 must hold).
+	checkDist(50, 64)
+	w := ZipfWeights(64, 50)
+	if w[0] < 0.999 {
+		t.Fatalf("ZipfWeights(64, 50)[0] = %g, want ~1 (mass on rank 1)", w[0])
+	}
+}
+
+func TestSampleIndexEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Single element: always index 0, regardless of weight.
+	for _, w := range [][]float64{{1}, {0}, {1e-300}} {
+		for k := 0; k < 10; k++ {
+			if i := SampleIndex(rng, w); i != 0 {
+				t.Fatalf("SampleIndex(%v) = %d, want 0", w, i)
+			}
+		}
+	}
+	// Zero-sum weights fall back to uniform; indices must stay in range.
+	zero := make([]float64, 7)
+	seen := map[int]bool{}
+	for k := 0; k < 200; k++ {
+		i := SampleIndex(rng, zero)
+		if i < 0 || i >= len(zero) {
+			t.Fatalf("SampleIndex(zero) = %d out of range", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("SampleIndex(zero) not uniform: only saw %v", seen)
+	}
+	// Extreme skew: rank 1 holds ~all mass, so samples concentrate there.
+	w := ZipfWeights(32, 50)
+	for k := 0; k < 100; k++ {
+		if i := SampleIndex(rng, w); i != 0 {
+			t.Fatalf("SampleIndex(zipf 50) = %d, want 0", i)
+		}
+	}
+	// Determinism: same seed, same draws.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	wts := ZipfWeights(16, 1)
+	for k := 0; k < 50; k++ {
+		if ia, ib := SampleIndex(a, wts), SampleIndex(b, wts); ia != ib {
+			t.Fatalf("draw %d: %d != %d for identical seeds", k, ia, ib)
+		}
+	}
+}
+
+func TestSampleDistinctClampAndUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := ZipfWeights(10, 1)
+	// k > len clamps; result must be a permutation of all indices.
+	out := SampleDistinct(rng, w, 25)
+	if len(out) != 10 {
+		t.Fatalf("SampleDistinct clamped to %d, want 10", len(out))
+	}
+	seen := map[int]bool{}
+	for _, i := range out {
+		if seen[i] {
+			t.Fatalf("SampleDistinct repeated index %d", i)
+		}
+		seen[i] = true
+	}
+}
