@@ -14,7 +14,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/scheduler"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -60,7 +60,7 @@ func TestClusterSmoke(t *testing.T) {
 		}
 		capsArg += fmt.Sprintf("%g", c)
 	}
-	const policy = "amf-enhanced"
+	const polName = "amf-enhanced"
 
 	shard0 := freeAddr(t)
 	shard1 := freeAddr(t)
@@ -87,11 +87,11 @@ func TestClusterSmoke(t *testing.T) {
 			}
 		})
 	}
-	start("amf-server", "-listen", shard0, "-capacity", capsArg, "-policy", policy,
+	start("amf-server", "-listen", shard0, "-capacity", capsArg, "-policy", polName,
 		"-data-dir", filepath.Join(data, "shard0"), "-ship-addr", ship, "-metrics-on-exit=false")
-	start("amf-server", "-listen", shard1, "-capacity", capsArg, "-policy", policy,
+	start("amf-server", "-listen", shard1, "-capacity", capsArg, "-policy", polName,
 		"-data-dir", filepath.Join(data, "shard1"), "-metrics-on-exit=false")
-	start("amf-server", "-listen", replica, "-capacity", capsArg, "-policy", policy,
+	start("amf-server", "-listen", replica, "-capacity", capsArg, "-policy", polName,
 		"-replica-of", "http://"+ship+"/wal", "-replica-interval", "5ms", "-metrics-on-exit=false")
 	start("amf-router", "-listen", front, "-shards",
 		"http://"+shard0+",http://"+shard1)
@@ -102,7 +102,7 @@ func TestClusterSmoke(t *testing.T) {
 	waitReady(ctx, t, "router", router)
 
 	// Oracle: one scheduler solving the whole instance in-process.
-	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: sim.PolicyEnhancedAMF})
+	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy.EnhancedAMF})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -104,7 +104,7 @@ func runClusterBench(o clusterOptions) error {
 	if err != nil {
 		return err
 	}
-	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: sim.PolicyEnhancedAMF})
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy.EnhancedAMF})
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func runClusterBench(o clusterOptions) error {
 	if err := ch.Populate(engineTarget{eng: eng}); err != nil {
 		return err
 	}
-	primarySrv := httptest.NewServer(api.NewEngineServer(eng, nil, caps, sim.PolicyEnhancedAMF).Handler())
+	primarySrv := httptest.NewServer(api.NewEngineServer(eng, nil, caps, policy.EnhancedAMF).Handler())
 	defer primarySrv.Close()
 	shipSrv := httptest.NewServer(wal.NewShipHandler(log))
 	defer shipSrv.Close()
@@ -130,7 +130,7 @@ func runClusterBench(o clusterOptions) error {
 		rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 			Source:       &wal.ShipClient{Base: shipSrv.URL, HTTP: shipSrv.Client()},
 			SiteCapacity: caps,
-			Policy:       sim.PolicyEnhancedAMF,
+			Policy:       policy.EnhancedAMF,
 			Interval:     pollIval,
 		})
 		if err != nil {
@@ -138,7 +138,7 @@ func runClusterBench(o clusterOptions) error {
 		}
 		defer rep.Close()
 		reps[i] = rep
-		repSrvs[i] = httptest.NewServer(api.NewBackendServer(rep, nil, caps, sim.PolicyEnhancedAMF).Handler())
+		repSrvs[i] = httptest.NewServer(api.NewBackendServer(rep, nil, caps, policy.EnhancedAMF).Handler())
 		defer repSrvs[i].Close()
 	}
 	if err := waitReplicas(reps, log); err != nil {

@@ -121,7 +121,15 @@ func main() {
 		churnMutations = flag.Int("churn-mutations", 512, "single-component mutations replayed per configuration")
 		churnOut       = flag.String("churn-out", "", "write machine-readable results to this JSON file (e.g. BENCH_incremental.json)")
 
-		zipf = flag.Float64("zipf", 0, "Zipf skew for churn component selection: hit probability ∝ rank^(-s), 0 = uniform (used by -churn and -cluster)")
+		zipf = flag.Float64("zipf", 0, "Zipf skew for churn component selection: hit probability ∝ rank^(-s), 0 = uniform (used by -churn, -cluster, and -policybench)")
+
+		polMode      = flag.Bool("policybench", false, "run the fairness-policy comparison benchmark (per-commit latency per policy over one churn stream)")
+		polComps     = flag.Int("policybench-components", 16, "independent components in the churned instance")
+		polJobs      = flag.Int("policybench-jobs", 4, "jobs per component")
+		polSites     = flag.Int("policybench-sites", 3, "sites per component")
+		polMutations = flag.Int("policybench-mutations", 256, "mutations replayed per policy")
+		polNames     = flag.String("policybench-policies", "", "comma-separated policy subset (default: every registered policy)")
+		polOut       = flag.String("policybench-out", "", "write machine-readable results to this JSON file (e.g. BENCH_policy.json)")
 
 		clusterMode      = flag.Bool("cluster", false, "run the cluster read-scaling benchmark (primary + WAL-shipped read replicas)")
 		clusterReplicas  = flag.Int("cluster-replicas", 2, "read replicas in the scaled configuration")
@@ -210,6 +218,23 @@ func main() {
 			window:   *walWindow,
 			dir:      *walDir,
 			out:      *walOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "amf-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *polMode {
+		if err := runPolicyBench(policyBenchOptions{
+			components: *polComps,
+			jobs:       *polJobs,
+			sites:      *polSites,
+			mutations:  *polMutations,
+			zipf:       *zipf,
+			seed:       *seed,
+			policies:   *polNames,
+			out:        *polOut,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "amf-bench:", err)
 			os.Exit(1)

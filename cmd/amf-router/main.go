@@ -40,7 +40,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/obs"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func main() {
@@ -75,28 +75,28 @@ func main() {
 	// well-formed when every shard solves over the same site set.
 	shards := make([]cluster.Shard, len(urls))
 	var caps []float64
-	var policy sim.Policy
+	var pol policy.Policy
 	for i, u := range urls {
 		cl := api.NewClient(u, nil)
 		cfg, err := waitConfig(ctx, cl)
 		if err != nil {
 			fail("amf-router: shard config", fmt.Errorf("%s: %w", u, err))
 		}
-		p, err := sim.ParsePolicy(cfg.Policy)
+		p, err := policy.ForName(cfg.Policy)
 		if err != nil {
 			fail("amf-router: shard policy", fmt.Errorf("%s: %w", u, err))
 		}
 		if i == 0 {
-			caps, policy = cfg.SiteCapacity, p
-		} else if p != policy || !sameCaps(caps, cfg.SiteCapacity) {
+			caps, pol = cfg.SiteCapacity, p
+		} else if p.Name() != pol.Name() || !sameCaps(caps, cfg.SiteCapacity) {
 			fail("amf-router: shard config", fmt.Errorf(
 				"%s disagrees with %s (capacity %v policy %s vs %v %s)",
-				u, urls[0], cfg.SiteCapacity, p, caps, policy))
+				u, urls[0], cfg.SiteCapacity, p.Name(), caps, pol.Name()))
 		}
 		shards[i] = cluster.HTTPShard{Client: cl}
 	}
 
-	router, err := cluster.NewRouter(shards, policy)
+	router, err := cluster.NewRouter(shards, pol)
 	if err != nil {
 		fail("amf-router: router", err)
 	}
@@ -108,14 +108,14 @@ func main() {
 		"listen", *listen,
 		"shards", len(shards),
 		"sites", len(caps),
-		"policy", policy.String(),
+		"policy", pol.Name(),
 		"jobs", st.Jobs,
 		"owned_sites", st.OwnedSites,
 		"weight_sum", st.WeightSum)
 
 	hs := &http.Server{
 		Addr:              *listen,
-		Handler:           cluster.NewHandler(router, obs.NewRegistry(), caps, policy),
+		Handler:           cluster.NewHandler(router, obs.NewRegistry(), caps, pol),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	sigs := make(chan os.Signal, 1)

@@ -13,9 +13,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/policy"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
 	"repro/internal/wal"
 )
 
@@ -73,7 +73,7 @@ type serverConfig struct {
 
 // buildShardEngine assembles one durable engine: scheduler, WAL replay,
 // tracing — the same stack the single-engine path runs, minus the flags.
-func buildShardEngine(logger *slog.Logger, caps []float64, p sim.Policy, dir string, cfg serverConfig) (*serve.Engine, *wal.Log, *span.Recorder, error) {
+func buildShardEngine(logger *slog.Logger, caps []float64, p policy.Policy, dir string, cfg serverConfig) (*serve.Engine, *wal.Log, *span.Recorder, error) {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity:    caps,
 		Policy:          p,
@@ -122,7 +122,7 @@ func buildShardEngine(logger *slog.Logger, caps []float64, p sim.Policy, dir str
 // router: the tentpole deployment of -cluster-shards. Each shard gets
 // its own WAL directory (<data-dir>/shard-<i>) and, with -ship-addr,
 // its own replication stream at /wal/shard-<i>.
-func runCluster(logger *slog.Logger, caps []float64, p sim.Policy, n int, cfg serverConfig) (http.Handler, func(), error) {
+func runCluster(logger *slog.Logger, caps []float64, p policy.Policy, n int, cfg serverConfig) (http.Handler, func(), error) {
 	shards := make([]cluster.Shard, n)
 	engines := make([]*serve.Engine, n)
 	logs := map[string]*wal.Log{}
@@ -169,7 +169,7 @@ func runCluster(logger *slog.Logger, caps []float64, p sim.Policy, n int, cfg se
 
 // runReplica tails a primary's WAL stream (-replica-of) and serves the
 // read-only API; /v1/readyz is 503 until the first catch-up.
-func runReplica(logger *slog.Logger, caps []float64, p sim.Policy, source string, cfg serverConfig) (http.Handler, func(), error) {
+func runReplica(logger *slog.Logger, caps []float64, p policy.Policy, source string, cfg serverConfig) (http.Handler, func(), error) {
 	reg := obs.NewRegistry()
 	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 		Source:       &wal.ShipClient{Base: source},

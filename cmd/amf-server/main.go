@@ -81,9 +81,9 @@ import (
 	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/policy"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
 	"repro/internal/wal"
 )
 
@@ -91,7 +91,7 @@ func main() {
 	var (
 		listen        = flag.String("listen", ":8080", "listen address")
 		capacity      = flag.String("capacity", "4,4", "comma-separated per-site capacities")
-		policy        = flag.String("policy", "amf", "allocation policy: psmmf, amf, amf+jct, amf-enhanced")
+		policyName    = flag.String("policy", "amf", "fairness policy: "+strings.Join(policy.Names(), ", "))
 		state         = flag.String("state", "", "snapshot file: loaded at boot if present, saved on SIGINT/SIGTERM")
 		dataDir       = flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots, replayed on boot")
 		clusterShards = flag.Int("cluster-shards", 0, "host this many engine shards behind an in-process router (0/1 = single engine)")
@@ -122,7 +122,7 @@ func main() {
 	if err != nil {
 		fatal(logger, "amf-server: bad -capacity", err)
 	}
-	p, err := sim.ParsePolicy(*policy)
+	p, err := policy.ForName(*policyName)
 	if err != nil {
 		fatal(logger, "amf-server: bad -policy", err)
 	}
@@ -201,7 +201,7 @@ func main() {
 		"listen", *listen,
 		"mode", mode,
 		"sites", len(caps),
-		"policy", p.String(),
+		"policy", p.Name(),
 		"tracing", *traceBuf > 0)
 
 	sigs := make(chan os.Signal, 1)
@@ -218,7 +218,7 @@ func main() {
 // runSingle assembles the classic one-engine server: scheduler, optional
 // WAL replay, serve.Engine, API handler. The returned stop func drains
 // the engine and performs the -state / -metrics-on-exit shutdown work.
-func runSingle(logger *slog.Logger, caps []float64, p sim.Policy, state string, dumpMetrics bool, cfg serverConfig) (http.Handler, func(), error) {
+func runSingle(logger *slog.Logger, caps []float64, p policy.Policy, state string, dumpMetrics bool, cfg serverConfig) (http.Handler, func(), error) {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity:    caps,
 		Policy:          p,

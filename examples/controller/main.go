@@ -10,13 +10,13 @@ import (
 	"fmt"
 
 	"repro/internal/scheduler"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func main() {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{4, 4}, // two sites, 4 slots each
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		panic(err)

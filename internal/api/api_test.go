@@ -9,19 +9,19 @@ import (
 	"testing"
 
 	"repro/internal/scheduler"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func newTestServer(t *testing.T) (*Client, *scheduler.Scheduler) {
 	t.Helper()
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{1, 1},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewServer(sc, []float64{1, 1}, policy.AMF)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return NewClient(ts.URL, ts.Client()), sc
@@ -135,7 +135,7 @@ func TestErrorMapping(t *testing.T) {
 
 func TestMalformedJSON(t *testing.T) {
 	_, sc := newTestServer(t)
-	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewServer(sc, []float64{1, 1}, policy.AMF)
 	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader("{nonsense"))
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, req)
@@ -149,7 +149,7 @@ func TestMalformedJSON(t *testing.T) {
 
 func TestMethodRouting(t *testing.T) {
 	_, sc := newTestServer(t)
-	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewServer(sc, []float64{1, 1}, policy.AMF)
 	// GET on POST-only endpoint.
 	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
 	rec := httptest.NewRecorder()

@@ -9,7 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/scheduler"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func TestApproxConfigRoundTrip(t *testing.T) {
@@ -59,12 +59,12 @@ func TestApproxConfigValidation(t *testing.T) {
 func TestApproxConfigRejectsNonFinite(t *testing.T) {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{1, 1},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewServer(sc, []float64{1, 1}, policy.AMF)
 	for _, body := range []string{
 		`{"epsilon": NaN, "threshold": 10}`,
 		`{"epsilon": Infinity, "threshold": 10}`,

@@ -121,6 +121,19 @@ func (c *Client) Traces(ctx context.Context, limit int) (TracesResponse, error) 
 	return out, err
 }
 
+// Policy fetches the active fairness policy and the valid wire names.
+func (c *Client) Policy(ctx context.Context) (PolicyResponse, error) {
+	var out PolicyResponse
+	err := c.do(ctx, http.MethodGet, "/v1/policy", nil, &out)
+	return out, err
+}
+
+// SetPolicy switches the backend's fairness policy at runtime by wire
+// name (see Policy for the valid names).
+func (c *Client) SetPolicy(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPut, "/v1/policy", PolicyRequest{Policy: name}, nil)
+}
+
 // Config fetches the controller configuration.
 func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
 	var out ConfigResponse

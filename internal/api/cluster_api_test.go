@@ -9,7 +9,7 @@ import (
 
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/wal"
 )
 
@@ -29,7 +29,7 @@ func TestReadyzEngineLifecycle(t *testing.T) {
 	}
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{1, 1},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +39,7 @@ func TestReadyzEngineLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Crash() })
-	srv := NewEngineServer(eng, nil, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewEngineServer(eng, nil, []float64{1, 1}, policy.AMF)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL, ts.Client())
@@ -72,12 +72,12 @@ func TestReadyzEngineLifecycle(t *testing.T) {
 func TestReadyzSchedulerBackend(t *testing.T) {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{1},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewServer(sc, []float64{1}, sim.PolicyAMF).Handler())
+	ts := httptest.NewServer(NewServer(sc, []float64{1}, policy.AMF).Handler())
 	t.Cleanup(ts.Close)
 	if err := NewClient(ts.URL, ts.Client()).Readyz(context.Background()); err != nil {
 		t.Fatalf("bare scheduler not ready: %v", err)

@@ -12,7 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/wal"
 )
 
@@ -32,7 +32,7 @@ func newDurableStack(t *testing.T, dir string) *durableStack {
 	}
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{2, 2},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +46,7 @@ func newDurableStack(t *testing.T, dir string) *durableStack {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = eng.Close() })
-	srv := NewEngineServer(eng, reg, []float64{2, 2}, sim.PolicyAMF)
+	srv := NewEngineServer(eng, reg, []float64{2, 2}, policy.AMF)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return &durableStack{sc: sc, eng: eng, cl: NewClient(ts.URL, ts.Client())}
@@ -89,7 +89,7 @@ func TestStructuredErrorCodes(t *testing.T) {
 // 503/unavailable.
 func TestCancelledContextMapsToUnavailable(t *testing.T) {
 	for _, engine := range []bool{false, true} {
-		sc, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{1, 1}, Policy: sim.PolicyAMF})
+		sc, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{1, 1}, Policy: policy.AMF})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,9 +100,9 @@ func TestCancelledContextMapsToUnavailable(t *testing.T) {
 				t.Fatal(err)
 			}
 			t.Cleanup(func() { _ = eng.Close() })
-			srv = NewEngineServer(eng, nil, []float64{1, 1}, sim.PolicyAMF)
+			srv = NewEngineServer(eng, nil, []float64{1, 1}, policy.AMF)
 		} else {
-			srv = NewServer(sc, []float64{1, 1}, sim.PolicyAMF)
+			srv = NewServer(sc, []float64{1, 1}, policy.AMF)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel()

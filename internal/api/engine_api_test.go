@@ -9,14 +9,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func newEngineTestServer(t *testing.T) (*Client, *serve.Engine) {
 	t.Helper()
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{1, 1},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +27,7 @@ func newEngineTestServer(t *testing.T) (*Client, *serve.Engine) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = eng.Close() })
-	srv := NewEngineServer(eng, reg, []float64{1, 1}, sim.PolicyAMF)
+	srv := NewEngineServer(eng, reg, []float64{1, 1}, policy.AMF)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return NewClient(ts.URL, ts.Client()), eng

@@ -12,7 +12,7 @@ import (
 	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 // newTracedServer builds the full observability stack: scheduler + traced
@@ -21,7 +21,7 @@ func newTracedServer(t *testing.T) (*httptest.Server, *span.Recorder, *obs.Regis
 	t.Helper()
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity: []float64{4, 4},
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +33,7 @@ func newTracedServer(t *testing.T) (*httptest.Server, *span.Recorder, *obs.Regis
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = eng.Close() })
-	srv := NewEngineServer(eng, reg, []float64{4, 4}, sim.PolicyAMF).SetTraces(rec)
+	srv := NewEngineServer(eng, reg, []float64{4, 4}, policy.AMF).SetTraces(rec)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, rec, reg
@@ -167,7 +167,7 @@ func TestTracesWithoutRecorder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(sc, []float64{1}, sim.PolicyAMF)
+	srv := NewServer(sc, []float64{1}, policy.AMF)
 	req := httptest.NewRequest(http.MethodGet, "/v1/traces", nil)
 	w := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(w, req)

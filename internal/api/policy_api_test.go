@@ -1,0 +1,173 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/scheduler"
+	"repro/internal/wal"
+)
+
+// TestPolicyEndpointEngine drives the policy surface end to end on the
+// engine backend: read the active policy, switch it at runtime, observe
+// the switch in every read surface (policy, config, stats, allocation).
+func TestPolicyEndpointEngine(t *testing.T) {
+	c, eng := newEngineTestServer(t)
+	ctx := context.Background()
+
+	pr, err := c.Policy(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Policy != "amf" {
+		t.Fatalf("initial policy %q, want amf", pr.Policy)
+	}
+	if len(pr.Available) != len(policy.Names()) {
+		t.Fatalf("available = %v, want all of %v", pr.Available, policy.Names())
+	}
+
+	if err := c.AddJob(ctx, AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPolicy(ctx, "drf"); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.PolicyName(); got != "drf" {
+		t.Fatalf("engine policy %q after switch", got)
+	}
+	pr, err = c.Policy(ctx)
+	if err != nil || pr.Policy != "drf" {
+		t.Fatalf("policy after switch = %+v, %v", pr, err)
+	}
+	cfg, err := c.Config(ctx)
+	if err != nil || cfg.Policy != "drf" {
+		t.Fatalf("config after switch = %+v, %v", cfg, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || st.Policy != "drf" {
+		t.Fatalf("stats after switch = %+v, %v", st, err)
+	}
+	alloc, err := c.Allocation(ctx)
+	if err != nil || alloc.Policy != "drf" {
+		t.Fatalf("allocation after switch policy = %q, %v", alloc.Policy, err)
+	}
+	if len(alloc.Jobs) != 1 {
+		t.Fatalf("allocation lost jobs across the switch: %v", alloc.Jobs)
+	}
+
+	// Unknown and empty names are invalid_argument; the active policy is
+	// untouched.
+	if err := c.SetPolicy(ctx, "nope"); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("unknown policy err = %v, want ErrInvalidArgument", err)
+	}
+	if err := c.SetPolicy(ctx, ""); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("empty policy err = %v, want ErrInvalidArgument", err)
+	}
+	if pr, _ := c.Policy(ctx); pr.Policy != "drf" {
+		t.Fatalf("failed switch changed policy to %q", pr.Policy)
+	}
+}
+
+// TestPolicyEndpointDirect: the scheduler-backed server supports runtime
+// switching too.
+func TestPolicyEndpointDirect(t *testing.T) {
+	c, _ := newTestServer(t)
+	ctx := context.Background()
+	if err := c.SetPolicy(ctx, "propfair"); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.Policy(ctx)
+	if err != nil || pr.Policy != "propfair" {
+		t.Fatalf("policy = %+v, %v", pr, err)
+	}
+}
+
+// TestPolicySwitchSurvivesCrash: a runtime switch is a logged mutation.
+// After a crash, replaying the WAL tail re-runs the switch at the same
+// point in the mutation order, so the restarted controller comes back
+// under the switched policy with the identical allocation.
+func TestPolicySwitchSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	st := newDurableStack(t, dir)
+	if _, err := st.cl.AddJobs(ctx, []AddJobRequest{
+		{ID: "a", Demand: []float64{2, 0}},
+		{ID: "b", Demand: []float64{1, 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.cl.SetPolicy(ctx, "drf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.cl.AddJob(ctx, AddJobRequest{ID: "c", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := st.cl.Allocation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.eng.Crash()
+
+	st2 := newDurableStack(t, dir)
+	if got := st2.sc.PolicyName(); got != "drf" {
+		t.Fatalf("recovered policy %q, want drf", got)
+	}
+	after, err := st2.cl.Allocation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Policy != "drf" {
+		t.Fatalf("recovered allocation policy %q", after.Policy)
+	}
+	sameAllocations(t, "crash-recovery across policy switch", after, before)
+}
+
+// TestRecoveryRefusesMismatchedSnapshotPolicy: a graceful shutdown after
+// a switch folds the WAL into a snapshot stamped with the new policy.
+// Restarting with the old policy configured must fail loudly at replay,
+// not silently serve under the wrong discipline.
+func TestRecoveryRefusesMismatchedSnapshotPolicy(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	st := newDurableStack(t, dir)
+	if err := st.cl.AddJob(ctx, AddJobRequest{ID: "a", Demand: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.cl.SetPolicy(ctx, "psmmf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.eng.Close(); err != nil { // folds into a final snapshot
+		t.Fatal(err)
+	}
+
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{2, 2}, Policy: policy.AMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Replay(sc); err == nil {
+		t.Fatal("replaying a psmmf snapshot into an amf controller succeeded")
+	}
+	// The right configuration recovers cleanly.
+	_, rec2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{2, 2}, Policy: policy.PSMMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec2.Replay(sc2); err != nil {
+		t.Fatalf("matching recovery failed: %v", err)
+	}
+	if sc2.PolicyName() != "psmmf" {
+		t.Fatalf("recovered policy %q", sc2.PolicyName())
+	}
+}

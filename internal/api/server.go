@@ -16,6 +16,8 @@
 //	                                   load balancers health-check THIS,
 //	                                   not /v1/healthz.
 //	GET    /v1/config                  site capacities, policy
+//	GET    /v1/policy                  active fairness policy + valid names
+//	PUT    /v1/policy                  switch the fairness policy at runtime
 //	POST   /v1/queues                  declare a weighted queue
 //	POST   /v1/jobs                    register a job (optionally in a queue)
 //	POST   /v1/jobs:batch              register many jobs atomically, one solve
@@ -73,9 +75,9 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/policy"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
 )
 
 // TraceHeader is the response (and optional request) header carrying the
@@ -134,6 +136,16 @@ type ApproxConfigurer interface {
 	ApproxConfig() (epsilon float64, threshold int)
 }
 
+// PolicyController is the optional fairness-policy surface behind
+// GET/PUT /v1/policy: the active policy's wire name, and a runtime switch
+// to another one (policy.Names lists the valid names). Backends without
+// the methods serve the constructor-time policy read-only and reject the
+// switch with invalid_argument.
+type PolicyController interface {
+	PolicyName() string
+	SetPolicy(ctx context.Context, name string) error
+}
+
 var _ Backend = (*serve.Engine)(nil)
 var _ Backend = schedulerBackend{}
 var _ ReadyChecker = (*serve.Engine)(nil)
@@ -142,6 +154,8 @@ var _ ExternalWeighter = (*serve.Engine)(nil)
 var _ ExternalWeighter = schedulerBackend{}
 var _ ApproxConfigurer = (*serve.Engine)(nil)
 var _ ApproxConfigurer = schedulerBackend{}
+var _ PolicyController = (*serve.Engine)(nil)
+var _ PolicyController = schedulerBackend{}
 
 // schedulerBackend adapts a bare controller to the context-aware Backend.
 // The scheduler's methods are fast and synchronous, so honoring the
@@ -242,6 +256,15 @@ func (b schedulerBackend) ApproxConfig() (epsilon float64, threshold int) {
 	return b.sc.ApproxConfig()
 }
 
+func (b schedulerBackend) PolicyName() string { return b.sc.PolicyName() }
+
+func (b schedulerBackend) SetPolicy(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.SetPolicyName(name)
+}
+
 // AddJobRequest registers a job. Queue, when set, must name a queue
 // previously declared via POST /v1/queues.
 type AddJobRequest struct {
@@ -311,6 +334,9 @@ type SharesResponse struct {
 type AllocationResponse struct {
 	Jobs    map[string]SharesResponse `json:"jobs"`
 	Version uint64                    `json:"version,omitempty"`
+	// Policy is the wire name of the fairness policy the allocation was
+	// solved under.
+	Policy string `json:"policy,omitempty"`
 }
 
 // ConfigResponse describes the controller's static configuration.
@@ -319,8 +345,9 @@ type ConfigResponse struct {
 	Policy       string    `json:"policy"`
 }
 
-// StatsResponse mirrors scheduler.Stats.
+// StatsResponse mirrors scheduler.Stats, plus the active policy name.
 type StatsResponse struct {
+	Policy            string  `json:"policy,omitempty"`
 	Solves            int     `json:"solves"`
 	Skipped           int     `json:"skipped"`
 	Jobs              int     `json:"jobs"`
@@ -354,16 +381,15 @@ type Server struct {
 	sc     Backend
 	cfg    ConfigResponse
 	mux    *http.ServeMux
-	policy sim.Policy
 	reg    *obs.Registry
 	traces *span.Recorder
 }
 
 // NewServer builds the API around a bare controller. capacity and
-// policy are echoed by /v1/config (the scheduler does not expose them).
-// The server creates its own metrics registry (see Metrics).
-func NewServer(sc *scheduler.Scheduler, capacity []float64, policy sim.Policy) *Server {
-	return newServer(schedulerBackend{sc: sc}, obs.NewRegistry(), capacity, policy)
+// pol are echoed by /v1/config (the scheduler does not expose the
+// capacities). The server creates its own metrics registry (see Metrics).
+func NewServer(sc *scheduler.Scheduler, capacity []float64, pol policy.Policy) *Server {
+	return newServer(schedulerBackend{sc: sc}, obs.NewRegistry(), capacity, pol)
 }
 
 // NewEngineServer builds the API around a serving engine: mutations are
@@ -371,39 +397,45 @@ func NewServer(sc *scheduler.Scheduler, capacity []float64, policy sim.Policy) *
 // published snapshot. reg should be the registry the engine instruments
 // (so /v1/metrics unifies HTTP and solver telemetry); nil creates a fresh
 // one.
-func NewEngineServer(eng *serve.Engine, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
+func NewEngineServer(eng *serve.Engine, reg *obs.Registry, capacity []float64, pol policy.Policy) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return newServer(eng, reg, capacity, policy)
+	return newServer(eng, reg, capacity, pol)
 }
 
 // NewBackendServer builds the API around any Backend implementation —
 // the extension point for backends beyond the bare scheduler and the
 // engine, such as a cluster read replica or the shard router's merged
-// view. Optional capabilities (ReadyChecker, Versioned, ExternalWeighter)
-// are discovered by interface assertion. nil reg creates a fresh registry.
-func NewBackendServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
+// view. Optional capabilities (ReadyChecker, Versioned, ExternalWeighter,
+// PolicyController) are discovered by interface assertion. nil reg
+// creates a fresh registry.
+func NewBackendServer(be Backend, reg *obs.Registry, capacity []float64, pol policy.Policy) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return newServer(be, reg, capacity, policy)
+	return newServer(be, reg, capacity, pol)
 }
 
-func newServer(be Backend, reg *obs.Registry, capacity []float64, policy sim.Policy) *Server {
+func newServer(be Backend, reg *obs.Registry, capacity []float64, pol policy.Policy) *Server {
+	name := ""
+	if pol != nil {
+		name = pol.Name()
+	}
 	s := &Server{
 		sc: be,
 		cfg: ConfigResponse{
 			SiteCapacity: append([]float64(nil), capacity...),
-			Policy:       policy.String(),
+			Policy:       name,
 		},
-		mux:    http.NewServeMux(),
-		policy: policy,
-		reg:    reg,
+		mux: http.NewServeMux(),
+		reg: reg,
 	}
 	s.route("GET /v1/healthz", s.handleHealthz)
 	s.route("GET /v1/readyz", s.handleReadyz)
 	s.route("GET /v1/config", s.handleConfig)
+	s.route("GET /v1/policy", s.handleGetPolicy)
+	s.route("PUT /v1/policy", s.handlePutPolicy)
 	s.route("POST /v1/jobs", s.handleAddJob)
 	s.route("POST /v1/jobs:batch", s.handleAddJobsBatch)
 	s.route("POST /v1/queues", s.handleAddQueue)
@@ -609,7 +641,61 @@ func (s *Server) handleGetApproxConfig(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.cfg)
+	cfg := s.cfg
+	cfg.Policy = s.policyName()
+	writeJSON(w, http.StatusOK, cfg)
+}
+
+// policyName reports the backend's live policy when it exposes one
+// (PolicyController), else the constructor-time echo.
+func (s *Server) policyName() string {
+	if pc, ok := s.sc.(PolicyController); ok {
+		return pc.PolicyName()
+	}
+	return s.cfg.Policy
+}
+
+// PolicyRequest switches the active fairness policy by wire name.
+type PolicyRequest struct {
+	Policy string `json:"policy"`
+}
+
+// PolicyResponse reports the active fairness policy and, on reads, the
+// full set of valid wire names.
+type PolicyResponse struct {
+	Policy    string   `json:"policy"`
+	Available []string `json:"available,omitempty"`
+}
+
+func (s *Server) handleGetPolicy(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, PolicyResponse{
+		Policy:    s.policyName(),
+		Available: policy.Names(),
+	})
+}
+
+func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	pc, ok := s.sc.(PolicyController)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support policy switching", Code: CodeInvalidArgument})
+		return
+	}
+	var req PolicyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Policy == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "policy name required", Code: CodeInvalidArgument})
+		return
+	}
+	if err := pc.SetPolicy(r.Context(), req.Policy); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PolicyResponse{Policy: pc.PolicyName()})
 }
 
 func (s *Server) handleAddJob(w http.ResponseWriter, r *http.Request) {
@@ -771,6 +857,7 @@ func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
 		// so a reader polling for "version >= X" never sees stale data.
 		resp.Version = v.SnapshotVersion()
 	}
+	resp.Policy = s.policyName()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -794,6 +881,7 @@ func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sc.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Policy: s.policyName(),
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
 		LastSolveSeconds:    st.LastSolve.Seconds(),
 		TotalSolveSeconds:   st.TotalSolveTime.Seconds(),

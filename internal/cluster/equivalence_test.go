@@ -8,7 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/scheduler"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -57,20 +57,20 @@ func diffAllocs(t *testing.T, what string, a, b map[string][]float64, tol float6
 // 50 seeds × 2 policies × 2 shard counts = 200 independent streams.
 func TestRouterEquivalence(t *testing.T) {
 	const trials = 50
-	for _, policy := range []sim.Policy{sim.PolicyAMF, sim.PolicyEnhancedAMF} {
+	for _, pol := range []policy.Policy{policy.AMF, policy.EnhancedAMF} {
 		for _, shardCount := range []int{2, 3} {
 			for trial := 0; trial < trials; trial++ {
-				policy, shardCount, trial := policy, shardCount, trial
-				t.Run(fmt.Sprintf("%s/shards%d/seed%d", policy, shardCount, trial), func(t *testing.T) {
+				pol, shardCount, trial := pol, shardCount, trial
+				t.Run(fmt.Sprintf("%s/shards%d/seed%d", pol.Name(), shardCount, trial), func(t *testing.T) {
 					t.Parallel()
-					runEquivalence(t, policy, shardCount, uint64(9000+trial))
+					runEquivalence(t, pol, shardCount, uint64(9000+trial))
 				})
 			}
 		}
 	}
 }
 
-func runEquivalence(t *testing.T, policy sim.Policy, shardCount int, seed uint64) {
+func runEquivalence(t *testing.T, pol policy.Policy, shardCount int, seed uint64) {
 	churn := workload.GenerateChurn(workload.ChurnConfig{
 		Sparse: workload.SparseConfig{
 			Components:        8,
@@ -83,12 +83,12 @@ func runEquivalence(t *testing.T, policy sim.Policy, shardCount int, seed uint64
 	})
 	caps := churn.Inst.SiteCapacity
 
-	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shards, _ := newEngineShards(t, shardCount, caps, policy)
-	router, err := cluster.NewRouter(shards, policy)
+	shards, _ := newEngineShards(t, shardCount, caps, pol)
+	router, err := cluster.NewRouter(shards, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func runEquivalence(t *testing.T, policy sim.Policy, shardCount int, seed uint64
 	}
 	// Cross-check the ledger: the router's W matches the oracle's live
 	// weight sum bit-for-bit relevant to the floors.
-	if policy == sim.PolicyEnhancedAMF {
+	if pol.Capabilities().GlobalWeightFloors {
 		if w, o := router.RouterStats().WeightSum, oracle.WeightSum(); math.Abs(w-o) > 1e-9 {
 			t.Fatalf("router weight sum %g, oracle %g", w, o)
 		}

@@ -8,7 +8,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 // VersionsResponse is the cluster-wide snapshot version vector — one
@@ -41,8 +41,8 @@ type RouterStatsResponse struct {
 //	                          newest first (?limit=N)
 //	GET /v1/cluster/versions  the snapshot version vector
 //	GET /v1/cluster/stats     routing and weight-broadcast counters
-func NewHandler(r *Router, reg *obs.Registry, capacity []float64, policy sim.Policy) http.Handler {
-	srv := api.NewBackendServer(r, reg, capacity, policy)
+func NewHandler(r *Router, reg *obs.Registry, capacity []float64, pol policy.Policy) http.Handler {
+	srv := api.NewBackendServer(r, reg, capacity, pol)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, req *http.Request) {

@@ -12,7 +12,7 @@ import (
 	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -21,7 +21,7 @@ import (
 // own HTTP handler — merged allocations must still match the
 // single-scheduler oracle, and the cluster routes must serve.
 func TestRouterOverHTTPShards(t *testing.T) {
-	const policy = sim.PolicyEnhancedAMF
+	pol := policy.EnhancedAMF
 	churn := workload.GenerateChurn(workload.ChurnConfig{
 		Sparse: workload.SparseConfig{
 			Components:        6,
@@ -36,7 +36,7 @@ func TestRouterOverHTTPShards(t *testing.T) {
 
 	shards := make([]cluster.Shard, 2)
 	for i := range shards {
-		sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+		sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,20 +46,20 @@ func TestRouterOverHTTPShards(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { _ = eng.Close() })
-		srv := httptest.NewServer(api.NewEngineServer(eng, nil, caps, policy).SetTraces(rec).Handler())
+		srv := httptest.NewServer(api.NewEngineServer(eng, nil, caps, pol).SetTraces(rec).Handler())
 		t.Cleanup(srv.Close)
 		shards[i] = cluster.HTTPShard{Client: api.NewClient(srv.URL, srv.Client())}
 	}
-	router, err := cluster.NewRouter(shards, policy)
+	router, err := cluster.NewRouter(shards, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	front := httptest.NewServer(cluster.NewHandler(router, nil, caps, policy))
+	front := httptest.NewServer(cluster.NewHandler(router, nil, caps, pol))
 	t.Cleanup(front.Close)
 	cl := api.NewClient(front.URL, front.Client())
 	ctx := context.Background()
 
-	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+	oracle, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 	if err != nil {
 		t.Fatal(err)
 	}

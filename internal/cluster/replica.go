@@ -8,8 +8,8 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/scheduler"
-	"repro/internal/sim"
 	"repro/internal/wal"
 )
 
@@ -36,9 +36,12 @@ type ReplicaConfig struct {
 	// Source streams the primary's WAL (the primary's ship endpoint).
 	Source *wal.ShipClient
 	// SiteCapacity and Policy must match the primary's deployment: the
-	// WAL carries mutations, not configuration.
+	// WAL carries mutations, not configuration. (A policy mismatch is
+	// caught on the first snapshot reset — the snapshot's policy header
+	// fails scheduler.Restore; runtime switches on the primary replay
+	// through the log's OpSetPolicy records and keep the replica aligned.)
 	SiteCapacity []float64
-	Policy       sim.Policy
+	Policy       policy.Policy
 	// Interval is the poll cadence once caught up (default 50ms). While
 	// behind, the replica polls continuously.
 	Interval time.Duration
@@ -340,6 +343,15 @@ func (r *Replica) Allocation(ctx context.Context) (map[string][]float64, error) 
 	}
 	return v.Shares, nil
 }
+
+// PolicyName reports the replica's active fairness policy — it follows
+// the primary through replayed OpSetPolicy records (api.PolicyController
+// read side).
+func (r *Replica) PolicyName() string { return r.sc.PolicyName() }
+
+// SetPolicy is rejected: the replica follows the primary's policy through
+// the WAL (api.PolicyController write side, read-only here).
+func (r *Replica) SetPolicy(ctx context.Context, name string) error { return ErrReadOnly }
 
 func (r *Replica) Stats() scheduler.Stats { return r.sc.Stats() }
 

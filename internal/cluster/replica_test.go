@@ -13,7 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -54,10 +54,10 @@ func waitCaughtUpTo(t *testing.T, r *cluster.Replica, head wal.Cursor) *cluster.
 // stream, for both policies — including the primary's external-weight
 // broadcasts, which ride the log.
 func TestReplicaFollowsPrimary(t *testing.T) {
-	for _, policy := range []sim.Policy{sim.PolicyAMF, sim.PolicyEnhancedAMF} {
+	for _, pol := range []policy.Policy{policy.AMF, policy.EnhancedAMF} {
 		for trial := 0; trial < 4; trial++ {
-			policy, trial := policy, trial
-			t.Run(fmt.Sprintf("%s/seed%d", policy, trial), func(t *testing.T) {
+			pol, trial := pol, trial
+			t.Run(fmt.Sprintf("%s/seed%d", pol.Name(), trial), func(t *testing.T) {
 				t.Parallel()
 				churn := workload.GenerateChurn(workload.ChurnConfig{
 					Sparse: workload.SparseConfig{
@@ -76,7 +76,7 @@ func TestReplicaFollowsPrimary(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+				sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -91,7 +91,7 @@ func TestReplicaFollowsPrimary(t *testing.T) {
 				rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 					Source:       &wal.ShipClient{Base: srv.URL, HTTP: srv.Client()},
 					SiteCapacity: caps,
-					Policy:       policy,
+					Policy:       pol,
 					Interval:     2 * time.Millisecond,
 				})
 				if err != nil {
@@ -147,7 +147,7 @@ func TestReplicaResetFromSnapshot(t *testing.T) {
 
 	// Hand-build primary history: two jobs, then a compaction folding
 	// them into a snapshot, then one more job in the record tail.
-	primary, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: sim.PolicyEnhancedAMF})
+	primary, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy.EnhancedAMF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestReplicaResetFromSnapshot(t *testing.T) {
 	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 		Source:       &wal.ShipClient{Base: srv.URL, HTTP: srv.Client()},
 		SiteCapacity: caps,
-		Policy:       sim.PolicyEnhancedAMF,
+		Policy:       policy.EnhancedAMF,
 		Interval:     2 * time.Millisecond,
 	})
 	if err != nil {
@@ -218,7 +218,7 @@ func TestReplicaAPISurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer log.Close()
-	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: sim.PolicyAMF})
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy.AMF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestReplicaAPISurface(t *testing.T) {
 	bad, err := cluster.NewReplica(cluster.ReplicaConfig{
 		Source:       &wal.ShipClient{Base: "http://127.0.0.1:1"},
 		SiteCapacity: caps,
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 		Interval:     time.Millisecond,
 	})
 	if err != nil {
@@ -253,7 +253,7 @@ func TestReplicaAPISurface(t *testing.T) {
 	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
 		Source:       &wal.ShipClient{Base: ship.URL, HTTP: ship.Client()},
 		SiteCapacity: caps,
-		Policy:       sim.PolicyAMF,
+		Policy:       policy.AMF,
 		Interval:     2 * time.Millisecond,
 	})
 	if err != nil {
@@ -262,7 +262,7 @@ func TestReplicaAPISurface(t *testing.T) {
 	defer rep.Close()
 	waitCaughtUpTo(t, rep, log.Durable())
 
-	apiSrv := httptest.NewServer(api.NewBackendServer(rep, nil, caps, sim.PolicyAMF).Handler())
+	apiSrv := httptest.NewServer(api.NewBackendServer(rep, nil, caps, policy.AMF).Handler())
 	defer apiSrv.Close()
 	cl := api.NewClient(apiSrv.URL, apiSrv.Client())
 

@@ -11,8 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs/span"
+	"repro/internal/policy"
 	"repro/internal/scheduler"
-	"repro/internal/sim"
 )
 
 // Stable cluster errors. The API layer maps them through api.CodeFor's
@@ -29,6 +29,11 @@ var (
 	// ErrRestoreUnsupported rejects restore-through-the-router; restore
 	// shards individually instead.
 	ErrRestoreUnsupported = errors.New("cluster: restore through the router is unsupported; restore shards directly")
+	// ErrPolicyMismatch rejects assembling a cluster whose shards disagree
+	// with the router (and hence each other) on the fairness policy: a
+	// merged allocation under mixed disciplines is meaningless, and the
+	// router's weight-broadcast decision is policy-derived.
+	ErrPolicyMismatch = errors.New("cluster: shard fairness policy does not match the router")
 )
 
 // readTimeout bounds the context-less api.Backend read surfaces (Stats,
@@ -66,6 +71,7 @@ type RouterStats struct {
 // consistent with what the shards have durably applied.
 type Router struct {
 	shards   []Shard
+	polName  string
 	enhanced bool
 
 	mu        sync.Mutex
@@ -87,16 +93,23 @@ type Router struct {
 	versions atomic.Pointer[[]uint64]
 }
 
-// NewRouter builds a router over shards. policy decides whether weight
-// broadcasts are needed: only Enhanced-AMF couples components through
-// the global weight sum.
-func NewRouter(shards []Shard, policy sim.Policy) (*Router, error) {
+// NewRouter builds a router over shards running the given fairness
+// policy. The policy's capabilities decide whether weight broadcasts are
+// needed: only policies declaring GlobalWeightFloors (Enhanced-AMF)
+// couple components through the global weight sum. Every shard must run
+// this policy — SyncFromShards verifies it and fails with
+// ErrPolicyMismatch otherwise.
+func NewRouter(shards []Shard, pol policy.Policy) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("cluster: router needs at least one shard")
 	}
+	if pol == nil {
+		return nil, fmt.Errorf("cluster: router needs a policy")
+	}
 	return &Router{
 		shards:    shards,
-		enhanced:  policy == sim.PolicyEnhancedAMF,
+		polName:   pol.Name(),
+		enhanced:  pol.Capabilities().GlobalWeightFloors,
 		siteOwner: map[int]int{},
 		siteRef:   map[int]int{},
 		jobShard:  map[string]int{},
@@ -108,6 +121,28 @@ func NewRouter(shards []Shard, policy sim.Policy) (*Router, error) {
 
 // NumShards reports the cluster size.
 func (r *Router) NumShards() int { return len(r.shards) }
+
+// PolicyName reports the fairness policy the cluster runs — the router's
+// configured policy, which SyncFromShards verifies every shard agrees
+// with. The router deliberately does NOT implement runtime switching
+// (api.PolicyController): a cluster-wide switch must be rolled out shard
+// by shard and re-verified with SyncFromShards.
+func (r *Router) PolicyName() string { return r.polName }
+
+// checkShardPoliciesLocked verifies every shard runs the router's policy.
+func (r *Router) checkShardPoliciesLocked(ctx context.Context) error {
+	for i, sh := range r.shards {
+		name, err := sh.PolicyName(ctx)
+		if err != nil {
+			return fmt.Errorf("cluster: policy from shard %d: %w", i, err)
+		}
+		if name != r.polName {
+			return fmt.Errorf("%w: shard %d runs %q, router expects %q",
+				ErrPolicyMismatch, i, name, r.polName)
+		}
+	}
+	return nil
+}
 
 // effWeight mirrors the scheduler's normalization: weight <= 0 means 1.
 func effWeight(w float64) float64 {
@@ -536,13 +571,17 @@ func (r *Router) RouterStats() RouterStats {
 }
 
 // SyncFromShards rebuilds the routing tables from the shards' live job
-// sets — router restart against a running cluster. It fails if two
+// sets — router restart against a running cluster. It fails if any shard
+// runs a different fairness policy (ErrPolicyMismatch) or if two
 // shards claim the same site (an operator mis-assembly the router must
 // not paper over) and finishes by reconciling every shard's external
 // weight against the rebuilt ledger.
 func (r *Router) SyncFromShards(ctx context.Context) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.checkShardPoliciesLocked(ctx); err != nil {
+		return err
+	}
 	siteOwner := map[int]int{}
 	siteRef := map[int]int{}
 	jobShard := map[string]int{}

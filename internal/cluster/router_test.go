@@ -10,18 +10,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 // newEngineShards builds n WAL-less engine shards, each over the full
 // site-capacity vector, returning the shards plus the underlying
 // schedulers (for asserting on external weights).
-func newEngineShards(t *testing.T, n int, caps []float64, policy sim.Policy) ([]cluster.Shard, []*scheduler.Scheduler) {
+func newEngineShards(t *testing.T, n int, caps []float64, pol policy.Policy) ([]cluster.Shard, []*scheduler.Scheduler) {
 	t.Helper()
 	shards := make([]cluster.Shard, n)
 	scs := make([]*scheduler.Scheduler, n)
 	for i := 0; i < n; i++ {
-		sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+		sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,8 +78,8 @@ func TestRouterCrossShardReject(t *testing.T) {
 	for i := range caps {
 		caps[i] = 10
 	}
-	shards, _ := newEngineShards(t, 2, caps, sim.PolicyAMF)
-	r, err := cluster.NewRouter(shards, sim.PolicyAMF)
+	shards, _ := newEngineShards(t, 2, caps, policy.AMF)
+	r, err := cluster.NewRouter(shards, policy.AMF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,8 +121,8 @@ func mustKey(t *testing.T, sites []int) uint64 {
 }
 
 func TestRouterQueueAndRestoreUnsupported(t *testing.T) {
-	shards, _ := newEngineShards(t, 2, []float64{1, 1}, sim.PolicyAMF)
-	r, err := cluster.NewRouter(shards, sim.PolicyAMF)
+	shards, _ := newEngineShards(t, 2, []float64{1, 1}, policy.AMF)
+	r, err := cluster.NewRouter(shards, policy.AMF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,8 +142,8 @@ func TestRouterQueueAndRestoreUnsupported(t *testing.T) {
 }
 
 func TestRouterDuplicateAndUnknown(t *testing.T) {
-	shards, _ := newEngineShards(t, 2, []float64{5, 5}, sim.PolicyAMF)
-	r, _ := cluster.NewRouter(shards, sim.PolicyAMF)
+	shards, _ := newEngineShards(t, 2, []float64{5, 5}, policy.AMF)
+	r, _ := cluster.NewRouter(shards, policy.AMF)
 	ctx := context.Background()
 	if err := r.AddJob(ctx, "a", 1, []float64{1, 0}, nil); err != nil {
 		t.Fatal(err)
@@ -172,8 +172,8 @@ func TestRouterWeightBroadcast(t *testing.T) {
 	for i := range caps {
 		caps[i] = 10
 	}
-	shards, scs := newEngineShards(t, 2, caps, sim.PolicyEnhancedAMF)
-	r, _ := cluster.NewRouter(shards, sim.PolicyEnhancedAMF)
+	shards, scs := newEngineShards(t, 2, caps, policy.EnhancedAMF)
+	r, _ := cluster.NewRouter(shards, policy.EnhancedAMF)
 	ctx := context.Background()
 	s0, s1 := splitSites(t, sites)
 
@@ -222,8 +222,8 @@ func TestRouterWeightBroadcast(t *testing.T) {
 // TestRouterAMFSkipsBroadcasts: AMF has no weight-sum coupling, so the
 // fast path must skip every reconcile.
 func TestRouterAMFSkipsBroadcasts(t *testing.T) {
-	shards, scs := newEngineShards(t, 2, []float64{5, 5, 5, 5}, sim.PolicyAMF)
-	r, _ := cluster.NewRouter(shards, sim.PolicyAMF)
+	shards, scs := newEngineShards(t, 2, []float64{5, 5, 5, 5}, policy.AMF)
+	r, _ := cluster.NewRouter(shards, policy.AMF)
 	ctx := context.Background()
 	if err := r.AddJob(ctx, "a", 2, []float64{1, 0, 0, 0}, nil); err != nil {
 		t.Fatal(err)
@@ -246,8 +246,8 @@ func TestRouterBatchAdd(t *testing.T) {
 	for i := range caps {
 		caps[i] = 10
 	}
-	shards, scs := newEngineShards(t, 2, caps, sim.PolicyEnhancedAMF)
-	r, _ := cluster.NewRouter(shards, sim.PolicyEnhancedAMF)
+	shards, scs := newEngineShards(t, 2, caps, policy.EnhancedAMF)
+	r, _ := cluster.NewRouter(shards, policy.EnhancedAMF)
 	ctx := context.Background()
 	s0, s1 := splitSites(t, sites)
 
@@ -294,8 +294,8 @@ func TestRouterSyncFromShards(t *testing.T) {
 	for i := range caps {
 		caps[i] = 10
 	}
-	shards, scs := newEngineShards(t, 2, caps, sim.PolicyEnhancedAMF)
-	r1, _ := cluster.NewRouter(shards, sim.PolicyEnhancedAMF)
+	shards, scs := newEngineShards(t, 2, caps, policy.EnhancedAMF)
+	r1, _ := cluster.NewRouter(shards, policy.EnhancedAMF)
 	ctx := context.Background()
 	s0, s1 := splitSites(t, sites)
 	if err := r1.AddJob(ctx, "a", 2, demandAt(sites, s0), nil); err != nil {
@@ -306,7 +306,7 @@ func TestRouterSyncFromShards(t *testing.T) {
 	}
 
 	// A fresh router (restart) over the same shards rebuilds the ledger.
-	r2, _ := cluster.NewRouter(shards, sim.PolicyEnhancedAMF)
+	r2, _ := cluster.NewRouter(shards, policy.EnhancedAMF)
 	if err := r2.SyncFromShards(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -328,21 +328,21 @@ func TestRouterSyncFromShards(t *testing.T) {
 
 	// Mis-assembled cluster: the same site populated on both shards must
 	// fail the sync, not be papered over.
-	bad, _ := newEngineShards(t, 2, caps, sim.PolicyAMF)
+	bad, _ := newEngineShards(t, 2, caps, policy.AMF)
 	for i, sh := range bad {
 		if err := sh.AddJob(ctx, "dup"+string(rune('0'+i)), 1, demandAt(sites, 0), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
-	r3, _ := cluster.NewRouter(bad, sim.PolicyAMF)
+	r3, _ := cluster.NewRouter(bad, policy.AMF)
 	if err := r3.SyncFromShards(ctx); err == nil {
 		t.Fatal("sync over conflicting shards succeeded")
 	}
 }
 
 func TestRouterCompletionFreesSites(t *testing.T) {
-	shards, _ := newEngineShards(t, 2, []float64{4, 4}, sim.PolicyEnhancedAMF)
-	r, _ := cluster.NewRouter(shards, sim.PolicyEnhancedAMF)
+	shards, _ := newEngineShards(t, 2, []float64{4, 4}, policy.EnhancedAMF)
+	r, _ := cluster.NewRouter(shards, policy.EnhancedAMF)
 	ctx := context.Background()
 	if err := r.AddJob(ctx, "a", 2, []float64{1, 0}, []float64{0.5, 0}); err != nil {
 		t.Fatal(err)

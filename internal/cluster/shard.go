@@ -41,6 +41,9 @@ type Shard interface {
 	Snapshot(ctx context.Context) (scheduler.Snapshot, error)
 	Traces(ctx context.Context, limit int) ([]*span.Trace, error)
 	SetExternalWeight(ctx context.Context, w float64) error
+	// PolicyName reports the shard's active fairness policy; the router
+	// refuses to assemble a mixed-policy cluster (ErrPolicyMismatch).
+	PolicyName(ctx context.Context) (string, error)
 	ReadyErr(ctx context.Context) error
 }
 
@@ -114,6 +117,13 @@ func (s EngineShard) Traces(ctx context.Context, limit int) ([]*span.Trace, erro
 
 func (s EngineShard) SetExternalWeight(ctx context.Context, w float64) error {
 	return s.Eng.SetExternalWeight(ctx, w)
+}
+
+func (s EngineShard) PolicyName(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.Eng.PolicyName(), nil
 }
 
 func (s EngineShard) ReadyErr(ctx context.Context) error {
@@ -209,6 +219,14 @@ func (s HTTPShard) Traces(ctx context.Context, limit int) ([]*span.Trace, error)
 
 func (s HTTPShard) SetExternalWeight(ctx context.Context, w float64) error {
 	return s.Client.SetExternalWeight(ctx, w)
+}
+
+func (s HTTPShard) PolicyName(ctx context.Context) (string, error) {
+	resp, err := s.Client.Policy(ctx)
+	if err != nil {
+		return "", err
+	}
+	return resp.Policy, nil
 }
 
 func (s HTTPShard) ReadyErr(ctx context.Context) error {

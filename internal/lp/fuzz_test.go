@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSimplex derives a small LP from the fuzz input and checks the
+// solver's contract on it: never panic, and when it reports Optimal the
+// returned point must actually satisfy every constraint (with x >= 0)
+// and reproduce the reported objective value. Because every variable
+// gets an explicit box constraint x_i <= box_i, the feasible region is
+// bounded, so Unbounded is also ruled out.
+func FuzzSimplex(f *testing.F) {
+	f.Add([]byte{2, 1, 120, 130, 10, 20, 200, 1, 1, 50})
+	f.Add([]byte{1, 0, 255})
+	f.Add([]byte{3, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	f.Add([]byte{4, 3, 0, 0, 0, 0, 128, 128, 128, 128, 64, 64, 64, 64, 32, 32, 32, 32, 9, 9, 9, 9, 200, 100, 50, 25})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		// Byte stream layout: numVars, numIneq, then coefficients. Each
+		// byte b maps to a small signed value (b-100)/10 in [-10, 15.5];
+		// missing bytes read as zero so short inputs still shape an LP.
+		n := int(data[0]%4) + 1
+		mi := int(data[1] % 4)
+		pos := 2
+		next := func() float64 {
+			if pos >= len(data) {
+				return 0
+			}
+			v := (float64(data[pos]) - 100) / 10
+			pos++
+			return v
+		}
+
+		p := Problem{NumVars: n, C: make([]float64, n)}
+		for i := range p.C {
+			p.C[i] = next()
+		}
+		for k := 0; k < mi; k++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = next()
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, next())
+		}
+		// Box every variable so the region is bounded whatever the fuzzer
+		// chose above. Bounds are strictly positive, so x = 0 is feasible
+		// for the boxes themselves (the fuzzed rows may still exclude it).
+		box := make([]float64, n)
+		for i := 0; i < n; i++ {
+			box[i] = 0.5 + math.Abs(next())
+			row := make([]float64, n)
+			row[i] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, box[i])
+		}
+
+		x, obj, st := Solve(p)
+		switch st {
+		case Unbounded:
+			t.Fatalf("boxed LP reported unbounded: %+v", p)
+		case Infeasible:
+			return
+		}
+		if len(x) != n {
+			t.Fatalf("Optimal with %d vars, want %d", len(x), n)
+		}
+		const tol = 1e-6
+		got := 0.0
+		for i, xi := range x {
+			if xi < -tol {
+				t.Fatalf("x[%d] = %g < 0", i, xi)
+			}
+			if xi > box[i]+tol {
+				t.Fatalf("x[%d] = %g exceeds box %g", i, xi, box[i])
+			}
+			got += p.C[i] * xi
+		}
+		for k, row := range p.A {
+			lhs := 0.0
+			for i, c := range row {
+				lhs += c * x[i]
+			}
+			if lhs > p.B[k]+tol {
+				t.Fatalf("constraint %d violated: %g > %g at x=%v", k, lhs, p.B[k], x)
+			}
+		}
+		if math.Abs(got-obj) > tol*(1+math.Abs(obj)) {
+			t.Fatalf("reported objective %g, recomputed %g at x=%v", obj, got, x)
+		}
+	})
+}

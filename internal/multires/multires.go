@@ -35,6 +35,14 @@ type Instance struct {
 	TaskCount [][]float64
 	// Weight[j] is job j's share weight (nil = all ones).
 	Weight []float64
+	// CapacityTotals, when non-nil, overrides the per-resource totals used
+	// for dominant-share normalization (Dominant). A sub-instance carved
+	// out of a larger problem — one connected component of a decomposed
+	// instance — must normalize against the *global* supply, not its own
+	// slice of it, for its dominant shares to mean the same thing they do
+	// in the monolithic solve. Nil means the totals are summed from
+	// SiteCapacity as usual.
+	CapacityTotals []float64
 }
 
 // NumJobs reports the number of jobs.
@@ -115,6 +123,16 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
+	if in.CapacityTotals != nil {
+		if len(in.CapacityTotals) != k {
+			return fmt.Errorf("multires: %d capacity totals for %d resources", len(in.CapacityTotals), k)
+		}
+		for r, c := range in.CapacityTotals {
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("multires: resource %d capacity total %g", r, c)
+			}
+		}
+	}
 	return nil
 }
 
@@ -140,9 +158,14 @@ type DominantInfo struct {
 
 // Dominant computes each job's dominant resource. Resources with zero
 // total capacity are skipped (a job demanding only such resources cannot
-// run and yields PerTask = +Inf).
+// run and yields PerTask = +Inf). The normalization totals come from
+// CapacityTotals when set (see Instance.CapacityTotals), else from
+// summing SiteCapacity.
 func (in *Instance) Dominant() []DominantInfo {
-	tot := in.TotalCapacity()
+	tot := in.CapacityTotals
+	if tot == nil {
+		tot = in.TotalCapacity()
+	}
 	out := make([]DominantInfo, in.NumJobs())
 	for j := range out {
 		best := -1

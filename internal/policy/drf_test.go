@@ -1,0 +1,223 @@
+package policy
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multires"
+)
+
+// randomMultiInstance builds comps disconnected blocks of jobs/sites with
+// K resources, so decomposition and caching both have something to do.
+func randomMultiInstance(rng *rand.Rand, comps, jobsPer, sitesPer, k int) *multires.Instance {
+	n, m := comps*jobsPer, comps*sitesPer
+	in := &multires.Instance{
+		SiteCapacity: make([][]float64, m),
+		TaskUse:      make([][]float64, n),
+		TaskCount:    make([][]float64, n),
+		Weight:       make([]float64, n),
+	}
+	for s := 0; s < m; s++ {
+		in.SiteCapacity[s] = make([]float64, k)
+		for r := 0; r < k; r++ {
+			in.SiteCapacity[s][r] = 1 + rng.Float64()*4
+		}
+	}
+	for j := 0; j < n; j++ {
+		c := j / jobsPer
+		in.Weight[j] = 0.5 + rng.Float64()*3
+		in.TaskUse[j] = make([]float64, k)
+		for r := 0; r < k; r++ {
+			in.TaskUse[j][r] = 0.1 + rng.Float64()
+		}
+		in.TaskCount[j] = make([]float64, m)
+		s0 := c * sitesPer
+		in.TaskCount[j][s0] = 1 + rng.Float64()*3 // anchor keeps the block connected
+		for s := s0 + 1; s < s0+sitesPer; s++ {
+			if rng.Intn(2) == 0 {
+				in.TaskCount[j][s] = 1 + rng.Float64()*3
+			}
+		}
+	}
+	return in
+}
+
+// Decomposed-and-cached SolveMulti must match the monolithic progressive
+// filling: the feasible region is a product over connected components and
+// dominant shares are normalized against the global capacity totals, so
+// the leximin decomposes exactly (up to bisection tolerance).
+func TestDRFDecomposedMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(3)
+		in := randomMultiInstance(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(2), k)
+
+		d := NewDRF()
+		got, st, err := d.SolveMulti(context.Background(), in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !st.Native {
+			t.Fatalf("trial %d: DRF stats not native", trial)
+		}
+		mono, err := (&multires.Solver{}).AggregateDRF(in)
+		if err != nil {
+			t.Fatalf("trial %d: monolithic: %v", trial, err)
+		}
+		dg, dm := got.DominantShares(), mono.DominantShares()
+		for j := range dg {
+			if diff := math.Abs(dg[j] - dm[j]); diff > 1e-4 {
+				t.Fatalf("trial %d job %d: dominant share %g (decomposed) vs %g (monolithic), diff %g",
+					trial, j, dg[j], dm[j], diff)
+			}
+		}
+		if err := got.CheckFeasible(1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// Component-local churn: only the touched component re-solves, the rest
+// comes out of the result cache, and a cached answer is bit-identical to
+// the original solve.
+func TestDRFCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomMultiInstance(rng, 3, 2, 2, 2)
+	d := NewDRF()
+	ctx := context.Background()
+
+	first, st, err := d.SolveMulti(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 3 || st.Resolved != 3 || st.Reused != 0 {
+		t.Fatalf("first solve stats %+v, want 3 components all resolved", st)
+	}
+
+	again, st, err := d.SolveMulti(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused != 3 || st.Resolved != 0 {
+		t.Fatalf("identical re-solve stats %+v, want all 3 reused", st)
+	}
+	for j := range first.Tasks {
+		for s := range first.Tasks[j] {
+			if first.Tasks[j][s] != again.Tasks[j][s] {
+				t.Fatalf("cached result differs at job %d site %d", j, s)
+			}
+		}
+	}
+
+	// Touch one component's weight: exactly one re-solve.
+	in.Weight[0] *= 2
+	_, st, err = d.SolveMulti(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused != 2 || st.Resolved != 1 {
+		t.Fatalf("post-churn stats %+v, want 2 reused / 1 resolved", st)
+	}
+	if d.CacheLen() != 4 {
+		t.Fatalf("cache holds %d entries, want 4 (3 original + 1 churned)", d.CacheLen())
+	}
+	if st.CacheHits != 5 || st.CacheMisses != 4 {
+		t.Fatalf("cumulative hits/misses %d/%d, want 5/4", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestDRFCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := &DRF{MaxCacheEntries: 4}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		in := randomMultiInstance(rng, 1, 2, 2, 1)
+		if _, _, err := d.SolveMulti(ctx, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.CacheLen(); n > 4 {
+		t.Fatalf("cache grew to %d entries past the bound of 4", n)
+	}
+}
+
+// The K=1 reduction of DRF is weighted max-min fairness over aggregates —
+// exactly AMF's objective over the same feasible region — so on
+// single-resource instances the two must agree.
+func TestDRFK1MatchesAMF(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		in := &core.Instance{
+			SiteCapacity: make([]float64, m),
+			Demand:       make([][]float64, n),
+			Weight:       make([]float64, n),
+		}
+		for s := 0; s < m; s++ {
+			in.SiteCapacity[s] = 1 + rng.Float64()*4
+		}
+		for j := 0; j < n; j++ {
+			in.Weight[j] = 0.5 + rng.Float64()*2
+			in.Demand[j] = make([]float64, m)
+			for s := 0; s < m; s++ {
+				if rng.Intn(3) > 0 {
+					in.Demand[j][s] = 0.2 + rng.Float64()*2
+				}
+			}
+			if in.Demand[j][rng.Intn(m)] == 0 {
+				in.Demand[j][rng.Intn(m)] = 0.2 + rng.Float64()
+			}
+		}
+		d := &DRF{Eps: 1e-9}
+		got, _, err := d.Allocate(context.Background(), &View{Inst: in})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := core.NewSolver().AMF(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tol := 1e-5 * in.Scale()
+		for j := 0; j < n; j++ {
+			var ag, aw float64
+			for s := 0; s < m; s++ {
+				ag += got.Share[j][s]
+				aw += want.Share[j][s]
+			}
+			// Weighted aggregate shares must match; the per-site split may
+			// legitimately differ between optimal placements.
+			if diff := math.Abs(ag - aw); diff > tol {
+				t.Fatalf("trial %d job %d: aggregate %g (DRF K=1) vs %g (AMF), diff %g",
+					trial, j, ag, aw, diff)
+			}
+		}
+	}
+}
+
+// Jobs with no positive task count anywhere form no component and stay at
+// zero without disturbing the others.
+func TestDRFIdleJob(t *testing.T) {
+	in := &multires.Instance{
+		SiteCapacity: [][]float64{{4}},
+		TaskUse:      [][]float64{{1}, {1}},
+		TaskCount:    [][]float64{{3}, {0}},
+	}
+	d := NewDRF()
+	got, st, err := d.SolveMulti(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Components != 1 {
+		t.Fatalf("%d components, want 1 (idle job excluded)", st.Components)
+	}
+	if got.Tasks[1][0] != 0 {
+		t.Fatalf("idle job allocated %g tasks", got.Tasks[1][0])
+	}
+	if math.Abs(got.Tasks[0][0]-3) > 1e-6 {
+		t.Fatalf("active job got %g tasks, want its full count 3", got.Tasks[0][0])
+	}
+}

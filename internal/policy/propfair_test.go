@@ -1,0 +1,214 @@
+package policy
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func pfSolve(t *testing.T, in *core.Instance) [][]float64 {
+	t.Helper()
+	a, _, err := NewPropFair().Allocate(context.Background(), &View{Inst: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Share
+}
+
+func pfObjective(in *core.Instance, share [][]float64) float64 {
+	v := 0.0
+	for j := range share {
+		a := 0.0
+		for _, x := range share[j] {
+			a += x
+		}
+		if a <= 0 {
+			return math.Inf(-1)
+		}
+		v += in.JobWeight(j) * math.Log(a)
+	}
+	return v
+}
+
+// One congested site: proportional fairness splits capacity in proportion
+// to the weights, x_j = w_j·C/Σw.
+func TestPropFairSingleSiteProportional(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{6},
+		Demand:       [][]float64{{10}, {10}, {10}},
+		Weight:       []float64{1, 2, 3},
+	}
+	share := pfSolve(t, in)
+	want := []float64{1, 2, 3}
+	for j := range want {
+		if math.Abs(share[j][0]-want[j]) > 1e-6 {
+			t.Fatalf("job %d share %g, want %g", j, share[j][0], want[j])
+		}
+	}
+}
+
+// A demand-capped job releases exactly its unused share to the others.
+func TestPropFairDemandCap(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{10},
+		Demand:       [][]float64{{2}, {100}},
+	}
+	share := pfSolve(t, in)
+	if math.Abs(share[0][0]-2) > 1e-6 || math.Abs(share[1][0]-8) > 1e-6 {
+		t.Fatalf("shares (%g, %g), want (2, 8)", share[0][0], share[1][0])
+	}
+}
+
+// Uncongested capacity is free: every job takes its full demand.
+func TestPropFairUncongested(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{10, 10},
+		Demand:       [][]float64{{1, 2}, {3, 0.5}},
+	}
+	share := pfSolve(t, in)
+	for j := range share {
+		for s := range share[j] {
+			if math.Abs(share[j][s]-in.Demand[j][s]) > 1e-9 {
+				t.Fatalf("job %d site %d: %g, want full demand %g", j, s, share[j][s], in.Demand[j][s])
+			}
+		}
+	}
+}
+
+// Jobs on disjoint congested sites don't interact.
+func TestPropFairDisjointSites(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{1, 2},
+		Demand:       [][]float64{{5, 0}, {0, 5}},
+		Weight:       []float64{1, 7},
+	}
+	share := pfSolve(t, in)
+	if math.Abs(share[0][0]-1) > 1e-6 || math.Abs(share[1][1]-2) > 1e-6 {
+		t.Fatalf("shares %v, want each job to own its site's capacity", share)
+	}
+}
+
+// Regression: an instance whose optimum ties two site prices (a job
+// interior at both congested sites). The strict-order tatonnement
+// limit-cycles here; the primal fallback must still deliver the optimum.
+func TestPropFairPriceTieRegression(t *testing.T) {
+	in := &core.Instance{
+		SiteCapacity: []float64{1.4598880781306915, 4.769999575821686, 4.670931018015035, 1.448390831892555, 4.350880514668433, 3.109414881832721},
+		Demand: [][]float64{
+			{0, 0, 0, 0.34477643171161537, 1.08679908182258, 1.2439550493535354},
+			{0, 0, 0, 0.11387325425663838, 0, 1.7160580884682393},
+			{0, 0, 0, 1.3339384413547144, 0, 0.883738356421918},
+		},
+		Weight: []float64{3.5845423664423506, 3.760996295368609, 3.0853975935293727},
+	}
+	share := pfSolve(t, in)
+	alloc := &core.Allocation{Inst: in, Share: share}
+	if err := alloc.CheckFeasible(1e-9 * in.Scale()); err != nil {
+		t.Fatal(err)
+	}
+	// Both congested sites must be saturated at the optimum (total demand
+	// exceeds capacity on each, so their prices are positive).
+	for _, s := range []int{3, 5} {
+		load := 0.0
+		for j := range share {
+			load += share[j][s]
+		}
+		if math.Abs(load-in.SiteCapacity[s]) > 1e-6*in.SiteCapacity[s] {
+			t.Fatalf("congested site %d load %g, capacity %g", s, load, in.SiteCapacity[s])
+		}
+	}
+	assertNoFeasiblePointBeats(t, rand.New(rand.NewSource(5)), in, share, 400)
+}
+
+// Property: over random instances the returned allocation is feasible and
+// no random feasible point achieves a higher weighted log utility.
+func TestPropFairOptimalityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		in := &core.Instance{
+			SiteCapacity: make([]float64, m),
+			Demand:       make([][]float64, n),
+			Weight:       make([]float64, n),
+		}
+		for s := 0; s < m; s++ {
+			in.SiteCapacity[s] = 0.5 + rng.Float64()*3
+		}
+		for j := 0; j < n; j++ {
+			in.Weight[j] = 0.5 + rng.Float64()*3
+			in.Demand[j] = make([]float64, m)
+			for s := 0; s < m; s++ {
+				if rng.Intn(3) > 0 {
+					in.Demand[j][s] = 0.1 + rng.Float64()*2
+				}
+			}
+			// Keep every job allocatable somewhere.
+			if in.Demand[j][rng.Intn(m)] == 0 {
+				in.Demand[j][rng.Intn(m)] = 0.1 + rng.Float64()
+			}
+		}
+		share := pfSolve(t, in)
+		alloc := &core.Allocation{Inst: in, Share: share}
+		if err := alloc.CheckFeasible(1e-9 * in.Scale()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertNoFeasiblePointBeats(t, rng, in, share, 100)
+	}
+}
+
+// assertNoFeasiblePointBeats samples random feasible allocations (random
+// sub-demand profiles scaled into per-site capacity) and checks none has
+// a higher proportional-fairness objective than the solution.
+func assertNoFeasiblePointBeats(t *testing.T, rng *rand.Rand, in *core.Instance, share [][]float64, samples int) {
+	t.Helper()
+	n, m := in.NumJobs(), in.NumSites()
+	opt := pfObjective(in, share)
+	for k := 0; k < samples; k++ {
+		x := make([][]float64, n)
+		load := make([]float64, m)
+		for j := 0; j < n; j++ {
+			x[j] = make([]float64, m)
+			for s := 0; s < m; s++ {
+				x[j][s] = rng.Float64() * in.Demand[j][s]
+				load[s] += x[j][s]
+			}
+		}
+		for s := 0; s < m; s++ {
+			if load[s] > in.SiteCapacity[s] && load[s] > 0 {
+				f := in.SiteCapacity[s] / load[s]
+				for j := 0; j < n; j++ {
+					x[j][s] *= f
+				}
+			}
+		}
+		if obj := pfObjective(in, x); obj > opt+1e-6*(1+math.Abs(opt)) {
+			t.Fatalf("random feasible point beats solution: %g > %g", obj, opt)
+		}
+	}
+}
+
+func TestProjectCappedSimplex(t *testing.T) {
+	// Inside the set: clipping only.
+	y := []float64{0.5, -0.2, 3}
+	projectCappedSimplex(y, []float64{1, 1, 2}, 10)
+	if y[0] != 0.5 || y[1] != 0 || y[2] != 2 {
+		t.Fatalf("clip-only projection wrong: %v", y)
+	}
+	// Over budget: shift down to the capacity hyperplane.
+	y = []float64{2, 2, 2}
+	projectCappedSimplex(y, []float64{5, 5, 5}, 3)
+	sum := y[0] + y[1] + y[2]
+	if math.Abs(sum-3) > 1e-9 || math.Abs(y[0]-1) > 1e-9 {
+		t.Fatalf("simplex projection wrong: %v (sum %g)", y, sum)
+	}
+	// Zero capacity: everything collapses.
+	y = []float64{1, 2}
+	projectCappedSimplex(y, []float64{1, 2}, 0)
+	if y[0] != 0 || y[1] != 0 {
+		t.Fatalf("zero-capacity projection wrong: %v", y)
+	}
+}

@@ -1,13 +1,14 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 // streamHarness drives two controllers — one incremental, one forced
@@ -25,22 +26,37 @@ type streamHarness struct {
 	next      int
 	queued    map[string]bool
 	numQueues int
+	// freshRef, when set, builds a brand-new policy instance per compare:
+	// the serving-path allocation is additionally checked against a direct,
+	// cache-cold solve of the resolved instance.
+	freshRef func() policy.Policy
 }
 
-func newStreamHarness(t *testing.T, rng *rand.Rand, policy sim.Policy, blocks, spb int) *streamHarness {
+func newStreamHarness(t *testing.T, rng *rand.Rand, pol policy.Policy, blocks, spb int) *streamHarness {
+	return newStreamHarnessPair(t, rng, pol, pol, blocks, spb)
+}
+
+// newStreamHarnessPair gives the incremental and the from-scratch
+// controller separate policy instances, so a stateful policy's cache
+// (DRF) is never shared between the two sides being compared.
+func newStreamHarnessPair(t *testing.T, rng *rand.Rand, pol, refPol policy.Policy, blocks, spb int) *streamHarness {
 	t.Helper()
 	caps := make([]float64, blocks*spb)
 	for s := range caps {
 		caps[s] = 0.5 + rng.Float64()*4.5
 	}
-	inc, err := New(Config{SiteCapacity: caps, Policy: policy})
+	inc, err := New(Config{SiteCapacity: caps, Policy: pol})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inc.inc == nil {
-		t.Fatalf("policy %v should enable the incremental path", policy)
+	// The incremental solver only engages for policies that declare the
+	// capability; the "inc" controller still exercises whatever caching the
+	// policy itself owns (e.g. DRF's component result cache).
+	if pol.Capabilities().Incremental != (inc.inc != nil) {
+		t.Fatalf("policy %s: incremental capability %v but solver installed = %v",
+			pol.Name(), pol.Capabilities().Incremental, inc.inc != nil)
 	}
-	ref, err := New(Config{SiteCapacity: append([]float64(nil), caps...), Policy: policy, DisableIncremental: true})
+	ref, err := New(Config{SiteCapacity: append([]float64(nil), caps...), Policy: refPol, DisableIncremental: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,6 +202,27 @@ func (h *streamHarness) compare(tag string) {
 	if err := alloc.CheckFeasible(1e-6 * inIn.Scale()); err != nil {
 		h.t.Fatalf("%s: incremental allocation infeasible: %v", tag, err)
 	}
+	if h.freshRef == nil {
+		return
+	}
+	// Same solver configuration as the controllers' default (New sets
+	// SkipJCTRefine), so the only variable is the policy instance's state.
+	direct, _, err := h.freshRef().Allocate(context.Background(),
+		&policy.View{Inst: inIn, Solver: &core.Solver{SkipJCTRefine: true}})
+	if err != nil {
+		h.t.Fatalf("%s: fresh-policy solve: %v", tag, err)
+	}
+	for i, id := range inIn.JobName {
+		var aInc, aDir float64
+		for s := range direct.Share[i] {
+			aInc += shInc[id][s]
+			aDir += direct.Share[i][s]
+		}
+		if d := math.Abs(aInc - aDir); d > tol {
+			h.t.Fatalf("%s: job %q aggregate %g (serving path) vs %g (fresh policy), |diff| %g > %g",
+				tag, id, aInc, aDir, d, tol)
+		}
+	}
 }
 
 // TestIncrementalSchedulerEquivalenceStreams is the acceptance property
@@ -200,11 +237,11 @@ func TestIncrementalSchedulerEquivalenceStreams(t *testing.T) {
 	)
 	rng := rand.New(rand.NewSource(2026))
 	for stream := 0; stream < streams; stream++ {
-		policy := sim.PolicyAMF
+		pol := policy.AMF
 		if stream%2 == 1 {
-			policy = sim.PolicyEnhancedAMF
+			pol = policy.EnhancedAMF
 		}
-		h := newStreamHarness(t, rng, policy, 2+rng.Intn(3), 3)
+		h := newStreamHarness(t, rng, pol, 2+rng.Intn(3), 3)
 		for i := 0; i < 3+rng.Intn(5); i++ {
 			h.addJob()
 		}
@@ -220,7 +257,7 @@ func TestIncrementalSchedulerEquivalenceStreams(t *testing.T) {
 			default:
 				h.reportProgress()
 			}
-			h.compare(fmt.Sprintf("stream %d (%v) mut %d", stream, policy, mut))
+			h.compare(fmt.Sprintf("stream %d (%s) mut %d", stream, pol.Name(), mut))
 		}
 	}
 }
@@ -234,7 +271,7 @@ func TestIncrementalSchedulerEquivalenceStreams(t *testing.T) {
 func TestIncrementalSchedulerLongStream(t *testing.T) {
 	const mutations = 520
 	rng := rand.New(rand.NewSource(777))
-	h := newStreamHarness(t, rng, sim.PolicyAMF, 4, 3)
+	h := newStreamHarness(t, rng, policy.AMF, 4, 3)
 	for i := 0; i < 6; i++ {
 		h.addJob()
 	}
@@ -311,7 +348,7 @@ func TestProgressToleranceLargeWork(t *testing.T) {
 // enters the core solver — the previous numbers are stale and must read
 // zero, not linger.
 func TestTelemetryResetWithoutCoreSolve(t *testing.T) {
-	sc, err := New(Config{SiteCapacity: []float64{1, 1}, Policy: sim.PolicyPSMMF})
+	sc, err := New(Config{SiteCapacity: []float64{1, 1}, Policy: policy.PSMMF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +387,7 @@ func TestTelemetryResetWithoutCoreSolve(t *testing.T) {
 // and reuses the rest.
 func TestIncrementalTelemetry(t *testing.T) {
 	caps := []float64{1, 1, 1, 1}
-	sc, err := New(Config{SiteCapacity: caps, Policy: sim.PolicyAMF})
+	sc, err := New(Config{SiteCapacity: caps, Policy: policy.AMF})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,13 +7,17 @@
 //
 // The controller is deliberately synchronous and deterministic: mutations
 // record the touched job IDs in a dirty set, and Allocation()/Shares()
-// lazily re-solve. Under the AMF and Enhanced-AMF policies the re-solve is
-// incremental (core.IncrementalSolver): only the connected components the
-// dirty jobs belong to are re-solved, the rest are spliced from carried or
-// cached results. All methods are safe for concurrent use.
+// lazily re-solve. The allocation discipline is a policy.Policy chosen
+// per controller (and switchable at runtime via SetPolicy): policies that
+// declare incremental support (AMF, Enhanced AMF) re-solve through
+// core.IncrementalSolver — only the connected components the dirty jobs
+// belong to are re-solved, the rest are spliced from carried or cached
+// results — while the rest solve from scratch (DRF brings its own
+// policy-owned component cache). All methods are safe for concurrent use.
 package scheduler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,7 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 // Sentinel errors for callers that need to distinguish failure kinds
@@ -38,8 +42,10 @@ var (
 type Config struct {
 	// SiteCapacity is the per-site resource capacity (required).
 	SiteCapacity []float64
-	// Policy selects the allocation discipline (default PolicyAMF).
-	Policy sim.Policy
+	// Policy selects the allocation discipline (default policy.AMF). Use
+	// policy.ForName to construct one from its wire name; stateful policies
+	// (DRF's result cache) must not be shared across controllers.
+	Policy policy.Policy
 	// Solver overrides the default core solver.
 	Solver *core.Solver
 	// DisableIncremental forces every solve to run from scratch, even under
@@ -153,9 +159,10 @@ type Scheduler struct {
 	shares map[string][]float64
 	// dirty is the set of job IDs mutated since the incremental solver
 	// last ran; needSolve records whether any mutation happened since the
-	// last solve of any kind. Fallback (hierarchical, from-scratch) solves
-	// clear needSolve but deliberately keep dirty: it tracks what the
-	// incremental solver has not yet seen.
+	// last solve of any kind. The hierarchical fallback clears needSolve
+	// but deliberately keeps dirty: it tracks what the incremental solver
+	// has not yet seen. The flat path (no incremental solver exists)
+	// clears both — a later policy switch re-marks every live job itself.
 	dirty     map[string]bool
 	needSolve bool
 	inc       *core.IncrementalSolver
@@ -183,6 +190,9 @@ func New(cfg Config) (*Scheduler, error) {
 	if err := validateApproxConfig(cfg.ApproxEpsilon, cfg.ApproxThreshold); err != nil {
 		return nil, err
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.AMF
+	}
 	if cfg.Solver == nil {
 		cfg.Solver = &core.Solver{SkipJCTRefine: true}
 	}
@@ -201,17 +211,68 @@ func New(cfg Config) (*Scheduler, error) {
 		dirty:    make(map[string]bool),
 		capRow:   append([]float64(nil), cfg.SiteCapacity...),
 	}
-	// AMF and Enhanced AMF support incremental re-solving: their shares
-	// depend only on weights, demands and capacities, all captured by the
-	// component fingerprint. AMF+JCT (split depends on outstanding work)
-	// and PS-MMF take the from-scratch path.
-	if !cfg.DisableIncremental && (cfg.Policy == sim.PolicyAMF || cfg.Policy == sim.PolicyEnhancedAMF) {
-		sc.inc = &core.IncrementalSolver{
-			Solver:   cfg.Solver,
-			Enhanced: cfg.Policy == sim.PolicyEnhancedAMF,
-		}
-	}
+	sc.installIncrementalLocked()
 	return sc, nil
+}
+
+// installIncrementalLocked (re)builds the incremental solver according to
+// the current policy's declared capabilities. Policies whose shares
+// depend only on weights, demands and capacities — all captured by the
+// component fingerprint — declare Incremental and ride the dirty-set
+// path; the rest (AMF+JCT's work-dependent split, PS-MMF, DRF, propfair)
+// solve from scratch, DRF through its own policy-owned result cache.
+func (sc *Scheduler) installIncrementalLocked() {
+	caps := sc.cfg.Policy.Capabilities()
+	if !sc.cfg.DisableIncremental && caps.Incremental {
+		sc.inc = &core.IncrementalSolver{
+			Solver:   sc.cfg.Solver,
+			Enhanced: caps.GlobalWeightFloors,
+		}
+	} else {
+		sc.inc = nil
+	}
+}
+
+// PolicyName reports the active policy's wire name.
+func (sc *Scheduler) PolicyName() string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cfg.Policy.Name()
+}
+
+// SetPolicyName switches the allocation discipline at runtime; see
+// SetPolicy.
+func (sc *Scheduler) SetPolicyName(name string) error {
+	p, err := policy.ForName(name)
+	if err != nil {
+		return err
+	}
+	return sc.SetPolicy(p)
+}
+
+// SetPolicy switches the allocation discipline at runtime. The switch is
+// a clean break: all carried incremental state is dropped, every live job
+// is marked dirty, and the next query runs a full resolve under the new
+// policy — no row computed under the old discipline can survive. Setting
+// a policy with the old one's name and fingerprint is a no-op.
+func (sc *Scheduler) SetPolicy(p policy.Policy) error {
+	if p == nil {
+		return fmt.Errorf("scheduler: nil policy")
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	old := sc.cfg.Policy
+	if p.Name() == old.Name() && p.Fingerprint() == old.Fingerprint() {
+		return nil
+	}
+	sc.cfg.Policy = p
+	sc.installIncrementalLocked()
+	clear(sc.dirty)
+	for id := range sc.jobs {
+		sc.dirty[id] = true
+	}
+	sc.needSolve = true
+	return nil
 }
 
 // NumSites reports the number of sites the controller manages.
@@ -683,6 +744,7 @@ func (sc *Scheduler) solveLocked() error {
 	start := time.Now()
 	in := sc.viewLocked()
 	incremental := false
+	var pst policy.Stats
 	var err error
 	switch {
 	case sc.queuedLocked():
@@ -691,7 +753,7 @@ func (sc *Scheduler) solveLocked() error {
 		incremental = true
 		err = sc.solveIncrementalLocked(in)
 	default:
-		err = sc.solveFlatLocked(in)
+		pst, err = sc.solveFlatLocked(in)
 	}
 	if err != nil {
 		return err
@@ -699,7 +761,7 @@ func (sc *Scheduler) solveLocked() error {
 	d := time.Since(start)
 	sc.stats.LastSolve = d
 	sc.stats.TotalSolveTime += d
-	sc.updateSolveTelemetryLocked(incremental)
+	sc.updateSolveTelemetryLocked(incremental, pst)
 	if sc.cfg.OnSolve != nil {
 		sc.cfg.OnSolve(d)
 	}
@@ -710,8 +772,11 @@ func (sc *Scheduler) solveLocked() error {
 // Stats. The core solver's Seq counter distinguishes "the solver ran and
 // recorded fresh numbers" from "this solve never entered the core solver"
 // (PS-MMF, empty job set): in the latter case the previous solve's
-// numbers are stale and must be reset, not carried.
-func (sc *Scheduler) updateSolveTelemetryLocked(incremental bool) {
+// numbers are stale and must be reset, not carried. Policies that manage
+// their own decomposition and result cache (DRF) bypass the core solver
+// entirely and report Native policy.Stats instead, which take the same
+// Stats slots so /v1/stats and the metrics read uniformly.
+func (sc *Scheduler) updateSolveTelemetryLocked(incremental bool, pst policy.Stats) {
 	ss := sc.cfg.Solver.LastStats()
 	ran := ss.Seq != sc.lastSeq
 	sc.lastSeq = ss.Seq
@@ -723,6 +788,14 @@ func (sc *Scheduler) updateSolveTelemetryLocked(incremental bool) {
 		sc.stats.LastResolved = 0
 		sc.stats.LastApproxComponents = 0
 		sc.stats.LastApproxErrorBound = 0
+		if pst.Native {
+			sc.stats.LastComponents = pst.Components
+			sc.stats.LastLargestComponent = pst.Largest
+			sc.stats.LastReused = pst.Reused
+			sc.stats.LastResolved = pst.Resolved
+			sc.stats.CacheHits = pst.CacheHits
+			sc.stats.CacheMisses = pst.CacheMisses
+		}
 		return
 	}
 	sc.stats.LastComponents = ss.Components
@@ -760,15 +833,22 @@ func (sc *Scheduler) solveIncrementalLocked(in *core.Instance) error {
 	return nil
 }
 
-func (sc *Scheduler) solveFlatLocked(in *core.Instance) error {
-	alloc, err := sc.cfg.Policy.Allocate(sc.cfg.Solver, in)
+func (sc *Scheduler) solveFlatLocked(in *core.Instance) (policy.Stats, error) {
+	alloc, pst, err := sc.cfg.Policy.Allocate(context.Background(),
+		&policy.View{Inst: in, Solver: sc.cfg.Solver})
 	if err != nil {
-		return fmt.Errorf("scheduler: %w", err)
+		return pst, fmt.Errorf("scheduler: %w", err)
 	}
 	sc.stats.Solves++
 	sc.installSharesLocked(in, alloc.Share)
+	// The flat path only runs when no incremental solver exists (see
+	// solveLocked), so nothing will ever consume the accumulated dirty
+	// set: clear it. Leaving it to grow was the PR 3 behavior — harmless
+	// then, but a runtime policy switch now re-marks every live job
+	// itself (SetPolicy), so an unconsumed dirty set is pure leak.
+	clear(sc.dirty)
 	sc.needSolve = false
-	return nil
+	return pst, nil
 }
 
 // installSharesLocked replaces the share map with the solve's rows. Rows

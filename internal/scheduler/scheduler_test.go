@@ -7,12 +7,12 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func newTestScheduler(t *testing.T, caps ...float64) *Scheduler {
 	t.Helper()
-	sc, err := New(Config{SiteCapacity: caps, Policy: sim.PolicyAMF})
+	sc, err := New(Config{SiteCapacity: caps, Policy: policy.AMF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestInstanceSnapshot(t *testing.T) {
 
 func TestPolicySelection(t *testing.T) {
 	// Under PS-MMF the pinned job gets only half of the contested site.
-	sc, err := New(Config{SiteCapacity: []float64{1, 1}, Policy: sim.PolicyPSMMF})
+	sc, err := New(Config{SiteCapacity: []float64{1, 1}, Policy: policy.PSMMF})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,10 +8,18 @@ import (
 )
 
 // Snapshot is the serializable state of a controller: the live job set
-// and the declared queues. Configuration (capacities, policy) is not part
-// of the snapshot — it belongs to the deployment, not the state.
+// and the declared queues. Configuration (capacities) is not part of the
+// snapshot — it belongs to the deployment, not the state. The active
+// policy's name IS recorded, as a header: an allocation state only means
+// what its discipline says it means, so Restore (and therefore WAL
+// recovery and replica replay) refuses a snapshot taken under a
+// different policy instead of silently reinterpreting it.
 type Snapshot struct {
-	Jobs []Job `json:"jobs"`
+	// Policy is the wire name of the policy active when the snapshot was
+	// taken ("" in pre-policy-layer snapshots, accepted for
+	// compatibility).
+	Policy string `json:"policy,omitempty"`
+	Jobs   []Job  `json:"jobs"`
 	// Queues maps declared queue names to their weights.
 	Queues map[string]float64 `json:"queues,omitempty"`
 	// ExternalWeight is the cluster router's weight-sum broadcast value in
@@ -25,6 +33,7 @@ func (sc *Scheduler) Snapshot() Snapshot {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	snap := Snapshot{
+		Policy:         sc.cfg.Policy.Name(),
 		Jobs:           make([]Job, 0, len(sc.order)),
 		ExternalWeight: sc.externalWeight,
 	}
@@ -56,6 +65,10 @@ func (sc *Scheduler) Snapshot() Snapshot {
 func (sc *Scheduler) Restore(snap Snapshot) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if snap.Policy != "" && snap.Policy != sc.cfg.Policy.Name() {
+		return fmt.Errorf("scheduler: snapshot was taken under policy %q, controller runs %q",
+			snap.Policy, sc.cfg.Policy.Name())
+	}
 	if w := snap.ExternalWeight; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		return fmt.Errorf("scheduler: snapshot has invalid external weight %g", w)
 	}

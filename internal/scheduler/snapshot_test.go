@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sim"
+	"repro/internal/policy"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -85,7 +85,7 @@ func TestReadSnapshotMalformed(t *testing.T) {
 }
 
 func TestSnapshotDefaultWeight(t *testing.T) {
-	sc, err := New(Config{SiteCapacity: []float64{2}, Policy: sim.PolicyAMF})
+	sc, err := New(Config{SiteCapacity: []float64{2}, Policy: policy.AMF})
 	if err != nil {
 		t.Fatal(err)
 	}

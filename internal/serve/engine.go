@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fairness"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/wal"
@@ -120,6 +121,9 @@ type AllocSnapshot struct {
 	// Version increases by one per commit; readers can use it to detect
 	// staleness or order observations.
 	Version uint64
+	// Policy is the wire name of the fairness policy the snapshot was
+	// solved under.
+	Policy string
 	// Taken is the commit wall-clock time.
 	Taken time.Time
 	// Shares maps job ID to its per-site share vector.
@@ -885,6 +889,7 @@ func (e *Engine) publish(batchSize int) (*AllocSnapshot, error) {
 	prev := e.snap.Load()
 	next := &AllocSnapshot{
 		Version:            1,
+		Policy:             e.sc.PolicyName(),
 		Taken:              time.Now(),
 		Shares:             shares,
 		Inst:               inst,
@@ -1028,6 +1033,30 @@ func (e *Engine) SetApproxConfig(ctx context.Context, epsilon float64, threshold
 // ApproxConfig reports the solver's current approximation knobs.
 func (e *Engine) ApproxConfig() (epsilon float64, threshold int) {
 	return e.sc.ApproxConfig()
+}
+
+// PolicyName reports the wire name of the controller's active fairness
+// policy.
+func (e *Engine) PolicyName() string { return e.sc.PolicyName() }
+
+// SetPolicy switches the controller's fairness policy by wire name
+// (policy.Names lists the valid ones). Like Restore, the switch is
+// exclusive — the committer quiesces the batch pipeline and commits it
+// alone, so every other commit is solved entirely under one policy — and
+// it is WAL logged, so recovery replays the switch at the same point in
+// the mutation order. Switching to the already-active policy is a no-op
+// that still publishes a snapshot.
+func (e *Engine) SetPolicy(ctx context.Context, name string) error {
+	// Validate before submitting: an unknown name should fail fast at the
+	// API edge, not poison a WAL record.
+	if _, err := policy.ForName(name); err != nil {
+		return err
+	}
+	return e.submit(ctx, true,
+		&wal.Mutation{Op: wal.OpSetPolicy, Policy: name},
+		func(sc *scheduler.Scheduler) error {
+			return sc.SetPolicyName(name)
+		})
 }
 
 // Restore replaces the controller's job set from a state snapshot. The

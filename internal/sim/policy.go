@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 )
 
 // Policy selects the allocation discipline the simulated scheduler applies
@@ -51,21 +53,32 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("sim: unknown policy %q", s)
 }
 
-// Allocate computes the policy's allocation for the instance.
-func (p Policy) Allocate(sv *core.Solver, in *core.Instance) (*core.Allocation, error) {
-	if sv == nil {
-		sv = core.NewSolver()
-	}
+// Impl returns the shared policy-layer implementation this enum value
+// names. The simulator and the serving stack dispatch through the same
+// implementations, so the two can never diverge; the enum survives only
+// as the paper experiments' compact iteration/presentation form.
+func (p Policy) Impl() policy.Policy {
 	switch p {
 	case PolicyAMF:
-		return sv.AMF(in)
+		return policy.AMF
 	case PolicyAMFJCT:
-		return sv.AMFWithJCT(in)
+		return policy.AMFJCT
 	case PolicyEnhancedAMF:
-		return sv.EnhancedAMF(in)
+		return policy.EnhancedAMF
 	case PolicyPSMMF:
-		return core.PerSiteMMF(in), nil
+		return policy.PSMMF
 	default:
+		return nil
+	}
+}
+
+// Allocate computes the policy's allocation for the instance by
+// delegating to the shared implementation (see Impl).
+func (p Policy) Allocate(sv *core.Solver, in *core.Instance) (*core.Allocation, error) {
+	impl := p.Impl()
+	if impl == nil {
 		return nil, fmt.Errorf("sim: unknown policy %d", int(p))
 	}
+	alloc, _, err := impl.Allocate(context.Background(), &policy.View{Inst: in, Solver: sv})
+	return alloc, err
 }

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// The enum survives only as the paper experiments' iteration form; its
+// identity must stay glued to the policy layer's: String() is the layer's
+// stable name, Impl() is the shared implementation, and ParsePolicy
+// round-trips.
+func TestPolicyEnumMatchesPolicyLayer(t *testing.T) {
+	for _, p := range Policies() {
+		impl := p.Impl()
+		if impl == nil {
+			t.Fatalf("%v: no implementation", p)
+		}
+		if impl.Name() != p.String() {
+			t.Fatalf("%v: Impl().Name() = %q, String() = %q", p, impl.Name(), p.String())
+		}
+		byName, err := policy.ForName(p.String())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if byName.Name() != impl.Name() {
+			t.Fatalf("%v: ForName gives %q", p, byName.Name())
+		}
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), back, err)
+		}
+	}
+	if _, err := ParsePolicy("drf"); err == nil {
+		t.Fatal("the enum covers only the paper's four policies; drf must not parse")
+	}
+	if Policy(99).Impl() != nil {
+		t.Fatal("out-of-range enum has an implementation")
+	}
+}

@@ -23,6 +23,13 @@ const (
 	// replica replay deterministic: a follower reconstructs the same floors
 	// the shard solved under without talking to the router.
 	OpExternalWeight = "external_weight"
+	// OpSetPolicy switches the active fairness policy
+	// (scheduler.SetPolicyName). Logging it makes a runtime policy switch
+	// survive recovery: replay re-runs the switch at the same point in the
+	// mutation order, so post-switch mutations are re-solved under the
+	// policy they were committed under. (Snapshots additionally carry the
+	// policy as a header, and Restore refuses a mismatch.)
+	OpSetPolicy = "set_policy"
 )
 
 // Mutation is one logged controller mutation. Exactly the fields the op
@@ -41,6 +48,8 @@ type Mutation struct {
 	Jobs []scheduler.JobSpec `json:"jobs,omitempty"`
 	// State carries a full state replacement (OpRestore).
 	State *scheduler.Snapshot `json:"state,omitempty"`
+	// Policy carries a fairness-policy switch (OpSetPolicy).
+	Policy string `json:"policy,omitempty"`
 }
 
 // Apply replays the mutation onto a controller.
@@ -64,6 +73,8 @@ func (m Mutation) Apply(sc *scheduler.Scheduler) error {
 		return sc.UpdateWeight(m.ID, m.Weight)
 	case OpExternalWeight:
 		return sc.SetExternalWeight(m.Weight)
+	case OpSetPolicy:
+		return sc.SetPolicyName(m.Policy)
 	case OpRestore:
 		if m.State == nil {
 			return fmt.Errorf("wal: restore mutation without state")

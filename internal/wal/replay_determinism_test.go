@@ -9,7 +9,7 @@ import (
 
 	"repro/internal/scheduler"
 	"repro/internal/serve"
-	"repro/internal/sim"
+	"repro/internal/policy"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -36,9 +36,9 @@ func (t engineChurnTarget) ReportProgress(id string, done []float64) (bool, erro
 // mutations in, the log pins one deterministic replay.
 func TestReplayDeterminism(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
-		for _, policy := range []sim.Policy{sim.PolicyAMF, sim.PolicyEnhancedAMF} {
-			trial, policy := trial, policy
-			t.Run(fmt.Sprintf("%s/trial%d", policy, trial), func(t *testing.T) {
+		for _, pol := range []policy.Policy{policy.AMF, policy.EnhancedAMF} {
+			trial, pol := trial, pol
+			t.Run(fmt.Sprintf("%s/trial%d", pol.Name(), trial), func(t *testing.T) {
 				t.Parallel()
 				churn := workload.GenerateChurn(workload.ChurnConfig{
 					Sparse: workload.SparseConfig{
@@ -59,7 +59,7 @@ func TestReplayDeterminism(t *testing.T) {
 				if len(rec.Records) != 0 || rec.State != nil {
 					t.Fatal("fresh dir recovered state")
 				}
-				sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+				sc, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -102,7 +102,7 @@ func TestReplayDeterminism(t *testing.T) {
 				}
 				replayed := make([]*scheduler.Scheduler, 2)
 				for k := range replayed {
-					fresh, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: policy})
+					fresh, err := scheduler.New(scheduler.Config{SiteCapacity: caps, Policy: pol})
 					if err != nil {
 						t.Fatal(err)
 					}
