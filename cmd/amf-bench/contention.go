@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// contentionOptions parameterizes the phase-reconciliation benchmark
+// (-contention): replay a skew-contended churn stream — component sizes
+// and mutation popularity both Zipf, so one giant component absorbs most
+// ops — through the engine's exact ordered path and through phase
+// reconciliation, and compare per-commit acknowledged latency.
+type contentionOptions struct {
+	components   int
+	jobs         int // total, zipf-split across components
+	sites        int // per component
+	mutations    int
+	skew         float64
+	hotThreshold float64
+	out          string // JSON results path ("" = skip)
+	seed         uint64
+}
+
+// contentionResult is the machine-readable record written to the
+// -contention-out JSON file (BENCH_contention.json in CI).
+type contentionResult struct {
+	Benchmark         string   `json:"benchmark"`
+	Env               benchEnv `json:"env"`
+	Components        int      `json:"components"`
+	Jobs              int      `json:"jobs"`
+	SitesPerComponent int      `json:"sites_per_component"`
+	Mutations         int      `json:"mutations"`
+	Skew              float64  `json:"skew"`
+	HotThreshold      float64  `json:"hot_threshold"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	ComponentSizes    []int    `json:"component_sizes"`
+	// OrderedMedianNS is the exact per-op path (phase reconciliation off —
+	// the pre-phase engine); PhaseMedianNS buffers commutative ops on hot
+	// components and solves once per phase boundary.
+	OrderedMedianNS int64   `json:"ordered_median_ns"`
+	PhaseMedianNS   int64   `json:"phase_median_ns"`
+	Ratio           float64 `json:"ordered_over_phase"`
+	// Phase-path telemetry.
+	Buffered            int64   `json:"phase_buffered_total"`
+	Reconciles          int64   `json:"phase_reconciles_total"`
+	ForcedReconciles    int64   `json:"phase_forced_reconciles_total"`
+	CacheHitRatioWindow float64 `json:"cache_hit_ratio_window"`
+	CacheHitRatio       float64 `json:"cache_hit_ratio"`
+}
+
+// runContention replays one generated contention stream through both
+// engine configurations, prints a comparison, and optionally writes the
+// JSON record.
+func runContention(o contentionOptions) error {
+	ch := workload.GenerateContention(workload.ContentionConfig{
+		Components:        o.components,
+		Jobs:              o.jobs,
+		SitesPerComponent: o.sites,
+		Mutations:         o.mutations,
+		Skew:              o.skew,
+		Seed:              o.seed,
+	})
+
+	orderedNS, _, err := contentionPass(ch, scheduler.PhaseConfig{})
+	if err != nil {
+		return err
+	}
+	phaseNS, tele, err := contentionPass(ch, scheduler.PhaseConfig{
+		HotThreshold: o.hotThreshold,
+	})
+	if err != nil {
+		return err
+	}
+
+	res := contentionResult{
+		Benchmark:         "phase_contention",
+		Env:               captureEnv(),
+		Components:        o.components,
+		Jobs:              o.jobs,
+		SitesPerComponent: o.sites,
+		Mutations:         o.mutations,
+		Skew:              o.skew,
+		HotThreshold:      o.hotThreshold,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		ComponentSizes:    ch.Sizes,
+		OrderedMedianNS:   orderedNS,
+		PhaseMedianNS:     phaseNS,
+		Ratio:             float64(orderedNS) / float64(phaseNS),
+		Buffered:          tele.buffered,
+		Reconciles:        tele.reconciles,
+		ForcedReconciles:  tele.forced,
+		// The windowed companion gauge is the headline cache number: the
+		// lifetime counter ratio underreports steady-state behaviour the
+		// moment one policy switch or restore resets the solver (see
+		// engine.cache_hit_ratio_window).
+		CacheHitRatioWindow: tele.hitRatioWindow,
+		CacheHitRatio:       tele.hitRatioLifetime,
+	}
+
+	fmt.Printf("Contention benchmark: %d jobs over %d components (sizes %v), %d mutations, skew %.2f, GOMAXPROCS=%d\n\n",
+		o.jobs, o.components, ch.Sizes, o.mutations, o.skew, res.GOMAXPROCS)
+	fmt.Printf("%-22s %20s\n", "path", "median commit")
+	fmt.Printf("%-22s %20v\n", "ordered (exact)", time.Duration(orderedNS).Round(time.Microsecond))
+	fmt.Printf("%-22s %20v\n", "phase-reconciled", time.Duration(phaseNS).Round(time.Microsecond))
+	fmt.Printf("\nordered/phase: %.2fx  (%d ops buffered, %d reconciles, %d forced; windowed cache hit ratio %.3f)\n",
+		res.Ratio, res.Buffered, res.Reconciles, res.ForcedReconciles, res.CacheHitRatioWindow)
+
+	if o.out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	return nil
+}
+
+// contentionTelemetry is what the phase pass reads back from the engine's
+// metrics registry after the replay.
+type contentionTelemetry struct {
+	buffered         int64
+	reconciles       int64
+	forced           int64
+	hitRatioWindow   float64
+	hitRatioLifetime float64
+}
+
+// contentionPass replays the stream through an unbatched engine (one
+// commit per acknowledged mutation) under the given phase config and
+// returns the median acknowledged-commit latency plus phase telemetry.
+func contentionPass(ch *workload.Contention, phase scheduler.PhaseConfig) (int64, contentionTelemetry, error) {
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: ch.Inst.SiteCapacity})
+	if err != nil {
+		return 0, contentionTelemetry{}, err
+	}
+	if err := sc.SetPhaseConfig(phase); err != nil {
+		return 0, contentionTelemetry{}, err
+	}
+	if err := ch.Populate(sc); err != nil {
+		return 0, contentionTelemetry{}, err
+	}
+	reg := obs.NewRegistry()
+	eng, err := serve.New(sc, serve.Config{MaxBatch: 1, Metrics: reg})
+	if err != nil {
+		return 0, contentionTelemetry{}, err
+	}
+	defer eng.Close()
+
+	target := engineTarget{eng: eng}
+	times := make([]int64, 0, len(ch.Ops))
+	for _, op := range ch.Ops {
+		start := time.Now()
+		err := op.Apply(target)
+		if err != nil && !errors.Is(err, scheduler.ErrUnknownJob) && !errors.Is(err, scheduler.ErrDuplicateJob) {
+			return 0, contentionTelemetry{}, err
+		}
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	// Drain outstanding deltas so the telemetry covers the whole stream.
+	_ = eng.Snapshot()
+
+	tele := contentionTelemetry{
+		buffered:       reg.Counter("engine.phase_buffered_total").Value(),
+		reconciles:     reg.Counter("engine.phase_reconciles_total").Value(),
+		forced:         reg.Counter("engine.phase_forced_reconciles_total").Value(),
+		hitRatioWindow: reg.Gauge("engine.cache_hit_ratio_window").Value(),
+	}
+	st := sc.Stats()
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		tele.hitRatioLifetime = float64(st.CacheHits) / float64(total)
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[len(times)/2], tele, nil
+}

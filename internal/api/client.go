@@ -134,11 +134,38 @@ func (c *Client) SetPolicy(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodPut, "/v1/policy", PolicyRequest{Policy: name}, nil)
 }
 
-// Config fetches the controller configuration.
+// Config fetches the runtime-tuning document (site capacities, policy,
+// solver and phase-reconciliation knobs; the Solver/Phase sections are
+// nil against a backend without the unified config surface).
 func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
 	var out ConfigResponse
 	err := c.do(ctx, http.MethodGet, "/v1/config", nil, &out)
 	return out, err
+}
+
+// SetConfig applies a partial runtime-tuning update (PATCH /v1/config)
+// and returns the resulting document. A rejected patch surfaces as an
+// *APIError; decode the response body's "fields" list (ConfigPatchError)
+// for the per-field breakdown via SetConfigDetailed.
+func (c *Client) SetConfig(ctx context.Context, patch ConfigPatchRequest) (ConfigResponse, error) {
+	var out ConfigResponse
+	err := c.do(ctx, http.MethodPatch, "/v1/config", patch, &out)
+	return out, err
+}
+
+// SetConfigDetailed is SetConfig keeping the per-field validation
+// breakdown: on a validation rejection the returned ConfigPatchError
+// lists every offending field with its stable code.
+func (c *Client) SetConfigDetailed(ctx context.Context, patch ConfigPatchRequest) (ConfigResponse, *ConfigPatchError, error) {
+	var out struct {
+		ConfigResponse
+		ConfigPatchError
+	}
+	err := c.do(ctx, http.MethodPatch, "/v1/config", patch, &out)
+	if err != nil && len(out.Fields) > 0 {
+		return ConfigResponse{}, &out.ConfigPatchError, err
+	}
+	return out.ConfigResponse, nil, err
 }
 
 // AddJob registers a job.

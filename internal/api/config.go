@@ -1,0 +1,314 @@
+package api
+
+// The unified runtime-tuning surface: GET/PATCH /v1/config.
+//
+// Every runtime knob that used to have a bespoke endpoint — the fairness
+// policy (PUT /v1/policy) and the approximate-solver routing
+// (PUT /v1/solver/approx) — plus the phase-reconciliation knobs
+// introduced alongside it, is readable and patchable through one
+// document:
+//
+//	{
+//	  "site_capacity": [...],            // immutable, echoed on GET
+//	  "policy": "amf",
+//	  "solver": {"approx_epsilon": 0.01, "approx_threshold": 4096},
+//	  "phase":  {"hot_threshold": 0.5, "max_batches": 8,
+//	             "max_interval_ms": 10, "window": 32}
+//	}
+//
+// PATCH takes the same nesting with every field optional; absent fields
+// keep their current values. Validation is field-level: a bad patch is
+// rejected as a whole (nothing is applied) with 400 invalid_argument and
+// a "fields" list naming every offending field by its JSON path together
+// with a stable per-field code — clients fix all of them in one round
+// trip. A valid patch is applied atomically; on the serving engine it
+// rides an exclusive group commit and is WAL-logged (OpSetConfig), so it
+// survives crash recovery and replicates to followers.
+//
+// The bespoke endpoints remain as thin deprecated aliases: they keep
+// their exact wire shapes, route through the same logged application
+// when the backend supports it, and advertise the successor via
+// `Deprecation: true` and `Link: </v1/config>; rel="successor-version"`
+// response headers.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+
+	"repro/internal/policy"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+)
+
+// ConfigPatcher is the optional unified runtime-tuning surface behind
+// GET/PATCH /v1/config. RuntimeConfig returns the full tuning document;
+// ApplyConfig applies a validated-in-full, atomically-applied partial
+// update. The read takes a context (and can fail) because the cluster
+// router implements it by fanning out to shards. Backends without the
+// methods serve the legacy read-only config document and reject PATCH
+// with invalid_argument.
+type ConfigPatcher interface {
+	RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error)
+	ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error
+}
+
+var _ ConfigPatcher = (*serve.Engine)(nil)
+var _ ConfigPatcher = schedulerBackend{}
+
+// PhaseReporter is the optional phase-reconciliation read surface:
+// PhaseInfo returns the count of acknowledged commutative mutations
+// buffered against hot components and not yet folded into the published
+// allocation (0 = the allocation is exact), plus the classifier's
+// current hot-set size. GET /v1/allocation carries both.
+type PhaseReporter interface {
+	PhaseInfo() (phaseLag, hotComponents int)
+}
+
+var _ PhaseReporter = (*serve.Engine)(nil)
+
+func (b schedulerBackend) RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error) {
+	if err := ctx.Err(); err != nil {
+		return scheduler.RuntimeConfig{}, err
+	}
+	return b.sc.RuntimeConfig(), nil
+}
+
+func (b schedulerBackend) ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.sc.ApplyConfigPatch(p)
+}
+
+// SolverConfigSection is the solver block of the /v1/config document.
+type SolverConfigSection struct {
+	// ApproxEpsilon is the approximate water-filling deviation budget as a
+	// fraction of the instance scale; 0 disables the approximate path.
+	ApproxEpsilon float64 `json:"approx_epsilon"`
+	// ApproxThreshold is the component size above which the approximation
+	// engages.
+	ApproxThreshold int `json:"approx_threshold"`
+}
+
+// SolverPatchSection is the solver block of a PATCH /v1/config body; nil
+// fields keep their current values.
+type SolverPatchSection struct {
+	ApproxEpsilon   *float64 `json:"approx_epsilon,omitempty"`
+	ApproxThreshold *int     `json:"approx_threshold,omitempty"`
+}
+
+// PhasePatchSection is the phase block of a PATCH /v1/config body; nil
+// fields keep their current values. The document (GET) side reuses
+// scheduler.PhaseConfig directly.
+type PhasePatchSection struct {
+	HotThreshold  *float64 `json:"hot_threshold,omitempty"`
+	MaxBatches    *int     `json:"max_batches,omitempty"`
+	MaxIntervalMS *int     `json:"max_interval_ms,omitempty"`
+	Window        *int     `json:"window,omitempty"`
+}
+
+// ConfigPatchRequest is the PATCH /v1/config wire form: the config
+// document's nesting with every field optional.
+type ConfigPatchRequest struct {
+	Policy *string             `json:"policy,omitempty"`
+	Solver *SolverPatchSection `json:"solver,omitempty"`
+	Phase  *PhasePatchSection  `json:"phase,omitempty"`
+}
+
+// Stable per-field validation codes, carried in FieldError.Code. The
+// response's top-level code stays "invalid_argument"; these pinpoint
+// which constraint each offending field violated.
+const (
+	// FieldCodeUnknownPolicy: "policy" does not name a registered fairness
+	// policy.
+	FieldCodeUnknownPolicy = "unknown_policy"
+	// FieldCodeOutOfRange: the value violates its documented range (e.g. a
+	// negative threshold, a hot threshold outside [0, 1]).
+	FieldCodeOutOfRange = "out_of_range"
+	// FieldCodeNotFinite: the value must be a finite number.
+	FieldCodeNotFinite = "not_finite"
+)
+
+// FieldError names one offending field of a rejected config patch by its
+// JSON path (e.g. "solver.approx_epsilon"), with a human-readable reason
+// and a stable per-field code.
+type FieldError struct {
+	Field string `json:"field"`
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ConfigPatchError is the PATCH /v1/config rejection body: the standard
+// error envelope plus the per-field breakdown. Nothing was applied.
+type ConfigPatchError struct {
+	errorResponse
+	Fields []FieldError `json:"fields,omitempty"`
+}
+
+// validate runs field-level validation, returning one FieldError per
+// offending field (empty = syntactically valid; the backend still
+// validates the folded result against its current state on apply).
+func (r ConfigPatchRequest) validate() []FieldError {
+	var fe []FieldError
+	bad := func(field, code, msg string) {
+		fe = append(fe, FieldError{Field: field, Error: msg, Code: code})
+	}
+	if r.Policy != nil {
+		if _, err := policy.ForName(*r.Policy); err != nil {
+			bad("policy", FieldCodeUnknownPolicy, err.Error())
+		}
+	}
+	if s := r.Solver; s != nil {
+		if s.ApproxEpsilon != nil {
+			switch eps := *s.ApproxEpsilon; {
+			case math.IsNaN(eps) || math.IsInf(eps, 0):
+				bad("solver.approx_epsilon", FieldCodeNotFinite, "epsilon must be a finite non-negative fraction")
+			case eps < 0:
+				bad("solver.approx_epsilon", FieldCodeOutOfRange, "epsilon must be non-negative")
+			}
+		}
+		if s.ApproxThreshold != nil && *s.ApproxThreshold < 0 {
+			bad("solver.approx_threshold", FieldCodeOutOfRange, "threshold must be non-negative")
+		}
+	}
+	if p := r.Phase; p != nil {
+		if p.HotThreshold != nil {
+			switch ht := *p.HotThreshold; {
+			case math.IsNaN(ht) || math.IsInf(ht, 0):
+				bad("phase.hot_threshold", FieldCodeNotFinite, "hot threshold must be a finite fraction in [0, 1]")
+			case ht < 0 || ht > 1:
+				bad("phase.hot_threshold", FieldCodeOutOfRange, "hot threshold must be a fraction in [0, 1]")
+			}
+		}
+		if p.MaxBatches != nil && *p.MaxBatches < 0 {
+			bad("phase.max_batches", FieldCodeOutOfRange, "max batches must be non-negative")
+		}
+		if p.MaxIntervalMS != nil && *p.MaxIntervalMS < 0 {
+			bad("phase.max_interval_ms", FieldCodeOutOfRange, "max interval must be non-negative")
+		}
+		if p.Window != nil && *p.Window < 0 {
+			bad("phase.window", FieldCodeOutOfRange, "classifier window must be non-negative")
+		}
+	}
+	return fe
+}
+
+// Patch flattens the wire form into the scheduler-level patch.
+func (r ConfigPatchRequest) Patch() scheduler.ConfigPatch {
+	p := scheduler.ConfigPatch{Policy: r.Policy}
+	if s := r.Solver; s != nil {
+		p.ApproxEpsilon = s.ApproxEpsilon
+		p.ApproxThreshold = s.ApproxThreshold
+	}
+	if ph := r.Phase; ph != nil {
+		p.HotThreshold = ph.HotThreshold
+		p.MaxBatches = ph.MaxBatches
+		p.MaxIntervalMS = ph.MaxIntervalMS
+		p.Window = ph.Window
+	}
+	return p
+}
+
+// NewConfigPatchRequest nests a scheduler-level patch back into the wire
+// form — the inverse of Patch, for programmatic callers like the cluster
+// router's HTTP shard adapter.
+func NewConfigPatchRequest(p scheduler.ConfigPatch) ConfigPatchRequest {
+	r := ConfigPatchRequest{Policy: p.Policy}
+	if p.ApproxEpsilon != nil || p.ApproxThreshold != nil {
+		r.Solver = &SolverPatchSection{
+			ApproxEpsilon:   p.ApproxEpsilon,
+			ApproxThreshold: p.ApproxThreshold,
+		}
+	}
+	if p.HotThreshold != nil || p.MaxBatches != nil || p.MaxIntervalMS != nil || p.Window != nil {
+		r.Phase = &PhasePatchSection{
+			HotThreshold:  p.HotThreshold,
+			MaxBatches:    p.MaxBatches,
+			MaxIntervalMS: p.MaxIntervalMS,
+			Window:        p.Window,
+		}
+	}
+	return r
+}
+
+// RuntimeConfig flattens the document's tunable fields into the
+// scheduler-level form (zero values for sections an older server
+// omitted). The cluster router's HTTP shard adapter uses it.
+func (c ConfigResponse) RuntimeConfig() scheduler.RuntimeConfig {
+	rc := scheduler.RuntimeConfig{Policy: c.Policy}
+	if c.Solver != nil {
+		rc.ApproxEpsilon = c.Solver.ApproxEpsilon
+		rc.ApproxThreshold = c.Solver.ApproxThreshold
+	}
+	if c.Phase != nil {
+		rc.Phase = *c.Phase
+	}
+	return rc
+}
+
+// configDoc assembles the full /v1/config document from the backend's
+// runtime config plus the server's immutable boot config.
+func (s *Server) configDoc(ctx context.Context, cp ConfigPatcher) (ConfigResponse, error) {
+	rc, err := cp.RuntimeConfig(ctx)
+	if err != nil {
+		return ConfigResponse{}, err
+	}
+	doc := s.cfg
+	doc.Policy = rc.Policy
+	doc.Solver = &SolverConfigSection{
+		ApproxEpsilon:   rc.ApproxEpsilon,
+		ApproxThreshold: rc.ApproxThreshold,
+	}
+	ph := rc.Phase
+	doc.Phase = &ph
+	return doc, nil
+}
+
+// handlePatchConfig applies one partial runtime-tuning update. All
+// field-level validation failures are collected and reported together;
+// a valid patch is applied atomically and answered with the updated
+// document. An empty patch is a no-op that returns the current document.
+func (s *Server) handlePatchConfig(w http.ResponseWriter, r *http.Request) {
+	cp, ok := s.sc.(ConfigPatcher)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support runtime config patching", Code: CodeInvalidArgument})
+		return
+	}
+	var req ConfigPatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if fields := req.validate(); len(fields) > 0 {
+		writeJSON(w, http.StatusBadRequest, ConfigPatchError{
+			errorResponse: errorResponse{
+				Error: "config patch failed validation", Code: CodeInvalidArgument},
+			Fields: fields,
+		})
+		return
+	}
+	if patch := req.Patch(); !patch.Empty() {
+		if err := cp.ApplyConfig(r.Context(), patch); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	doc, err := s.configDoc(r.Context(), cp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// setDeprecatedAlias marks a response as coming from a deprecated alias
+// of PATCH /v1/config (RFC 8594-style sunset signalling). The aliases
+// keep their exact wire shapes; callers should migrate to the successor
+// the Link header names.
+func setDeprecatedAlias(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/config>; rel="successor-version"`)
+}

@@ -15,9 +15,17 @@
 //	                                   (serve.ErrWALFailed). Routers and
 //	                                   load balancers health-check THIS,
 //	                                   not /v1/healthz.
-//	GET    /v1/config                  site capacities, policy
+//	GET    /v1/config                  the runtime-tuning document: site
+//	                                   capacities, policy, solver and
+//	                                   phase-reconciliation knobs
+//	PATCH  /v1/config                  apply a partial runtime-tuning
+//	                                   update: validated in full with
+//	                                   per-field error codes, applied
+//	                                   atomically, WAL-logged
 //	GET    /v1/policy                  active fairness policy + valid names
-//	PUT    /v1/policy                  switch the fairness policy at runtime
+//	PUT    /v1/policy                  DEPRECATED alias of PATCH /v1/config
+//	                                   {"policy": ...}; sends Deprecation +
+//	                                   successor-version Link headers
 //	POST   /v1/queues                  declare a weighted queue
 //	POST   /v1/jobs                    register a job (optionally in a queue)
 //	POST   /v1/jobs:batch              register many jobs atomically, one solve
@@ -33,9 +41,11 @@
 //	PUT    /v1/snapshot                restore controller state
 //	PUT    /v1/cluster/external-weight reconcile the external share-weight
 //	                                   sum (cluster router broadcast)
-//	PUT    /v1/solver/approx           retune the approximate water-filling
-//	                                   knobs (epsilon, threshold)
+//	PUT    /v1/solver/approx           DEPRECATED alias of PATCH /v1/config
+//	                                   {"solver": ...}; sends Deprecation +
+//	                                   successor-version Link headers
 //	GET    /v1/solver/approx           current approximation knobs
+//	                                   (deprecated; read /v1/config)
 //	GET    /metrics                    Prometheus text exposition
 //
 // Every endpoint is wrapped in metrics middleware recording per-endpoint
@@ -337,12 +347,25 @@ type AllocationResponse struct {
 	// Policy is the wire name of the fairness policy the allocation was
 	// solved under.
 	Policy string `json:"policy,omitempty"`
+	// PhaseLag counts acknowledged commutative mutations buffered against
+	// hot components and not yet folded into this allocation (see
+	// PhaseReporter). 0 means the allocation is exact.
+	PhaseLag int `json:"phase_lag,omitempty"`
+	// HotComponents is the phase classifier's hot-set size at publish
+	// time.
+	HotComponents int `json:"hot_components,omitempty"`
 }
 
-// ConfigResponse describes the controller's static configuration.
+// ConfigResponse is the GET /v1/config (and PATCH /v1/config response)
+// document: the controller's immutable boot configuration plus, when the
+// backend exposes the unified tuning surface (ConfigPatcher), the full
+// runtime-tuning state. Solver and Phase are nil for legacy read-only
+// backends, keeping the historical two-field shape.
 type ConfigResponse struct {
-	SiteCapacity []float64 `json:"site_capacity"`
-	Policy       string    `json:"policy"`
+	SiteCapacity []float64              `json:"site_capacity"`
+	Policy       string                 `json:"policy"`
+	Solver       *SolverConfigSection   `json:"solver,omitempty"`
+	Phase        *scheduler.PhaseConfig `json:"phase,omitempty"`
 }
 
 // StatsResponse mirrors scheduler.Stats, plus the active policy name.
@@ -434,6 +457,7 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, pol policy.Pol
 	s.route("GET /v1/healthz", s.handleHealthz)
 	s.route("GET /v1/readyz", s.handleReadyz)
 	s.route("GET /v1/config", s.handleConfig)
+	s.route("PATCH /v1/config", s.handlePatchConfig)
 	s.route("GET /v1/policy", s.handleGetPolicy)
 	s.route("PUT /v1/policy", s.handlePutPolicy)
 	s.route("POST /v1/jobs", s.handleAddJob)
@@ -598,7 +622,13 @@ type ApproxConfigResponse struct {
 	Threshold int     `json:"threshold"`
 }
 
+// handlePutApproxConfig is the deprecated alias of
+// PATCH /v1/config {"solver": ...}: same wire shape as always, routed
+// through the unified (logged, atomic) config application when the
+// backend provides it, and advertising the successor endpoint via the
+// Deprecation/Link headers.
 func (s *Server) handlePutApproxConfig(w http.ResponseWriter, r *http.Request) {
+	setDeprecatedAlias(w)
 	ac, ok := s.sc.(ApproxConfigurer)
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
@@ -622,7 +652,14 @@ func (s *Server) handlePutApproxConfig(w http.ResponseWriter, r *http.Request) {
 			Error: "threshold must be non-negative", Code: CodeInvalidArgument})
 		return
 	}
-	if err := ac.SetApproxConfig(r.Context(), req.Epsilon, req.Threshold); err != nil {
+	err := error(nil)
+	if cp, ok := s.sc.(ConfigPatcher); ok {
+		err = cp.ApplyConfig(r.Context(), scheduler.ConfigPatch{
+			ApproxEpsilon: &req.Epsilon, ApproxThreshold: &req.Threshold})
+	} else {
+		err = ac.SetApproxConfig(r.Context(), req.Epsilon, req.Threshold)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -630,6 +667,7 @@ func (s *Server) handlePutApproxConfig(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetApproxConfig(w http.ResponseWriter, r *http.Request) {
+	setDeprecatedAlias(w)
 	ac, ok := s.sc.(ApproxConfigurer)
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
@@ -640,7 +678,16 @@ func (s *Server) handleGetApproxConfig(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ApproxConfigResponse{Epsilon: eps, Threshold: threshold})
 }
 
-func (s *Server) handleConfig(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if cp, ok := s.sc.(ConfigPatcher); ok {
+		doc, err := s.configDoc(r.Context(), cp)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
+		return
+	}
 	cfg := s.cfg
 	cfg.Policy = s.policyName()
 	writeJSON(w, http.StatusOK, cfg)
@@ -674,7 +721,13 @@ func (s *Server) handleGetPolicy(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handlePutPolicy is the deprecated alias of
+// PATCH /v1/config {"policy": ...}: same wire shape as always, routed
+// through the unified (logged, atomic) config application when the
+// backend provides it, and advertising the successor endpoint via the
+// Deprecation/Link headers.
 func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	setDeprecatedAlias(w)
 	pc, ok := s.sc.(PolicyController)
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
@@ -691,7 +744,13 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 			Error: "policy name required", Code: CodeInvalidArgument})
 		return
 	}
-	if err := pc.SetPolicy(r.Context(), req.Policy); err != nil {
+	err := error(nil)
+	if cp, ok := s.sc.(ConfigPatcher); ok {
+		err = cp.ApplyConfig(r.Context(), scheduler.ConfigPatch{Policy: &req.Policy})
+	} else {
+		err = pc.SetPolicy(r.Context(), req.Policy)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -856,6 +915,9 @@ func (s *Server) handleAllocation(w http.ResponseWriter, r *http.Request) {
 		// Read after the allocation: the version is at or after the map,
 		// so a reader polling for "version >= X" never sees stale data.
 		resp.Version = v.SnapshotVersion()
+	}
+	if pr, ok := s.sc.(PhaseReporter); ok {
+		resp.PhaseLag, resp.HotComponents = pr.PhaseInfo()
 	}
 	resp.Policy = s.policyName()
 	writeJSON(w, http.StatusOK, resp)

@@ -34,6 +34,11 @@ var (
 	// merged allocation under mixed disciplines is meaningless, and the
 	// router's weight-broadcast decision is policy-derived.
 	ErrPolicyMismatch = errors.New("cluster: shard fairness policy does not match the router")
+	// ErrConfigMismatch rejects a merged runtime-config read when the
+	// shards disagree on any tuning knob — there is no single document to
+	// report. Re-apply the config through the router (ApplyConfig) or fix
+	// the divergent shard, then retry.
+	ErrConfigMismatch = errors.New("cluster: shards disagree on runtime config")
 )
 
 // readTimeout bounds the context-less api.Backend read surfaces (Stats,
@@ -124,10 +129,15 @@ func (r *Router) NumShards() int { return len(r.shards) }
 
 // PolicyName reports the fairness policy the cluster runs — the router's
 // configured policy, which SyncFromShards verifies every shard agrees
-// with. The router deliberately does NOT implement runtime switching
-// (api.PolicyController): a cluster-wide switch must be rolled out shard
-// by shard and re-verified with SyncFromShards.
-func (r *Router) PolicyName() string { return r.polName }
+// with. The router deliberately does NOT implement bespoke runtime
+// switching (api.PolicyController); a cluster-wide switch goes through
+// the unified config surface (ApplyConfig), which refuses to start from
+// a mixed cluster and rolls the change across every shard.
+func (r *Router) PolicyName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.polName
+}
 
 // checkShardPoliciesLocked verifies every shard runs the router's policy.
 func (r *Router) checkShardPoliciesLocked(ctx context.Context) error {
@@ -627,6 +637,91 @@ func (r *Router) SyncFromShards(ctx context.Context) error {
 	var firstErr error
 	for i, sh := range r.shards {
 		ext := weightSum - shardWt[i]
+		if ext < 0 {
+			ext = 0
+		}
+		if err := sh.SetExternalWeight(ctx, ext); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: weight broadcast to shard %d: %w", i, err)
+		}
+		r.broadcasts.Add(1)
+	}
+	return firstErr
+}
+
+// RuntimeConfig merges the shards' runtime-tuning documents into the
+// cluster's (api.ConfigPatcher read side). Every shard must report the
+// identical document — a divergent shard fails the read with
+// ErrConfigMismatch rather than silently picking a winner, mirroring the
+// mixed-policy refusal.
+func (r *Router) RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error) {
+	var first scheduler.RuntimeConfig
+	for i, sh := range r.shards {
+		rc, err := sh.RuntimeConfig(ctx)
+		if err != nil {
+			return scheduler.RuntimeConfig{}, fmt.Errorf("cluster: config from shard %d: %w", i, err)
+		}
+		if i == 0 {
+			first = rc
+			continue
+		}
+		if rc != first {
+			return scheduler.RuntimeConfig{}, fmt.Errorf(
+				"%w: shard 0 reports %+v, shard %d reports %+v", ErrConfigMismatch, first, i, rc)
+		}
+	}
+	return first, nil
+}
+
+// ApplyConfig rolls one runtime-tuning patch across every shard
+// (api.ConfigPatcher write side). It refuses to start from a mixed
+// cluster — the shards must already agree on the fairness policy
+// (ErrPolicyMismatch), same as assembly — and then applies the patch
+// shard by shard under the router's mutation lock; the first failure
+// aborts the roll-out, leaving earlier shards on the new config (re-run
+// the patch, or read RuntimeConfig to see the divergence, exactly like a
+// failed weight broadcast). A successful policy patch updates the
+// router's own policy and rebroadcasts external weights when the new
+// policy's floor coupling demands it.
+func (r *Router) ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error {
+	if p.Empty() {
+		return nil
+	}
+	var newPol policy.Policy
+	if p.Policy != nil {
+		pol, err := policy.ForName(*p.Policy)
+		if err != nil {
+			return err
+		}
+		newPol = pol
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.checkShardPoliciesLocked(ctx); err != nil {
+		return err
+	}
+	for i, sh := range r.shards {
+		if err := sh.ApplyConfig(ctx, p); err != nil {
+			return fmt.Errorf("cluster: applying config on shard %d: %w", i, err)
+		}
+	}
+	if newPol == nil {
+		return nil
+	}
+	wasEnhanced := r.enhanced
+	r.polName = newPol.Name()
+	r.enhanced = newPol.Capabilities().GlobalWeightFloors
+	if !r.enhanced || wasEnhanced {
+		// Shards joining (or staying on) a floor-free policy ignore their
+		// external weight, and an enhanced→enhanced switch keeps the floors
+		// the ledger already broadcast.
+		return nil
+	}
+	// Floor coupling just switched on: every shard needs its external
+	// weight installed before the floors mean anything.
+	r.broadcastVersion.Add(1)
+	var firstErr error
+	for i, sh := range r.shards {
+		ext := r.weightSum - r.shardWt[i]
 		if ext < 0 {
 			ext = 0
 		}

@@ -22,6 +22,9 @@ import (
 	"repro/internal/serve"
 )
 
+// The router is itself an api.Backend with the unified config surface.
+var _ api.ConfigPatcher = (*Router)(nil)
+
 // Shard is the router's view of one engine shard: the mutation and read
 // surface it fans out to, plus the cluster-specific hooks (external
 // weight, snapshot version, readiness). Implemented in-process by
@@ -44,6 +47,13 @@ type Shard interface {
 	// PolicyName reports the shard's active fairness policy; the router
 	// refuses to assemble a mixed-policy cluster (ErrPolicyMismatch).
 	PolicyName(ctx context.Context) (string, error)
+	// RuntimeConfig reports the shard's runtime-tuning document; the
+	// router's merged read requires every shard to agree
+	// (ErrConfigMismatch).
+	RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error)
+	// ApplyConfig applies one runtime-tuning patch on the shard — the
+	// router fans a cluster-wide PATCH /v1/config out through it.
+	ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error
 	ReadyErr(ctx context.Context) error
 }
 
@@ -124,6 +134,14 @@ func (s EngineShard) PolicyName(ctx context.Context) (string, error) {
 		return "", err
 	}
 	return s.Eng.PolicyName(), nil
+}
+
+func (s EngineShard) RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error) {
+	return s.Eng.RuntimeConfig(ctx)
+}
+
+func (s EngineShard) ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error {
+	return s.Eng.ApplyConfig(ctx, p)
 }
 
 func (s EngineShard) ReadyErr(ctx context.Context) error {
@@ -227,6 +245,19 @@ func (s HTTPShard) PolicyName(ctx context.Context) (string, error) {
 		return "", err
 	}
 	return resp.Policy, nil
+}
+
+func (s HTTPShard) RuntimeConfig(ctx context.Context) (scheduler.RuntimeConfig, error) {
+	resp, err := s.Client.Config(ctx)
+	if err != nil {
+		return scheduler.RuntimeConfig{}, err
+	}
+	return resp.RuntimeConfig(), nil
+}
+
+func (s HTTPShard) ApplyConfig(ctx context.Context, p scheduler.ConfigPatch) error {
+	_, err := s.Client.SetConfig(ctx, api.NewConfigPatchRequest(p))
+	return err
 }
 
 func (s HTTPShard) ReadyErr(ctx context.Context) error {

@@ -117,13 +117,51 @@ type IncrementalSolver struct {
 // incComp is one live connected component carried across solves.
 type incComp struct {
 	id    int
+	key   string   // stable identity: lexicographically smallest member name
 	jobs  []string // member job names, sorted to instance order at use
 	sites []int    // sorted global site indices
 	dirty bool
 
+	// mutGen is the generation at which a mutation last dirtied this
+	// component; solveGen/lastSolve record its most recent actual solve.
+	// The scheduler's hot/cold classifier reads these via VisitComponents.
+	mutGen    uint64
+	solveGen  uint64
+	lastSolve time.Duration
+
 	result   *compResult
 	pendHash uint64
 	pendKey  []byte
+}
+
+// CompStat is the per-component telemetry row VisitComponents reports
+// after a Solve: the component's stable identity, membership, whether the
+// most recent Solve dirtied (Touched) or actually re-solved (Solved) it,
+// and the wall time of its most recent solve. Jobs and Sites are the
+// solver's own slices — callers must treat them as read-only and must not
+// retain them across Solve calls.
+type CompStat struct {
+	Key       string
+	Jobs      []string
+	Sites     []int
+	Touched   bool
+	Solved    bool
+	LastSolve time.Duration
+}
+
+// VisitComponents calls fn for every live component, in no particular
+// order. Like Solve, it must be externally serialized with Solve/Reset.
+func (x *IncrementalSolver) VisitComponents(fn func(CompStat)) {
+	for _, c := range x.comps {
+		fn(CompStat{
+			Key:       c.key,
+			Jobs:      c.jobs,
+			Sites:     c.sites,
+			Touched:   c.mutGen == x.gen,
+			Solved:    c.solveGen == x.gen,
+			LastSolve: c.lastSolve,
+		})
+	}
 }
 
 // compResult is one cached component solution: the fingerprint it was
@@ -313,6 +351,12 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 		if nj := len(c.jobs); nj > st.LargestComponent {
 			st.LargestComponent = nj
 		}
+		if c.dirty {
+			// Mutation-dirty this generation (repartitioned or content
+			// changed) — distinct from globalInval, which routes untouched
+			// components through the fingerprint without a mutation hit.
+			c.mutGen = x.gen
+		}
 		if !c.dirty && !globalInval && c.result != nil {
 			c.result.lastUsed = x.gen
 			st.Reused++
@@ -342,11 +386,9 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 
 	var seqNS atomic.Int64
 	// perComp collects per-component solve wall times for detail stage
-	// events; workers write disjoint indices, so no lock is needed.
-	var perComp []time.Duration
-	if sv.OnStage != nil {
-		perComp = make([]time.Duration, len(toSolve))
-	}
+	// events and the hot/cold classifier; workers write disjoint indices,
+	// so no lock is needed.
+	perComp := make([]time.Duration, len(toSolve))
 	// reps collects per-component approximate-path reports; same disjoint
 	// indexing as perComp.
 	reps := make([]approxReport, len(toSolve))
@@ -374,9 +416,9 @@ func (x *IncrementalSolver) Solve(in *Instance, dirty map[string]bool) (*Allocat
 				d := time.Since(t0)
 				reps[k] = rep
 				seqNS.Add(int64(d))
-				if perComp != nil {
-					perComp[k] = d
-				}
+				perComp[k] = d
+				c.lastSolve = d
+				c.solveGen = x.gen
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -554,6 +596,16 @@ func (x *IncrementalSolver) repartition(in *Instance, idx map[string]int, affect
 	}
 	for _, c := range byRoot {
 		sort.Ints(c.sites)
+		// Stable identity: the lexicographically smallest member name. It
+		// survives re-splits as long as that member stays in the component,
+		// which is what lets the classifier accumulate hit counts across
+		// repartitions.
+		c.key = c.jobs[0]
+		for _, name := range c.jobs[1:] {
+			if name < c.key {
+				c.key = name
+			}
+		}
 	}
 }
 

@@ -60,6 +60,11 @@ type Config struct {
 	// supplied with its own knobs set.
 	ApproxEpsilon   float64
 	ApproxThreshold int
+	// Phase configures Doppel-style phase reconciliation for hot
+	// components (see PhaseConfig). The zero value disables it. The
+	// scheduler itself only carries the knobs and the hot/cold classifier;
+	// delta buffering happens in the serving engine's committer.
+	Phase PhaseConfig
 	// OnSolve, when set, is invoked after every allocator run with its
 	// wall-clock duration — the instrumentation hook internal/serve uses to
 	// feed solve-latency histograms. It is called with the controller's
@@ -175,6 +180,12 @@ type Scheduler struct {
 
 	queueWeight map[string]float64 // declared queues (see queues.go)
 	jobQueue    map[string]string  // job -> queue ("" = default)
+
+	// hot is the hot/cold classifier state (see hotset.go); hotSet is the
+	// immutable classification snapshot the serving engine consumes. Both
+	// nil while phase reconciliation is disabled.
+	hot    *hotTracker
+	hotSet *HotSet
 }
 
 // New returns an empty controller.
@@ -188,6 +199,9 @@ func New(cfg Config) (*Scheduler, error) {
 		}
 	}
 	if err := validateApproxConfig(cfg.ApproxEpsilon, cfg.ApproxThreshold); err != nil {
+		return nil, err
+	}
+	if err := cfg.Phase.validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Policy == nil {
@@ -261,18 +275,23 @@ func (sc *Scheduler) SetPolicy(p policy.Policy) error {
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	sc.setPolicyLocked(p)
+	return nil
+}
+
+func (sc *Scheduler) setPolicyLocked(p policy.Policy) {
 	old := sc.cfg.Policy
 	if p.Name() == old.Name() && p.Fingerprint() == old.Fingerprint() {
-		return nil
+		return
 	}
 	sc.cfg.Policy = p
 	sc.installIncrementalLocked()
+	sc.resetHotLocked() // component identities and telemetry are per-discipline
 	clear(sc.dirty)
 	for id := range sc.jobs {
 		sc.dirty[id] = true
 	}
 	sc.needSolve = true
-	return nil
 }
 
 // NumSites reports the number of sites the controller manages.
@@ -473,15 +492,31 @@ func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, 
 	if !ok {
 		return false, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	if len(done) != sc.NumSites() {
-		return false, fmt.Errorf("scheduler: progress has %d entries for %d sites",
-			len(done), sc.NumSites())
+	if err := validateProgress(done, sc.NumSites()); err != nil {
+		return false, err
 	}
+	return sc.progressLocked(id, j, done), nil
+}
+
+// validateProgress shape- and sign-checks one progress row.
+func validateProgress(done []float64, sites int) error {
+	if len(done) != sites {
+		return fmt.Errorf("scheduler: progress has %d entries for %d sites",
+			len(done), sites)
+	}
+	for s, d := range done {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("scheduler: invalid progress %g at site %d", d, s)
+		}
+	}
+	return nil
+}
+
+// progressLocked applies one validated progress row — the shared core of
+// ReportProgress and ApplyMerged's phase-boundary reconciliation.
+func (sc *Scheduler) progressLocked(id string, j *Job, done []float64) (completed bool) {
 	anyLeft := false
 	for s, d := range done {
-		if d < 0 {
-			return false, fmt.Errorf("scheduler: negative progress %g at site %d", d, s)
-		}
 		if j.Remaining[s] <= 0 {
 			continue
 		}
@@ -505,9 +540,9 @@ func (sc *Scheduler) ReportProgress(id string, done []float64) (completed bool, 
 		sc.removeLocked(id)
 		sc.stats.Completed++
 		sc.needSolve = true
-		return true, nil
+		return true
 	}
-	return false, nil
+	return false
 }
 
 // UpdateWeight changes a job's share weight at runtime (e.g. a priority
@@ -519,6 +554,13 @@ func (sc *Scheduler) UpdateWeight(id string, weight float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
+	sc.setWeightLocked(id, j, weight)
+	return nil
+}
+
+// setWeightLocked applies one weight update — the shared core of
+// UpdateWeight and ApplyMerged's phase-boundary reconciliation.
+func (sc *Scheduler) setWeightLocked(id string, j *Job, weight float64) {
 	if weight <= 0 {
 		weight = 1
 	}
@@ -526,7 +568,6 @@ func (sc *Scheduler) UpdateWeight(id string, weight float64) error {
 		j.Weight = weight
 		sc.markDirtyLocked(id)
 	}
-	return nil
 }
 
 // SetExternalWeight installs the share weight held by jobs outside this
@@ -572,9 +613,14 @@ func (sc *Scheduler) SetApproxConfig(eps float64, threshold int) error {
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	sc.setApproxLocked(eps, threshold)
+	return nil
+}
+
+func (sc *Scheduler) setApproxLocked(eps float64, threshold int) {
 	cur := sc.cfg.Solver
 	if math.Float64bits(cur.ApproxEpsilon) == math.Float64bits(eps) && cur.ApproxThreshold == threshold {
-		return nil
+		return
 	}
 	cur.ApproxEpsilon = eps
 	cur.ApproxThreshold = threshold
@@ -585,8 +631,8 @@ func (sc *Scheduler) SetApproxConfig(eps float64, threshold int) error {
 		// routing-knob change must drop them wholesale.
 		sc.inc.Reset()
 	}
+	sc.resetHotLocked() // the dropped components' telemetry went with them
 	sc.needSolve = true
-	return nil
 }
 
 // ApproxConfig reports the currently installed approximate-path knobs.
@@ -749,6 +795,10 @@ func (sc *Scheduler) solveLocked() error {
 	switch {
 	case sc.queuedLocked():
 		err = sc.solveHierarchicalLocked(in)
+		// The hierarchical path bypasses the incremental solver, so the
+		// classifier gets no telemetry: drop the hot set rather than let the
+		// engine buffer against a stale one.
+		sc.resetHotLocked()
 	case sc.inc != nil:
 		incremental = true
 		err = sc.solveIncrementalLocked(in)
@@ -830,6 +880,7 @@ func (sc *Scheduler) solveIncrementalLocked(in *core.Instance) error {
 	sc.installSharesLocked(in, alloc.Share)
 	clear(sc.dirty)
 	sc.needSolve = false
+	sc.recordHotLocked()
 	return nil
 }
 
@@ -848,7 +899,16 @@ func (sc *Scheduler) solveFlatLocked(in *core.Instance) (policy.Stats, error) {
 	// itself (SetPolicy), so an unconsumed dirty set is pure leak.
 	clear(sc.dirty)
 	sc.needSolve = false
+	sc.resetHotLocked() // no incremental telemetry: nothing can be hot
 	return pst, nil
+}
+
+// ValidateProgress shape- and sign-checks one progress row without
+// touching any job — the serving engine validates commutative mutations
+// before buffering them, since a buffered mutation is acknowledged long
+// before it is applied.
+func ValidateProgress(done []float64, sites int) error {
+	return validateProgress(done, sites)
 }
 
 // installSharesLocked replaces the share map with the solve's rows. Rows

@@ -26,6 +26,20 @@ type Snapshot struct {
 	// effect when the snapshot was taken (zero standalone); restoring it
 	// keeps replica replay and compacted-WAL recovery deterministic.
 	ExternalWeight float64 `json:"external_weight,omitempty"`
+	// Solver and Phase carry the runtime-tuning knobs in effect when the
+	// snapshot was taken. Runtime tuning is WAL-logged (OpSetConfig), so
+	// compaction — which folds the WAL into this snapshot — must preserve
+	// it or a recovered controller would silently revert to boot defaults.
+	// Nil (pre-config-surface snapshots) leaves the controller's current
+	// values untouched.
+	Solver *SolverSnapshot `json:"solver,omitempty"`
+	Phase  *PhaseConfig    `json:"phase,omitempty"`
+}
+
+// SolverSnapshot is the persisted approximate-path tuning.
+type SolverSnapshot struct {
+	ApproxEpsilon   float64 `json:"approx_epsilon"`
+	ApproxThreshold int     `json:"approx_threshold"`
 }
 
 // Snapshot captures the current job set for persistence.
@@ -36,7 +50,13 @@ func (sc *Scheduler) Snapshot() Snapshot {
 		Policy:         sc.cfg.Policy.Name(),
 		Jobs:           make([]Job, 0, len(sc.order)),
 		ExternalWeight: sc.externalWeight,
+		Solver: &SolverSnapshot{
+			ApproxEpsilon:   sc.cfg.Solver.ApproxEpsilon,
+			ApproxThreshold: sc.cfg.Solver.ApproxThreshold,
+		},
+		Phase: &PhaseConfig{},
 	}
+	*snap.Phase = sc.cfg.Phase
 	if len(sc.queueWeight) > 0 {
 		snap.Queues = make(map[string]float64, len(sc.queueWeight))
 		for q, w := range sc.queueWeight {
@@ -71,6 +91,16 @@ func (sc *Scheduler) Restore(snap Snapshot) error {
 	}
 	if w := snap.ExternalWeight; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 		return fmt.Errorf("scheduler: snapshot has invalid external weight %g", w)
+	}
+	if snap.Solver != nil {
+		if err := validateApproxConfig(snap.Solver.ApproxEpsilon, snap.Solver.ApproxThreshold); err != nil {
+			return fmt.Errorf("scheduler: snapshot solver config: %w", err)
+		}
+	}
+	if snap.Phase != nil {
+		if err := snap.Phase.validate(); err != nil {
+			return fmt.Errorf("scheduler: snapshot phase config: %w", err)
+		}
 	}
 	for _, j := range snap.Jobs {
 		if len(j.Demand) != sc.NumSites() || len(j.Remaining) != sc.NumSites() {
@@ -129,6 +159,15 @@ func (sc *Scheduler) Restore(snap Snapshot) error {
 		// different content: the incremental solver must revalidate it.
 		sc.dirty[j.ID] = true
 	}
+	if snap.Solver != nil {
+		sc.setApproxLocked(snap.Solver.ApproxEpsilon, snap.Solver.ApproxThreshold)
+	}
+	if snap.Phase != nil {
+		sc.setPhaseLocked(*snap.Phase)
+	}
+	// Component identities restart with the job set; classification must
+	// re-accumulate rather than trust pre-restore hit counts.
+	sc.resetHotLocked()
 	sc.needSolve = true
 	return nil
 }

@@ -1,0 +1,549 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scheduler"
+)
+
+// phaseTestConfig makes boundaries deterministic for unit tests: a huge
+// interval so only batch quotas (or explicit barriers) end phases.
+func phaseTestConfig(maxBatches int) scheduler.PhaseConfig {
+	return scheduler.PhaseConfig{
+		HotThreshold:  0.3,
+		MaxBatches:    maxBatches,
+		MaxIntervalMS: 100_000,
+		Window:        4,
+	}
+}
+
+// newPhaseEngine builds a two-component instance — component "a0"
+// (jobs a0, a1 on sites 0, 1) and component "b0" (job b0 on site 2) —
+// behind an unbatched engine with phase reconciliation armed.
+func newPhaseEngine(t *testing.T, ph scheduler.PhaseConfig, reg *obs.Registry) (*Engine, *scheduler.Scheduler) {
+	t.Helper()
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: []float64{4, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SetPhaseConfig(ph); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc, Config{MaxBatch: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	ctx := context.Background()
+	for _, j := range []struct {
+		id     string
+		demand []float64
+	}{
+		{"a0", []float64{3, 1, 0}},
+		{"a1", []float64{1, 3, 0}},
+		{"b0", []float64{0, 0, 4}},
+	} {
+		if err := eng.AddJob(ctx, j.id, 1, j.demand, []float64{1e6, 1e6, 1e6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, sc
+}
+
+// heatComponent drives enough solo mutations against component a0 to
+// fill the classifier window and classify it hot.
+func heatComponent(t *testing.T, eng *Engine) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := eng.UpdateWeight(ctx, "a0", 1+float64(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hs := eng.sc.HotSet(); !hs.Has("a0") {
+		t.Fatalf("component a0 not hot after warm-up: %+v", hs)
+	}
+	// The warm-up itself buffers once the component turns hot; drain so
+	// each test starts from a clean phase.
+	_ = eng.Snapshot()
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("PhaseLag after warm-up drain = %d, want 0", lag)
+	}
+}
+
+func TestPhaseBuffersCommutativeOpsOnHotComponents(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, sc := newPhaseEngine(t, phaseTestConfig(100), reg)
+	heatComponent(t, eng)
+	ctx := context.Background()
+	buffered0 := reg.Counter("engine.phase_buffered_total").Value()
+
+	// Hot-component weight updates buffer: acknowledged, lag visible.
+	if err := eng.UpdateWeight(ctx, "a1", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ReportProgress(ctx, "a1", []float64{0.5, 0.5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Current()
+	if snap.PhaseLag != 2 {
+		t.Fatalf("PhaseLag = %d, want 2 buffered mutations", snap.PhaseLag)
+	}
+	if snap.HotComponents == 0 {
+		t.Fatalf("HotComponents = 0, want >= 1")
+	}
+	if got := reg.Counter("engine.phase_buffered_total").Value() - buffered0; got != 2 {
+		t.Fatalf("phase_buffered_total delta = %d, want 2", got)
+	}
+
+	// Cold-component mutations keep the exact ordered path and do not
+	// disturb the buffers.
+	if err := eng.UpdateWeight(ctx, "b0", 3); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 2 {
+		t.Fatalf("PhaseLag after cold op = %d, want 2", lag)
+	}
+
+	// The engine's scheduler has NOT applied the buffered weight yet...
+	if w := jobWeight(t, sc, "a1"); w != 1 {
+		t.Fatalf("a1 weight before reconcile = %v, want 1 (buffered)", w)
+	}
+	// ...but Engine.Snapshot is a barrier: it forces a flush-all so the
+	// state it captures is complete.
+	state := eng.Snapshot()
+	found := false
+	for _, j := range state.Jobs {
+		if j.ID == "a1" {
+			found = true
+			if j.Weight != 2.5 {
+				t.Fatalf("a1 weight in snapshot = %v, want 2.5", j.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("a1 missing from snapshot")
+	}
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("PhaseLag after snapshot barrier = %d, want 0", lag)
+	}
+	if got := reg.Counter("engine.phase_reconciles_total").Value(); got == 0 {
+		t.Fatal("phase_reconciles_total = 0, want > 0")
+	}
+}
+
+func jobWeight(t *testing.T, sc *scheduler.Scheduler, id string) float64 {
+	t.Helper()
+	for _, j := range sc.Snapshot().Jobs {
+		if j.ID == id {
+			return j.Weight
+		}
+	}
+	t.Fatalf("job %s not found", id)
+	return 0
+}
+
+func TestPhaseBatchBoundaryReconciles(t *testing.T) {
+	eng, _ := newPhaseEngine(t, phaseTestConfig(3), nil)
+	heatComponent(t, eng)
+	ctx := context.Background()
+
+	// Each buffered commit advances the phase clock; the third boundary
+	// batch reconciles.
+	lags := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		if err := eng.UpdateWeight(ctx, "a1", 2+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		lags = append(lags, eng.Current().PhaseLag)
+	}
+	if lags[0] != 1 || lags[1] != 2 || lags[2] != 0 {
+		t.Fatalf("PhaseLag sequence = %v, want [1 2 0] (boundary at MaxBatches=3)", lags)
+	}
+	// Last-writer weight won.
+	if w := jobWeight(t, eng.sc, "a1"); w != 4 {
+		t.Fatalf("a1 weight after boundary = %v, want 4", w)
+	}
+}
+
+func TestPhaseIntervalBoundaryReconciles(t *testing.T) {
+	ph := phaseTestConfig(1000)
+	ph.MaxIntervalMS = 20
+	eng, _ := newPhaseEngine(t, ph, nil)
+	heatComponent(t, eng)
+	ctx := context.Background()
+
+	if err := eng.UpdateWeight(ctx, "a1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 1 {
+		t.Fatalf("PhaseLag = %d, want 1", lag)
+	}
+	// The interval timer must end the phase without any further traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Current().PhaseLag != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval boundary never reconciled the buffered delta")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w := jobWeight(t, eng.sc, "a1"); w != 3 {
+		t.Fatalf("a1 weight after interval boundary = %v, want 3", w)
+	}
+}
+
+func TestPhaseRemoveForcesReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, _ := newPhaseEngine(t, phaseTestConfig(100), reg)
+	heatComponent(t, eng)
+	ctx := context.Background()
+
+	if err := eng.UpdateWeight(ctx, "a1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 1 {
+		t.Fatalf("PhaseLag = %d, want 1", lag)
+	}
+	// Removing a job in the hot component reconciles its buffer first.
+	if err := eng.RemoveJob(ctx, "a0"); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("PhaseLag after removal = %d, want 0 (forced reconcile)", lag)
+	}
+	if got := reg.Counter("engine.phase_forced_reconciles_total").Value(); got == 0 {
+		t.Fatal("phase_forced_reconciles_total = 0, want > 0")
+	}
+	if w := jobWeight(t, eng.sc, "a1"); w != 2 {
+		t.Fatalf("a1 weight after forced reconcile = %v, want 2", w)
+	}
+}
+
+func TestPhaseDisabledByConfigPatch(t *testing.T) {
+	eng, _ := newPhaseEngine(t, phaseTestConfig(100), nil)
+	heatComponent(t, eng)
+	ctx := context.Background()
+	if err := eng.UpdateWeight(ctx, "a1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 1 {
+		t.Fatalf("PhaseLag = %d, want 1", lag)
+	}
+	// Turning phase reconciliation off flushes outstanding buffers before
+	// the config change applies.
+	zero := 0.0
+	if err := eng.ApplyConfig(ctx, scheduler.ConfigPatch{HotThreshold: &zero}); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("PhaseLag after disabling = %d, want 0", lag)
+	}
+	if w := jobWeight(t, eng.sc, "a1"); w != 2 {
+		t.Fatalf("a1 weight after disable flush = %v, want 2", w)
+	}
+	// And further hot-path traffic applies ordered.
+	if err := eng.UpdateWeight(ctx, "a1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("PhaseLag with phase disabled = %d, want 0", lag)
+	}
+}
+
+// phaseStreamOp is one generated mutation of an equivalence stream.
+type phaseStreamOp struct {
+	kind   int // 0 = weight, 1 = progress, 2 = add, 3 = remove
+	id     string
+	weight float64
+	demand []float64
+	done   []float64
+}
+
+// genPhaseStream builds a small zipf-flavored mutation stream over an
+// 8-component, 2-jobs-per-component base (sites 2 per component). Ops are
+// always valid against sequential application: adds are unique, removes
+// target live transients, progress never exhausts a site.
+func genPhaseStream(seed int64, nops int) (capacity []float64, base []phaseStreamOp, ops []phaseStreamOp) {
+	const comps, jobsPer, sitesPer = 8, 2, 2
+	rng := rand.New(rand.NewSource(seed))
+	m := comps * sitesPer
+	capacity = make([]float64, m)
+	for s := range capacity {
+		capacity[s] = 4
+	}
+	demandFor := func(c int) []float64 {
+		row := make([]float64, m)
+		row[c*sitesPer] = 1 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			row[c*sitesPer+1] = 0.5 + rng.Float64()
+		}
+		return row
+	}
+	live := map[string][]float64{}
+	for c := 0; c < comps; c++ {
+		for i := 0; i < jobsPer; i++ {
+			id := fmt.Sprintf("c%d-j%d", c, i)
+			d := demandFor(c)
+			base = append(base, phaseStreamOp{kind: 2, id: id, weight: 1, demand: d})
+			live[id] = d
+		}
+	}
+	// Popularity ∝ zipf²: component 0 absorbs most of the stream, so the
+	// classifier heats it quickly even in a short stream.
+	pop := make([]float64, comps)
+	for c := range pop {
+		pop[c] = math.Pow(float64(c+1), -2.2)
+	}
+	pick := func() int {
+		var sum float64
+		for _, w := range pop {
+			sum += w
+		}
+		x := rng.Float64() * sum
+		for c, w := range pop {
+			if x -= w; x < 0 {
+				return c
+			}
+		}
+		return comps - 1
+	}
+	memberOf := func(c int) (string, []float64) {
+		ids := make([]string, 0, 4)
+		for id, d := range live {
+			if d[c*sitesPer] > 0 {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return "", nil
+		}
+		// Deterministic pick independent of map order.
+		best := ids[0]
+		for _, id := range ids[1:] {
+			if id < best {
+				best = id
+			}
+		}
+		return best, live[best]
+	}
+	next := 0
+	for len(ops) < nops {
+		c := pick()
+		id, d := memberOf(c)
+		switch p := rng.Float64(); {
+		case p < 0.55 && id != "":
+			ops = append(ops, phaseStreamOp{kind: 0, id: id, weight: 0.5 + 0.25*float64(rng.Intn(10))})
+		case p < 0.75 && id != "":
+			done := make([]float64, m)
+			for s, v := range d {
+				if v > 0 {
+					// Tiny against the 1e6 work scale: never exhausts.
+					done[s] = v * rng.Float64() * 0.1
+				}
+			}
+			ops = append(ops, phaseStreamOp{kind: 1, id: id, done: done})
+		case p < 0.92 || id == "":
+			tid := fmt.Sprintf("c%d-t%d", c, next)
+			next++
+			td := demandFor(c)
+			live[tid] = td
+			ops = append(ops, phaseStreamOp{kind: 2, id: tid, weight: 1, demand: td})
+		default:
+			if len(live) <= comps { // keep components populated
+				continue
+			}
+			delete(live, id)
+			ops = append(ops, phaseStreamOp{kind: 3, id: id})
+		}
+	}
+	return capacity, base, ops
+}
+
+func applyPhaseOpEngine(ctx context.Context, eng *Engine, op phaseStreamOp) error {
+	switch op.kind {
+	case 0:
+		return eng.UpdateWeight(ctx, op.id, op.weight)
+	case 1:
+		_, err := eng.ReportProgress(ctx, op.id, op.done)
+		return err
+	case 2:
+		return eng.AddJob(ctx, op.id, op.weight, op.demand, scaleRow(op.demand, 1e6))
+	default:
+		return eng.RemoveJob(ctx, op.id)
+	}
+}
+
+func applyPhaseOpScheduler(sc *scheduler.Scheduler, op phaseStreamOp) error {
+	switch op.kind {
+	case 0:
+		return sc.UpdateWeight(op.id, op.weight)
+	case 1:
+		_, err := sc.ReportProgress(op.id, op.done)
+		return err
+	case 2:
+		return sc.AddJob(op.id, op.weight, op.demand, scaleRow(op.demand, 1e6))
+	default:
+		return sc.RemoveJob(op.id)
+	}
+}
+
+func scaleRow(row []float64, k float64) []float64 {
+	out := make([]float64, len(row))
+	for i, v := range row {
+		out[i] = v * k
+	}
+	return out
+}
+
+// comparePhaseAllocs fails the test if the engine's published allocation
+// differs from the ordered reference's beyond tol.
+func comparePhaseAllocs(t *testing.T, eng *Engine, ref *scheduler.Scheduler, tol float64, when string) {
+	t.Helper()
+	want, err := ref.Allocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Current().Shares
+	if len(got) != len(want) {
+		t.Fatalf("%s: engine has %d jobs, reference %d", when, len(got), len(want))
+	}
+	for id, ws := range want {
+		gs, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: job %s missing from engine allocation", when, id)
+		}
+		for s := range ws {
+			if math.Abs(gs[s]-ws[s]) > tol {
+				t.Fatalf("%s: job %s site %d: engine %v, reference %v (tol %g)",
+					when, id, s, gs[s], ws[s], tol)
+			}
+		}
+	}
+}
+
+// TestPhaseEquivalenceProperty is the tentpole's correctness property:
+// over 200 randomized contention streams (100 per policy, AMF and
+// Enhanced-AMF), whenever the published snapshot reports PhaseLag == 0 —
+// i.e. at every phase boundary — the phase-reconciled allocation equals
+// the exact ordered path's allocation on the same mutation prefix to
+// 1e-9 of the instance scale. Run it under -race in CI: the phase
+// machinery is committer-only state and must stay that way.
+func TestPhaseEquivalenceProperty(t *testing.T) {
+	const streams = 100
+	const nops = 40
+	for _, pol := range []string{"amf", "amf-enhanced"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			for stream := 0; stream < streams; stream++ {
+				runPhaseEquivalenceStream(t, pol, int64(stream), nops)
+			}
+		})
+	}
+}
+
+func runPhaseEquivalenceStream(t *testing.T, pol string, seed int64, nops int) {
+	t.Helper()
+	capacity, base, ops := genPhaseStream(seed, nops)
+	scale := 0.0
+	for _, c := range capacity {
+		scale = math.Max(scale, c)
+	}
+	tol := 1e-9 * scale
+
+	sc, err := scheduler.New(scheduler.Config{SiteCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SetPolicyName(pol); err != nil {
+		t.Fatal(err)
+	}
+	// Aggressive knobs: tiny window, low threshold, short phases — many
+	// boundaries per stream, so the property is exercised repeatedly.
+	if err := sc.SetPhaseConfig(scheduler.PhaseConfig{
+		HotThreshold:  0.3,
+		MaxBatches:    3,
+		MaxIntervalMS: 100_000,
+		Window:        4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := scheduler.New(scheduler.Config{SiteCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetPolicyName(pol); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sc, Config{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	for _, op := range base {
+		if err := applyPhaseOpEngine(ctx, eng, op); err != nil {
+			t.Fatalf("seed %d base %+v: %v", seed, op, err)
+		}
+		if err := applyPhaseOpScheduler(ref, op); err != nil {
+			t.Fatalf("seed %d base %+v: %v", seed, op, err)
+		}
+	}
+	for i, op := range ops {
+		if err := applyPhaseOpEngine(ctx, eng, op); err != nil {
+			t.Fatalf("seed %d op %d %+v: engine: %v", seed, i, op, err)
+		}
+		if err := applyPhaseOpScheduler(ref, op); err != nil {
+			t.Fatalf("seed %d op %d %+v: reference: %v", seed, i, op, err)
+		}
+		if eng.Current().PhaseLag == 0 {
+			comparePhaseAllocs(t, eng, ref, tol, fmt.Sprintf("seed %d after op %d (%s)", seed, i, pol))
+		}
+	}
+	// Final barrier: drain every buffer and compare the end states.
+	_ = eng.Snapshot()
+	if lag := eng.Current().PhaseLag; lag != 0 {
+		t.Fatalf("seed %d: PhaseLag = %d after final barrier", seed, lag)
+	}
+	comparePhaseAllocs(t, eng, ref, tol, fmt.Sprintf("seed %d final (%s)", seed, pol))
+}
+
+func TestCacheWindowGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng, _ := newEngine(t, Config{Metrics: reg})
+	g := reg.Gauge("engine.cache_hit_ratio_window")
+
+	// Deltas fold into the window: 8 hits, 2 misses -> 0.8.
+	eng.observeCacheWindow(0, 0)
+	eng.observeCacheWindow(4, 1)
+	eng.observeCacheWindow(8, 2)
+	if got := g.Value(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("windowed ratio = %v, want 0.8", got)
+	}
+	// A counter reset (solver reinstalled) restarts the window instead of
+	// folding a negative delta.
+	eng.observeCacheWindow(0, 0)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("windowed ratio after reset = %v, want 0", got)
+	}
+	eng.observeCacheWindow(3, 1)
+	if got := g.Value(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("windowed ratio after restart = %v, want 0.75", got)
+	}
+	// Old commits age out of the 64-commit window: drown the early misses
+	// with hit-only commits, then check the ratio converges to 1.
+	h, m := int64(3), int64(1)
+	for i := 0; i < cacheWindowCommits; i++ {
+		h += 5
+		eng.observeCacheWindow(h, m)
+	}
+	if got := g.Value(); got != 1 {
+		t.Fatalf("windowed ratio after aging out misses = %v, want 1", got)
+	}
+}

@@ -30,6 +30,12 @@ const (
 	// policy they were committed under. (Snapshots additionally carry the
 	// policy as a header, and Restore refuses a mismatch.)
 	OpSetPolicy = "set_policy"
+	// OpSetConfig applies one PATCH /v1/config runtime-tuning patch
+	// (scheduler.ApplyConfigPatch): policy, approximate-solver routing and
+	// phase-reconciliation knobs in one atomic, logged application.
+	// Snapshots persist the resulting config, so compaction cannot lose a
+	// logged tuning change.
+	OpSetConfig = "set_config"
 )
 
 // Mutation is one logged controller mutation. Exactly the fields the op
@@ -50,6 +56,8 @@ type Mutation struct {
 	State *scheduler.Snapshot `json:"state,omitempty"`
 	// Policy carries a fairness-policy switch (OpSetPolicy).
 	Policy string `json:"policy,omitempty"`
+	// Config carries a runtime-tuning patch (OpSetConfig).
+	Config *scheduler.ConfigPatch `json:"config,omitempty"`
 }
 
 // Apply replays the mutation onto a controller.
@@ -75,6 +83,11 @@ func (m Mutation) Apply(sc *scheduler.Scheduler) error {
 		return sc.SetExternalWeight(m.Weight)
 	case OpSetPolicy:
 		return sc.SetPolicyName(m.Policy)
+	case OpSetConfig:
+		if m.Config == nil {
+			return fmt.Errorf("wal: set_config mutation without config")
+		}
+		return sc.ApplyConfigPatch(*m.Config)
 	case OpRestore:
 		if m.State == nil {
 			return fmt.Errorf("wal: restore mutation without state")

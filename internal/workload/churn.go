@@ -168,11 +168,17 @@ func GenerateChurn(cfg ChurnConfig) *Churn {
 // anchored at the block's first site (matching GenerateSparse's shape).
 func blockDemandRow(sp SparseConfig, c int, rng *rand.Rand) []float64 {
 	m := sp.Components * sp.SitesPerComponent
-	s0 := c * sp.SitesPerComponent
+	return demandRowAt(m, c*sp.SitesPerComponent, sp.SitesPerComponent, sp.MeanDemand, rng)
+}
+
+// demandRowAt draws a demand row over a block of sitesPer sites starting
+// at s0 in an m-site instance, anchored at s0 so every job in the block
+// stays in one connected component.
+func demandRowAt(m, s0, sitesPer int, mean float64, rng *rand.Rand) []float64 {
 	row := make([]float64, m)
-	k := 1 + rng.Intn(sp.SitesPerComponent)
-	sites := append([]int{0}, rng.Perm(sp.SitesPerComponent - 1)[:k-1]...)
-	total := sp.MeanDemand * (0.5 + rng.Float64())
+	k := 1 + rng.Intn(sitesPer)
+	sites := append([]int{0}, rng.Perm(sitesPer - 1)[:k-1]...)
+	total := mean * (0.5 + rng.Float64())
 	split := make([]float64, k)
 	var sum float64
 	for x := range split {

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// Skew-contended churn: the workload shape phase reconciliation targets.
+//
+// GenerateChurn skews only which (uniformly sized) component each
+// mutation hits; the incremental solver still pays a small-block re-solve
+// per dirty commit, so skew barely hurts. The contention generator makes
+// the skew bite twice: component SIZES follow the Zipf law (one giant
+// component holding most jobs) and mutation popularity follows
+// size × Zipf (∝ rank^(-2·skew)), so the giant component also absorbs
+// the overwhelming majority of the stream. Under the exact ordered path
+// the median commit then re-solves the giant block; under phase
+// reconciliation the same commits buffer and the solve is paid once per
+// phase boundary.
+
+// ContentionConfig parameterizes a contention workload. Zero fields take
+// the documented defaults.
+type ContentionConfig struct {
+	// Components is the number of independent blocks (default 8).
+	Components int
+	// Jobs is the total base-job count, split across components in
+	// proportion to ZipfWeights(Components, Skew), at least 2 per
+	// component (default 512).
+	Jobs int
+	// SitesPerComponent sizes each block's site range (default 4).
+	SitesPerComponent int
+	// SiteCapacity is each site's capacity (default 1).
+	SiteCapacity float64
+	// MeanDemand is the mean total demand per job (default
+	// 2×SiteCapacity×SitesPerComponent×Components/Jobs, moderately
+	// contending each block).
+	MeanDemand float64
+	// Skew is the Zipf exponent shared by the size and popularity laws
+	// (default 1.1, the paper evaluation's high-skew point).
+	Skew float64
+	// Mutations is the stream length (default 4096).
+	Mutations int
+	// WorkScale sets base-job outstanding work per unit demand (default
+	// 1e6 — progress reports never complete a base job).
+	WorkScale float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c ContentionConfig) withDefaults() ContentionConfig {
+	if c.Components <= 0 {
+		c.Components = 8
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 512
+	}
+	if c.SitesPerComponent <= 0 {
+		c.SitesPerComponent = 4
+	}
+	if c.SiteCapacity <= 0 {
+		c.SiteCapacity = 1
+	}
+	if c.MeanDemand <= 0 {
+		c.MeanDemand = 2 * c.SiteCapacity * float64(c.SitesPerComponent) *
+			float64(c.Components) / float64(c.Jobs)
+	}
+	if c.Skew <= 0 {
+		c.Skew = 1.1
+	}
+	if c.Mutations <= 0 {
+		c.Mutations = 4096
+	}
+	if c.WorkScale <= 0 {
+		c.WorkScale = 1e6
+	}
+	return c
+}
+
+// Contention is a churn stream over a size-skewed base instance. The
+// embedded Churn applies and populates exactly like GenerateChurn's.
+type Contention struct {
+	Churn
+	// Sizes is the per-component base-job count, non-increasing in the
+	// component index (component 0 is the giant).
+	Sizes []int
+	// Popularity is the per-component mutation probability the stream was
+	// drawn from (normalized size × Zipf weights).
+	Popularity []float64
+}
+
+// ComponentSizes splits total jobs across k components in proportion to
+// ZipfWeights(k, skew), guaranteeing at least 2 jobs per component (a
+// component of one job is a trivial solve and would dilute the regime).
+// The split is deterministic in (total, k, skew) — no seed — so the hot
+// component's identity (index 0, the largest share) is stable across
+// seeds.
+func ComponentSizes(total, k int, skew float64) []int {
+	if k <= 0 {
+		return nil
+	}
+	w := ZipfWeights(k, skew)
+	sizes := make([]int, k)
+	used := 0
+	for c := range sizes {
+		sizes[c] = 2
+		used += 2
+	}
+	if used >= total {
+		return sizes
+	}
+	rest := total - used
+	given := 0
+	for c := range sizes {
+		g := int(math.Floor(float64(rest) * w[c]))
+		sizes[c] += g
+		given += g
+	}
+	// Rounding remainder lands on the largest components first.
+	for c := 0; given < rest; c = (c + 1) % k {
+		sizes[c]++
+		given++
+	}
+	return sizes
+}
+
+// GenerateContention builds the size-skewed base instance plus its
+// popularity-skewed mutation stream. Job naming follows GenerateChurn
+// ("c<comp>-j<idx>" base, "c<comp>-t<n>" transient); the op mix is
+// weight-heavy (70% reweight, 15% progress, 10% admit, 5% evict) because
+// reweights are the cheapest op on the exact path and the most
+// buffer-friendly on the phase path — the comparison the -contention
+// bench makes.
+func GenerateContention(cfg ContentionConfig) *Contention {
+	cfg = cfg.withDefaults()
+	rng := randx.Stream(cfg.Seed, "workload/contention")
+	sizes := ComponentSizes(cfg.Jobs, cfg.Components, cfg.Skew)
+	m := cfg.Components * cfg.SitesPerComponent
+
+	in := &core.Instance{SiteCapacity: make([]float64, m)}
+	for s := range in.SiteCapacity {
+		in.SiteCapacity[s] = cfg.SiteCapacity
+	}
+	offset := make([]int, cfg.Components) // component → first job index
+	for c, sz := range sizes {
+		if c > 0 {
+			offset[c] = offset[c-1] + sizes[c-1]
+		}
+		s0 := c * cfg.SitesPerComponent
+		for i := 0; i < sz; i++ {
+			row := demandRowAt(m, s0, cfg.SitesPerComponent, cfg.MeanDemand, rng)
+			in.Demand = append(in.Demand, row)
+			in.JobName = append(in.JobName, fmt.Sprintf("c%d-j%d", c, i))
+			work := make([]float64, m)
+			for s, d := range row {
+				work[s] = d * cfg.WorkScale
+			}
+			in.Work = append(in.Work, work)
+		}
+	}
+
+	// Popularity ∝ size share × Zipf weight = Zipf², so at skew 1.1 over 8
+	// components the giant draws ~70% of the stream.
+	zipf := ZipfWeights(cfg.Components, cfg.Skew)
+	popularity := make([]float64, cfg.Components)
+	var psum float64
+	total := float64(cfg.Jobs)
+	for c := range popularity {
+		popularity[c] = float64(sizes[c]) / total * zipf[c]
+		psum += popularity[c]
+	}
+	for c := range popularity {
+		popularity[c] /= psum
+	}
+
+	transient := make([][]string, cfg.Components)
+	next := make([]int, cfg.Components)
+	ops := make([]ChurnOp, 0, cfg.Mutations)
+	for len(ops) < cfg.Mutations {
+		c := SampleIndex(rng, popularity)
+		op := ChurnOp{Component: c}
+		switch p := rng.Float64(); {
+		case p < 0.70: // reweight a base job
+			op.Kind = ChurnWeight
+			op.Job = in.JobName[offset[c]+rng.Intn(sizes[c])]
+			op.Weight = 0.5 + 0.25*float64(rng.Intn(14))
+		case p < 0.85: // progress on a base job
+			op.Kind = ChurnProgress
+			j := offset[c] + rng.Intn(sizes[c])
+			op.Job = in.JobName[j]
+			done := make([]float64, m)
+			for s, d := range in.Demand[j] {
+				if d > 0 {
+					done[s] = d * rng.Float64()
+				}
+			}
+			op.Done = done
+		case p < 0.95 || len(transient[c]) == 0: // admit a transient job
+			op.Kind = ChurnAdd
+			op.Job = fmt.Sprintf("c%d-t%d", c, next[c])
+			next[c]++
+			op.Weight = 0.5 + 0.25*float64(rng.Intn(14))
+			op.Demand = demandRowAt(m, c*cfg.SitesPerComponent, cfg.SitesPerComponent, cfg.MeanDemand, rng)
+			op.Work = nil
+			transient[c] = append(transient[c], op.Job)
+		default: // evict the oldest transient in the block
+			op.Kind = ChurnRemove
+			op.Job = transient[c][0]
+			transient[c] = transient[c][1:]
+		}
+		ops = append(ops, op)
+	}
+	return &Contention{
+		Churn:      Churn{Inst: in, Ops: ops},
+		Sizes:      sizes,
+		Popularity: popularity,
+	}
+}

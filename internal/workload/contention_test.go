@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestZipfWeightsZeroSkewUniform pins the skew=0 degenerate case: every
+// rank gets exactly 1/m — the uniform churn regime the contention sweep
+// uses as its baseline point.
+func TestZipfWeightsZeroSkewUniform(t *testing.T) {
+	for _, m := range []int{1, 2, 7, 64} {
+		w := ZipfWeights(m, 0)
+		for i, v := range w {
+			if math.Abs(v-1/float64(m)) > 1e-15 {
+				t.Fatalf("ZipfWeights(%d, 0)[%d] = %g, want %g", m, i, v, 1/float64(m))
+			}
+		}
+	}
+}
+
+func TestComponentSizesEdges(t *testing.T) {
+	if s := ComponentSizes(100, 0, 1.1); s != nil {
+		t.Fatalf("k=0: %v, want nil", s)
+	}
+	// One component takes everything.
+	if s := ComponentSizes(37, 1, 1.1); len(s) != 1 || s[0] != 37 {
+		t.Fatalf("k=1: %v, want [37]", s)
+	}
+	// Fewer jobs than the 2-per-component floor: the floor wins (the
+	// instance grows past total rather than emitting trivial components).
+	if s := ComponentSizes(3, 4, 1.1); !reflect.DeepEqual(s, []int{2, 2, 2, 2}) {
+		t.Fatalf("total<2k: %v, want [2 2 2 2]", s)
+	}
+	// Exact conservation above the floor.
+	for _, tc := range []struct {
+		total, k int
+		skew     float64
+	}{
+		{512, 8, 1.1}, {512, 8, 0}, {100, 3, 2.5}, {17, 5, 1.0},
+	} {
+		s := ComponentSizes(tc.total, tc.k, tc.skew)
+		sum := 0
+		for c, v := range s {
+			sum += v
+			if v < 2 {
+				t.Fatalf("ComponentSizes(%d, %d, %g)[%d] = %d < 2", tc.total, tc.k, tc.skew, c, v)
+			}
+		}
+		if sum != tc.total {
+			t.Fatalf("ComponentSizes(%d, %d, %g) sums to %d: %v", tc.total, tc.k, tc.skew, sum, s)
+		}
+	}
+	// Positive skew: sizes are non-increasing, component 0 is the giant.
+	s := ComponentSizes(512, 8, 1.1)
+	for c := 1; c < len(s); c++ {
+		if s[c] > s[c-1] {
+			t.Fatalf("sizes not non-increasing: %v", s)
+		}
+	}
+	if s[0] <= s[1] {
+		t.Fatalf("component 0 not strictly largest at skew 1.1: %v", s)
+	}
+}
+
+// TestContentionHotComponentIdentityAcrossSeeds is the determinism
+// property the phase benchmarks lean on: the hot component is component
+// 0 — largest and most-mutated — for every seed, because the size split
+// is seed-free and popularity is derived from it.
+func TestContentionHotComponentIdentityAcrossSeeds(t *testing.T) {
+	var sizes0 []int
+	for _, seed := range []uint64{0, 1, 7, 42, 1 << 40} {
+		ch := GenerateContention(ContentionConfig{
+			Components: 8, Jobs: 256, Mutations: 2048, Skew: 1.1, Seed: seed,
+		})
+		if sizes0 == nil {
+			sizes0 = ch.Sizes
+		} else if !reflect.DeepEqual(ch.Sizes, sizes0) {
+			t.Fatalf("seed %d: sizes %v differ from %v (split must be seed-free)", seed, ch.Sizes, sizes0)
+		}
+		// Popularity peaks at component 0 for every seed.
+		for c := 1; c < len(ch.Popularity); c++ {
+			if ch.Popularity[c] > ch.Popularity[0] {
+				t.Fatalf("seed %d: component %d more popular than 0: %v", seed, c, ch.Popularity)
+			}
+		}
+		// And the realized stream agrees: component 0 receives the
+		// plurality of ops (its expectation is ~70%, so 40% is a safe
+		// cross-seed floor that still proves concentration).
+		hits := make([]int, 8)
+		for _, op := range ch.Ops {
+			hits[op.Component]++
+		}
+		if frac := float64(hits[0]) / float64(len(ch.Ops)); frac < 0.4 {
+			t.Fatalf("seed %d: component 0 got %.0f%% of ops, want >= 40%%: %v", seed, frac*100, hits)
+		}
+		for c := 1; c < 8; c++ {
+			if hits[c] > hits[0] {
+				t.Fatalf("seed %d: component %d out-drew component 0: %v", seed, c, hits)
+			}
+		}
+	}
+}
+
+func TestGenerateContentionDeterministic(t *testing.T) {
+	a := GenerateContention(ContentionConfig{Seed: 9, Jobs: 64, Mutations: 256})
+	b := GenerateContention(ContentionConfig{Seed: 9, Jobs: 64, Mutations: 256})
+	if !reflect.DeepEqual(a.Ops, b.Ops) || !reflect.DeepEqual(a.Inst.Demand, b.Inst.Demand) {
+		t.Fatal("same seed produced different contention workloads")
+	}
+	c := GenerateContention(ContentionConfig{Seed: 10, Jobs: 64, Mutations: 256})
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+	// Different seeds still share the size split (seed-free).
+	if !reflect.DeepEqual(a.Sizes, c.Sizes) {
+		t.Fatalf("sizes differ across seeds: %v vs %v", a.Sizes, c.Sizes)
+	}
+}
+
+// TestContentionStreamApplies replays a stream against a live scheduler
+// via the Churn plumbing: every op must land (modulo the documented
+// transient duplicate/unknown errors, which this fresh stream never
+// produces) and ops stay component-local.
+func TestContentionStreamApplies(t *testing.T) {
+	ch := GenerateContention(ContentionConfig{
+		Components: 4, Jobs: 32, SitesPerComponent: 2, Mutations: 512, Seed: 3,
+	})
+	if len(ch.Inst.Demand) != 32 {
+		t.Fatalf("base instance has %d jobs, want 32", len(ch.Inst.Demand))
+	}
+	for i, op := range ch.Ops {
+		lo, hi := op.Component*2, op.Component*2+2
+		for _, row := range [][]float64{op.Demand, op.Done} {
+			for s, v := range row {
+				if v != 0 && (s < lo || s >= hi) {
+					t.Fatalf("op %d (comp %d) touches site %d outside [%d, %d)", i, op.Component, s, lo, hi)
+				}
+			}
+		}
+	}
+	rec := &recordingTarget{live: map[string]bool{}}
+	if err := ch.Populate(rec); err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ch.Ops {
+		if err := op.Apply(rec); err != nil {
+			t.Fatalf("op %d %+v: %v", i, op, err)
+		}
+	}
+}
+
+// recordingTarget is a ChurnTarget that validates stream consistency:
+// adds are unique, and weight/progress/remove always hit a live job.
+type recordingTarget struct{ live map[string]bool }
+
+func (r *recordingTarget) AddJob(id string, weight float64, demand, work []float64) error {
+	if r.live[id] {
+		return errDuplicate(id)
+	}
+	r.live[id] = true
+	return nil
+}
+
+func (r *recordingTarget) RemoveJob(id string) error {
+	if !r.live[id] {
+		return errUnknown(id)
+	}
+	delete(r.live, id)
+	return nil
+}
+
+func (r *recordingTarget) UpdateWeight(id string, weight float64) error {
+	if !r.live[id] {
+		return errUnknown(id)
+	}
+	return nil
+}
+
+func (r *recordingTarget) ReportProgress(id string, done []float64) (bool, error) {
+	if !r.live[id] {
+		return false, errUnknown(id)
+	}
+	return false, nil
+}
+
+type streamError string
+
+func (e streamError) Error() string { return string(e) }
+
+func errDuplicate(id string) error { return streamError("duplicate add: " + id) }
+func errUnknown(id string) error   { return streamError("unknown job: " + id) }
+
+// TestChurnConfigEdges pins the defaulting rules the contention config
+// inherits from ChurnConfig.
+func TestChurnConfigEdges(t *testing.T) {
+	// Zero config: everything defaults and generation succeeds.
+	ch := GenerateChurn(ChurnConfig{})
+	if len(ch.Ops) != 1024 {
+		t.Fatalf("default mutation count %d, want 1024", len(ch.Ops))
+	}
+	// Explicit tiny stream.
+	ch = GenerateChurn(ChurnConfig{Mutations: 1})
+	if len(ch.Ops) != 1 {
+		t.Fatalf("mutations=1 produced %d ops", len(ch.Ops))
+	}
+	// ZipfSkew=0 must behave as uniform (the documented default), not
+	// panic or degenerate: all components get some traffic over a long
+	// stream.
+	ch = GenerateChurn(ChurnConfig{Mutations: 4096, ZipfSkew: 0, Seed: 5})
+	comps := map[int]bool{}
+	for _, op := range ch.Ops {
+		comps[op.Component] = true
+	}
+	if len(comps) != 16 { // SparseConfig default component count
+		t.Fatalf("uniform churn hit %d components, want all 16", len(comps))
+	}
+	// Contention defaults mirror the documented values.
+	cfg := ContentionConfig{}.withDefaults()
+	if cfg.Components != 8 || cfg.Jobs != 512 || cfg.Skew != 1.1 || cfg.Mutations != 4096 {
+		t.Fatalf("contention defaults %+v", cfg)
+	}
+}
