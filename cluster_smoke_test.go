@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -94,7 +95,8 @@ func TestClusterSmoke(t *testing.T) {
 	start("amf-server", "-listen", replica, "-capacity", capsArg, "-policy", polName,
 		"-replica-of", "http://"+ship+"/wal", "-replica-interval", "5ms", "-metrics-on-exit=false")
 	start("amf-router", "-listen", front, "-shards",
-		"http://"+shard0+",http://"+shard1)
+		"http://"+shard0+",http://"+shard1,
+		"-replicas", "http://"+replica)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -179,6 +181,67 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if err := rep.AddJob(ctx, api.AddJobRequest{ID: "nope", Demand: make([]float64, len(caps))}); !errors.Is(err, api.ErrInvalidArgument) {
 		t.Fatalf("replica accepted a mutation: %v", err)
+	}
+
+	// Observability plane, end to end across the real processes: the
+	// router's /v1/traces must serve a stitched forest whose children are
+	// the shards' commit traces, correlated by parent trace ID.
+	tr, err := router.Traces(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stitched := 0
+	for _, p := range tr.Traces {
+		for _, c := range p.Children {
+			if c.Parent != p.ID {
+				t.Fatalf("stitched child %s has parent %s under tree %s", c.ID, c.Parent, p.ID)
+			}
+			if c.Shard != "0" && c.Shard != "1" {
+				t.Fatalf("stitched child labeled shard %q", c.Shard)
+			}
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatalf("no shard commits stitched under %d router traces", len(tr.Traces))
+	}
+
+	// A named job explanation routes to the owning shard; the replica
+	// explains the same allocation read-only.
+	var anyJob string
+	for id := range got.Jobs {
+		anyJob = id
+		break
+	}
+	ex, err := router.Explain(ctx, anyJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Job == nil || ex.Job.Name != anyJob || ex.Shard == "" {
+		t.Fatalf("router explain %q = %+v", anyJob, ex)
+	}
+	for id := range s0.Jobs {
+		rex, err := rep.Explain(ctx, id)
+		if err != nil {
+			t.Fatalf("replica explain %q: %v", id, err)
+		}
+		if rex.Shard != "replica" || rex.Job == nil {
+			t.Fatalf("replica explain %q = %+v", id, rex)
+		}
+		break
+	}
+
+	// One federated scrape covers the whole deployment: shard-labeled
+	// families, the replica's page, and the router's own telemetry.
+	page, err := router.ScrapeMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(page)
+	for _, want := range []string{`shard="0"`, `shard="1"`, `replica="0"`, "amf_cluster_version_spread"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("federated /metrics missing %q", want)
+		}
 	}
 }
 

@@ -174,6 +174,9 @@ func obsPass(ch *workload.Churn, instrumented bool, cpuprofile string) (int64, [
 		rec = span.NewRecorder(4096)
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Traces = rec
+		// The slow-trace retention ring is part of the default stack now;
+		// its insert cost belongs in the measured overhead.
+		cfg.SlowTraces = span.NewSlowRecorder(32, time.Hour)
 	}
 	eng, err := serve.New(sc, cfg)
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,10 +46,11 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "listen address")
-		shardCSV = flag.String("shards", "", "comma-separated shard base URLs (required, e.g. http://s0:8081,http://s1:8082)")
-		timeout  = flag.Duration("boot-timeout", 30*time.Second, "deadline for discovering shard config and syncing the routing ledger")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		listen     = flag.String("listen", ":8080", "listen address")
+		shardCSV   = flag.String("shards", "", "comma-separated shard base URLs (required, e.g. http://s0:8081,http://s1:8082)")
+		replicaCSV = flag.String("replicas", "", "comma-separated replica base URLs folded into the federated /metrics page (optional)")
+		timeout    = flag.Duration("boot-timeout", 30*time.Second, "deadline for discovering shard config and syncing the routing ledger")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -102,6 +104,13 @@ func main() {
 	}
 	if err := router.SyncFromShards(ctx); err != nil {
 		fail("amf-router: syncing ledger", err)
+	}
+	// Replicas are not routed to — they only join the federated /metrics
+	// scrape, labeled replica="i", so one page covers the whole cluster.
+	replicaURLs := splitURLs(*replicaCSV)
+	for i, u := range replicaURLs {
+		cl := api.NewClient(u, nil)
+		router.AddScrapeTarget("replica", strconv.Itoa(i), cl.ScrapeMetrics)
 	}
 	st := router.RouterStats()
 	logger.Info("router ready",

@@ -54,16 +54,18 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // serverConfig is the subset of flags the cluster/replica modes consume.
 type serverConfig struct {
-	listen      string
-	shipAddr    string
-	dataDir     string
-	batchMax    int
-	batchWindow time.Duration
-	compactMB   int64
-	compactIval time.Duration
-	traceBuf    int
-	slowCommit  time.Duration
-	interval    time.Duration
+	listen       string
+	shipAddr     string
+	dataDir      string
+	batchMax     int
+	batchWindow  time.Duration
+	compactMB    int64
+	compactIval  time.Duration
+	traceBuf     int
+	slowTraceBuf int
+	slowTraceWin time.Duration
+	slowCommit   time.Duration
+	interval     time.Duration
 	// Approximate water-filling knobs, passed to every shard's solver.
 	// Replicas ignore them: a replica replays the primary's WAL and serves
 	// reads, so its allocation must track the primary byte-for-byte.
@@ -74,9 +76,20 @@ type serverConfig struct {
 	phase scheduler.PhaseConfig
 }
 
+// shardParts bundles one assembled shard engine with the observability
+// hooks the cluster router needs: its trace rings and the registry it
+// instruments (scraped by the router's metrics federation).
+type shardParts struct {
+	eng    *serve.Engine
+	log    *wal.Log
+	traces *span.Recorder
+	slow   *span.SlowRecorder
+	reg    *obs.Registry
+}
+
 // buildShardEngine assembles one durable engine: scheduler, WAL replay,
 // tracing — the same stack the single-engine path runs, minus the flags.
-func buildShardEngine(logger *slog.Logger, caps []float64, p policy.Policy, dir string, cfg serverConfig) (*serve.Engine, *wal.Log, *span.Recorder, error) {
+func buildShardEngine(logger *slog.Logger, caps []float64, p policy.Policy, dir string, cfg serverConfig) (shardParts, error) {
 	sc, err := scheduler.New(scheduler.Config{
 		SiteCapacity:    caps,
 		Policy:          p,
@@ -85,17 +98,17 @@ func buildShardEngine(logger *slog.Logger, caps []float64, p policy.Policy, dir 
 		Phase:           cfg.phase,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return shardParts{}, err
 	}
 	var logHandle *wal.Log
 	if dir != "" {
 		l, recovery, err := wal.Open(dir, wal.Options{})
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("opening %s: %w", dir, err)
+			return shardParts{}, fmt.Errorf("opening %s: %w", dir, err)
 		}
 		st, err := recovery.Replay(sc)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("recovering %s: %w", dir, err)
+			return shardParts{}, fmt.Errorf("recovering %s: %w", dir, err)
 		}
 		logger.Info("shard recovered", "dir", dir, "jobs", sc.Stats().Jobs,
 			"snapshot", st.Restored, "batches", st.Batches)
@@ -105,21 +118,27 @@ func buildShardEngine(logger *slog.Logger, caps []float64, p policy.Policy, dir 
 	if cfg.traceBuf > 0 {
 		traces = span.NewRecorder(cfg.traceBuf)
 	}
+	var slow *span.SlowRecorder
+	if cfg.slowTraceBuf > 0 {
+		slow = span.NewSlowRecorder(cfg.slowTraceBuf, cfg.slowTraceWin)
+	}
+	reg := obs.NewRegistry()
 	eng, err := serve.New(sc, serve.Config{
 		MaxBatch:        cfg.batchMax,
 		BatchWindow:     cfg.batchWindow,
-		Metrics:         obs.NewRegistry(),
+		Metrics:         reg,
 		Log:             logHandle,
 		CompactBytes:    cfg.compactMB << 20,
 		CompactInterval: cfg.compactIval,
 		Traces:          traces,
+		SlowTraces:      slow,
 		Logger:          logger,
 		SlowCommit:      cfg.slowCommit,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return shardParts{}, err
 	}
-	return eng, logHandle, traces, nil
+	return shardParts{eng: eng, log: logHandle, traces: traces, slow: slow, reg: reg}, nil
 }
 
 // runCluster hosts n engine shards in one process behind an in-process
@@ -135,14 +154,14 @@ func runCluster(logger *slog.Logger, caps []float64, p policy.Policy, n int, cfg
 		if cfg.dataDir != "" {
 			dir = filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
 		}
-		eng, l, rec, err := buildShardEngine(logger, caps, p, dir, cfg)
+		parts, err := buildShardEngine(logger, caps, p, dir, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		engines[i] = eng
-		shards[i] = cluster.EngineShard{Eng: eng, Rec: rec}
-		if l != nil {
-			logs[fmt.Sprintf("/wal/shard-%d", i)] = l
+		engines[i] = parts.eng
+		shards[i] = cluster.EngineShard{Eng: parts.eng, Rec: parts.traces, Slow: parts.slow, Reg: parts.reg}
+		if parts.log != nil {
+			logs[fmt.Sprintf("/wal/shard-%d", i)] = parts.log
 		}
 	}
 	router, err := cluster.NewRouter(shards, p)
@@ -181,12 +200,13 @@ func runReplica(logger *slog.Logger, caps []float64, p policy.Policy, source str
 		Policy:       p,
 		Interval:     cfg.interval,
 		Metrics:      reg,
+		TraceBuffer:  cfg.traceBuf,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	logger.Info("replica tailing", "source", source, "interval", cfg.interval)
-	srv := api.NewBackendServer(rep, reg, caps, p)
+	srv := api.NewBackendServer(rep, reg, caps, p).SetTraces(rep.Traces())
 	return srv.Handler(), func() { _ = rep.Close() }, nil
 }
 

@@ -104,6 +104,8 @@ func main() {
 		compactIval   = flag.Duration("wal-compact-interval", time.Minute, "additionally compact the WAL this often (0 disables the timer)")
 		dumpMetrics   = flag.Bool("metrics-on-exit", true, "log a final metrics snapshot as one JSON document on shutdown")
 		traceBuf      = flag.Int("trace-buffer", 256, "commit traces kept for GET /v1/traces (0 disables tracing)")
+		slowTraceBuf  = flag.Int("slow-trace-buffer", 32, "slowest commit traces retained for GET /v1/traces?slow=1 (0 disables slow retention)")
+		slowTraceWin  = flag.Duration("slow-trace-window", 10*time.Minute, "sliding window the slow-trace ring retains over")
 		slowCommit    = flag.Duration("slow-commit", 0, "log a warning with per-stage timings for commits slower than this (0 disables)")
 		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -159,6 +161,8 @@ func main() {
 		compactMB:    *compactMB,
 		compactIval:  *compactIval,
 		traceBuf:     *traceBuf,
+		slowTraceBuf: *slowTraceBuf,
+		slowTraceWin: *slowTraceWin,
 		slowCommit:   *slowCommit,
 		interval:     *replicaIval,
 		approxEps:    *approxEps,
@@ -285,6 +289,10 @@ func runSingle(logger *slog.Logger, caps []float64, p policy.Policy, state strin
 	if cfg.traceBuf > 0 {
 		traces = span.NewRecorder(cfg.traceBuf)
 	}
+	var slowTraces *span.SlowRecorder
+	if cfg.slowTraceBuf > 0 {
+		slowTraces = span.NewSlowRecorder(cfg.slowTraceBuf, cfg.slowTraceWin)
+	}
 	eng, err := serve.New(sc, serve.Config{
 		MaxBatch:        cfg.batchMax,
 		BatchWindow:     cfg.batchWindow,
@@ -293,13 +301,14 @@ func runSingle(logger *slog.Logger, caps []float64, p policy.Policy, state strin
 		CompactBytes:    cfg.compactMB << 20,
 		CompactInterval: cfg.compactIval,
 		Traces:          traces,
+		SlowTraces:      slowTraces,
 		Logger:          logger,
 		SlowCommit:      cfg.slowCommit,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := api.NewEngineServer(eng, reg, caps, p).SetTraces(traces)
+	srv := api.NewEngineServer(eng, reg, caps, p).SetTraces(traces).SetSlowTraces(slowTraces)
 
 	durability := "none (in-memory)"
 	if cfg.dataDir != "" {

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 )
 
@@ -51,6 +53,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate tracing identity from the context: the request trace ID
+	// (so a router's fan-out legs correlate with its own request) and the
+	// cluster-level parent span ID (so the shard stamps its commit trace
+	// with the router's parent for stitching).
+	if id := span.FromContext(ctx); id != "" {
+		req.Header.Set(TraceHeader, string(id))
+	}
+	if p := span.ParentFromContext(ctx); p != "" {
+		req.Header.Set(ParentHeader, string(p))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -119,6 +131,49 @@ func (c *Client) Traces(ctx context.Context, limit int) (TracesResponse, error) 
 	}
 	err := c.do(ctx, http.MethodGet, path, nil, &out)
 	return out, err
+}
+
+// SlowTraces fetches up to limit traces from the slow-trace retention
+// ring (GET /v1/traces?slow=1), slowest first. 0 = everything retained.
+func (c *Client) SlowTraces(ctx context.Context, limit int) (TracesResponse, error) {
+	var out TracesResponse
+	path := "/v1/traces?slow=1"
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Explain fetches the allocation explanation. job "" requests the full
+// per-job and per-site dump; a named job returns only that job's row
+// (ErrUnknownJob for jobs the backend does not know).
+func (c *Client) Explain(ctx context.Context, job string) (ExplainResponse, error) {
+	var out ExplainResponse
+	path := "/v1/explain"
+	if job != "" {
+		path += "?job=" + url.QueryEscape(job)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// ScrapeMetrics fetches the raw Prometheus text exposition from
+// GET /metrics — the cluster router's federation input.
+func (c *Client) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Policy fetches the active fairness policy and the valid wire names.

@@ -78,11 +78,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/policy"
@@ -93,6 +95,12 @@ import (
 // TraceHeader is the response (and optional request) header carrying the
 // request's trace ID.
 const TraceHeader = "X-AMF-Trace-Id"
+
+// ParentHeader is the request header carrying the cluster-level parent
+// trace ID: the router mints one per fan-out and shards stamp it on the
+// commit traces the request rides in (span.Trace.Parent), so the router's
+// GET /v1/traces can stitch shard-local traces under their parent.
+const ParentHeader = "X-AMF-Parent-Span"
 
 // Backend is the controller surface the API serves. All mutations and
 // reads are context-aware; implementations must return promptly with
@@ -156,6 +164,17 @@ type PolicyController interface {
 	SetPolicy(ctx context.Context, name string) error
 }
 
+// Explainer is the optional allocation-explainability surface behind
+// GET /v1/explain: the water-filling evidence (per-job final level,
+// freeze round, binding sites, floor flags; per-site saturation) derived
+// from the backend's published allocation. job "" requests the full
+// explanation; a named job must exist (scheduler.ErrUnknownJob → 404).
+// Implemented by *serve.Engine (snapshot-consistent, cached per version),
+// the cluster router (routed to the owning shard) and read replicas.
+type Explainer interface {
+	Explain(ctx context.Context, job string) (*serve.ExplainResult, error)
+}
+
 var _ Backend = (*serve.Engine)(nil)
 var _ Backend = schedulerBackend{}
 var _ ReadyChecker = (*serve.Engine)(nil)
@@ -166,6 +185,8 @@ var _ ApproxConfigurer = (*serve.Engine)(nil)
 var _ ApproxConfigurer = schedulerBackend{}
 var _ PolicyController = (*serve.Engine)(nil)
 var _ PolicyController = schedulerBackend{}
+var _ Explainer = (*serve.Engine)(nil)
+var _ Explainer = schedulerBackend{}
 
 // schedulerBackend adapts a bare controller to the context-aware Backend.
 // The scheduler's methods are fast and synchronous, so honoring the
@@ -264,6 +285,20 @@ func (b schedulerBackend) SetApproxConfig(ctx context.Context, epsilon float64, 
 
 func (b schedulerBackend) ApproxConfig() (epsilon float64, threshold int) {
 	return b.sc.ApproxConfig()
+}
+
+func (b schedulerBackend) Explain(ctx context.Context, job string) (*serve.ExplainResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex, err := b.sc.Explain()
+	if err != nil {
+		return nil, err
+	}
+	if job != "" && ex.JobByName(job) == nil {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, job)
+	}
+	return &serve.ExplainResult{Policy: b.sc.PolicyName(), Explanation: ex}, nil
 }
 
 func (b schedulerBackend) PolicyName() string { return b.sc.PolicyName() }
@@ -392,6 +427,21 @@ type StatsResponse struct {
 	// certified per-job deviation bound (0 when every component was exact).
 	ApproxComponents int     `json:"approx_components"`
 	ApproxErrorBound float64 `json:"approx_error_bound"`
+	// SolveLatency and CommitLatency carry the estimated p50/p95/p99 of
+	// the backend's solve and commit latency histograms (nil against a
+	// backend without engine instrumentation), so load harnesses read them
+	// here instead of re-deriving from /v1/metrics buckets.
+	SolveLatency  *LatencyQuantiles `json:"solve_latency,omitempty"`
+	CommitLatency *LatencyQuantiles `json:"commit_latency,omitempty"`
+}
+
+// LatencyQuantiles is a histogram's estimated quantile summary, in
+// seconds, interpolated from its exponential buckets.
+type LatencyQuantiles struct {
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 type errorResponse struct {
@@ -401,11 +451,12 @@ type errorResponse struct {
 
 // Server wraps a controller backend with the HTTP API.
 type Server struct {
-	sc     Backend
-	cfg    ConfigResponse
-	mux    *http.ServeMux
-	reg    *obs.Registry
-	traces *span.Recorder
+	sc         Backend
+	cfg        ConfigResponse
+	mux        *http.ServeMux
+	reg        *obs.Registry
+	traces     *span.Recorder
+	slowTraces *span.SlowRecorder
 }
 
 // NewServer builds the API around a bare controller. capacity and
@@ -471,6 +522,7 @@ func newServer(be Backend, reg *obs.Registry, capacity []float64, pol policy.Pol
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("GET /v1/metrics", s.handleMetrics)
 	s.route("GET /v1/traces", s.handleTraces)
+	s.route("GET /v1/explain", s.handleExplain)
 	s.route("GET /v1/snapshot", s.handleGetSnapshot)
 	s.route("PUT /v1/snapshot", s.handlePutSnapshot)
 	s.route("PUT /v1/cluster/external-weight", s.handleExternalWeight)
@@ -495,6 +547,15 @@ func (s *Server) SetTraces(rec *span.Recorder) *Server {
 	return s
 }
 
+// SetSlowTraces attaches the slow-trace retention ring served at
+// GET /v1/traces?slow=1 — normally the same span.SlowRecorder passed to
+// the engine via serve.Config.SlowTraces. Returns s for chaining.
+// Without it ?slow=1 serves an empty list.
+func (s *Server) SetSlowTraces(rec *span.SlowRecorder) *Server {
+	s.slowTraces = rec
+	return s
+}
+
 // route registers a handler wrapped in per-endpoint middleware: request
 // and error counters plus a latency histogram keyed by the route pattern,
 // and trace-ID assignment — the request's trace ID (inbound header or
@@ -509,7 +570,11 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		start := time.Now()
 		id := requestTraceID(r)
 		w.Header().Set(TraceHeader, string(id))
-		r = r.WithContext(span.NewContext(r.Context(), id))
+		ctx := span.NewContext(r.Context(), id)
+		if p := r.Header.Get(ParentHeader); p != "" && len(p) <= 64 {
+			ctx = span.NewParentContext(ctx, span.ID(p))
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		reqs.Inc()
@@ -942,6 +1007,7 @@ func (s *Server) handlePutSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.sc.Stats()
+	snap := s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Policy: s.policyName(),
 		Solves: st.Solves, Skipped: st.Skipped, Jobs: st.Jobs, Completed: st.Completed,
@@ -957,23 +1023,51 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		GlobalInvalidations: st.GlobalInvalidations,
 		ApproxComponents:    st.LastApproxComponents,
 		ApproxErrorBound:    st.LastApproxErrorBound,
+		SolveLatency:        latencyQuantiles(snap, "engine.solve_latency"),
+		CommitLatency:       latencyQuantiles(snap, "engine.commit_latency"),
 	})
 }
 
-// TracesResponse carries the most recent commit traces, newest first.
+// latencyQuantiles summarizes one of the engine's latency histograms for
+// /v1/stats, or nil when the backend never recorded it (bare scheduler,
+// replica) — looked up through the snapshot so reading stats does not
+// create empty histograms in the registry.
+func latencyQuantiles(snap obs.Snapshot, name string) *LatencyQuantiles {
+	h, ok := snap.Histograms[name]
+	if !ok || h.Count == 0 {
+		return nil
+	}
+	return &LatencyQuantiles{
+		Count:      h.Count,
+		P50Seconds: h.P50,
+		P95Seconds: h.P95,
+		P99Seconds: h.P99,
+	}
+}
+
+// TracesResponse carries the most recent commit traces, newest first —
+// or, with ?slow=1, the slow-trace retention ring's contents slowest
+// first.
 type TracesResponse struct {
 	// Capacity is the trace ring's size (0 when tracing is disabled).
 	Capacity int `json:"capacity"`
-	// Traces are the recorded commit traces, newest first.
+	// Slow marks a slow-retention read: Traces came from the slow ring
+	// and are ordered slowest first.
+	Slow bool `json:"slow,omitempty"`
+	// Traces are the recorded commit traces, newest first (slowest first
+	// when Slow).
 	Traces []*span.Trace `json:"traces"`
 }
 
 // handleTraces serves the recent commit traces: GET /v1/traces?limit=N
 // returns up to N newest-first (the whole ring when limit is absent).
+// ?slow=1 switches to the slow-trace retention ring — the N slowest
+// commits inside the retention window, slowest first (see SetSlowTraces).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	resp := TracesResponse{Traces: []*span.Trace{}}
+	q := r.URL.Query()
 	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
+	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeJSON(w, http.StatusBadRequest, errorResponse{
@@ -982,9 +1076,80 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	if v := q.Get("slow"); v == "1" || v == "true" {
+		resp.Slow = true
+		resp.Capacity = s.slowTraces.Cap()
+		resp.Traces = s.slowTraces.Slowest(limit)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	if s.traces != nil {
 		resp.Capacity = s.traces.Cap()
 		resp.Traces = s.traces.Recent(limit)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the GET /v1/explain document: the water-filling
+// evidence behind the backend's published allocation. With ?job=<name>
+// only that job's row is returned (Job set, Jobs/Sites empty); without it
+// the full per-job and per-site explanation is dumped.
+type ExplainResponse struct {
+	// Version is the allocation snapshot version the explanation was
+	// derived from (0 for unversioned backends).
+	Version uint64 `json:"version,omitempty"`
+	// Policy is the fairness policy the allocation was solved under.
+	Policy string `json:"policy,omitempty"`
+	// Shard labels which cluster member answered ("" standalone, a shard
+	// index when routed, "replica" from a read replica).
+	Shard string `json:"shard,omitempty"`
+	// Scale, Tol and SatTol echo the explanation's tolerances so callers
+	// can reproduce the saturation and level judgments.
+	Scale  float64 `json:"scale"`
+	Tol    float64 `json:"tol"`
+	SatTol float64 `json:"sat_tol"`
+	// Job is the single requested job's explanation (?job=<name>).
+	Job *core.JobExplanation `json:"job,omitempty"`
+	// Jobs and Sites are the full dump (no ?job filter).
+	Jobs  []core.JobExplanation  `json:"jobs,omitempty"`
+	Sites []core.SiteExplanation `json:"sites,omitempty"`
+}
+
+// handleExplain serves the allocation explainability surface:
+// GET /v1/explain dumps the full water-filling evidence,
+// GET /v1/explain?job=<name> one job's row (404 for unknown jobs).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	ex, ok := s.sc.(Explainer)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "backend does not support allocation explanations", Code: CodeInvalidArgument})
+		return
+	}
+	job := r.URL.Query().Get("job")
+	res, err := ex.Explain(r.Context(), job)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := ExplainResponse{
+		Version: res.Version,
+		Policy:  res.Policy,
+		Shard:   res.Shard,
+		Scale:   res.Explanation.Scale,
+		Tol:     res.Explanation.Tol,
+		SatTol:  res.Explanation.SatTol,
+	}
+	if job != "" {
+		resp.Job = res.Explanation.JobByName(job)
+		if resp.Job == nil {
+			// The backend validated existence; a nil row here means the job
+			// vanished between validation and derivation — treat as unknown.
+			writeError(w, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, job))
+			return
+		}
+	} else {
+		resp.Jobs = res.Explanation.Jobs
+		resp.Sites = res.Explanation.Sites
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

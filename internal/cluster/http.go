@@ -35,19 +35,40 @@ type RouterStatsResponse struct {
 // NewHandler mounts the full cluster control plane for a router: the
 // standard /v1 API (api.NewBackendServer over the router — merged
 // allocations with the cluster version, merged stats, readiness across
-// every shard) plus the cluster-specific routes:
+// every shard, /v1/explain routed to the owning shard) plus the
+// cluster-specific routes:
 //
-//	GET /v1/traces            commit traces merged across shards,
-//	                          newest first (?limit=N)
+//	GET /v1/traces            the stitched trace forest: router-level
+//	                          parent traces with the shards' commit
+//	                          traces hanging under them, newest first
+//	                          (?limit=N); ?slow=1 reads the shards'
+//	                          slow-trace retention rings instead,
+//	                          slowest first
+//	GET /metrics              ONE federated Prometheus page: every
+//	                          shard's (and registered replica's) scrape
+//	                          relabeled with shard="i"/replica="i",
+//	                          plus the router's own fan-out telemetry
 //	GET /v1/cluster/versions  the snapshot version vector
 //	GET /v1/cluster/stats     routing and weight-broadcast counters
+//
+// The router's fan-out instrumentation and parent-trace ring are wired
+// into reg and a fresh ring here (SetMetrics/SetTraces) unless the caller
+// attached its own ring beforehand.
 func NewHandler(r *Router, reg *obs.Registry, capacity []float64, pol policy.Policy) http.Handler {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r.SetMetrics(reg)
+	if r.traces == nil {
+		r.SetTraces(span.NewRecorder(256))
+	}
 	srv := api.NewBackendServer(r, reg, capacity, pol)
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
 		limit := 0
-		if v := req.URL.Query().Get("limit"); v != "" {
+		if v := q.Get("limit"); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
 				writeJSON(w, http.StatusBadRequest, map[string]string{
@@ -56,7 +77,14 @@ func NewHandler(r *Router, reg *obs.Registry, capacity []float64, pol policy.Pol
 			}
 			limit = n
 		}
-		traces, err := r.Traces(req.Context(), limit)
+		slow := q.Get("slow") == "1" || q.Get("slow") == "true"
+		var traces []*span.Trace
+		var err error
+		if slow {
+			traces, err = r.SlowTraces(req.Context(), limit)
+		} else {
+			traces, err = r.Traces(req.Context(), limit)
+		}
 		if err != nil {
 			code := api.CodeFor(err)
 			writeJSON(w, api.StatusFor(code), map[string]string{"error": err.Error(), "code": code})
@@ -65,7 +93,11 @@ func NewHandler(r *Router, reg *obs.Registry, capacity []float64, pol policy.Pol
 		if traces == nil {
 			traces = []*span.Trace{}
 		}
-		writeJSON(w, http.StatusOK, api.TracesResponse{Traces: traces})
+		writeJSON(w, http.StatusOK, api.TracesResponse{Slow: slow, Traces: traces})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = r.WriteFederatedMetrics(req.Context(), w)
 	})
 	mux.HandleFunc("GET /v1/cluster/versions", func(w http.ResponseWriter, req *http.Request) {
 		vec := r.VersionVector()

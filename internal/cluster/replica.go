@@ -8,8 +8,10 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/policy"
 	"repro/internal/scheduler"
+	"repro/internal/serve"
 	"repro/internal/wal"
 )
 
@@ -48,6 +50,11 @@ type ReplicaConfig struct {
 	// Metrics receives replication gauges and counters; nil creates a
 	// private registry.
 	Metrics *obs.Registry
+	// TraceBuffer sizes the replay-trace ring: one trace per applied WAL
+	// batch (stages: decode, apply; Shard "replica", Seq the replica's
+	// local batch counter — WAL payloads carry no sequence numbers).
+	// 0 uses the default (64); negative disables replay tracing.
+	TraceBuffer int
 }
 
 // ReplicaView is one published replica snapshot: an immutable allocation
@@ -76,6 +83,12 @@ type Replica struct {
 	cfg ReplicaConfig
 	sc  *scheduler.Scheduler
 	reg *obs.Registry
+
+	// traces records one replay trace per applied WAL batch (nil when
+	// disabled). batchSeq is the replica's local batch counter — it owns
+	// the poll goroutine, no synchronization needed.
+	traces   *span.Recorder
+	batchSeq uint64
 
 	view     atomic.Pointer[ReplicaView]
 	caughtUp atomic.Bool
@@ -111,10 +124,19 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
+	var traces *span.Recorder
+	if cfg.TraceBuffer >= 0 {
+		size := cfg.TraceBuffer
+		if size == 0 {
+			size = 64
+		}
+		traces = span.NewRecorder(size)
+	}
 	r := &Replica{
-		cfg: cfg,
-		sc:  sc,
-		reg: reg,
+		cfg:    cfg,
+		sc:     sc,
+		reg:    reg,
+		traces: traces,
 
 		gLagSegments: reg.Gauge("replica.lag_segments"),
 		gLagBytes:    reg.Gauge("replica.lag_bytes"),
@@ -188,18 +210,42 @@ func (r *Replica) syncOnce(cur wal.Cursor, version uint64) (wal.Cursor, uint64, 
 			changed = true
 		}
 		for _, payload := range resp.Records {
+			r.batchSeq++
+			var tb *span.Builder
+			if r.traces != nil {
+				tb = span.Begin(span.MintID(), time.Now())
+				tb.SetSeq(r.batchSeq)
+				tb.SetShard("replica")
+			}
+			t0 := time.Now()
 			ms, err := wal.DecodeBatch(payload)
+			if tb != nil {
+				tb.Stage("decode", time.Since(t0))
+			}
 			if err != nil {
 				r.cApplyFailed.Inc()
+				if tb != nil {
+					tb.SetError(err)
+					r.traces.Record(tb.Finish())
+				}
 				continue
 			}
 			r.cBatches.Inc()
+			t0 = time.Now()
+			var applyErr error
 			for _, m := range ms {
 				if err := m.Apply(r.sc); err != nil {
 					r.cApplyFailed.Inc()
+					applyErr = err
 				} else {
 					r.cMutations.Inc()
 				}
+			}
+			if tb != nil {
+				tb.Stage("apply", time.Since(t0))
+				tb.SetBatch(len(ms), nil)
+				tb.SetError(applyErr)
+				r.traces.Record(tb.Finish())
 			}
 			changed = true
 		}
@@ -263,6 +309,36 @@ func (r *Replica) View() *ReplicaView { return r.view.Load() }
 
 // Metrics returns the registry carrying the replication gauges.
 func (r *Replica) Metrics() *obs.Registry { return r.reg }
+
+// Traces returns the replay-trace ring — one trace per applied WAL batch,
+// tagged Shard "replica" — for mounting at the read endpoint's
+// /v1/traces (api.Server.SetTraces). Nil when replay tracing is disabled.
+func (r *Replica) Traces() *span.Recorder { return r.traces }
+
+// Explain derives the water-filling explanation from the replica's
+// replayed job set (api.Explainer): same evidence as the primary, bounded
+// by the replica's staleness. Unavailable (ErrSyncing) before the first
+// published view.
+func (r *Replica) Explain(ctx context.Context, job string) (*serve.ExplainResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v := r.view.Load()
+	if v == nil {
+		return nil, ErrSyncing
+	}
+	ex, err := r.sc.Explain()
+	if err != nil {
+		return nil, err
+	}
+	if job != "" && ex.JobByName(job) == nil {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, job)
+	}
+	return &serve.ExplainResult{
+		Version: v.Version, Policy: r.sc.PolicyName(), Shard: "replica",
+		Explanation: ex,
+	}, nil
+}
 
 // LastError reports the most recent poll error ("" when none).
 func (r *Replica) LastError() string {

@@ -4,15 +4,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/policy"
 	"repro/internal/scheduler"
+	"repro/internal/serve"
 )
 
 // Stable cluster errors. The API layer maps them through api.CodeFor's
@@ -40,6 +46,15 @@ var (
 	// the divergent shard, then retry.
 	ErrConfigMismatch = errors.New("cluster: shards disagree on runtime config")
 )
+
+// ErrExplainNeedsJob rejects a full-dump explanation through the router:
+// job and site indexes in an Explanation are shard-local, so a merged
+// dump would be incoherent. Name the job (?job=) to route the question to
+// its owning shard, or read a shard's /v1/explain directly. Served as 400
+// invalid_argument via the api.Coder surface.
+var ErrExplainNeedsJob error = &codedError{
+	msg:  "cluster: explanation through the router requires ?job=<name>; read shards directly for full dumps",
+	code: api.CodeInvalidArgument}
 
 // readTimeout bounds the context-less api.Backend read surfaces (Stats,
 // Snapshot, ReadyErr) when fanning out to remote shards.
@@ -78,6 +93,21 @@ type Router struct {
 	shards   []Shard
 	polName  string
 	enhanced bool
+
+	// reg receives the router's own observability families: per-op fan-out
+	// latency histograms (cluster.fanout.latency.<op>), per-shard fan-out
+	// error counters (cluster.fanout.errors.<i>) and the cluster version
+	// spread gauge. nil disables router-side instrumentation. Set before
+	// serving (SetMetrics).
+	reg *obs.Registry
+	// traces is the router's own trace ring: one parent trace per routed
+	// mutation (stages: route, shard_commit, weight_broadcast), under
+	// which Traces stitches the shards' commit traces. nil disables
+	// router-level tracing (parent-ID propagation still happens).
+	traces *span.Recorder
+	// extraScrapes are additional federation sources beyond the shards —
+	// read replicas, registered by the binary (AddScrapeTarget).
+	extraScrapes []scrapeTarget
 
 	mu        sync.Mutex
 	siteOwner map[int]int    // site → shard holding jobs that demand it
@@ -126,6 +156,85 @@ func NewRouter(shards []Shard, pol policy.Policy) (*Router, error) {
 
 // NumShards reports the cluster size.
 func (r *Router) NumShards() int { return len(r.shards) }
+
+// scrapeTarget is one extra metrics-federation source.
+type scrapeTarget struct {
+	label, value string
+	scrape       func(ctx context.Context) ([]byte, error)
+}
+
+// SetMetrics attaches the registry receiving the router's fan-out
+// telemetry. Call before serving; returns r for chaining.
+func (r *Router) SetMetrics(reg *obs.Registry) *Router {
+	r.reg = reg
+	return r
+}
+
+// SetTraces attaches the router's parent-trace ring (see Traces). Call
+// before serving; returns r for chaining.
+func (r *Router) SetTraces(rec *span.Recorder) *Router {
+	r.traces = rec
+	return r
+}
+
+// AddScrapeTarget registers an extra metrics-federation source — a read
+// replica's /metrics, labeled e.g. replica="0". Call before serving.
+func (r *Router) AddScrapeTarget(label, value string, scrape func(ctx context.Context) ([]byte, error)) {
+	r.extraScrapes = append(r.extraScrapes, scrapeTarget{label: label, value: value, scrape: scrape})
+}
+
+// observeFanout feeds one cluster.fanout.latency.<op> histogram.
+func (r *Router) observeFanout(op string, start time.Time) {
+	if r.reg != nil {
+		r.reg.Observe("cluster.fanout.latency."+op, time.Since(start))
+	}
+}
+
+// countShardError bumps the per-shard fan-out error counter.
+func (r *Router) countShardError(shard int) {
+	if r.reg != nil {
+		r.reg.Counter("cluster.fanout.errors." + strconv.Itoa(shard)).Inc()
+	}
+}
+
+// beginOp starts one routed mutation's observability context: the
+// router-level parent trace ID (the request's trace ID when the API
+// middleware minted one, else fresh) is installed in the context both as
+// the trace ID — so fan-out legs reuse it and the shard's commit batches
+// it under Requests — and as the parent span ID, which the API client
+// forwards via the X-AMF-Parent-Span header (in-process shards read it
+// straight from the context) so the shard stamps it on the commit trace
+// for stitching. The returned builder is nil when router tracing is off;
+// mark/finishOp tolerate that.
+func (r *Router) beginOp(ctx context.Context) (context.Context, *span.Builder) {
+	parent := span.FromContext(ctx)
+	if parent == "" {
+		parent = span.MintID()
+		ctx = span.NewContext(ctx, parent)
+	}
+	ctx = span.NewParentContext(ctx, parent)
+	if r.traces == nil {
+		return ctx, nil
+	}
+	return ctx, span.Begin(parent, time.Now())
+}
+
+// mark appends one stage span covering [start, now) to a routed
+// mutation's trace.
+func mark(tb *span.Builder, name string, start time.Time) {
+	if tb != nil {
+		tb.Stage(name, time.Since(start))
+	}
+}
+
+// finishOp records a routed mutation's completed trace.
+func (r *Router) finishOp(tb *span.Builder, err error) {
+	if tb == nil {
+		return
+	}
+	tb.SetError(err)
+	r.traces.Record(tb.Finish())
+}
 
 // PolicyName reports the fairness policy the cluster runs — the router's
 // configured policy, which SyncFromShards verifies every shard agrees
@@ -240,6 +349,8 @@ func (r *Router) reconcileLocked(ctx context.Context, dirty int, delta float64) 
 		r.fastPathSkips.Add(1)
 		return nil
 	}
+	start := time.Now()
+	defer func() { r.observeFanout("weight_broadcast", start) }()
 	r.broadcastVersion.Add(1)
 	var firstErr error
 	for i, sh := range r.shards {
@@ -252,8 +363,11 @@ func (r *Router) reconcileLocked(ctx context.Context, dirty int, delta float64) 
 			// scheduler would reject.
 			ext = 0
 		}
-		if err := sh.SetExternalWeight(ctx, ext); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: weight broadcast to shard %d: %w", i, err)
+		if err := sh.SetExternalWeight(ctx, ext); err != nil {
+			r.countShardError(i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: weight broadcast to shard %d: %w", i, err)
+			}
 		}
 		r.broadcasts.Add(1)
 	}
@@ -263,22 +377,33 @@ func (r *Router) reconcileLocked(ctx context.Context, dirty int, delta float64) 
 }
 
 // AddJob routes and registers one job.
-func (r *Router) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
+func (r *Router) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) (err error) {
+	ctx, tb := r.beginOp(ctx)
+	defer func() { r.finishOp(tb, err) }()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.jobShard[id]; ok {
 		return fmt.Errorf("%w: %q", scheduler.ErrDuplicateJob, id)
 	}
 	sites := core.DemandSites(demand)
+	t0 := time.Now()
 	shard, err := r.routeLocked(sites, nil)
+	mark(tb, "route", t0)
 	if err != nil {
 		return err
 	}
-	if err := r.shards[shard].AddJob(ctx, id, weight, demand, work); err != nil {
+	t0 = time.Now()
+	err = r.shards[shard].AddJob(ctx, id, weight, demand, work)
+	mark(tb, "shard_commit", t0)
+	if err != nil {
+		r.countShardError(shard)
 		return err
 	}
 	delta := r.recordJobLocked(id, shard, sites, weight)
-	return r.reconcileLocked(ctx, shard, delta)
+	t0 = time.Now()
+	err = r.reconcileLocked(ctx, shard, delta)
+	mark(tb, "weight_broadcast", t0)
+	return err
 }
 
 // AddJobInQueue is unsupported in cluster mode.
@@ -296,25 +421,34 @@ func (r *Router) AddQueue(ctx context.Context, name string, weight float64) erro
 // shards and a later group fails, already-registered groups are rolled
 // back best-effort, so the batch is all-or-nothing as long as the
 // compensating removals succeed.
-func (r *Router) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
+func (r *Router) AddJobs(ctx context.Context, specs []scheduler.JobSpec) (err error) {
+	ctx, tb := r.beginOp(ctx)
+	defer func() { r.finishOp(tb, err) }()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if tb != nil {
+		tb.SetBatch(len(specs), nil)
+	}
 	seen := map[string]bool{}
 	tentative := map[int]int{}
 	groups := map[int][]scheduler.JobSpec{}
 	siteSets := map[string][]int{}
+	t0 := time.Now()
 	for _, sp := range specs {
 		if sp.Queue != "" {
+			mark(tb, "route", t0)
 			return ErrQueuesUnsupported
 		}
 		if _, ok := r.jobShard[sp.ID]; ok || seen[sp.ID] {
+			mark(tb, "route", t0)
 			return fmt.Errorf("%w: %q", scheduler.ErrDuplicateJob, sp.ID)
 		}
 		seen[sp.ID] = true
 		sites := core.DemandSites(sp.Demand)
-		shard, err := r.routeLocked(sites, tentative)
-		if err != nil {
-			return err
+		shard, rerr := r.routeLocked(sites, tentative)
+		if rerr != nil {
+			mark(tb, "route", t0)
+			return rerr
 		}
 		for _, s := range sites {
 			tentative[s] = shard
@@ -322,23 +456,28 @@ func (r *Router) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
 		siteSets[sp.ID] = sites
 		groups[shard] = append(groups[shard], sp)
 	}
+	mark(tb, "route", t0)
 	order := make([]int, 0, len(groups))
 	for shard := range groups {
 		order = append(order, shard)
 	}
 	sort.Ints(order)
+	t0 = time.Now()
 	applied := make([]int, 0, len(order))
 	for _, shard := range order {
 		if err := r.shards[shard].AddJobs(ctx, groups[shard]); err != nil {
+			r.countShardError(shard)
 			for _, k := range applied {
 				for _, sp := range groups[k] {
 					_ = r.shards[k].RemoveJob(ctx, sp.ID)
 				}
 			}
+			mark(tb, "shard_commit", t0)
 			return err
 		}
 		applied = append(applied, shard)
 	}
+	mark(tb, "shard_commit", t0)
 	var total float64
 	last := 0
 	for _, shard := range order {
@@ -352,53 +491,79 @@ func (r *Router) AddJobs(ctx context.Context, specs []scheduler.JobSpec) error {
 		// reconcile against a sentinel that broadcasts to everyone.
 		last = -1
 	}
-	return r.reconcileLocked(ctx, last, total)
+	t0 = time.Now()
+	err = r.reconcileLocked(ctx, last, total)
+	mark(tb, "weight_broadcast", t0)
+	return err
 }
 
 // RemoveJob routes a removal.
-func (r *Router) RemoveJob(ctx context.Context, id string) error {
+func (r *Router) RemoveJob(ctx context.Context, id string) (err error) {
+	ctx, tb := r.beginOp(ctx)
+	defer func() { r.finishOp(tb, err) }()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	shard, ok := r.jobShard[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
 	}
-	if err := r.shards[shard].RemoveJob(ctx, id); err != nil {
+	t0 := time.Now()
+	err = r.shards[shard].RemoveJob(ctx, id)
+	mark(tb, "shard_commit", t0)
+	if err != nil {
+		r.countShardError(shard)
 		return err
 	}
 	delta := r.forgetJobLocked(id)
-	return r.reconcileLocked(ctx, shard, delta)
+	t0 = time.Now()
+	err = r.reconcileLocked(ctx, shard, delta)
+	mark(tb, "weight_broadcast", t0)
+	return err
 }
 
 // ReportProgress routes a progress report; a completed job leaves the
 // ledger exactly like a removal.
-func (r *Router) ReportProgress(ctx context.Context, id string, done []float64) (bool, error) {
+func (r *Router) ReportProgress(ctx context.Context, id string, done []float64) (completed bool, err error) {
+	ctx, tb := r.beginOp(ctx)
+	defer func() { r.finishOp(tb, err) }()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	shard, ok := r.jobShard[id]
 	if !ok {
 		return false, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
 	}
-	completed, err := r.shards[shard].ReportProgress(ctx, id, done)
+	t0 := time.Now()
+	completed, err = r.shards[shard].ReportProgress(ctx, id, done)
+	mark(tb, "shard_commit", t0)
 	if err != nil {
+		r.countShardError(shard)
 		return false, err
 	}
 	if completed {
 		delta := r.forgetJobLocked(id)
-		return true, r.reconcileLocked(ctx, shard, delta)
+		t0 = time.Now()
+		err = r.reconcileLocked(ctx, shard, delta)
+		mark(tb, "weight_broadcast", t0)
+		return true, err
 	}
 	return false, nil
 }
 
 // UpdateWeight routes a weight change.
-func (r *Router) UpdateWeight(ctx context.Context, id string, weight float64) error {
+func (r *Router) UpdateWeight(ctx context.Context, id string, weight float64) (err error) {
+	ctx, tb := r.beginOp(ctx)
+	defer func() { r.finishOp(tb, err) }()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	shard, ok := r.jobShard[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, id)
 	}
-	if err := r.shards[shard].UpdateWeight(ctx, id, weight); err != nil {
+	t0 := time.Now()
+	err = r.shards[shard].UpdateWeight(ctx, id, weight)
+	mark(tb, "shard_commit", t0)
+	if err != nil {
+		r.countShardError(shard)
 		return err
 	}
 	old := r.jobWeight[id]
@@ -406,7 +571,10 @@ func (r *Router) UpdateWeight(ctx context.Context, id string, weight float64) er
 	r.jobWeight[id] = w
 	r.shardWt[shard] += w - old
 	r.weightSum += w - old
-	return r.reconcileLocked(ctx, shard, w-old)
+	t0 = time.Now()
+	err = r.reconcileLocked(ctx, shard, w-old)
+	mark(tb, "weight_broadcast", t0)
+	return err
 }
 
 // Shares routes a single-job read to its shard.
@@ -424,6 +592,8 @@ func (r *Router) Shares(ctx context.Context, id string) ([]float64, error) {
 // maps into one response, caching the per-shard snapshot versions as the
 // cluster's version vector (VersionVector, SnapshotVersion).
 func (r *Router) Allocation(ctx context.Context) (map[string][]float64, error) {
+	start := time.Now()
+	defer func() { r.observeFanout("allocation", start) }()
 	type result struct {
 		alloc   map[string][]float64
 		version uint64
@@ -443,6 +613,7 @@ func (r *Router) Allocation(ctx context.Context) (map[string][]float64, error) {
 	versions := make([]uint64, len(r.shards))
 	for i, res := range results {
 		if res.err != nil {
+			r.countShardError(i)
 			return nil, fmt.Errorf("cluster: allocation from shard %d: %w", i, res.err)
 		}
 		versions[i] = res.version
@@ -452,6 +623,31 @@ func (r *Router) Allocation(ctx context.Context) (map[string][]float64, error) {
 	}
 	r.versions.Store(&versions)
 	return merged, nil
+}
+
+// Explain routes the explainability question to the job's owning shard
+// (api.Explainer) and labels the answer with that shard's index. Full
+// dumps (job "") are refused: an Explanation's job and site indexes are
+// shard-local, so a merged dump would be incoherent.
+func (r *Router) Explain(ctx context.Context, job string) (*serve.ExplainResult, error) {
+	if job == "" {
+		return nil, ErrExplainNeedsJob
+	}
+	r.mu.Lock()
+	shard, ok := r.jobShard[job]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, job)
+	}
+	start := time.Now()
+	defer func() { r.observeFanout("explain", start) }()
+	res, err := r.shards[shard].Explain(ctx, job)
+	if err != nil {
+		r.countShardError(shard)
+		return nil, fmt.Errorf("cluster: explain from shard %d: %w", shard, err)
+	}
+	res.Shard = strconv.Itoa(shard)
+	return res, nil
 }
 
 // VersionVector returns the per-shard snapshot versions observed by the
@@ -532,17 +728,70 @@ func (r *Router) Restore(ctx context.Context, snap scheduler.Snapshot) error {
 	return ErrRestoreUnsupported
 }
 
-// Traces merges the shards' commit-trace rings, newest first, capped at
-// limit (0 = everything the shards returned).
+// Traces returns the cluster's stitched trace forest, newest first,
+// capped at limit top-level trees (0 = everything).
+//
+// Every shard's whole ring is fetched in parallel and each shard-local
+// commit trace is tagged with its shard index. Traces carrying a parent
+// ID that matches a router-level trace (recorded per routed mutation —
+// see beginOp) hang under that parent as Children; traces whose parent
+// has already churned out of the router's ring, and standalone traces
+// (no parent), stay visible as flat top-level entries.
 func (r *Router) Traces(ctx context.Context, limit int) ([]*span.Trace, error) {
-	var merged []*span.Trace
-	for i, sh := range r.shards {
-		traces, err := sh.Traces(ctx, limit)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: traces from shard %d: %w", i, err)
-		}
-		merged = append(merged, traces...)
+	start := time.Now()
+	defer func() { r.observeFanout("traces", start) }()
+	type result struct {
+		traces []*span.Trace
+		err    error
 	}
+	results := make([]result, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			// Fetch the whole ring: a child relevant to a recent parent may
+			// sit deeper than `limit` in a busy shard's ring.
+			results[i].traces, results[i].err = sh.Traces(ctx, 0)
+		}(i, sh)
+	}
+	wg.Wait()
+	children := map[span.ID][]*span.Trace{}
+	var flat []*span.Trace
+	for i, res := range results {
+		if res.err != nil {
+			r.countShardError(i)
+			return nil, fmt.Errorf("cluster: traces from shard %d: %w", i, res.err)
+		}
+		label := strconv.Itoa(i)
+		for _, t := range res.traces {
+			c := t.StitchChild(t.Parent, label)
+			if c.Parent != "" {
+				children[c.Parent] = append(children[c.Parent], c)
+			} else {
+				flat = append(flat, c)
+			}
+		}
+	}
+	var merged []*span.Trace
+	if r.traces != nil {
+		for _, p := range r.traces.Recent(0) {
+			// Shallow copy: the recorded parent is immutable and shared with
+			// concurrent readers; only the copy grows Children.
+			cp := *p
+			cp.Children = children[cp.ID]
+			sort.SliceStable(cp.Children, func(a, b int) bool {
+				return cp.Children[a].Shard < cp.Children[b].Shard
+			})
+			delete(children, cp.ID)
+			merged = append(merged, &cp)
+		}
+	}
+	// Children whose parent churned out of the router ring stay visible.
+	for _, orphans := range children {
+		flat = append(flat, orphans...)
+	}
+	merged = append(merged, flat...)
 	sort.SliceStable(merged, func(a, b int) bool {
 		return merged[a].Start.After(merged[b].Start)
 	})
@@ -550,6 +799,106 @@ func (r *Router) Traces(ctx context.Context, limit int) ([]*span.Trace, error) {
 		merged = merged[:limit]
 	}
 	return merged, nil
+}
+
+// SlowTraces merges the shards' slow-trace retention rings, slowest
+// first, capped at limit (0 = everything retained), each trace tagged
+// with its shard index.
+func (r *Router) SlowTraces(ctx context.Context, limit int) ([]*span.Trace, error) {
+	type result struct {
+		traces []*span.Trace
+		err    error
+	}
+	results := make([]result, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			results[i].traces, results[i].err = sh.SlowTraces(ctx, limit)
+		}(i, sh)
+	}
+	wg.Wait()
+	var merged []*span.Trace
+	for i, res := range results {
+		if res.err != nil {
+			r.countShardError(i)
+			return nil, fmt.Errorf("cluster: slow traces from shard %d: %w", i, res.err)
+		}
+		label := strconv.Itoa(i)
+		for _, t := range res.traces {
+			merged = append(merged, t.StitchChild(t.Parent, label))
+		}
+	}
+	sort.SliceStable(merged, func(a, b int) bool {
+		return merged[a].Total > merged[b].Total
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// WriteFederatedMetrics scrapes every shard's (and registered replica's)
+// Prometheus page concurrently and re-exports them as ONE exposition:
+// shard pages gain a shard="<i>" label, extra targets their registered
+// label pair, and the router's own registry (fan-out latencies, per-shard
+// error counters, version spread) rides along unlabeled. A target that
+// fails to scrape drops out of the page (best effort, counted in
+// cluster.fanout.errors.<i> for shards) rather than failing the scrape.
+func (r *Router) WriteFederatedMetrics(ctx context.Context, w io.Writer) error {
+	start := time.Now()
+	defer func() { r.observeFanout("metrics", start) }()
+	n := len(r.shards) + len(r.extraScrapes)
+	pages := make([]obs.ScrapedPage, 0, n+1)
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			bodies[i], errs[i] = sh.ScrapeMetrics(ctx)
+		}(i, sh)
+	}
+	for i, t := range r.extraScrapes {
+		wg.Add(1)
+		go func(i int, t scrapeTarget) {
+			defer wg.Done()
+			bodies[i], errs[i] = t.scrape(ctx)
+		}(len(r.shards)+i, t)
+	}
+	wg.Wait()
+	for i := range r.shards {
+		if errs[i] != nil {
+			r.countShardError(i)
+			continue
+		}
+		pages = append(pages, obs.ScrapedPage{Label: "shard", Value: strconv.Itoa(i), Body: bodies[i]})
+	}
+	for i, t := range r.extraScrapes {
+		if errs[len(r.shards)+i] != nil {
+			continue
+		}
+		pages = append(pages, obs.ScrapedPage{Label: t.label, Value: t.value, Body: bodies[len(r.shards)+i]})
+	}
+	if r.reg != nil {
+		// Refresh the version-spread gauge from the latest merged read
+		// before self-scraping: how far apart the shards' snapshot
+		// versions sit, 0 for a lock-step (or single-shard) cluster.
+		if vec := r.VersionVector(); len(vec) > 0 {
+			lo, hi := vec[0], vec[0]
+			for _, v := range vec[1:] {
+				lo, hi = min(lo, v), max(hi, v)
+			}
+			r.reg.Gauge("cluster.version_spread").Set(float64(hi - lo))
+		}
+		var sb strings.Builder
+		if err := r.reg.WritePrometheus(&sb); err == nil {
+			pages = append(pages, obs.ScrapedPage{Body: []byte(sb.String())})
+		}
+	}
+	return obs.WriteFederated(w, pages)
 }
 
 // ReadyErr reports the first unready shard (api.ReadyChecker): the

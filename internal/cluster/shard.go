@@ -14,16 +14,22 @@ package cluster
 
 import (
 	"context"
+	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 )
 
-// The router is itself an api.Backend with the unified config surface.
+// The router is itself an api.Backend with the unified config surface
+// and the explainability surface; replicas explain their replayed view.
 var _ api.ConfigPatcher = (*Router)(nil)
+var _ api.Explainer = (*Router)(nil)
+var _ api.Explainer = (*Replica)(nil)
 
 // Shard is the router's view of one engine shard: the mutation and read
 // surface it fans out to, plus the cluster-specific hooks (external
@@ -43,6 +49,15 @@ type Shard interface {
 	Stats(ctx context.Context) (scheduler.Stats, error)
 	Snapshot(ctx context.Context) (scheduler.Snapshot, error)
 	Traces(ctx context.Context, limit int) ([]*span.Trace, error)
+	// SlowTraces reads the shard's slow-trace retention ring, slowest
+	// first (nil when the shard runs without slow retention).
+	SlowTraces(ctx context.Context, limit int) ([]*span.Trace, error)
+	// Explain derives the shard's allocation explanation (job "" = full
+	// dump; the router routes named jobs to the owning shard).
+	Explain(ctx context.Context, job string) (*serve.ExplainResult, error)
+	// ScrapeMetrics returns the shard's raw Prometheus text exposition —
+	// the router's federation input (nil page when unavailable).
+	ScrapeMetrics(ctx context.Context) ([]byte, error)
 	SetExternalWeight(ctx context.Context, w float64) error
 	// PolicyName reports the shard's active fairness policy; the router
 	// refuses to assemble a mixed-policy cluster (ErrPolicyMismatch).
@@ -65,6 +80,12 @@ type EngineShard struct {
 	// Rec is the engine's commit-trace ring (serve.Config.Traces); nil
 	// serves empty trace merges.
 	Rec *span.Recorder
+	// Slow is the engine's slow-trace retention ring
+	// (serve.Config.SlowTraces); nil serves empty slow reads.
+	Slow *span.SlowRecorder
+	// Reg is the registry the engine instruments; the router scrapes it
+	// for metrics federation. nil contributes an empty page.
+	Reg *obs.Registry
 }
 
 func (s EngineShard) AddJob(ctx context.Context, id string, weight float64, demand, work []float64) error {
@@ -123,6 +144,31 @@ func (s EngineShard) Traces(ctx context.Context, limit int) ([]*span.Trace, erro
 		return nil, nil
 	}
 	return s.Rec.Recent(limit), nil
+}
+
+func (s EngineShard) SlowTraces(ctx context.Context, limit int) ([]*span.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Slow.Slowest(limit), nil
+}
+
+func (s EngineShard) Explain(ctx context.Context, job string) (*serve.ExplainResult, error) {
+	return s.Eng.Explain(ctx, job)
+}
+
+func (s EngineShard) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.Reg == nil {
+		return nil, nil
+	}
+	var sb strings.Builder
+	if err := s.Reg.WritePrometheus(&sb); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
 }
 
 func (s EngineShard) SetExternalWeight(ctx context.Context, w float64) error {
@@ -233,6 +279,37 @@ func (s HTTPShard) Traces(ctx context.Context, limit int) ([]*span.Trace, error)
 		return nil, err
 	}
 	return resp.Traces, nil
+}
+
+func (s HTTPShard) SlowTraces(ctx context.Context, limit int) ([]*span.Trace, error) {
+	resp, err := s.Client.SlowTraces(ctx, limit)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+func (s HTTPShard) Explain(ctx context.Context, job string) (*serve.ExplainResult, error) {
+	resp, err := s.Client.Explain(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	ex := &core.Explanation{
+		Scale: resp.Scale, Tol: resp.Tol, SatTol: resp.SatTol,
+		Jobs: resp.Jobs, Sites: resp.Sites,
+	}
+	if resp.Job != nil {
+		// A filtered read carries only the requested row.
+		ex.Jobs = []core.JobExplanation{*resp.Job}
+	}
+	return &serve.ExplainResult{
+		Version: resp.Version, Policy: resp.Policy, Shard: resp.Shard,
+		Explanation: ex,
+	}, nil
+}
+
+func (s HTTPShard) ScrapeMetrics(ctx context.Context) ([]byte, error) {
+	return s.Client.ScrapeMetrics(ctx)
 }
 
 func (s HTTPShard) SetExternalWeight(ctx context.Context, w float64) error {

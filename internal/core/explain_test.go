@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randClusteredInstance builds a block-structured instance: sites split
+// into blocks and every job demands only within one block, so the
+// decomposed solve path sees several independent components.
+func randClusteredInstance(rng *rand.Rand, blocks, sitesPerBlock, jobsPerBlock int) *Instance {
+	m := blocks * sitesPerBlock
+	in := &Instance{
+		SiteCapacity: make([]float64, m),
+	}
+	for s := range in.SiteCapacity {
+		in.SiteCapacity[s] = 0.5 + rng.Float64()*4.5
+	}
+	for b := 0; b < blocks; b++ {
+		for j := 0; j < jobsPerBlock; j++ {
+			row := make([]float64, m)
+			s0 := b * sitesPerBlock
+			k := 1 + rng.Intn(sitesPerBlock)
+			row[s0] = 0.1 + rng.Float64()*2
+			for _, off := range rng.Perm(sitesPerBlock - 1)[:k-1] {
+				row[s0+1+off] = 0.1 + rng.Float64()*2
+			}
+			in.Demand = append(in.Demand, row)
+			in.Weight = append(in.Weight, 0.5+rng.Float64()*3.5)
+		}
+	}
+	return in
+}
+
+// checkExplanation asserts the acceptance properties: every reported
+// level equals the published aggregate to 1e-9*Scale, and every reported
+// binding site is actually saturated (independently recomputed from the
+// share matrix).
+func checkExplanation(t *testing.T, in *Instance, a *Allocation, ex *Explanation) {
+	t.Helper()
+	scale := in.Scale()
+	levelTol := 1e-9 * scale
+	if len(ex.Jobs) != in.NumJobs() || len(ex.Sites) != in.NumSites() {
+		t.Fatalf("explanation shape %dx%d, want %dx%d",
+			len(ex.Jobs), len(ex.Sites), in.NumJobs(), in.NumSites())
+	}
+	load := make([]float64, in.NumSites())
+	for j := range a.Share {
+		for s, v := range a.Share[j] {
+			load[s] += v
+		}
+	}
+	for j, je := range ex.Jobs {
+		if got, want := je.Level, a.Aggregate(j); math.Abs(got-want) > levelTol {
+			t.Fatalf("job %d reported level %g, allocation %g (tol %g)", j, got, want, levelTol)
+		}
+		for _, bs := range je.BindingSites {
+			if residual := in.SiteCapacity[bs.Site] - load[bs.Site]; residual > ex.SatTol {
+				t.Fatalf("job %d binding site %d not saturated: residual %g > %g",
+					j, bs.Site, residual, ex.SatTol)
+			}
+			if a.Share[j][bs.Site] >= in.Demand[j][bs.Site]-ex.Tol {
+				t.Fatalf("job %d binding site %d has no residual demand", j, bs.Site)
+			}
+		}
+		switch je.Limit {
+		case ExplainDemandCapped:
+			if math.Abs(je.Level-in.TotalDemand(j)) > ex.Tol {
+				t.Fatalf("job %d demand-capped at level %g, demand %g", j, je.Level, in.TotalDemand(j))
+			}
+		case ExplainZeroDemand:
+			if in.TotalDemand(j) > 0 {
+				t.Fatalf("job %d marked zero-demand with demand %g", j, in.TotalDemand(j))
+			}
+		case ExplainBottlenecked:
+			if len(je.BindingSites) == 0 {
+				t.Fatalf("job %d bottlenecked with no binding sites (level %g, demand %g)",
+					j, je.Level, in.TotalDemand(j))
+			}
+		}
+		if in.TotalDemand(j) > 0 && je.FreezeRound < 1 {
+			t.Fatalf("job %d has freeze round %d", j, je.FreezeRound)
+		}
+	}
+	for s, se := range ex.Sites {
+		if math.Abs(se.Load-load[s]) > levelTol {
+			t.Fatalf("site %d reported load %g, actual %g", s, se.Load, load[s])
+		}
+		if se.Saturated != (se.Residual <= ex.SatTol) {
+			t.Fatalf("site %d saturation flag inconsistent: residual %g, sat_tol %g",
+				s, se.Residual, ex.SatTol)
+		}
+	}
+}
+
+// TestExplainProperty is the acceptance property test: for 200 random
+// instances spanning AMF and Enhanced-AMF on flat and clustered
+// topologies, every reported binding site is saturated and every reported
+// level matches the published allocation to 1e-9*Scale. Run under -race.
+func TestExplainProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	sv := NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		var in *Instance
+		if trial%2 == 0 {
+			in = randWeightedInstance(rng, 2+rng.Intn(10), 2+rng.Intn(5))
+		} else {
+			in = randClusteredInstance(rng, 2+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(4))
+		}
+		enhanced := trial%4 >= 2
+		var (
+			a      *Allocation
+			floors []float64
+			err    error
+		)
+		if enhanced {
+			floors = EqualShares(in)
+			a, err = sv.EnhancedAMF(in)
+		} else {
+			a, err = sv.AMF(in)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		ex := Explain(in, a.Share, floors)
+		checkExplanation(t, in, a, ex)
+		if enhanced {
+			for j, je := range ex.Jobs {
+				if math.Abs(je.Floor-floors[j]) > 0 {
+					t.Fatalf("trial %d: job %d floor %g, want %g", trial, j, je.Floor, floors[j])
+				}
+				if je.Level < floors[j]-ex.Tol {
+					t.Fatalf("trial %d: job %d level %g below floor %g", trial, j, je.Level, floors[j])
+				}
+			}
+		}
+	}
+}
+
+// TestExplainAgainstDiagnostics cross-checks the post-hoc limit
+// classification against the solver's in-loop freeze diagnostics.
+func TestExplainAgainstDiagnostics(t *testing.T) {
+	rng := rand.New(rand.NewSource(821))
+	sv := NewSolver()
+	for trial := 0; trial < 50; trial++ {
+		in := randWeightedInstance(rng, 2+rng.Intn(8), 2+rng.Intn(4))
+		a, diag, err := sv.AMFDiag(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ex := Explain(in, a.Share, nil)
+		for j := range ex.Jobs {
+			want := diag.Limit(j)
+			got := ex.Jobs[j].Limit
+			// The two classifiers may legitimately disagree when a job is
+			// simultaneously at its demand and at the bottleneck level;
+			// only flag hard contradictions.
+			if want == LimitDemand && got == ExplainBottlenecked {
+				if a.Aggregate(j) < in.TotalDemand(j)-ex.SatTol {
+					t.Fatalf("trial %d: job %d diag says demand-capped, explain says bottlenecked (agg %g, demand %g)",
+						trial, j, a.Aggregate(j), in.TotalDemand(j))
+				}
+			}
+			if want == LimitBottleneck && got == ExplainDemandCapped {
+				if a.Aggregate(j) < in.TotalDemand(j)-ex.SatTol {
+					t.Fatalf("trial %d: job %d diag says bottlenecked, explain says demand-capped far from demand",
+						trial, j)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainNamedLookup exercises JobByName and the named fields.
+func TestExplainNamedLookup(t *testing.T) {
+	in := sharingIncentiveInstance()
+	in.JobName = []string{"x", "y", "z"}
+	in.SiteName = []string{"private", "contested"}
+	sv := NewSolver()
+	a, err := sv.AMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Explain(in, a.Share, nil)
+	je := ex.JobByName("y")
+	if je == nil || je.Job != 1 {
+		t.Fatalf("JobByName(y) = %+v", je)
+	}
+	if je.Limit != ExplainBottlenecked {
+		t.Fatalf("job y limit = %s, want bottlenecked", je.Limit)
+	}
+	if len(je.BindingSites) != 1 || je.BindingSites[0].Name != "contested" {
+		t.Fatalf("job y binding sites = %+v", je.BindingSites)
+	}
+	if ex.JobByName("missing") != nil {
+		t.Fatal("JobByName(missing) != nil")
+	}
+}
+
+// TestExplainFloorBound checks the Enhanced-AMF floor-binding flag on the
+// canonical sharing-incentive counterexample: job X's floor lifts it above
+// its plain-AMF level.
+func TestExplainFloorBound(t *testing.T) {
+	in := sharingIncentiveInstance()
+	sv := NewSolver()
+	floors := EqualShares(in)
+	a, err := sv.EnhancedAMF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Explain(in, a.Share, floors)
+	x := ex.Jobs[0]
+	if !x.FloorBound {
+		t.Fatalf("job X not floor-bound: %+v", x)
+	}
+	if x.Limit != ExplainFloorBound {
+		t.Fatalf("job X limit = %s, want floor-bound", x.Limit)
+	}
+	checkExplanation(t, in, a, ex)
+}

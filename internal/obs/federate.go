@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metrics federation: the cluster router scrapes every shard's and
+// replica's /metrics page and re-exports ONE exposition page with a
+// shard="i" / replica="i" label injected into every scraped series, so
+// the existing families (engine stage latencies, HTTP counters, fairness
+// gauges) become per-process series of one cluster-wide family instead of
+// N disjoint scrape targets. The router's own registry rides along
+// unlabeled.
+
+// ScrapedPage is one process's exposition page plus the label to stamp
+// onto its series. An empty Label injects nothing (the router's own
+// page).
+type ScrapedPage struct {
+	Label string // "shard" or "replica"; "" for the local page
+	Value string
+	Body  []byte
+}
+
+// fedSeries is one parsed series line, relabeled.
+type fedSeries struct {
+	name   string // series name as scraped (may carry _bucket/_sum/_count)
+	labels string // rendered label pairs, "" for none
+	value  string // verbatim sample value
+}
+
+// fedFamily groups series under one # TYPE declaration.
+type fedFamily struct {
+	name   string
+	typ    string // "" for series whose page declared no type
+	series []fedSeries
+}
+
+// WriteFederated parses the pages and writes one merged, deterministic
+// exposition page: families sorted by name, each # TYPE emitted once,
+// series sorted by (name, labels, page order). Series from labeled pages
+// get the page's label pair injected first, so identical families from
+// different shards stay distinguishable.
+func WriteFederated(w io.Writer, pages []ScrapedPage) error {
+	fams := map[string]*fedFamily{}
+	// suffixOwner maps a histogram family name to itself so _bucket/_sum/
+	// _count series can be grouped under their family's TYPE header.
+	histFams := map[string]bool{}
+
+	for _, p := range pages {
+		sc := bufio.NewScanner(bytes.NewReader(p.Body))
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.Fields(line)
+				if len(fields) == 4 && fields[1] == "TYPE" {
+					name, typ := fields[2], fields[3]
+					f := fams[name]
+					if f == nil {
+						f = &fedFamily{name: name}
+						fams[name] = f
+					}
+					if f.typ == "" {
+						f.typ = typ
+					}
+					if typ == "histogram" {
+						histFams[name] = true
+					}
+				}
+				continue // drop HELP and other comments
+			}
+			name, labels, value, ok := splitSeries(line)
+			if !ok {
+				continue
+			}
+			if p.Label != "" {
+				pair := promLabel(p.Label, p.Value)
+				if labels == "" {
+					labels = pair
+				} else {
+					labels = pair + "," + labels
+				}
+			}
+			fam := familyOf(name, histFams)
+			f := fams[fam]
+			if f == nil {
+				f = &fedFamily{name: fam}
+				fams[fam] = f
+			}
+			f.series = append(f.series, fedSeries{name: name, labels: labels, value: value})
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("obs: federate parse: %w", err)
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		if len(f.series) == 0 {
+			continue // TYPE with no surviving series
+		}
+		sort.SliceStable(f.series, func(i, j int) bool {
+			if f.series[i].name != f.series[j].name {
+				return f.series[i].name < f.series[j].name
+			}
+			return f.series[i].labels < f.series[j].labels
+		})
+		if f.typ != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+				return err
+			}
+		}
+		for _, s := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, braced(s.labels), s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a series name to its family: histogram suffix series
+// (_bucket, _sum, _count) group under the declared histogram family.
+func familyOf(name string, histFams map[string]bool) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && histFams[base] {
+			return base
+		}
+	}
+	return name
+}
+
+// splitSeries parses one exposition sample line into (name, raw label
+// pairs, value). It tracks quoting so label values containing '}' or
+// escaped quotes do not break the brace scan.
+func splitSeries(line string) (name, labels, value string, ok bool) {
+	brace := -1
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '{' {
+			brace = i
+			break
+		}
+		if c == ' ' || c == '\t' {
+			return line[:i], "", strings.TrimSpace(line[i:]), true
+		}
+	}
+	if brace < 0 {
+		return "", "", "", false // bare name with no value
+	}
+	name = line[:brace]
+	inQuote := false
+	for i := brace + 1; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote && c == '\\':
+			i++ // skip escaped char
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return name, line[brace+1 : i], strings.TrimSpace(line[i+1:]), name != ""
+		}
+	}
+	return "", "", "", false // unterminated braces
+}

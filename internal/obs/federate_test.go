@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return []byte(sb.String())
+}
+
+func TestWriteFederatedMergesShardLabels(t *testing.T) {
+	s0 := NewRegistry()
+	s0.Counter("engine.commits_total").Add(3)
+	s0.Observe("engine.stage.apply", time.Millisecond)
+	s1 := NewRegistry()
+	s1.Counter("engine.commits_total").Add(5)
+	s1.Observe("engine.stage.apply", 2*time.Millisecond)
+	local := NewRegistry()
+	local.Counter("cluster.fanout.errors.0").Add(1)
+	local.Observe("cluster.fanout.latency.allocation", time.Millisecond)
+	local.Gauge("cluster.version_spread").Set(2)
+
+	var sb strings.Builder
+	err := WriteFederated(&sb, []ScrapedPage{
+		{Label: "shard", Value: "0", Body: scrape(t, s0)},
+		{Label: "shard", Value: "1", Body: scrape(t, s1)},
+		{Body: scrape(t, local)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		`amf_engine_commits_total{shard="0"} 3`,
+		`amf_engine_commits_total{shard="1"} 5`,
+		`amf_engine_stage_latency_seconds_bucket{shard="0",stage="apply",le="+Inf"} 1`,
+		`amf_engine_stage_latency_seconds_count{shard="1",stage="apply"} 1`,
+		`amf_cluster_fanout_errors_total{shard="0"} 1`,
+		`amf_cluster_fanout_latency_seconds_count{op="allocation"} 1`,
+		"# TYPE amf_cluster_version_spread gauge\namf_cluster_version_spread 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated page missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even though both shards declared it.
+	if n := strings.Count(out, "# TYPE amf_engine_commits_total counter"); n != 1 {
+		t.Errorf("family declared %d times, want 1", n)
+	}
+	// Every sample line still matches the exposition grammar.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed federated line: %q", line)
+		}
+	}
+	// Deterministic: same input renders byte-identically.
+	var sb2 strings.Builder
+	if err := WriteFederated(&sb2, []ScrapedPage{
+		{Label: "shard", Value: "0", Body: scrape(t, s0)},
+		{Label: "shard", Value: "1", Body: scrape(t, s1)},
+		{Body: scrape(t, local)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("federated output not deterministic")
+	}
+}
+
+func TestWriteFederatedReplicaPages(t *testing.T) {
+	rep := NewRegistry()
+	rep.Gauge("replica.lag_records").Set(4)
+	var sb strings.Builder
+	if err := WriteFederated(&sb, []ScrapedPage{
+		{Label: "replica", Value: "0", Body: scrape(t, rep)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `amf_replica_lag_records{replica="0"} 4`) {
+		t.Fatalf("replica label missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteFederatedSkipsGarbage(t *testing.T) {
+	var sb strings.Builder
+	body := []byte("# HELP something ignored\nbadline\nname_only\n\namf_ok 1\n")
+	if err := WriteFederated(&sb, []ScrapedPage{{Label: "shard", Value: "0", Body: body}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `amf_ok{shard="0"} 1`) {
+		t.Fatalf("valid line dropped:\n%s", out)
+	}
+	if strings.Contains(out, "badline") || strings.Contains(out, "HELP") {
+		t.Fatalf("garbage survived:\n%s", out)
+	}
+}
+
+// TestPromLabelEscapingEdgeCases drives backslash, newline and quote
+// label values end-to-end through the registry renderer and the
+// federation parser: the rendered page must stay parseable and the
+// escaped values must survive relabeling verbatim.
+func TestPromLabelEscapingEdgeCases(t *testing.T) {
+	cases := []struct {
+		raw  string // route/stage suffix as registered
+		want string // escaped form expected inside the label value
+	}{
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`quo"te`, `quo\"te`},
+		{"all\n\"\\three", `all\n\"\\three`},
+		{`brace}y{`, `brace}y{`}, // braces are legal inside quoted values
+	}
+	r := NewRegistry()
+	for _, c := range cases {
+		r.Counter("http.requests." + c.raw).Inc()
+		r.Observe("engine.stage."+c.raw, time.Millisecond)
+	}
+	page := scrape(t, r)
+
+	for _, line := range strings.Split(strings.TrimSpace(string(page)), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, c := range cases {
+		if !strings.Contains(string(page), `route="`+c.want+`"`) {
+			t.Errorf("route %q not escaped to %q in:\n%s", c.raw, c.want, page)
+		}
+		if !strings.Contains(string(page), `stage="`+c.want+`"`) {
+			t.Errorf("stage %q not escaped to %q", c.raw, c.want)
+		}
+	}
+
+	// Round-trip through federation: the parser must keep label values
+	// (including escaped quotes and braces) intact while injecting the
+	// shard pair, and the result must still be grammatical.
+	var sb strings.Builder
+	if err := WriteFederated(&sb, []ScrapedPage{{Label: "shard", Value: "3", Body: page}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, c := range cases {
+		if !strings.Contains(out, `shard="3",route="`+c.want+`"`) {
+			t.Errorf("federated page lost route %q:\n%s", c.want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed federated line: %q", line)
+		}
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	for _, tc := range []struct {
+		line, name, labels, value string
+		ok                        bool
+	}{
+		{`m 1`, "m", "", "1", true},
+		{`m{a="b"} 2`, "m", `a="b"`, "2", true},
+		{`m{a="x}y"} 3`, "m", `a="x}y"`, "3", true},
+		{`m{a="q\"w"} 4`, "m", `a="q\"w"`, "4", true},
+		{`m{a="s\\"} 5`, "m", `a="s\\"`, "5", true},
+		{`m{unterminated="`, "", "", "", false},
+		{`nameonly`, "", "", "", false},
+	} {
+		name, labels, value, ok := splitSeries(tc.line)
+		if name != tc.name || labels != tc.labels || value != tc.value || ok != tc.ok {
+			t.Errorf("splitSeries(%q) = (%q, %q, %q, %v), want (%q, %q, %q, %v)",
+				tc.line, name, labels, value, ok, tc.name, tc.labels, tc.value, tc.ok)
+		}
+	}
+}

@@ -32,11 +32,13 @@ type promPrefixRule struct {
 var promCounterRules = []promPrefixRule{
 	{"http.requests.", "amf_http_requests_total", "route"},
 	{"http.errors.", "amf_http_errors_total", "route"},
+	{"cluster.fanout.errors.", "amf_cluster_fanout_errors_total", "shard"},
 }
 
 var promHistogramRules = []promPrefixRule{
 	{"http.latency.", "amf_http_request_latency_seconds", "route"},
 	{"engine.stage.", "amf_engine_stage_latency_seconds", "stage"},
+	{"cluster.fanout.latency.", "amf_cluster_fanout_latency_seconds", "op"},
 }
 
 // PromContentType is the Content-Type of the exposition format.

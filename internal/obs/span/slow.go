@@ -1,0 +1,108 @@
+package span
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowRecorder retains the N slowest traces recorded within a sliding
+// time window, so slow-commit evidence survives main-ring churn: a burst
+// of fast commits evicts a slow outlier from the Recorder ring within
+// milliseconds, but it stays here until a full window passes or N slower
+// commits displace it.
+//
+// Unlike Recorder this takes a mutex — it is written once per commit and
+// read rarely, so contention is not a concern.
+type SlowRecorder struct {
+	mu     sync.Mutex
+	window time.Duration
+	max    int
+	traces []*Trace // sorted by Total descending
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// NewSlowRecorder returns a recorder keeping the size slowest traces of
+// the last window (minimums: 1 trace, 1 second).
+func NewSlowRecorder(size int, window time.Duration) *SlowRecorder {
+	if size < 1 {
+		size = 1
+	}
+	if window < time.Second {
+		window = time.Second
+	}
+	return &SlowRecorder{window: window, max: size, now: time.Now}
+}
+
+// Cap reports the retention capacity.
+func (r *SlowRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.max
+}
+
+// Record offers a completed trace. It is kept if the window has a free
+// slot or the trace is slower than the current fastest retained one. Nil
+// receivers are no-ops so callers can record unconditionally.
+func (r *SlowRecorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked()
+	if len(r.traces) < r.max {
+		r.insertLocked(t)
+		return
+	}
+	if fastest := r.traces[len(r.traces)-1]; t.Total > fastest.Total {
+		r.traces = r.traces[:len(r.traces)-1]
+		r.insertLocked(t)
+	}
+}
+
+// insertLocked inserts keeping the slowest-first order.
+func (r *SlowRecorder) insertLocked(t *Trace) {
+	i := sort.Search(len(r.traces), func(i int) bool {
+		return r.traces[i].Total < t.Total
+	})
+	r.traces = append(r.traces, nil)
+	copy(r.traces[i+1:], r.traces[i:])
+	r.traces[i] = t
+}
+
+// expireLocked drops traces older than the window. Age is measured from
+// the trace start, the only wall-clock stamp a trace carries.
+func (r *SlowRecorder) expireLocked() {
+	cutoff := r.now().Add(-r.window)
+	kept := r.traces[:0]
+	for _, t := range r.traces {
+		if t.Start.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(r.traces); i++ {
+		r.traces[i] = nil
+	}
+	r.traces = kept
+}
+
+// Slowest returns up to limit retained traces, slowest first. limit <= 0
+// means all. Nil receivers return an empty slice.
+func (r *SlowRecorder) Slowest(limit int) []*Trace {
+	if r == nil {
+		return []*Trace{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked()
+	n := len(r.traces)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]*Trace, limit)
+	copy(out, r.traces[:limit])
+	return out
+}

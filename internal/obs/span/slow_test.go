@@ -1,0 +1,71 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+func slowTrace(id ID, total float64, start time.Time) *Trace {
+	return &Trace{ID: id, Total: total, Start: start}
+}
+
+func TestSlowRecorderKeepsSlowest(t *testing.T) {
+	r := NewSlowRecorder(3, time.Hour)
+	now := time.Now()
+	for i, total := range []float64{0.010, 0.002, 0.050, 0.001, 0.030, 0.004} {
+		r.Record(slowTrace(ID(rune('a'+i)), total, now))
+	}
+	got := r.Slowest(0)
+	if len(got) != 3 {
+		t.Fatalf("kept %d traces, want 3", len(got))
+	}
+	wantTotals := []float64{0.050, 0.030, 0.010}
+	for i, tr := range got {
+		if tr.Total != wantTotals[i] {
+			t.Fatalf("slot %d total %g, want %g", i, tr.Total, wantTotals[i])
+		}
+	}
+	if limited := r.Slowest(1); len(limited) != 1 || limited[0].Total != 0.050 {
+		t.Fatalf("Slowest(1) = %+v", limited)
+	}
+}
+
+func TestSlowRecorderWindowExpiry(t *testing.T) {
+	r := NewSlowRecorder(8, time.Minute)
+	base := time.Now()
+	clock := base
+	r.now = func() time.Time { return clock }
+	r.Record(slowTrace("old", 0.9, base.Add(-2*time.Minute)))
+	r.Record(slowTrace("new", 0.1, base))
+	got := r.Slowest(0)
+	if len(got) != 1 || got[0].ID != "new" {
+		t.Fatalf("after expiry got %+v", got)
+	}
+	// Advance the clock past the window: the remaining trace expires too.
+	clock = base.Add(2 * time.Minute)
+	if got := r.Slowest(0); len(got) != 0 {
+		t.Fatalf("expected full expiry, got %d traces", len(got))
+	}
+}
+
+func TestSlowRecorderNilSafe(t *testing.T) {
+	var r *SlowRecorder
+	r.Record(slowTrace("x", 1, time.Now()))
+	if got := r.Slowest(0); len(got) != 0 {
+		t.Fatalf("nil recorder returned %d traces", len(got))
+	}
+	if r.Cap() != 0 {
+		t.Fatalf("nil recorder cap %d", r.Cap())
+	}
+}
+
+func TestStitchChildCopies(t *testing.T) {
+	orig := &Trace{ID: "child", Total: 0.5}
+	c := orig.StitchChild("parent", "1")
+	if c.Parent != "parent" || c.Shard != "1" || c.ID != "child" {
+		t.Fatalf("stitched = %+v", c)
+	}
+	if orig.Parent != "" || orig.Shard != "" {
+		t.Fatalf("original mutated: %+v", orig)
+	}
+}

@@ -57,6 +57,22 @@ func FromContext(ctx context.Context) ID {
 	return id
 }
 
+// parentKey is the private context key for cluster parent trace IDs.
+type parentKey struct{}
+
+// NewParentContext returns a context carrying the cluster-level parent
+// trace ID — the router-minted ID a shard-local commit trace should hang
+// under when stitched.
+func NewParentContext(ctx context.Context, id ID) context.Context {
+	return context.WithValue(ctx, parentKey{}, id)
+}
+
+// ParentFromContext extracts the parent trace ID, or "".
+func ParentFromContext(ctx context.Context) ID {
+	id, _ := ctx.Value(parentKey{}).(ID)
+	return id
+}
+
 // Span is one named stage of a trace. Stage spans are laid out on a single
 // sequential timeline (Start is the offset from the trace start, and
 // non-detail spans never overlap), so summing their durations reproduces
@@ -97,8 +113,28 @@ type Trace struct {
 	Requests []ID `json:"requests,omitempty"`
 	// Error is the commit's error, if any ("" for success).
 	Error string `json:"error,omitempty"`
+	// Parent is the cluster-level parent trace ID for a shard-local trace
+	// that was stitched under a router trace ("" for standalone traces).
+	Parent ID `json:"parent_id,omitempty"`
+	// Shard labels which process recorded this trace in a stitched tree:
+	// a shard index ("0", "1", ...) or "replica". Empty for standalone
+	// engines and for router-level parents.
+	Shard string `json:"shard,omitempty"`
+	// Children holds the shard-local child traces stitched under a
+	// router-level parent, in shard order.
+	Children []*Trace `json:"children,omitempty"`
 	// Spans is the stage timeline.
 	Spans []Span `json:"spans"`
+}
+
+// StitchChild returns a shallow copy of the child tagged with the parent
+// trace ID and shard label, leaving the recorded original untouched (ring
+// slots are shared between readers).
+func (t *Trace) StitchChild(parent ID, shard string) *Trace {
+	c := *t
+	c.Parent = parent
+	c.Shard = shard
+	return &c
 }
 
 // SpanSum returns the summed duration of the non-detail stage spans in
@@ -128,6 +164,12 @@ func Begin(id ID, start time.Time) *Builder {
 
 // SetSeq records the commit sequence number.
 func (b *Builder) SetSeq(seq uint64) { b.t.Seq = seq }
+
+// SetParent records the cluster-level parent trace ID.
+func (b *Builder) SetParent(id ID) { b.t.Parent = id }
+
+// SetShard records the shard label ("0", "1", ..., "replica").
+func (b *Builder) SetShard(s string) { b.t.Shard = s }
 
 // SetBatch records the batch size and the member request trace IDs.
 func (b *Builder) SetBatch(size int, requests []ID) {

@@ -254,6 +254,41 @@ func (sc *Scheduler) PolicyName() string {
 	return sc.cfg.Policy.Name()
 }
 
+// GlobalWeightFloors reports whether the active policy floors every job
+// at its global equal share (Enhanced-AMF semantics). Explanations use it
+// to decide whether to derive and report floor evidence.
+func (sc *Scheduler) GlobalWeightFloors() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.cfg.Policy.Capabilities().GlobalWeightFloors
+}
+
+// Explain derives the allocation explanation for the current job set: it
+// re-solves if needed and explains the installed shares against the same
+// instance view under one lock acquisition. Standalone callers (tests,
+// read replicas) use this directly; the serving engine instead explains
+// its published RCU snapshot so the evidence matches what readers see.
+func (sc *Scheduler) Explain() (*core.Explanation, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := sc.solveLocked(); err != nil {
+		return nil, err
+	}
+	in := sc.viewLocked()
+	share := make([][]float64, len(in.JobName))
+	for i, id := range in.JobName {
+		share[i] = sc.shares[id]
+		if share[i] == nil {
+			share[i] = make([]float64, in.NumSites())
+		}
+	}
+	var floors []float64
+	if sc.cfg.Policy.Capabilities().GlobalWeightFloors {
+		floors = core.EqualShares(in)
+	}
+	return core.Explain(in, share, floors), nil
+}
+
 // SetPolicyName switches the allocation discipline at runtime; see
 // SetPolicy.
 func (sc *Scheduler) SetPolicyName(name string) error {

@@ -106,6 +106,10 @@ type Config struct {
 	// stages, publish) and records it into this ring. Nil disables tracing;
 	// the per-stage histograms in Metrics are fed either way.
 	Traces *span.Recorder
+	// SlowTraces, when set alongside Traces, additionally retains the N
+	// slowest commits of the recorder's window (GET /v1/traces?slow=1), so
+	// slow-commit evidence survives main-ring churn. Nil disables it.
+	SlowTraces *span.SlowRecorder
 	// Logger, when set, receives structured engine logs (currently slow
 	// commits; see SlowCommit). Nil disables logging.
 	Logger *slog.Logger
@@ -203,8 +207,11 @@ type op struct {
 	// resumes batching.
 	exclusive bool
 	// traceID is the submitting request's trace ID ("" when the context
-	// carried none); enqueuedAt anchors the commit's queue-wait span.
+	// carried none); parentID is the cluster-level parent trace ID riding
+	// the request (X-AMF-Parent-Span, "" standalone); enqueuedAt anchors
+	// the commit's queue-wait span.
 	traceID    span.ID
+	parentID   span.ID
 	enqueuedAt time.Time
 	state      atomic.Int32
 	err        error
@@ -241,6 +248,14 @@ type Engine struct {
 	walFailed atomic.Bool
 
 	snap atomic.Pointer[AllocSnapshot]
+
+	// explain caches the lazily-derived allocation explanation for the
+	// published snapshot, keyed by its version. Deriving is read-side work
+	// (Explain), never commit-side, so explanation capture adds zero cost
+	// to the commit path; the mutex only serializes concurrent first
+	// readers of the same version.
+	explainMu    sync.Mutex
+	explainCache atomic.Pointer[explainEntry]
 
 	// Commit-trace state, owned by the committer goroutine. tb is the
 	// in-flight commit's trace builder (nil outside a traced commit); the
@@ -470,6 +485,7 @@ func (e *Engine) submit(ctx context.Context, exclusive bool, rec *wal.Mutation, 
 		rec:        rec,
 		exclusive:  exclusive,
 		traceID:    span.FromContext(ctx),
+		parentID:   span.ParentFromContext(ctx),
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
 	}
@@ -766,13 +782,16 @@ func (e *Engine) finishCommit(batch []*op, start time.Time) {
 // fresh one. The queue-wait histogram is fed whether or not tracing is on.
 func (e *Engine) beginTrace(batch []*op, start time.Time) {
 	earliest := start
-	var id span.ID
+	var id, parent span.ID
 	for _, o := range batch {
 		if !o.enqueuedAt.IsZero() && o.enqueuedAt.Before(earliest) {
 			earliest = o.enqueuedAt
 		}
 		if id == "" {
 			id = o.traceID
+		}
+		if parent == "" {
+			parent = o.parentID
 		}
 	}
 	wait := start.Sub(earliest)
@@ -785,6 +804,7 @@ func (e *Engine) beginTrace(batch []*op, start time.Time) {
 	}
 	tb := span.Begin(id, earliest)
 	tb.SetSeq(e.commitSeq)
+	tb.SetParent(parent)
 	tb.Stage(stageQueueWait, wait)
 	e.tb = tb
 }
@@ -805,6 +825,7 @@ func (e *Engine) finishTrace(batch []*op) *span.Trace {
 	}
 	t := tb.Finish()
 	e.cfg.Traces.Record(t)
+	e.cfg.SlowTraces.Record(t) // nil-safe no-op when retention is off
 	return t
 }
 
@@ -1193,6 +1214,76 @@ func (e *Engine) Restore(ctx context.Context, snap scheduler.Snapshot) error {
 		func(sc *scheduler.Scheduler) error {
 			return sc.Restore(snap)
 		})
+}
+
+// explainEntry is one cached derivation.
+type explainEntry struct {
+	version uint64
+	ex      *core.Explanation
+}
+
+// ExplainResult is an allocation explanation plus the provenance readers
+// need to interpret it: which snapshot version it explains, under which
+// policy, and — in a cluster — which shard derived it. It is the neutral
+// shape shared by the engine, the cluster router and read replicas (the
+// api package maps it onto the wire response).
+type ExplainResult struct {
+	Version     uint64
+	Policy      string
+	Shard       string // owning shard, set by cluster routing; "" standalone
+	Explanation *core.Explanation
+}
+
+// Explain derives the water-filling explanation for the current published
+// snapshot: per-job final level, freeze round, binding sites with
+// saturation residuals and the Enhanced-AMF floor-binding flag, per-site
+// saturation and membership. The derivation is RCU-consistent — it reads
+// exactly the snapshot's instance and share rows — and cached per
+// version, so repeated reads are one pointer load. A non-empty job must
+// exist (scheduler.ErrUnknownJob otherwise); the full explanation is
+// returned either way so callers can render site context.
+func (e *Engine) Explain(ctx context.Context, job string) (*ExplainResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap := e.Current()
+	ex := e.explanationFor(snap)
+	if job != "" && ex.JobByName(job) == nil {
+		return nil, fmt.Errorf("%w: %q", scheduler.ErrUnknownJob, job)
+	}
+	return &ExplainResult{
+		Version:     snap.Version,
+		Policy:      snap.Policy,
+		Explanation: ex,
+	}, nil
+}
+
+// explanationFor returns the (possibly cached) explanation of one
+// snapshot. Policy switches and floor changes republish — the version key
+// covers them.
+func (e *Engine) explanationFor(snap *AllocSnapshot) *core.Explanation {
+	if ent := e.explainCache.Load(); ent != nil && ent.version == snap.Version {
+		return ent.ex
+	}
+	e.explainMu.Lock()
+	defer e.explainMu.Unlock()
+	if ent := e.explainCache.Load(); ent != nil && ent.version == snap.Version {
+		return ent.ex
+	}
+	share := make([][]float64, len(snap.Inst.JobName))
+	for i, id := range snap.Inst.JobName {
+		share[i] = snap.Shares[id]
+		if share[i] == nil {
+			share[i] = make([]float64, snap.Inst.NumSites())
+		}
+	}
+	var floors []float64
+	if e.sc.GlobalWeightFloors() {
+		floors = core.EqualShares(snap.Inst)
+	}
+	ex := core.Explain(snap.Inst, share, floors)
+	e.explainCache.Store(&explainEntry{version: snap.Version, ex: ex})
+	return ex
 }
 
 // --- Reads (lock-free, from the published snapshot) ---------------------
